@@ -1,0 +1,192 @@
+// Google-benchmark microbenchmarks of the host-side kernels themselves
+// (wall-clock on this machine, not the modeled package).  Useful for
+// tracking regressions in the actual implementations and for the
+// BVH-vs-brute-force ablation the DESIGN calls out.
+#include <benchmark/benchmark.h>
+
+#include "sim/cloverleaf.h"
+#include "viz/filters/clip_sphere.h"
+#include "viz/filters/contour.h"
+#include "viz/filters/isovolume.h"
+#include "viz/filters/mc_tables.h"
+#include "viz/filters/particle_advection.h"
+#include "viz/filters/slice.h"
+#include "viz/filters/threshold.h"
+#include "viz/rendering/bvh.h"
+#include "viz/rendering/external_faces.h"
+#include "viz/rendering/ray_tracer.h"
+#include "viz/rendering/volume_renderer.h"
+
+namespace {
+
+using namespace pviz;
+
+const vis::UniformGrid& grid(vis::Id size) {
+  static std::map<vis::Id, vis::UniformGrid> cache;
+  auto it = cache.find(size);
+  if (it == cache.end()) {
+    it = cache.emplace(size, sim::makeCloverField(size)).first;
+  }
+  return it->second;
+}
+
+void BM_McTableGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&vis::McTables::instance());
+  }
+}
+BENCHMARK(BM_McTableGeneration);
+
+void BM_Contour(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  vis::ContourFilter filter;
+  filter.setIsovalues(
+      vis::ContourFilter::uniformIsovalues(g.field("energy"), 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.run(g, "energy").surface.numTriangles());
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells() * 3);
+}
+BENCHMARK(BM_Contour)->Arg(16)->Arg(32);
+
+void BM_Threshold(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  vis::ThresholdFilter filter;
+  filter.setRange(1.2, 2.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.run(g, "energy").kept.numCells());
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells());
+}
+BENCHMARK(BM_Threshold)->Arg(16)->Arg(32);
+
+void BM_ClipSphere(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  vis::ClipSphereFilter filter;
+  filter.setSphere(g.bounds().center(), 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filter.run(g, "energy").clipped.cutPieces.numTets());
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells());
+}
+BENCHMARK(BM_ClipSphere)->Arg(16)->Arg(32);
+
+void BM_Isovolume(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  vis::IsovolumeFilter filter;
+  filter.setRange(1.3, 2.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.run(g, "energy").cutPieces.numTets());
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells());
+}
+BENCHMARK(BM_Isovolume)->Arg(16)->Arg(32);
+
+void BM_Slice(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  vis::SliceFilter filter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.run(g, "energy").surface.numTriangles());
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells());
+}
+BENCHMARK(BM_Slice)->Arg(16)->Arg(32);
+
+void BM_ParticleAdvection(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(24);
+  vis::ParticleAdvectionFilter filter;
+  filter.setSeedCount(state.range(0));
+  filter.setMaxSteps(200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.run(g, "velocity").totalSteps);
+  }
+}
+BENCHMARK(BM_ParticleAdvection)->Arg(100)->Arg(400);
+
+void BM_ExternalFaces(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vis::extractExternalFaces(g, "energy").facesFound);
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells());
+}
+BENCHMARK(BM_ExternalFaces)->Arg(16)->Arg(32);
+
+void BM_BvhBuild(benchmark::State& state) {
+  const vis::TriangleMesh mesh =
+      vis::extractExternalFaces(grid(state.range(0)), "energy").mesh;
+  for (auto _ : state) {
+    vis::Bvh bvh(mesh);
+    benchmark::DoNotOptimize(bvh.nodeCount());
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.numTriangles());
+}
+BENCHMARK(BM_BvhBuild)->Arg(16)->Arg(32);
+
+// Ablation: BVH traversal vs brute force — the reason ray tracers carry
+// a spatial acceleration structure.
+void BM_TraceWithBvh(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(16);
+  const vis::TriangleMesh mesh =
+      vis::extractExternalFaces(g, "energy").mesh;
+  const vis::Bvh bvh(mesh);
+  const auto cameras = vis::cameraOrbit(g.bounds(), 1);
+  std::int64_t hits = 0;
+  for (auto _ : state) {
+    for (int y = 0; y < 32; ++y) {
+      for (int x = 0; x < 32; ++x) {
+        hits += bvh.intersect(cameras[0].pixelRay(x, y, 32, 32)).hit();
+      }
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * 32 * 32);
+}
+BENCHMARK(BM_TraceWithBvh);
+
+void BM_TraceBruteForce(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(16);
+  const vis::TriangleMesh mesh =
+      vis::extractExternalFaces(g, "energy").mesh;
+  const vis::Bvh bvh(mesh);
+  const auto cameras = vis::cameraOrbit(g.bounds(), 1);
+  std::int64_t hits = 0;
+  for (auto _ : state) {
+    for (int y = 0; y < 32; ++y) {
+      for (int x = 0; x < 32; ++x) {
+        hits += bvh.intersectBruteForce(cameras[0].pixelRay(x, y, 32, 32))
+                    .hit();
+      }
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * 32 * 32);
+}
+BENCHMARK(BM_TraceBruteForce);
+
+void BM_VolumeRender(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(24);
+  vis::VolumeRenderer renderer;
+  renderer.setImageSize(64, 64);
+  renderer.setCameraCount(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(renderer.run(g, "energy").samplesTaken);
+  }
+}
+BENCHMARK(BM_VolumeRender);
+
+void BM_CloverLeafStep(benchmark::State& state) {
+  sim::CloverLeaf clover(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clover.step());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0) * state.range(0));
+}
+BENCHMARK(BM_CloverLeafStep)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

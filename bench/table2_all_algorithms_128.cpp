@@ -1,0 +1,16 @@
+// Table II: slowdown factors (Tratio, Fratio) for all eight algorithms
+// at 128^3 across the 120 W -> 40 W cap sweep.
+//
+// Paper shape to reproduce: the power-opportunity class (contour,
+// spherical clip, isovolume, threshold, slice, ray tracing) shows no
+// >=10% slowdown until Pratio >= 2X (60-40 W); the power-sensitive class
+// (particle advection, volume rendering) starts slowing at 70-80 W.
+#include "table_all_algorithms.h"
+
+int main() {
+  pviz::benchutil::printBanner(
+      "Table II — slowdown factor, all algorithms, 128^3",
+      "Labasan et al., IPDPS'19, Table II");
+  return pviz::benchutil::runAllAlgorithmsTable(
+      pviz::benchutil::envInt("PVIZ_SIZE", 128));
+}

@@ -1,0 +1,55 @@
+// In situ pipeline scenario: a CloverLeaf simulation tightly coupled
+// with visualization (they alternate on the same package), run three
+// ways — uncapped, naively capped, and with the paper's insight applied
+// (viz capped low, simulation left alone).
+//
+//   $ ./insitu_pipeline
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pviz;
+
+  core::PipelineConfig config;
+  config.cellsPerAxis = 24;
+  config.simStepsPerCycle = 150;  // viz lands at the paper's 10-20% share
+  config.cycles = 4;
+  config.algorithms = {core::Algorithm::Contour,
+                       core::Algorithm::RayTracing};
+  config.params = core::AlgorithmParams::lightRendering();
+  config.params.cameraCount = 10;
+  config.params.sampledCameraCount = 4;
+
+  struct Scenario {
+    const char* name;
+    double simCap;
+    double vizCap;
+  };
+  const Scenario scenarios[] = {
+      {"uncapped", 120.0, 120.0},
+      {"uniform 60W cap", 60.0, 60.0},
+      {"advised: viz at 45W, sim free", 120.0, 45.0},
+  };
+
+  util::TextTable table;
+  table.setHeader({"Scenario", "Total(s)", "Viz share", "Avg power(W)",
+                   "Energy(kJ)"});
+  for (const Scenario& scenario : scenarios) {
+    config.simCapWatts = scenario.simCap;
+    config.vizCapWatts = scenario.vizCap;
+    const core::PipelineReport report = core::runInSituPipeline(config);
+    table.addRow({scenario.name,
+                  util::formatFixed(report.totalSeconds, 2),
+                  util::formatFixed(report.vizFraction * 100, 1) + "%",
+                  util::formatFixed(report.averageWatts(), 1),
+                  util::formatFixed(report.totalEnergyJoules / 1e3, 2)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nthe advised scenario keeps nearly all of the uncapped speed "
+         "while cutting average power —\nthe visualization phase simply "
+         "does not need the watts (paper §VII)\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The study's derived metrics (paper §V).
+//
+//   Pratio = P_default / P_reduced   (>= 1 as the cap tightens)
+//   Tratio = T_reduced / T_default   (>= 1 when the kernel slows down)
+//   Fratio = F_default / F_reduced   (>= 1 as frequency drops)
+//
+// Tratio < Pratio means the algorithm was sufficiently data intensive to
+// avoid a slowdown equal to the power reduction — the tradeoff the study
+// quantifies.  Elements/second is the Moreland–Oldfield rate n / T(n,p).
+#pragma once
+
+#include <vector>
+
+#include "core/execution_sim.h"
+
+namespace pviz::core {
+
+struct Ratios {
+  double pRatio = 1.0;
+  double tRatio = 1.0;
+  double fRatio = 1.0;
+};
+
+/// Ratios of a capped run against the default (TDP) run.
+inline Ratios computeRatios(const Measurement& defaultRun,
+                            double defaultCapWatts,
+                            const Measurement& cappedRun,
+                            double cappedCapWatts) {
+  Ratios r;
+  r.pRatio = cappedCapWatts > 0.0 ? defaultCapWatts / cappedCapWatts : 0.0;
+  r.tRatio =
+      defaultRun.seconds > 0.0 ? cappedRun.seconds / defaultRun.seconds : 0.0;
+  r.fRatio = cappedRun.effectiveGhz > 0.0
+                 ? defaultRun.effectiveGhz / cappedRun.effectiveGhz
+                 : 0.0;
+  return r;
+}
+
+/// The paper's red-highlight rule: scanning caps from the default down,
+/// the first cap at which the ratio reaches 1.1 (a 10% degradation).
+/// `ratios` must be ordered from the default cap downward; returns the
+/// index of the knee, or -1 when no cap degrades by 10%.
+inline int firstSlowdownIndex(const std::vector<double>& ratios,
+                              double threshold = 1.1) {
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    if (ratios[i] >= threshold) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace pviz::core

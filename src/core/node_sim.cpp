@@ -1,0 +1,24 @@
+#include "core/node_sim.h"
+
+namespace pviz::core {
+
+NodeMeasurement NodeSimulator::run(const vis::KernelProfile& kernel,
+                                   double capPerSocketWatts) {
+  // Even split: each socket executes 1/sockets of every phase.  The
+  // sockets are identical and identically capped, so one simulation
+  // stands for all of them (the paper's uniform-cap configuration; the
+  // limitations of that policy under imbalance are §III-A's point, not
+  // modeled here).
+  const vis::KernelProfile slice =
+      scaleKernelWork(kernel, 1.0 / static_cast<double>(node_.sockets));
+  NodeMeasurement out;
+  out.perSocket = simulator_.run(slice, capPerSocketWatts);
+  out.seconds = out.perSocket.seconds;
+  out.packageWatts =
+      out.perSocket.averageWatts * static_cast<double>(node_.sockets);
+  out.nodeWatts = out.packageWatts + node_.otherWatts;
+  out.energyJoules = out.nodeWatts * out.seconds;
+  return out;
+}
+
+}  // namespace pviz::core

@@ -1,0 +1,56 @@
+// Node-level simulation: the study's node is two identically-capped
+// packages sharing the workload evenly (one MPI rank, threads across
+// both sockets).  This wrapper splits a kernel across the sockets and
+// aggregates node power, including the constant non-package components
+// (DRAM, fans, NIC, board) that RAPL's PKG domain does not govern.
+#pragma once
+
+#include "core/execution_sim.h"
+
+namespace pviz::core {
+
+struct NodeDescription {
+  arch::MachineDescription socket =
+      arch::MachineDescription::broadwellE52695v4();
+  int sockets = 2;
+  /// Non-package node power (memory DIMMs, board, fans) — drawn
+  /// regardless of the PKG cap.
+  double otherWatts = 32.0;
+};
+
+struct NodeMeasurement {
+  double seconds = 0.0;
+  double packageWatts = 0.0;  ///< sum over sockets
+  double nodeWatts = 0.0;     ///< packages + other
+  double energyJoules = 0.0;  ///< whole node
+  Measurement perSocket;      ///< one socket's view (they are symmetric)
+
+  /// Share of node power the capped packages account for.
+  double packageShare() const {
+    return nodeWatts > 0.0 ? packageWatts / nodeWatts : 0.0;
+  }
+};
+
+class NodeSimulator {
+ public:
+  explicit NodeSimulator(NodeDescription node = {},
+                         SimulatorOptions options = {})
+      : node_(node), simulator_(node.socket, options) {
+    PVIZ_REQUIRE(node.sockets >= 1, "node needs at least one socket");
+    PVIZ_REQUIRE(node.otherWatts >= 0.0,
+                 "non-package power cannot be negative");
+  }
+
+  /// Run `kernel` split evenly across the sockets, each under
+  /// `capPerSocketWatts` (the study's uniform processor-level cap).
+  NodeMeasurement run(const vis::KernelProfile& kernel,
+                      double capPerSocketWatts);
+
+  const NodeDescription& node() const { return node_; }
+
+ private:
+  NodeDescription node_;
+  ExecutionSimulator simulator_;
+};
+
+}  // namespace pviz::core

@@ -1,0 +1,52 @@
+#include "core/pipeline.h"
+
+namespace pviz::core {
+
+PipelineReport runInSituPipeline(const PipelineConfig& config) {
+  PVIZ_REQUIRE(config.cycles >= 1, "pipeline needs at least one cycle");
+  PVIZ_REQUIRE(!config.algorithms.empty(),
+               "pipeline needs at least one algorithm");
+
+  sim::CloverLeaf clover(config.cellsPerAxis);
+  ExecutionSimulator simulator(config.machine, config.simulator);
+
+  PipelineReport report;
+  double vizSecondsTotal = 0.0;
+
+  for (int cycle = 0; cycle < config.cycles; ++cycle) {
+    CycleReport cr;
+    cr.cycle = cycle;
+
+    // --- Simulation phase under the simulation cap. ----------------------
+    clover.run(config.simStepsPerCycle);
+    const vis::KernelProfile simProfile =
+        scaleKernelWork(clover.takeProfile(), config.workScale);
+    const Measurement simRun = simulator.run(simProfile, config.simCapWatts);
+    cr.simSeconds = simRun.seconds;
+    cr.simWatts = simRun.averageWatts;
+
+    // --- Visualization phase under the visualization cap. ----------------
+    const vis::UniformGrid dataset = clover.exportForViz();
+    for (Algorithm algorithm : config.algorithms) {
+      const vis::KernelProfile vizProfile = scaleKernelWork(
+          runAlgorithm(algorithm, dataset, config.params), config.workScale);
+      const Measurement vizRun =
+          simulator.run(vizProfile, config.vizCapWatts);
+      cr.vizSeconds += vizRun.seconds;
+      cr.vizWatts += vizRun.averageWatts * vizRun.seconds;
+      report.totalEnergyJoules += vizRun.energyJoules;
+    }
+    if (cr.vizSeconds > 0.0) cr.vizWatts /= cr.vizSeconds;
+
+    report.totalEnergyJoules += simRun.energyJoules;
+    report.totalSeconds += cr.simSeconds + cr.vizSeconds;
+    vizSecondsTotal += cr.vizSeconds;
+    report.cycles.push_back(cr);
+  }
+
+  report.vizFraction =
+      report.totalSeconds > 0.0 ? vizSecondsTotal / report.totalSeconds : 0.0;
+  return report;
+}
+
+}  // namespace pviz::core

@@ -1,0 +1,62 @@
+#include "core/report.h"
+
+#include <ostream>
+
+#include "util/table.h"
+
+namespace pviz::core {
+
+void writeStudyCsv(const std::vector<ConfigRecord>& records,
+                   std::ostream& os) {
+  util::CsvWriter csv(os);
+  csv.writeRow({"algorithm", "size", "cap_watts", "pratio", "tratio",
+                "fratio", "seconds", "watts", "effective_ghz", "ipc",
+                "llc_miss_rate", "elements_per_second", "energy_joules"});
+  for (const auto& r : records) {
+    const Measurement& m = r.measurement;
+    csv.writeRow({algorithmName(r.algorithm), std::to_string(r.size),
+                  util::formatFixed(r.capWatts, 3),
+                  util::formatFixed(r.ratios.pRatio, 6),
+                  util::formatFixed(r.ratios.tRatio, 6),
+                  util::formatFixed(r.ratios.fRatio, 6),
+                  util::formatFixed(m.seconds, 6),
+                  util::formatFixed(m.averageWatts, 3),
+                  util::formatFixed(m.effectiveGhz, 4),
+                  util::formatFixed(m.ipc, 4),
+                  util::formatFixed(m.llcMissRate, 5),
+                  util::formatFixed(m.elementsPerSecond, 2),
+                  util::formatFixed(m.energyJoules, 4)});
+  }
+}
+
+EnergyMetrics energyMetrics(const Measurement& m) {
+  EnergyMetrics em;
+  em.energyJoules = m.energyJoules;
+  em.edp = m.energyJoules * m.seconds;
+  em.ed2p = m.energyJoules * m.seconds * m.seconds;
+  return em;
+}
+
+OptimalCaps optimalCaps(const std::vector<ConfigRecord>& sweep) {
+  PVIZ_REQUIRE(!sweep.empty(), "optimalCaps needs a non-empty sweep");
+  OptimalCaps best;
+  double bestEnergy = 1e300, bestEdp = 1e300, bestTime = 1e300;
+  for (const auto& r : sweep) {
+    const EnergyMetrics em = energyMetrics(r.measurement);
+    if (em.energyJoules < bestEnergy) {
+      bestEnergy = em.energyJoules;
+      best.minEnergyCap = r.capWatts;
+    }
+    if (em.edp < bestEdp) {
+      bestEdp = em.edp;
+      best.minEdpCap = r.capWatts;
+    }
+    if (r.measurement.seconds < bestTime) {
+      bestTime = r.measurement.seconds;
+      best.minTimeCap = r.capWatts;
+    }
+  }
+  return best;
+}
+
+}  // namespace pviz::core

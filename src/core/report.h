@@ -1,0 +1,39 @@
+// Study reporting: CSV export of configuration records (for plotting
+// the paper's figures with external tools) and derived energy metrics.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/study.h"
+
+namespace pviz::core {
+
+/// Write records as CSV with a header row:
+/// algorithm,size,cap_watts,pratio,tratio,fratio,seconds,watts,
+/// effective_ghz,ipc,llc_miss_rate,elements_per_second,energy_joules
+void writeStudyCsv(const std::vector<ConfigRecord>& records,
+                   std::ostream& os);
+
+/// Energy-delay metrics for a measurement (the energy view the paper's
+/// power-saving argument implies: a power-opportunity algorithm at a
+/// low cap finishes almost as fast while using much less energy).
+struct EnergyMetrics {
+  double energyJoules = 0.0;
+  double edp = 0.0;   ///< energy x delay (J*s)
+  double ed2p = 0.0;  ///< energy x delay^2
+};
+
+EnergyMetrics energyMetrics(const Measurement& m);
+
+/// The cap (among those tried) minimizing each criterion for the given
+/// sweep (records must share algorithm and size).
+struct OptimalCaps {
+  double minEnergyCap = 0.0;
+  double minEdpCap = 0.0;
+  double minTimeCap = 0.0;
+};
+
+OptimalCaps optimalCaps(const std::vector<ConfigRecord>& sweep);
+
+}  // namespace pviz::core

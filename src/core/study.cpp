@@ -1,0 +1,179 @@
+#include "core/study.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/cloverleaf.h"
+#include "util/log.h"
+
+namespace pviz::core {
+
+namespace {
+
+std::string cacheKey(Algorithm algorithm, vis::Id size,
+                     const AlgorithmParams& p) {
+  std::ostringstream os;
+  // Whitespace-free (the cache format is token-separated).
+  os << "alg" << static_cast<int>(algorithm) << '|' << size << '|' << p.isovalueCount
+     << '|' << p.seedCount << '|' << p.maxSteps << '|' << p.cameraCount
+     << '|' << p.imageWidth << 'x' << p.imageHeight;
+  return os.str();
+}
+
+}  // namespace
+
+Study::Study(StudyConfig config)
+    : config_(std::move(config)),
+      simulator_(config_.machine, config_.simulator) {
+  PVIZ_REQUIRE(!config_.capsWatts.empty(), "study needs at least one cap");
+  PVIZ_REQUIRE(!config_.sizes.empty(), "study needs at least one size");
+  PVIZ_REQUIRE(config_.cycles >= 1, "study needs at least one cycle");
+}
+
+const vis::UniformGrid& Study::dataset(vis::Id size) {
+  auto it = datasets_.find(size);
+  if (it == datasets_.end()) {
+    PVIZ_LOG_INFO("generating " << size << "^3 clover dataset");
+    it = datasets_
+             .emplace(size, std::make_unique<vis::UniformGrid>(
+                                sim::makeCloverField(size)))
+             .first;
+  }
+  return *it->second;
+}
+
+const vis::KernelProfile& Study::characterize(Algorithm algorithm,
+                                              vis::Id size) {
+  const auto key = std::make_pair(static_cast<int>(algorithm), size);
+  auto it = profiles_.find(key);
+  if (it != profiles_.end()) return it->second;
+
+  // On-disk cache lookup.
+  const std::string diskKey = cacheKey(algorithm, size, config_.params);
+  if (!config_.cachePath.empty()) {
+    auto disk = loadProfileCache(config_.cachePath);
+    auto hit = disk.find(diskKey);
+    if (hit != disk.end()) {
+      PVIZ_LOG_INFO("profile cache hit: " << diskKey);
+      return profiles_.emplace(key, std::move(hit->second)).first->second;
+    }
+  }
+
+  PVIZ_LOG_INFO("characterizing " << algorithmName(algorithm) << " at "
+                                  << size << "^3");
+  vis::KernelProfile profile =
+      runAlgorithm(algorithm, dataset(size), config_.params);
+  auto inserted = profiles_.emplace(key, std::move(profile)).first;
+
+  if (!config_.cachePath.empty()) {
+    auto disk = loadProfileCache(config_.cachePath);
+    disk[diskKey] = inserted->second;
+    saveProfileCache(config_.cachePath, disk);
+  }
+  return inserted->second;
+}
+
+Measurement Study::measure(Algorithm algorithm, vis::Id size,
+                           double capWatts) {
+  const vis::KernelProfile& once = characterize(algorithm, size);
+  vis::KernelProfile scaled = scaleKernelWork(once, config_.workScale);
+  if (config_.cycles > 1) scaled = repeatKernel(scaled, config_.cycles);
+  return simulator_.run(scaled, capWatts);
+}
+
+std::vector<ConfigRecord> Study::capSweep(Algorithm algorithm, vis::Id size) {
+  std::vector<ConfigRecord> records;
+  records.reserve(config_.capsWatts.size());
+  Measurement baseline;
+  for (std::size_t i = 0; i < config_.capsWatts.size(); ++i) {
+    const double cap = config_.capsWatts[i];
+    ConfigRecord record;
+    record.algorithm = algorithm;
+    record.size = size;
+    record.capWatts = cap;
+    record.measurement = measure(algorithm, size, cap);
+    if (i == 0) baseline = record.measurement;
+    record.ratios = computeRatios(baseline, config_.capsWatts.front(),
+                                  record.measurement, cap);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<ConfigRecord> Study::runPhase1() {
+  return capSweep(Algorithm::Contour, 128);
+}
+
+std::vector<ConfigRecord> Study::runPhase2() {
+  std::vector<ConfigRecord> all;
+  for (Algorithm algorithm : allAlgorithms()) {
+    auto sweep = capSweep(algorithm, 128);
+    all.insert(all.end(), sweep.begin(), sweep.end());
+  }
+  return all;
+}
+
+std::vector<ConfigRecord> Study::runPhase3() {
+  std::vector<ConfigRecord> all;
+  for (vis::Id size : config_.sizes) {
+    for (Algorithm algorithm : allAlgorithms()) {
+      auto sweep = capSweep(algorithm, size);
+      all.insert(all.end(), sweep.begin(), sweep.end());
+    }
+  }
+  return all;
+}
+
+// --- On-disk characterization cache -------------------------------------
+// Line format:
+//   entry <quoted-ish key> <kernel> <elements> <phaseCount>
+//   phase <name> f i m bs br irr ws par ov          (x phaseCount)
+
+void saveProfileCache(
+    const std::string& path,
+    const std::map<std::string, vis::KernelProfile>& entries) {
+  std::ofstream out(path);
+  PVIZ_REQUIRE(out.good(), "cannot write profile cache at '" + path + "'");
+  out.precision(17);
+  for (const auto& [key, profile] : entries) {
+    out << "entry " << key << ' ' << profile.kernel << ' '
+        << profile.elements << ' ' << profile.phases.size() << '\n';
+    for (const auto& ph : profile.phases) {
+      out << "phase " << (ph.name.empty() ? "?" : ph.name) << ' ' << ph.flops
+          << ' ' << ph.intOps << ' ' << ph.memOps << ' ' << ph.bytesStreamed
+          << ' ' << ph.bytesReused << ' ' << ph.irregularAccesses << ' '
+          << ph.workingSetBytes << ' ' << ph.parallelFraction << ' '
+          << ph.overlap << '\n';
+    }
+  }
+}
+
+std::map<std::string, vis::KernelProfile> loadProfileCache(
+    const std::string& path) {
+  std::map<std::string, vis::KernelProfile> entries;
+  std::ifstream in(path);
+  if (!in.good()) return entries;  // absent cache = empty cache
+  std::string tag;
+  while (in >> tag) {
+    PVIZ_REQUIRE(tag == "entry", "corrupt profile cache: expected 'entry'");
+    std::string key, kernel;
+    std::size_t phaseCount = 0;
+    vis::KernelProfile profile;
+    in >> key >> kernel >> profile.elements >> phaseCount;
+    profile.kernel = kernel;
+    for (std::size_t p = 0; p < phaseCount; ++p) {
+      in >> tag;
+      PVIZ_REQUIRE(tag == "phase", "corrupt profile cache: expected 'phase'");
+      vis::WorkProfile ph;
+      in >> ph.name >> ph.flops >> ph.intOps >> ph.memOps >>
+          ph.bytesStreamed >> ph.bytesReused >> ph.irregularAccesses >>
+          ph.workingSetBytes >> ph.parallelFraction >> ph.overlap;
+      profile.phases.push_back(std::move(ph));
+    }
+    PVIZ_REQUIRE(in.good() || in.eof(), "corrupt profile cache");
+    entries.emplace(std::move(key), std::move(profile));
+  }
+  return entries;
+}
+
+}  // namespace pviz::core

@@ -1,0 +1,95 @@
+// The study driver: the paper's three experimental phases over the
+// (power cap × algorithm × dataset size) matrix — 288 configurations at
+// full scope.
+//
+// For each (algorithm, size) the real kernel executes once on the host
+// to characterize its work (the expensive part); the nine power caps
+// are then evaluated on the package model.  Characterizations are
+// memoized in-process and optionally on disk so the per-table bench
+// binaries share them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/execution_sim.h"
+#include "core/metrics.h"
+
+namespace pviz::core {
+
+struct StudyConfig {
+  /// Processor power caps, default cap first (paper: 120 W → 40 W).
+  std::vector<double> capsWatts = {120, 110, 100, 90, 80, 70, 60, 50, 40};
+  /// Dataset sizes (cells per axis; paper: 32, 64, 128, 256).
+  std::vector<vis::Id> sizes = {32, 64, 128, 256};
+  AlgorithmParams params;
+  /// Visualization cycles per configuration (the paper couples the
+  /// filter to a running simulation and reports time over all cycles).
+  int cycles = 10;
+  /// Host-to-VTK-m work calibration (see scaleKernelWork): multiplies
+  /// every characterized operation count so modeled runtimes land on
+  /// the paper's scale (seconds, not milliseconds).  Leaves IPC, power
+  /// draw and all ratios untouched.
+  double workScale = 100.0;
+  SimulatorOptions simulator;
+  arch::MachineDescription machine =
+      arch::MachineDescription::broadwellE52695v4();
+  /// Optional on-disk characterization cache (empty = in-memory only).
+  std::string cachePath;
+};
+
+/// One (algorithm, size, cap) study record.
+struct ConfigRecord {
+  Algorithm algorithm{};
+  vis::Id size = 0;
+  double capWatts = 0.0;
+  Measurement measurement;
+  Ratios ratios;  ///< against the default (first) cap of the same pair
+};
+
+class Study {
+ public:
+  explicit Study(StudyConfig config = {});
+
+  /// Characterize (run for real) `algorithm` on the `size`^3 dataset;
+  /// memoized.  The returned profile covers a single visualization cycle.
+  const vis::KernelProfile& characterize(Algorithm algorithm, vis::Id size);
+
+  /// Evaluate one configuration (characterize + model under the cap,
+  /// repeated for the configured cycle count).
+  Measurement measure(Algorithm algorithm, vis::Id size, double capWatts);
+
+  /// All caps for one (algorithm, size); ratios are against caps[0].
+  std::vector<ConfigRecord> capSweep(Algorithm algorithm, vis::Id size);
+
+  /// Phase 1: contour at 128^3 across all caps (9 tests).
+  std::vector<ConfigRecord> runPhase1();
+  /// Phase 2: all algorithms at 128^3 across all caps (72 tests).
+  std::vector<ConfigRecord> runPhase2();
+  /// Phase 3: the full matrix (288 tests at full scope).
+  std::vector<ConfigRecord> runPhase3();
+
+  /// The dataset used for characterization at `size` (memoized).
+  const vis::UniformGrid& dataset(vis::Id size);
+
+  const StudyConfig& config() const { return config_; }
+
+ private:
+  StudyConfig config_;
+  ExecutionSimulator simulator_;
+  std::map<vis::Id, std::unique_ptr<vis::UniformGrid>> datasets_;
+  std::map<std::pair<int, vis::Id>, vis::KernelProfile> profiles_;
+};
+
+/// Serialize/load characterization profiles (the on-disk cache format).
+void saveProfileCache(
+    const std::string& path,
+    const std::map<std::string, vis::KernelProfile>& entries);
+std::map<std::string, vis::KernelProfile> loadProfileCache(
+    const std::string& path);
+
+}  // namespace pviz::core

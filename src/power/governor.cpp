@@ -1,0 +1,42 @@
+#include "power/governor.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pviz::power {
+
+double DvfsGovernor::solveFrequency(const PowerCurve& power,
+                                    double capWatts) const {
+  PVIZ_REQUIRE(capWatts > 0.0, "cap must be positive");
+  double lo = machine_.minEffectiveGhz;
+  double hi = machine_.turboAllCoreGhz;
+  if (power(hi) <= capWatts) return hi;
+  if (power(lo) > capWatts) return lo;  // cannot meet the cap; floor out
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (power(mid) <= capWatts) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double DvfsGovernor::stepToward(const PowerCurve& power, double capWatts) {
+  // Proportional controller on the power error with a slew limit;
+  // mirrors the short-window averaging RAPL firmware performs (the
+  // package never jumps multiple P-states per evaluation window).
+  const double drawNow = power(frequencyGhz_);
+  const double error = drawNow - capWatts;
+  const double gain = 0.04;   // GHz per watt of error
+  const double maxDown = 0.15;  // slew limits per control quantum
+  const double maxUp = 0.2;
+  const double step = std::clamp(-gain * error, -maxDown, maxUp);
+  frequencyGhz_ = std::clamp(frequencyGhz_ + step, machine_.minEffectiveGhz,
+                             machine_.turboAllCoreGhz);
+  return frequencyGhz_;
+}
+
+}  // namespace pviz::power

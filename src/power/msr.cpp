@@ -1,0 +1,46 @@
+#include "power/msr.h"
+
+#include <sstream>
+
+namespace pviz::power {
+
+MsrFile::MsrFile() {
+  allowlist_ = {kMsrRaplPowerUnit, kMsrPkgPowerLimit, kMsrPkgEnergyStatus,
+                kMsrAperf, kMsrMperf};
+  // RAPL units register: power unit 2^-3 W (0.125 W), energy unit
+  // 2^-14 J (~61 uJ), time unit 2^-10 s — the common Broadwell values.
+  rawWrite(kMsrRaplPowerUnit, (0x3ull) | (0xEull << 8) | (0xAull << 16));
+  rawWrite(kMsrPkgPowerLimit, 0);
+  rawWrite(kMsrPkgEnergyStatus, 0);
+  rawWrite(kMsrAperf, 0);
+  rawWrite(kMsrMperf, 0);
+}
+
+std::uint64_t MsrFile::read(std::uint32_t address) const {
+  if (!isAllowed(address)) {
+    std::ostringstream os;
+    os << "msr-safe: read of MSR 0x" << std::hex << address << " denied";
+    throw MsrAccessError(os.str());
+  }
+  return rawRead(address);
+}
+
+void MsrFile::write(std::uint32_t address, std::uint64_t value) {
+  if (!isAllowed(address)) {
+    std::ostringstream os;
+    os << "msr-safe: write of MSR 0x" << std::hex << address << " denied";
+    throw MsrAccessError(os.str());
+  }
+  rawWrite(address, value);
+}
+
+std::uint64_t MsrFile::rawRead(std::uint32_t address) const {
+  auto it = registers_.find(address);
+  return it == registers_.end() ? 0 : it->second;
+}
+
+void MsrFile::rawWrite(std::uint32_t address, std::uint64_t value) {
+  registers_[address] = value;
+}
+
+}  // namespace pviz::power

@@ -1,0 +1,55 @@
+// Simulated model-specific register (MSR) file with the msr-safe access
+// discipline.
+//
+// The study reads and writes processor power state through LLNL's
+// msr-safe driver, which exposes an allowlisted subset of the MSR space.
+// This module reproduces that interface against a simulated register
+// file: reads/writes outside the allowlist fail, registers hold 64-bit
+// values, and the RAPL registers implement Intel's documented bit
+// layouts (SDM vol. 3B) including the 32-bit wrapping energy counter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "util/error.h"
+
+namespace pviz::power {
+
+// Intel RAPL MSR addresses (SDM vol. 3B, table 2-2 / 35-x).
+inline constexpr std::uint32_t kMsrRaplPowerUnit = 0x606;
+inline constexpr std::uint32_t kMsrPkgPowerLimit = 0x610;
+inline constexpr std::uint32_t kMsrPkgEnergyStatus = 0x611;
+inline constexpr std::uint32_t kMsrAperf = 0xE8;
+inline constexpr std::uint32_t kMsrMperf = 0xE7;
+
+/// Thrown when software touches an MSR outside the msr-safe allowlist.
+class MsrAccessError : public Error {
+ public:
+  using Error::Error;
+};
+
+class MsrFile {
+ public:
+  /// Construct with the default allowlist (RAPL + APERF/MPERF).
+  MsrFile();
+
+  std::uint64_t read(std::uint32_t address) const;
+  void write(std::uint32_t address, std::uint64_t value);
+
+  /// Raw (allowlist-bypassing) access for the hardware model's own use —
+  /// the simulated "silicon side" of the registers.
+  std::uint64_t rawRead(std::uint32_t address) const;
+  void rawWrite(std::uint32_t address, std::uint64_t value);
+
+  bool isAllowed(std::uint32_t address) const {
+    return allowlist_.count(address) != 0;
+  }
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> registers_;
+  std::set<std::uint32_t> allowlist_;
+};
+
+}  // namespace pviz::power

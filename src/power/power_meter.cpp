@@ -1,0 +1,29 @@
+#include "power/power_meter.h"
+
+namespace pviz::power {
+
+void PowerMeter::start(double simTimeSeconds) {
+  started_ = true;
+  lastSampleTime_ = simTimeSeconds;
+  lastCounter_ = rapl_.readEnergyCounterJoules();
+  samples_.clear();
+  stats_ = util::RunningStats{};
+}
+
+void PowerMeter::advanceTo(double simTimeSeconds) {
+  PVIZ_REQUIRE(started_, "PowerMeter::start must be called first");
+  while (simTimeSeconds - lastSampleTime_ >= interval_) {
+    // NOTE: in the simulator, energy deposits happen before time
+    // advances, so reading "now" reflects everything up to simTime.
+    // Interpolation error is bounded by one quantum, as on hardware.
+    const double counter = rapl_.readEnergyCounterJoules();
+    const double joules = rapl_.energyDeltaJoules(lastCounter_, counter);
+    lastSampleTime_ += interval_;
+    lastCounter_ = counter;
+    const double watts = joules / interval_;
+    samples_.push_back({lastSampleTime_, watts});
+    stats_.add(watts);
+  }
+}
+
+}  // namespace pviz::power

@@ -1,0 +1,46 @@
+// Power meter: samples the RAPL energy counter on a fixed cadence
+// (the study samples every 100 ms) and derives power from energy deltas,
+// handling counter wraparound.
+#pragma once
+
+#include <vector>
+
+#include "power/rapl.h"
+#include "util/stats.h"
+
+namespace pviz::power {
+
+class PowerMeter {
+ public:
+  struct Sample {
+    double timeSeconds;
+    double watts;
+  };
+
+  explicit PowerMeter(const RaplDomain& rapl, double intervalSeconds = 0.1)
+      : rapl_(rapl), interval_(intervalSeconds) {
+    PVIZ_REQUIRE(intervalSeconds > 0.0, "sampling interval must be positive");
+  }
+
+  /// Called by the execution simulator whenever simulated time advances
+  /// past one or more sampling points.
+  void advanceTo(double simTimeSeconds);
+
+  /// Begin metering at `simTimeSeconds` (records the baseline reading).
+  void start(double simTimeSeconds);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  const util::RunningStats& stats() const { return stats_; }
+  double intervalSeconds() const { return interval_; }
+
+ private:
+  const RaplDomain& rapl_;
+  double interval_;
+  double lastSampleTime_ = 0.0;
+  double lastCounter_ = 0.0;
+  bool started_ = false;
+  std::vector<Sample> samples_;
+  util::RunningStats stats_;
+};
+
+}  // namespace pviz::power

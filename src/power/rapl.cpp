@@ -1,0 +1,140 @@
+#include "power/rapl.h"
+
+#include <cmath>
+
+namespace pviz::power {
+
+namespace {
+constexpr std::uint64_t kEnableBit = 1ull << 15;
+constexpr std::uint64_t kPowerMask = 0x7FFF;
+constexpr std::uint64_t kCounterMask = 0xFFFFFFFFull;
+}  // namespace
+
+double RaplDomain::powerUnitWatts() const {
+  const std::uint64_t units = msr_.read(kMsrRaplPowerUnit);
+  return 1.0 / static_cast<double>(1ull << (units & 0xF));
+}
+
+double RaplDomain::energyUnitJoules() const {
+  const std::uint64_t units = msr_.read(kMsrRaplPowerUnit);
+  return 1.0 / static_cast<double>(1ull << ((units >> 8) & 0x1F));
+}
+
+void RaplDomain::setPowerCapWatts(double watts) {
+  PVIZ_REQUIRE(watts > 0.0, "power cap must be positive");
+  const double unit = powerUnitWatts();
+  const auto encoded =
+      static_cast<std::uint64_t>(std::llround(watts / unit)) & kPowerMask;
+  // Preserve reserved bits, set limit-1 power + enable + clamp.
+  std::uint64_t value = msr_.read(kMsrPkgPowerLimit);
+  value &= ~(kPowerMask | kEnableBit | (1ull << 16));
+  value |= encoded | kEnableBit | (1ull << 16);
+  msr_.write(kMsrPkgPowerLimit, value);
+}
+
+double RaplDomain::powerCapWatts() const {
+  const std::uint64_t value = msr_.read(kMsrPkgPowerLimit);
+  if ((value & kEnableBit) == 0) return 0.0;
+  return static_cast<double>(value & kPowerMask) * powerUnitWatts();
+}
+
+bool RaplDomain::capEnabled() const {
+  return (msr_.read(kMsrPkgPowerLimit) & kEnableBit) != 0;
+}
+
+void RaplDomain::disableCap() {
+  std::uint64_t value = msr_.read(kMsrPkgPowerLimit);
+  value &= ~kEnableBit;
+  msr_.write(kMsrPkgPowerLimit, value);
+}
+
+double RaplDomain::timeUnitSeconds() const {
+  const std::uint64_t units = msr_.read(kMsrRaplPowerUnit);
+  return 1.0 / static_cast<double>(1ull << ((units >> 16) & 0xF));
+}
+
+void RaplDomain::setTimeWindowSeconds(double seconds) {
+  PVIZ_REQUIRE(seconds > 0.0, "time window must be positive");
+  const double unit = timeUnitSeconds();
+  const double target = seconds / unit;
+  PVIZ_REQUIRE(target >= 1.0, "time window below the time unit");
+  // window/unit = 2^Y * (1 + Z/4): pick the largest representable value
+  // not exceeding the request.
+  std::uint64_t bestY = 0, bestZ = 0;
+  double best = 0.0;
+  for (std::uint64_t y = 0; y < 32; ++y) {
+    for (std::uint64_t z = 0; z < 4; ++z) {
+      const double value =
+          static_cast<double>(1ull << y) * (1.0 + static_cast<double>(z) / 4.0);
+      if (value <= target + 1e-12 && value > best) {
+        best = value;
+        bestY = y;
+        bestZ = z;
+      }
+    }
+  }
+  std::uint64_t reg = msr_.read(kMsrPkgPowerLimit);
+  reg &= ~((0x1Full << 17) | (0x3ull << 22));
+  reg |= (bestY & 0x1F) << 17;
+  reg |= (bestZ & 0x3) << 22;
+  msr_.write(kMsrPkgPowerLimit, reg);
+}
+
+double RaplDomain::timeWindowSeconds() const {
+  const std::uint64_t reg = msr_.read(kMsrPkgPowerLimit);
+  const auto y = (reg >> 17) & 0x1F;
+  const auto z = (reg >> 22) & 0x3;
+  if (y == 0 && z == 0) return 0.0;
+  return static_cast<double>(1ull << y) *
+         (1.0 + static_cast<double>(z) / 4.0) * timeUnitSeconds();
+}
+
+double RaplDomain::readEnergyCounterJoules() const {
+  const std::uint64_t counter =
+      msr_.read(kMsrPkgEnergyStatus) & kCounterMask;
+  return static_cast<double>(counter) * energyUnitJoules();
+}
+
+double RaplDomain::energyDeltaJoules(double before, double after) const {
+  if (after >= before) return after - before;
+  // One 32-bit wrap of the underlying counter.
+  const double range =
+      static_cast<double>(kCounterMask + 1) * energyUnitJoules();
+  return after + range - before;
+}
+
+void RaplDomain::depositEnergy(double joules) {
+  PVIZ_REQUIRE(joules >= 0.0, "energy deposit must be non-negative");
+  const double unit = energyUnitJoules();
+  const double total = joules + energyRemainder_;
+  const auto ticks = static_cast<std::uint64_t>(total / unit);
+  energyRemainder_ = total - static_cast<double>(ticks) * unit;
+  const std::uint64_t counter = msr_.rawRead(kMsrPkgEnergyStatus);
+  msr_.rawWrite(kMsrPkgEnergyStatus, (counter + ticks) & kCounterMask);
+}
+
+RaplDomain::FrequencySnapshot RaplDomain::readFrequencyCounters() const {
+  return {msr_.read(kMsrAperf), msr_.read(kMsrMperf)};
+}
+
+double RaplDomain::effectiveGhz(const FrequencySnapshot& before,
+                                const FrequencySnapshot& after,
+                                double baseGhz) {
+  const double da = static_cast<double>(after.aperf - before.aperf);
+  const double dm = static_cast<double>(after.mperf - before.mperf);
+  return dm > 0.0 ? baseGhz * da / dm : 0.0;
+}
+
+void RaplDomain::tickFrequencyCounters(double seconds, double actualGhz,
+                                       double baseGhz) {
+  const double aperf = seconds * actualGhz * 1e9 + aperfRemainder_;
+  const double mperf = seconds * baseGhz * 1e9 + mperfRemainder_;
+  const auto aTicks = static_cast<std::uint64_t>(aperf);
+  const auto mTicks = static_cast<std::uint64_t>(mperf);
+  aperfRemainder_ = aperf - static_cast<double>(aTicks);
+  mperfRemainder_ = mperf - static_cast<double>(mTicks);
+  msr_.rawWrite(kMsrAperf, msr_.rawRead(kMsrAperf) + aTicks);
+  msr_.rawWrite(kMsrMperf, msr_.rawRead(kMsrMperf) + mTicks);
+}
+
+}  // namespace pviz::power

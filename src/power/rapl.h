@@ -1,0 +1,74 @@
+// Simulated Running Average Power Limit (RAPL) package domain.
+//
+// Software-facing behaviour matches Intel's interface: the power cap is
+// programmed into MSR_PKG_POWER_LIMIT in 0.125 W units with an enable
+// bit, and consumed energy accumulates in MSR_PKG_ENERGY_STATUS as a
+// 32-bit counter in ~61 uJ units that wraps around — meters must handle
+// the wrap, exactly as on hardware.
+//
+// The "silicon side" (depositEnergy / APERF/MPERF accumulation) is
+// driven by the execution simulator as modeled time advances.
+#pragma once
+
+#include "power/msr.h"
+
+namespace pviz::power {
+
+class RaplDomain {
+ public:
+  explicit RaplDomain(MsrFile& msr) : msr_(msr) {}
+
+  // --- software interface (through allowlisted MSR reads/writes) --------
+  /// Program the package power cap; rounds to the 0.125 W power unit.
+  void setPowerCapWatts(double watts);
+  /// Currently programmed cap; 0 when the limit is disabled.
+  double powerCapWatts() const;
+  bool capEnabled() const;
+  void disableCap();
+
+  /// Program the limit-1 accounting window (seconds); encodes Intel's
+  /// floating-point layout (window = 2^Y · (1 + Z/4) · time-unit, Y in
+  /// bits 17-21, Z in bits 22-23) and rounds down to the representable
+  /// value.
+  void setTimeWindowSeconds(double seconds);
+  /// Currently programmed window (0 when never set).
+  double timeWindowSeconds() const;
+  double timeUnitSeconds() const;
+
+  /// Energy counter as software sees it (wrapped 32-bit, in joules
+  /// since an arbitrary origin).  Callers diff successive readings.
+  double readEnergyCounterJoules() const;
+  /// Difference between two counter readings, handling one wrap.
+  double energyDeltaJoules(double before, double after) const;
+
+  /// Effective frequency ratio APERF/MPERF since the last readFrequency
+  /// snapshot, times the base clock = average running frequency.
+  struct FrequencySnapshot {
+    std::uint64_t aperf = 0;
+    std::uint64_t mperf = 0;
+  };
+  FrequencySnapshot readFrequencyCounters() const;
+  /// Average frequency (GHz) between two snapshots at `baseGhz`.
+  static double effectiveGhz(const FrequencySnapshot& before,
+                             const FrequencySnapshot& after, double baseGhz);
+
+  // --- silicon side (driven by the execution simulator) -----------------
+  /// Accumulate consumed energy into the wrapping counter.
+  void depositEnergy(double joules);
+  /// Accumulate APERF (actual cycles) and MPERF (reference cycles) for
+  /// `seconds` of execution at `actualGhz` with reference `baseGhz`.
+  void tickFrequencyCounters(double seconds, double actualGhz,
+                             double baseGhz);
+
+  // Unit accessors decoded from MSR_RAPL_POWER_UNIT.
+  double powerUnitWatts() const;
+  double energyUnitJoules() const;
+
+ private:
+  MsrFile& msr_;
+  double energyRemainder_ = 0.0;  ///< sub-unit energy not yet deposited
+  double aperfRemainder_ = 0.0;
+  double mperfRemainder_ = 0.0;
+};
+
+}  // namespace pviz::power

@@ -1,0 +1,116 @@
+// CloverLeaf-like 3-D compressible hydrodynamics proxy.
+//
+// The paper drives its visualization algorithms in situ from CloverLeaf,
+// a Lagrangian-Eulerian hydrodynamics proxy app, visualizing the energy
+// field (Fig. 1 shows the energy at the 200th time step).  This module
+// implements a compact explicit hydro scheme with the same structure:
+//
+//   * cell-centered density and specific internal energy,
+//   * node-centered velocity,
+//   * ideal-gas EOS (p = (gamma-1) rho e) with artificial viscosity,
+//   * a Lagrangian phase (acceleration + PdV work) followed by a
+//     donor-cell Eulerian advection (remap) phase,
+//   * the standard CloverLeaf two-state initial condition: a dense
+//     high-energy region in one corner expanding into a light ambient
+//     gas.
+//
+// Like the visualization filters, every step produces a KernelProfile;
+// a hydro step is the archetypal compute-bound, high-power HPC workload
+// the study's power advisor trades off against visualization.
+#pragma once
+
+#include <cstdint>
+
+#include "viz/dataset/uniform_grid.h"
+#include "viz/worklet/work_profile.h"
+
+namespace pviz::sim {
+
+struct CloverConfig {
+  double gamma = 1.4;           ///< ideal gas ratio of specific heats
+  double cfl = 0.5;             ///< CFL safety factor
+  double viscosity = 0.1;       ///< artificial viscosity coefficient
+  double ambientDensity = 0.2;
+  double ambientEnergy = 1.0;
+  double blastDensity = 1.0;
+  double blastEnergy = 2.5;
+  double blastExtent = 0.25;    ///< corner box size as a domain fraction
+};
+
+class CloverLeaf {
+ public:
+  explicit CloverLeaf(vis::Id cellsPerAxis, CloverConfig config = {});
+
+  /// Advance one time step; returns the dt taken.
+  double step();
+
+  /// Advance `n` steps.
+  void run(int n) {
+    for (int i = 0; i < n; ++i) step();
+  }
+
+  int stepCount() const { return steps_; }
+  double time() const { return time_; }
+  vis::Id cellsPerAxis() const { return cellsPerAxis_; }
+
+  // Conserved quantities for validation.
+  double totalMass() const;
+  double totalEnergy() const;  ///< internal + kinetic
+  double minDensity() const;
+
+  /// Build a visualization dataset: point fields "energy" (scalar,
+  /// cell-to-point averaged) and "velocity" (the node velocities).
+  vis::UniformGrid exportForViz() const;
+
+  /// Workload profile of the hydro kernels executed since the last call
+  /// (the in situ pipeline alternates simulation and visualization and
+  /// charges each side its own power/time).
+  vis::KernelProfile takeProfile();
+
+  // Direct state access for tests.
+  const std::vector<double>& density() const { return density_; }
+  const std::vector<double>& energy() const { return energy_; }
+
+ private:
+  void equationOfState();
+  double computeDt() const;
+  void accelerate(double dt);
+  void pdvAndViscosity(double dt);
+  void advect(double dt);
+
+  vis::Id cellsPerAxis_;
+  vis::Id3 cellDims_;
+  vis::Id3 pointDims_;
+  double h_;  ///< grid spacing
+  CloverConfig config_;
+
+  // Cell-centered.
+  std::vector<double> density_;
+  std::vector<double> energy_;
+  std::vector<double> pressure_;
+  std::vector<double> soundspeed_;
+  // Node-centered velocity components.
+  std::vector<double> velX_, velY_, velZ_;
+  // Scratch for advection.
+  std::vector<double> scratchA_, scratchB_;
+
+  int steps_ = 0;
+  double time_ = 0.0;
+  vis::KernelProfile profile_;
+
+  vis::Id cellId(vis::Id i, vis::Id j, vis::Id k) const {
+    return i + cellDims_.i * (j + cellDims_.j * k);
+  }
+  vis::Id nodeId(vis::Id i, vis::Id j, vis::Id k) const {
+    return i + pointDims_.i * (j + pointDims_.j * k);
+  }
+};
+
+/// Fast analytic stand-in for an evolved CloverLeaf energy field: an
+/// expanding corner blast with a smooth front and a radial outflow
+/// velocity.  Used where time-stepping the proxy would be wasteful
+/// (large benchmark grids); `front` positions the blast front as a
+/// fraction of the domain diagonal.
+vis::UniformGrid makeCloverField(vis::Id cellsPerAxis, double front = 0.55);
+
+}  // namespace pviz::sim

@@ -1,0 +1,46 @@
+// Error handling primitives shared by every PowerViz module.
+//
+// The library throws `pviz::Error` for all recoverable failures (bad
+// arguments, inconsistent meshes, model misconfiguration).  Internal
+// invariant violations use PVIZ_ASSERT, which is active in all build
+// types: the cost is negligible next to the kernels it guards.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pviz {
+
+/// Exception type thrown for all recoverable PowerViz errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throwError(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pviz
+
+/// Validate a caller-facing precondition; throws pviz::Error on failure.
+#define PVIZ_REQUIRE(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::pviz::detail::throwError(#expr, __FILE__, __LINE__, (msg));      \
+  } while (false)
+
+/// Internal invariant check (enabled in all build types).
+#define PVIZ_ASSERT(expr)                                                \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::pviz::detail::throwError(#expr, __FILE__, __LINE__,              \
+                                 "internal invariant violated");         \
+  } while (false)

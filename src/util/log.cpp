@@ -1,0 +1,36 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace pviz::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_emitMutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel logLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_emitMutex);
+  std::cerr << "[powerviz " << levelName(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace pviz::util

@@ -1,0 +1,35 @@
+// Leveled logging to stderr.  Quiet by default (Warn); studies raise the
+// level to Info for progress lines.  Not hot-path code: kernels never log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pviz::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& message);
+}
+
+}  // namespace pviz::util
+
+#define PVIZ_LOG_AT(level, expr)                                          \
+  do {                                                                    \
+    if (static_cast<int>(level) >=                                        \
+        static_cast<int>(::pviz::util::logLevel())) {                     \
+      std::ostringstream pviz_log_os;                                     \
+      pviz_log_os << expr;                                                \
+      ::pviz::util::detail::emitLog(level, pviz_log_os.str());            \
+    }                                                                     \
+  } while (false)
+
+#define PVIZ_LOG_DEBUG(expr) PVIZ_LOG_AT(::pviz::util::LogLevel::Debug, expr)
+#define PVIZ_LOG_INFO(expr) PVIZ_LOG_AT(::pviz::util::LogLevel::Info, expr)
+#define PVIZ_LOG_WARN(expr) PVIZ_LOG_AT(::pviz::util::LogLevel::Warn, expr)
+#define PVIZ_LOG_ERROR(expr) PVIZ_LOG_AT(::pviz::util::LogLevel::Error, expr)

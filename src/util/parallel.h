@@ -1,0 +1,67 @@
+// Convenience wrappers over the global ThreadPool: index-based
+// parallelFor, parallelReduce, and a deterministic per-thread scratch
+// gather pattern used by filters that emit variable-sized output.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace pviz::util {
+
+inline constexpr std::int64_t kDefaultGrain = 1024;
+
+/// Run `f(i)` for every i in [begin, end) on the global pool.
+template <typename Func>
+void parallelFor(std::int64_t begin, std::int64_t end, Func&& f,
+                 std::int64_t grain = kDefaultGrain) {
+  ThreadPool::global().parallelFor(
+      begin, end, grain, [&f](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) f(i);
+      });
+}
+
+/// Run `f(chunkBegin, chunkEnd)` over [begin, end) on the global pool.
+template <typename Func>
+void parallelForChunks(std::int64_t begin, std::int64_t end, Func&& f,
+                       std::int64_t grain = kDefaultGrain) {
+  ThreadPool::global().parallelFor(begin, end, grain,
+                                   std::function<void(std::int64_t, std::int64_t)>(f));
+}
+
+/// Map-reduce over [begin, end): `identity` seeds each chunk, `map(acc, i)`
+/// folds an index into a chunk accumulator, and `combine(a, b)` merges
+/// chunk results.  `combine` order is unspecified but each index is
+/// visited exactly once.
+template <typename T, typename Map, typename Combine>
+T parallelReduce(std::int64_t begin, std::int64_t end, T identity, Map&& map,
+                 Combine&& combine, std::int64_t grain = kDefaultGrain) {
+  std::vector<T> partials;
+  std::mutex partialsMutex;
+  ThreadPool::global().parallelFor(
+      begin, end, grain, [&](std::int64_t b, std::int64_t e) {
+        T acc = identity;
+        for (std::int64_t i = b; i < e; ++i) acc = map(std::move(acc), i);
+        std::lock_guard lock(partialsMutex);
+        partials.push_back(std::move(acc));
+      });
+  T total = identity;
+  for (auto& p : partials) total = combine(std::move(total), std::move(p));
+  return total;
+}
+
+/// Exclusive prefix sum of `counts`; returns the grand total.  Used by the
+/// two-pass "count then fill" pattern every variable-output filter follows.
+inline std::int64_t exclusiveScan(std::vector<std::int64_t>& counts) {
+  std::int64_t running = 0;
+  for (auto& c : counts) {
+    const std::int64_t n = c;
+    c = running;
+    running += n;
+  }
+  return running;
+}
+
+}  // namespace pviz::util

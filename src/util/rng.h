@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic choice in PowerViz (particle seeding, camera jitter,
+// synthetic field perturbations) flows through this generator so that
+// studies and tests are bit-reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace pviz::util {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the four lanes.
+    std::uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace pviz::util

@@ -1,0 +1,63 @@
+// Streaming statistics used by the power meter and the study reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pviz::util {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear-interpolated percentile of a sample set (q in [0, 1]).
+inline double percentile(std::vector<double> samples, double q) {
+  PVIZ_REQUIRE(!samples.empty(), "percentile of empty sample set");
+  PVIZ_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q outside [0, 1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+/// True when |a-b| is within `rel` of the larger magnitude (or `abs`).
+inline bool approxEqual(double a, double b, double rel = 1e-9,
+                        double absTol = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= absTol) return true;
+  return diff <= rel * std::max(std::fabs(a), std::fabs(b));
+}
+
+}  // namespace pviz::util

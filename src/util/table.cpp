@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pviz::util {
+
+void TextTable::setHeader(std::vector<std::string> header) {
+  PVIZ_REQUIRE(!header.empty(), "table header must not be empty");
+  PVIZ_REQUIRE(rows_.empty(), "set the header before adding rows");
+  header_ = std::move(header);
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  PVIZ_REQUIRE(row.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    const bool quote = f.find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      os_ << '"';
+      for (char ch : f) {
+        if (ch == '"') os_ << '"';
+        os_ << ch;
+      }
+      os_ << '"';
+    } else {
+      os_ << f;
+    }
+    if (i + 1 != fields.size()) os_ << ',';
+  }
+  os_ << '\n';
+}
+
+std::string formatFixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string formatRatio(double ratio, bool highlight) {
+  std::string s = formatFixed(ratio, 2) + "X";
+  if (highlight) s += '*';
+  return s;
+}
+
+}  // namespace pviz::util

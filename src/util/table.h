@@ -1,0 +1,50 @@
+// Fixed-width console tables and CSV output for the study reports.
+//
+// The bench harness prints the same rows the paper's tables report; this
+// writer keeps the formatting logic in one place (alignment, highlight
+// markers for the "first ≥10% slowdown" cells the paper prints in red).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pviz::util {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  /// Set the header row.  Column count is fixed from this call on.
+  void setHeader(std::vector<std::string> header);
+
+  /// Append a data row; must match the header's column count.
+  void addRow(std::vector<std::string> row);
+
+  /// Render with column alignment, a rule under the header, and two
+  /// spaces between columns.
+  void print(std::ostream& os) const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal RFC-4180-ish CSV writer (quotes fields containing , " or \n).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void writeRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Format helpers shared by the bench binaries.
+std::string formatFixed(double value, int decimals);
+/// "1.17X"-style ratio cell; appends '*' when `highlight` (the paper's
+/// red marker for the first ≥10% slowdown).
+std::string formatRatio(double ratio, bool highlight = false);
+
+}  // namespace pviz::util

@@ -1,0 +1,26 @@
+// Wall-clock timing for host-side measurements.
+//
+// Note: the *study* reports simulated time produced by the performance
+// model (see arch/cost_model.h), not host wall time — this timer exists
+// for benchmarking the kernels themselves on the host.
+#pragma once
+
+#include <chrono>
+
+namespace pviz::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pviz::util

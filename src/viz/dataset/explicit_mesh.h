@@ -1,0 +1,113 @@
+// Explicit (unstructured) output mesh types produced by the filters.
+//
+//  * TriangleMesh — contour, slice, external-face triangulation.
+//  * TetMesh      — spherical clip and isovolume (cut hexahedra are
+//                   tetrahedralized and clipped tet-by-tet).
+//  * HexSubset    — threshold (whole cells kept or dropped).
+//  * PolylineSet  — particle advection streamlines.
+//
+// All carry an optional per-point scalar used for coloring.
+#pragma once
+
+#include <vector>
+
+#include "util/error.h"
+#include "viz/types.h"
+
+namespace pviz::vis {
+
+struct TriangleMesh {
+  std::vector<Vec3> points;
+  std::vector<Id> connectivity;       // 3 point ids per triangle
+  std::vector<double> pointScalars;   // empty or one per point
+
+  Id numTriangles() const { return static_cast<Id>(connectivity.size()) / 3; }
+  Id numPoints() const { return static_cast<Id>(points.size()); }
+
+  Bounds bounds() const {
+    Bounds b;
+    for (const auto& p : points) b.expand(p);
+    return b;
+  }
+
+  /// Sum of triangle areas — used by watertightness/geometry tests.
+  double totalArea() const {
+    double area = 0.0;
+    for (Id t = 0; t < numTriangles(); ++t) {
+      const Vec3& a = points[static_cast<std::size_t>(connectivity[3 * t])];
+      const Vec3& b = points[static_cast<std::size_t>(connectivity[3 * t + 1])];
+      const Vec3& c = points[static_cast<std::size_t>(connectivity[3 * t + 2])];
+      area += 0.5 * length(cross(b - a, c - a));
+    }
+    return area;
+  }
+
+  void append(const TriangleMesh& other) {
+    const Id base = numPoints();
+    points.insert(points.end(), other.points.begin(), other.points.end());
+    pointScalars.insert(pointScalars.end(), other.pointScalars.begin(),
+                        other.pointScalars.end());
+    connectivity.reserve(connectivity.size() + other.connectivity.size());
+    for (Id id : other.connectivity) connectivity.push_back(base + id);
+  }
+};
+
+struct TetMesh {
+  std::vector<Vec3> points;
+  std::vector<Id> connectivity;      // 4 point ids per tetrahedron
+  std::vector<double> pointScalars;  // empty or one per point
+
+  Id numTets() const { return static_cast<Id>(connectivity.size()) / 4; }
+  Id numPoints() const { return static_cast<Id>(points.size()); }
+
+  /// Signed volume of tet `t` (positive for positively oriented tets).
+  double tetVolume(Id t) const {
+    const Vec3& a = points[static_cast<std::size_t>(connectivity[4 * t])];
+    const Vec3& b = points[static_cast<std::size_t>(connectivity[4 * t + 1])];
+    const Vec3& c = points[static_cast<std::size_t>(connectivity[4 * t + 2])];
+    const Vec3& d = points[static_cast<std::size_t>(connectivity[4 * t + 3])];
+    return dot(cross(b - a, c - a), d - a) / 6.0;
+  }
+
+  /// Total unsigned volume of the mesh.
+  double totalVolume() const {
+    double v = 0.0;
+    for (Id t = 0; t < numTets(); ++t) v += std::abs(tetVolume(t));
+    return v;
+  }
+};
+
+/// Cells of a source grid kept by value-based selection (threshold).
+struct HexSubset {
+  std::vector<Id> cellIds;     // flat cell ids into the source grid
+  std::vector<double> cellScalars;  // selected-field value per kept cell
+
+  Id numCells() const { return static_cast<Id>(cellIds.size()); }
+};
+
+/// A bundle of polylines (streamlines): `offsets` has one entry per line
+/// plus a final sentinel, indexing into `points`.
+struct PolylineSet {
+  std::vector<Vec3> points;
+  std::vector<Id> offsets{0};
+  std::vector<double> pointScalars;  // e.g. integration time / speed
+
+  Id numLines() const { return static_cast<Id>(offsets.size()) - 1; }
+  Id lineSize(Id line) const {
+    return offsets[static_cast<std::size_t>(line) + 1] -
+           offsets[static_cast<std::size_t>(line)];
+  }
+  double totalLength() const {
+    double len = 0.0;
+    for (Id l = 0; l < numLines(); ++l) {
+      for (Id p = offsets[static_cast<std::size_t>(l)] + 1;
+           p < offsets[static_cast<std::size_t>(l) + 1]; ++p) {
+        len += length(points[static_cast<std::size_t>(p)] -
+                      points[static_cast<std::size_t>(p - 1)]);
+      }
+    }
+    return len;
+  }
+};
+
+}  // namespace pviz::vis

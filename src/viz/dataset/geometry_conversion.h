@@ -1,0 +1,30 @@
+// Conversions from filter outputs to renderable triangle geometry.
+//
+// The extraction filters emit the natural output type of their
+// algorithm (kept hex cells, tetrahedral pieces, polylines); rendering
+// wants triangles.  These converters triangulate those outputs with the
+// carried scalar preserved per vertex, so any filter result can go
+// straight into the BVH ray tracer.
+#pragma once
+
+#include "viz/dataset/explicit_mesh.h"
+#include "viz/dataset/uniform_grid.h"
+
+namespace pviz::vis {
+
+/// Triangulate the faces of kept grid cells (6 quads → 12 triangles per
+/// cell, outward wound, colored by the cell scalar).
+TriangleMesh hexSubsetToTriangles(const UniformGrid& grid,
+                                  const HexSubset& cells);
+
+/// Triangulate every face of every tetrahedron (4 triangles per tet,
+/// vertex scalars carried through).
+TriangleMesh tetMeshToTriangles(const TetMesh& tets);
+
+/// Ribbonize polylines: each segment becomes a thin quad of width
+/// 2*halfWidth perpendicular to the segment (enough for still images
+/// and picking; not a full tube extrusion).
+TriangleMesh polylinesToTriangles(const PolylineSet& lines,
+                                  double halfWidth);
+
+}  // namespace pviz::vis

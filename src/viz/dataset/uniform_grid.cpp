@@ -1,0 +1,81 @@
+#include "viz/dataset/uniform_grid.h"
+
+#include <algorithm>
+
+namespace pviz::vis {
+
+std::pair<double, double> Field::range() const {
+  if (data_.empty()) return {0.0, 0.0};
+  double lo = data_[0];
+  double hi = data_[0];
+  const std::size_t stride = static_cast<std::size_t>(components_);
+  for (std::size_t i = 0; i < data_.size(); i += stride) {
+    lo = std::min(lo, data_[i]);
+    hi = std::max(hi, data_[i]);
+  }
+  return {lo, hi};
+}
+
+void UniformGrid::addField(Field field) {
+  const Id expect =
+      field.association() == Association::Points ? numPoints() : numCells();
+  PVIZ_REQUIRE(field.count() == expect,
+               "field tuple count does not match grid (" + field.name() + ")");
+  fields_.insert_or_assign(field.name(), std::move(field));
+}
+
+const Field& UniformGrid::field(const std::string& name) const {
+  auto it = fields_.find(name);
+  PVIZ_REQUIRE(it != fields_.end(), "no field named '" + name + "'");
+  return it->second;
+}
+
+Field& UniformGrid::field(const std::string& name) {
+  auto it = fields_.find(name);
+  PVIZ_REQUIRE(it != fields_.end(), "no field named '" + name + "'");
+  return it->second;
+}
+
+namespace {
+// Shared trilinear weight evaluation over the 8 corners of one cell.
+template <typename Fetch>
+auto trilinear(const UniformGrid& grid, Id3 cell, const Vec3& t, Fetch&& fetch)
+    -> decltype(fetch(Id{0})) {
+  Id ids[8];
+  grid.cellPointIds(cell, ids);
+  const double ti = t.x, tj = t.y, tk = t.z;
+  const double w[8] = {
+      (1 - ti) * (1 - tj) * (1 - tk), ti * (1 - tj) * (1 - tk),
+      ti * tj * (1 - tk),             (1 - ti) * tj * (1 - tk),
+      (1 - ti) * (1 - tj) * tk,       ti * (1 - tj) * tk,
+      ti * tj * tk,                   (1 - ti) * tj * tk};
+  auto acc = fetch(ids[0]) * w[0];
+  for (int c = 1; c < 8; ++c) acc += fetch(ids[c]) * w[c];
+  return acc;
+}
+}  // namespace
+
+bool UniformGrid::sampleScalar(const Field& f, const Vec3& p,
+                               double& out) const {
+  PVIZ_REQUIRE(f.association() == Association::Points,
+               "sampleScalar requires a point field");
+  Id3 cell;
+  Vec3 t;
+  if (!locateCell(p, cell, t)) return false;
+  out = trilinear(*this, cell, t, [&](Id id) { return f.value(id); });
+  return true;
+}
+
+bool UniformGrid::sampleVector(const Field& f, const Vec3& p,
+                               Vec3& out) const {
+  PVIZ_REQUIRE(f.association() == Association::Points,
+               "sampleVector requires a point field");
+  PVIZ_REQUIRE(f.components() == 3, "sampleVector requires 3 components");
+  Id3 cell;
+  Vec3 t;
+  if (!locateCell(p, cell, t)) return false;
+  out = trilinear(*this, cell, t, [&](Id id) { return f.vec3(id); });
+  return true;
+}
+
+}  // namespace pviz::vis

@@ -1,0 +1,150 @@
+// Three-dimensional uniform structured grid (the CloverLeaf mesh type).
+//
+// Points are indexed i-fastest; cells are hexahedra between adjacent
+// points.  Cell corner ordering follows the VTK hexahedron convention:
+//
+//        7--------6           k
+//       /|       /|           |  j
+//      4--------5 |           | /
+//      | 3------|-2           |/___ i
+//      |/       |/
+//      0--------1
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/error.h"
+#include "viz/dataset/field.h"
+#include "viz/types.h"
+
+namespace pviz::vis {
+
+class UniformGrid {
+ public:
+  UniformGrid() = default;
+
+  /// `pointDims` counts points per axis (cells per axis + 1).
+  UniformGrid(Id3 pointDims, Vec3 origin, Vec3 spacing)
+      : pointDims_(pointDims), origin_(origin), spacing_(spacing) {
+    PVIZ_REQUIRE(pointDims.i >= 2 && pointDims.j >= 2 && pointDims.k >= 2,
+                 "uniform grid needs at least 2 points per axis");
+    PVIZ_REQUIRE(spacing.x > 0 && spacing.y > 0 && spacing.z > 0,
+                 "uniform grid spacing must be positive");
+  }
+
+  /// Convenience: a cube of `cellsPerAxis`^3 cells on [0,1]^3.
+  static UniformGrid cube(Id cellsPerAxis) {
+    PVIZ_REQUIRE(cellsPerAxis >= 1, "need at least one cell per axis");
+    const double h = 1.0 / static_cast<double>(cellsPerAxis);
+    return UniformGrid({cellsPerAxis + 1, cellsPerAxis + 1, cellsPerAxis + 1},
+                       {0, 0, 0}, {h, h, h});
+  }
+
+  Id3 pointDims() const { return pointDims_; }
+  Id3 cellDims() const {
+    return {pointDims_.i - 1, pointDims_.j - 1, pointDims_.k - 1};
+  }
+  Id numPoints() const { return pointDims_.product(); }
+  Id numCells() const { return cellDims().product(); }
+  Vec3 origin() const { return origin_; }
+  Vec3 spacing() const { return spacing_; }
+
+  Bounds bounds() const {
+    Bounds b;
+    b.expand(origin_);
+    b.expand(pointPosition({pointDims_.i - 1, pointDims_.j - 1, pointDims_.k - 1}));
+    return b;
+  }
+
+  // --- index arithmetic -------------------------------------------------
+  Id pointId(Id3 p) const {
+    return p.i + pointDims_.i * (p.j + pointDims_.j * p.k);
+  }
+  Id3 pointIjk(Id flat) const {
+    const Id plane = pointDims_.i * pointDims_.j;
+    return {flat % pointDims_.i, (flat / pointDims_.i) % pointDims_.j,
+            flat / plane};
+  }
+  Id cellId(Id3 c) const {
+    const Id3 cd = cellDims();
+    return c.i + cd.i * (c.j + cd.j * c.k);
+  }
+  Id3 cellIjk(Id flat) const {
+    const Id3 cd = cellDims();
+    const Id plane = cd.i * cd.j;
+    return {flat % cd.i, (flat / cd.i) % cd.j, flat / plane};
+  }
+
+  Vec3 pointPosition(Id3 p) const {
+    return {origin_.x + spacing_.x * static_cast<double>(p.i),
+            origin_.y + spacing_.y * static_cast<double>(p.j),
+            origin_.z + spacing_.z * static_cast<double>(p.k)};
+  }
+  Vec3 pointPosition(Id flat) const { return pointPosition(pointIjk(flat)); }
+  Vec3 cellCenter(Id3 c) const {
+    return pointPosition(c) + spacing_ * 0.5;
+  }
+
+  /// The eight corner point ids of cell `c`, VTK hexahedron order.
+  void cellPointIds(Id3 c, Id out[8]) const {
+    const Id base = pointId({c.i, c.j, c.k});
+    const Id di = 1;
+    const Id dj = pointDims_.i;
+    const Id dk = pointDims_.i * pointDims_.j;
+    out[0] = base;
+    out[1] = base + di;
+    out[2] = base + di + dj;
+    out[3] = base + dj;
+    out[4] = base + dk;
+    out[5] = base + di + dk;
+    out[6] = base + di + dj + dk;
+    out[7] = base + dj + dk;
+  }
+
+  /// Locate the cell containing world position `p`; false if outside.
+  bool locateCell(const Vec3& p, Id3& cellOut, Vec3& paramOut) const {
+    const Id3 cd = cellDims();
+    const Vec3 rel = p - origin_;
+    const double fi = rel.x / spacing_.x;
+    const double fj = rel.y / spacing_.y;
+    const double fk = rel.z / spacing_.z;
+    if (fi < 0 || fj < 0 || fk < 0) return false;
+    Id ci = static_cast<Id>(fi);
+    Id cj = static_cast<Id>(fj);
+    Id ck = static_cast<Id>(fk);
+    // Points exactly on the upper boundary belong to the last cell.
+    if (ci >= cd.i) { if (fi <= static_cast<double>(cd.i)) ci = cd.i - 1; else return false; }
+    if (cj >= cd.j) { if (fj <= static_cast<double>(cd.j)) cj = cd.j - 1; else return false; }
+    if (ck >= cd.k) { if (fk <= static_cast<double>(cd.k)) ck = cd.k - 1; else return false; }
+    cellOut = {ci, cj, ck};
+    paramOut = {fi - static_cast<double>(ci), fj - static_cast<double>(cj),
+                fk - static_cast<double>(ck)};
+    return true;
+  }
+
+  /// Trilinear interpolation of a point scalar field at world position `p`.
+  /// Returns false when `p` lies outside the grid.
+  bool sampleScalar(const Field& f, const Vec3& p, double& out) const;
+
+  /// Trilinear interpolation of a point vector field at world position `p`.
+  bool sampleVector(const Field& f, const Vec3& p, Vec3& out) const;
+
+  // --- fields -----------------------------------------------------------
+  /// Attach (or replace) a field; its count must match the association.
+  void addField(Field field);
+  bool hasField(const std::string& name) const {
+    return fields_.count(name) != 0;
+  }
+  const Field& field(const std::string& name) const;
+  Field& field(const std::string& name);
+  const std::map<std::string, Field>& fields() const { return fields_; }
+
+ private:
+  Id3 pointDims_{2, 2, 2};
+  Vec3 origin_{0, 0, 0};
+  Vec3 spacing_{1, 1, 1};
+  std::map<std::string, Field> fields_;
+};
+
+}  // namespace pviz::vis

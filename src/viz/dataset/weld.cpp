@@ -1,0 +1,81 @@
+#include "viz/dataset/weld.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace pviz::vis {
+
+namespace {
+struct LatticeKey {
+  long long x, y, z;
+  bool operator==(const LatticeKey& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+struct LatticeHash {
+  std::size_t operator()(const LatticeKey& k) const {
+    std::size_t h = static_cast<std::size_t>(k.x) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<std::size_t>(k.y) * 0xC2B2AE3D27D4EB4Full + (h << 6);
+    h ^= static_cast<std::size_t>(k.z) * 0x165667B19E3779F9ull + (h >> 2);
+    return h;
+  }
+};
+}  // namespace
+
+WeldResult weldPoints(const TriangleMesh& soup, double tolerance) {
+  PVIZ_REQUIRE(tolerance > 0.0, "weld tolerance must be positive");
+  WeldResult result;
+  result.inputPoints = soup.numPoints();
+
+  std::unordered_map<LatticeKey, Id, LatticeHash> lattice;
+  lattice.reserve(static_cast<std::size_t>(soup.numPoints()));
+  std::vector<Id> remap(static_cast<std::size_t>(soup.numPoints()));
+
+  const double inv = 1.0 / tolerance;
+  for (Id p = 0; p < soup.numPoints(); ++p) {
+    const Vec3& pos = soup.points[static_cast<std::size_t>(p)];
+    const LatticeKey key{static_cast<long long>(std::llround(pos.x * inv)),
+                         static_cast<long long>(std::llround(pos.y * inv)),
+                         static_cast<long long>(std::llround(pos.z * inv))};
+    auto [it, inserted] =
+        lattice.try_emplace(key, static_cast<Id>(result.mesh.points.size()));
+    if (inserted) {
+      result.mesh.points.push_back(pos);
+      if (!soup.pointScalars.empty()) {
+        result.mesh.pointScalars.push_back(
+            soup.pointScalars[static_cast<std::size_t>(p)]);
+      }
+    }
+    remap[static_cast<std::size_t>(p)] = it->second;
+  }
+
+  result.mesh.connectivity.reserve(soup.connectivity.size());
+  for (Id idx : soup.connectivity) {
+    result.mesh.connectivity.push_back(remap[static_cast<std::size_t>(idx)]);
+  }
+  result.weldedPoints = result.mesh.numPoints();
+  return result;
+}
+
+Id countBoundaryEdges(const TriangleMesh& mesh) {
+  std::map<std::pair<Id, Id>, int> edgeUse;
+  for (Id t = 0; t < mesh.numTriangles(); ++t) {
+    for (int k = 0; k < 3; ++k) {
+      Id a = mesh.connectivity[static_cast<std::size_t>(3 * t + k)];
+      Id b = mesh.connectivity[static_cast<std::size_t>(3 * t + (k + 1) % 3)];
+      if (a == b) continue;  // degenerate edge from a sliver triangle
+      if (a > b) std::swap(a, b);
+      edgeUse[{a, b}] += 1;
+    }
+  }
+  Id boundary = 0;
+  for (const auto& [edge, uses] : edgeUse) {
+    if (uses == 1) ++boundary;
+  }
+  return boundary;
+}
+
+}  // namespace pviz::vis

@@ -1,0 +1,36 @@
+// Point welding — merge coincident vertices of a triangle soup into a
+// shared-vertex mesh (the "point merge" step VTK-m's contour performs).
+//
+// The extraction filters emit triangle soup (three fresh vertices per
+// triangle) for scan-free parallel output; welding recovers the
+// compact indexed form rendering and storage want, and enables
+// topology queries (vertex valence, connected components).
+#pragma once
+
+#include "viz/dataset/explicit_mesh.h"
+
+namespace pviz::vis {
+
+struct WeldResult {
+  TriangleMesh mesh;        ///< shared-vertex mesh
+  Id inputPoints = 0;
+  Id weldedPoints = 0;      ///< unique vertices kept
+
+  double compressionRatio() const {
+    return weldedPoints > 0
+               ? static_cast<double>(inputPoints) /
+                     static_cast<double>(weldedPoints)
+               : 1.0;
+  }
+};
+
+/// Merge vertices closer than `tolerance` (quantized-grid hashing; two
+/// points within tolerance/2 of the same lattice site always merge).
+/// Scalars of merged vertices are taken from the first occurrence.
+WeldResult weldPoints(const TriangleMesh& soup, double tolerance = 1e-9);
+
+/// Number of edges referenced by exactly one triangle (0 for a closed
+/// surface) — meaningful only on a welded mesh.
+Id countBoundaryEdges(const TriangleMesh& mesh);
+
+}  // namespace pviz::vis

@@ -1,0 +1,257 @@
+#include "viz/filters/clip_common.h"
+
+#include <mutex>
+
+#include "util/parallel.h"
+
+namespace pviz::vis {
+
+namespace {
+
+// Six tetrahedra around the 0-6 main diagonal (VTK hex corner indices).
+// Every tet lists the shared diagonal endpoints first and winds so the
+// signed volume is positive for an axis-aligned cell.
+constexpr int kHexTets[6][4] = {{0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+                                {0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6}};
+
+struct ClipVertex {
+  Vec3 position;
+  double carry;
+};
+
+ClipVertex edgePoint(const Vec3& pa, const Vec3& pb, double sa, double sb,
+                     double ca, double cb) {
+  const double denom = sa - sb;
+  const double t = denom != 0.0 ? sa / denom : 0.5;
+  return {lerp(pa, pb, t), lerp(ca, cb, t)};
+}
+
+void emitTet(const ClipVertex& a, const ClipVertex& b, const ClipVertex& c,
+             const ClipVertex& d, TetMesh& out) {
+  const Id base = out.numPoints();
+  out.points.push_back(a.position);
+  out.points.push_back(b.position);
+  out.points.push_back(c.position);
+  out.points.push_back(d.position);
+  out.pointScalars.push_back(a.carry);
+  out.pointScalars.push_back(b.carry);
+  out.pointScalars.push_back(c.carry);
+  out.pointScalars.push_back(d.carry);
+  out.connectivity.push_back(base);
+  out.connectivity.push_back(base + 1);
+  out.connectivity.push_back(base + 2);
+  out.connectivity.push_back(base + 3);
+}
+
+// Split the prism with triangle faces (t0,t1,t2) / (b0,b1,b2) into three
+// tets.  Valid for the mildly warped prisms tet clipping produces.
+void emitPrism(const ClipVertex& t0, const ClipVertex& t1,
+               const ClipVertex& t2, const ClipVertex& b0,
+               const ClipVertex& b1, const ClipVertex& b2, TetMesh& out) {
+  emitTet(t0, t1, t2, b0, out);
+  emitTet(t1, t2, b0, b2, out);
+  emitTet(t1, b0, b1, b2, out);
+}
+
+}  // namespace
+
+const int (*hexTetDecomposition())[4] { return kHexTets; }
+
+void clipTetrahedron(const Vec3 pos[4], const double clip[4],
+                     const double carry[4], TetMesh& out) {
+  int keepMask = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (clip[i] >= 0.0) keepMask |= 1 << i;
+  }
+  if (keepMask == 0) return;
+
+  auto vert = [&](int i) -> ClipVertex { return {pos[i], carry[i]}; };
+  auto cut = [&](int a, int b) -> ClipVertex {
+    return edgePoint(pos[a], pos[b], clip[a], clip[b], carry[a], carry[b]);
+  };
+
+  if (keepMask == 0xF) {
+    emitTet(vert(0), vert(1), vert(2), vert(3), out);
+    return;
+  }
+
+  int kept[4];
+  int lost[4];
+  int nKept = 0;
+  int nLost = 0;
+  for (int i = 0; i < 4; ++i) {
+    if ((keepMask >> i) & 1) {
+      kept[nKept++] = i;
+    } else {
+      lost[nLost++] = i;
+    }
+  }
+
+  if (nKept == 1) {
+    // Small tet: kept corner + three cut points toward the lost corners.
+    const int a = kept[0];
+    emitTet(vert(a), cut(a, lost[0]), cut(a, lost[1]), cut(a, lost[2]), out);
+  } else if (nKept == 2) {
+    // Prism: the two kept corners and four cut points.
+    const int a = kept[0];
+    const int b = kept[1];
+    const int c = lost[0];
+    const int d = lost[1];
+    emitPrism(vert(a), cut(a, c), cut(a, d), vert(b), cut(b, c), cut(b, d),
+              out);
+  } else {  // nKept == 3: tet minus a corner tet = prism.
+    const int d = lost[0];
+    const int a = kept[0];
+    const int b = kept[1];
+    const int c = kept[2];
+    emitPrism(vert(a), vert(b), vert(c), cut(a, d), cut(b, d), cut(c, d),
+              out);
+  }
+}
+
+ClipResult clipUniformGrid(const UniformGrid& grid,
+                           const std::vector<double>& clipScalar,
+                           const std::vector<double>& carried) {
+  PVIZ_REQUIRE(static_cast<Id>(clipScalar.size()) == grid.numPoints(),
+               "clip scalar must be a per-point array");
+  PVIZ_REQUIRE(static_cast<Id>(carried.size()) == grid.numPoints(),
+               "carried scalar must be a per-point array");
+
+  const Id numCells = grid.numCells();
+  ClipResult result;
+
+  // Pass 1: classify cells (0 = out, 1 = in, 2 = cut).
+  std::vector<std::uint8_t> state(static_cast<std::size_t>(numCells));
+  util::parallelFor(0, numCells, [&](Id cell) {
+    Id pts[8];
+    grid.cellPointIds(grid.cellIjk(cell), pts);
+    int nKeep = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (clipScalar[static_cast<std::size_t>(pts[i])] >= 0.0) ++nKeep;
+    }
+    state[static_cast<std::size_t>(cell)] =
+        nKeep == 8 ? 1 : (nKeep == 0 ? 0 : 2);
+  });
+
+  // Pass 2: whole kept cells (compact) and cut cells (clip per thread,
+  // merge at the end — output sizes are data dependent).
+  std::vector<std::int64_t> keepOffsets(static_cast<std::size_t>(numCells) + 1,
+                                        0);
+  for (Id cell = 0; cell < numCells; ++cell) {
+    const std::uint8_t s = state[static_cast<std::size_t>(cell)];
+    keepOffsets[static_cast<std::size_t>(cell)] = s == 1 ? 1 : 0;
+    if (s == 1) ++result.cellsIn;
+    else if (s == 0) ++result.cellsOut;
+    else ++result.cellsCut;
+  }
+  const std::int64_t numKept = util::exclusiveScan(keepOffsets);
+  keepOffsets[static_cast<std::size_t>(numCells)] = numKept;
+
+  result.wholeCells.cellIds.resize(static_cast<std::size_t>(numKept));
+  result.wholeCells.cellScalars.resize(static_cast<std::size_t>(numKept));
+
+  std::mutex mergeMutex;
+  std::vector<TetMesh> partials;
+
+  util::parallelForChunks(0, numCells, [&](Id chunkBegin, Id chunkEnd) {
+    TetMesh local;
+    for (Id cell = chunkBegin; cell < chunkEnd; ++cell) {
+      const std::uint8_t s = state[static_cast<std::size_t>(cell)];
+      if (s == 0) continue;
+      Id pts[8];
+      grid.cellPointIds(grid.cellIjk(cell), pts);
+      if (s == 1) {
+        const std::int64_t at = keepOffsets[static_cast<std::size_t>(cell)];
+        double avg = 0.0;
+        for (int i = 0; i < 8; ++i) {
+          avg += carried[static_cast<std::size_t>(pts[i])];
+        }
+        result.wholeCells.cellIds[static_cast<std::size_t>(at)] = cell;
+        result.wholeCells.cellScalars[static_cast<std::size_t>(at)] = avg / 8.0;
+        continue;
+      }
+      Vec3 corner[8];
+      double clip[8];
+      double carry[8];
+      const Id3 c = grid.cellIjk(cell);
+      static constexpr Id kOffsets[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0},
+                                            {0, 1, 0}, {0, 0, 1}, {1, 0, 1},
+                                            {1, 1, 1}, {0, 1, 1}};
+      for (int i = 0; i < 8; ++i) {
+        corner[i] = grid.pointPosition(Id3{c.i + kOffsets[i][0],
+                                           c.j + kOffsets[i][1],
+                                           c.k + kOffsets[i][2]});
+        clip[i] = clipScalar[static_cast<std::size_t>(pts[i])];
+        carry[i] = carried[static_cast<std::size_t>(pts[i])];
+      }
+      for (const auto& tet : kHexTets) {
+        const Vec3 tp[4] = {corner[tet[0]], corner[tet[1]], corner[tet[2]],
+                            corner[tet[3]]};
+        const double tc[4] = {clip[tet[0]], clip[tet[1]], clip[tet[2]],
+                              clip[tet[3]]};
+        const double ta[4] = {carry[tet[0]], carry[tet[1]], carry[tet[2]],
+                              carry[tet[3]]};
+        clipTetrahedron(tp, tc, ta, local);
+      }
+    }
+    if (!local.points.empty()) {
+      std::lock_guard lock(mergeMutex);
+      partials.push_back(std::move(local));
+    }
+  });
+
+  for (const auto& part : partials) {
+    const Id base = result.cutPieces.numPoints();
+    result.cutPieces.points.insert(result.cutPieces.points.end(),
+                                   part.points.begin(), part.points.end());
+    result.cutPieces.pointScalars.insert(result.cutPieces.pointScalars.end(),
+                                         part.pointScalars.begin(),
+                                         part.pointScalars.end());
+    for (Id id : part.connectivity) {
+      result.cutPieces.connectivity.push_back(base + id);
+    }
+  }
+  return result;
+}
+
+TetMesh clipTetMesh(const TetMesh& mesh,
+                    const std::vector<double>& clipScalar) {
+  PVIZ_REQUIRE(static_cast<Id>(clipScalar.size()) == mesh.numPoints(),
+               "clip scalar must match mesh point count");
+  std::mutex mergeMutex;
+  std::vector<TetMesh> partials;
+  util::parallelForChunks(0, mesh.numTets(), [&](Id chunkBegin, Id chunkEnd) {
+    TetMesh local;
+    for (Id t = chunkBegin; t < chunkEnd; ++t) {
+      Vec3 pos[4];
+      double clip[4];
+      double carry[4];
+      for (int i = 0; i < 4; ++i) {
+        const Id p = mesh.connectivity[static_cast<std::size_t>(4 * t + i)];
+        pos[i] = mesh.points[static_cast<std::size_t>(p)];
+        clip[i] = clipScalar[static_cast<std::size_t>(p)];
+        carry[i] = mesh.pointScalars.empty()
+                       ? 0.0
+                       : mesh.pointScalars[static_cast<std::size_t>(p)];
+      }
+      clipTetrahedron(pos, clip, carry, local);
+    }
+    if (!local.points.empty()) {
+      std::lock_guard lock(mergeMutex);
+      partials.push_back(std::move(local));
+    }
+  });
+
+  TetMesh out;
+  for (const auto& part : partials) {
+    const Id base = out.numPoints();
+    out.points.insert(out.points.end(), part.points.begin(),
+                      part.points.end());
+    out.pointScalars.insert(out.pointScalars.end(), part.pointScalars.begin(),
+                            part.pointScalars.end());
+    for (Id id : part.connectivity) out.connectivity.push_back(base + id);
+  }
+  return out;
+}
+
+}  // namespace pviz::vis

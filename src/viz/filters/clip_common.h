@@ -1,0 +1,58 @@
+// Shared cell-clipping machinery for spherical clip and isovolume.
+//
+// The paper's description: cells entirely on the kept side pass to the
+// output unchanged; cells entirely on the discarded side are dropped;
+// cells straddling the surface are subdivided, keeping the part on the
+// kept side.  We implement the subdivision by decomposing each straddling
+// hexahedron into six tetrahedra around its main diagonal (a
+// face-consistent decomposition on a uniform grid, so neighbor cells
+// agree on face diagonals) and clipping each tetrahedron against the
+// linear interpolant of the clip scalar.  The kept region of a clipped
+// tetrahedron is a tet or a prism; prisms are split into three tets.
+//
+// Convention: points with clip scalar >= 0 are KEPT.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "viz/dataset/explicit_mesh.h"
+#include "viz/dataset/uniform_grid.h"
+#include "viz/worklet/work_profile.h"
+
+namespace pviz::vis {
+
+/// Output of clipping a uniform grid: whole kept cells + tet pieces of
+/// cut cells, with a carried per-point scalar on the tet piece mesh.
+struct ClipResult {
+  HexSubset wholeCells;  ///< cells entirely on the kept side
+  TetMesh cutPieces;     ///< tetrahedra from subdivided straddling cells
+  std::int64_t cellsIn = 0;    ///< fully kept
+  std::int64_t cellsOut = 0;   ///< fully discarded
+  std::int64_t cellsCut = 0;   ///< subdivided
+};
+
+/// Clip `grid` by the per-point scalar `clipScalar` (size numPoints,
+/// keep >= 0).  `carried` (size numPoints) is interpolated onto clip
+/// vertices and stored as the output scalar (typically the visualized
+/// field).
+ClipResult clipUniformGrid(const UniformGrid& grid,
+                           const std::vector<double>& clipScalar,
+                           const std::vector<double>& carried);
+
+/// Clip an existing tet mesh by a per-point clip scalar (keep >= 0).
+/// Carried scalars on the input mesh are interpolated onto cut vertices.
+TetMesh clipTetMesh(const TetMesh& mesh,
+                    const std::vector<double>& clipScalar);
+
+/// Clip a single tetrahedron; appends kept tets to `out`.
+/// `pos`/`clip`/`carry` give the four vertices.  Exposed for testing.
+void clipTetrahedron(const Vec3 pos[4], const double clip[4],
+                     const double carry[4], TetMesh& out);
+
+/// Decompose the hex cell `c` of `grid` into 6 tets around the 0-6 main
+/// diagonal; `cornerIdx` receives 4 VTK-hex corner indices per tet.
+/// Exposed for testing.
+const int (*hexTetDecomposition())[4];
+
+}  // namespace pviz::vis

@@ -1,0 +1,208 @@
+#include "viz/filters/contour.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "util/parallel.h"
+#include "viz/filters/mc_tables.h"
+
+namespace pviz::vis {
+
+std::vector<double> ContourFilter::uniformIsovalues(const Field& field,
+                                                    int count) {
+  PVIZ_REQUIRE(count >= 1, "need at least one isovalue");
+  const auto [lo, hi] = field.range();
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (int i = 1; i <= count; ++i) {
+    values.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(count + 1));
+  }
+  return values;
+}
+
+namespace {
+
+// Interpolated position + scalar on a cut cube edge.
+struct EdgeVertex {
+  Vec3 position;
+  double scalar;
+};
+
+EdgeVertex interpolateEdge(const UniformGrid& grid, Id3 cellIjk, int edge,
+                           const double corner[8], double isovalue) {
+  const auto* pair = McTables::kEdgeCorners[edge];
+  const int a = pair[0];
+  const int b = pair[1];
+  // Corner offsets in (i,j,k) follow the VTK hexahedron ordering.
+  static constexpr Id kOffsets[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0},
+                                        {0, 1, 0}, {0, 0, 1}, {1, 0, 1},
+                                        {1, 1, 1}, {0, 1, 1}};
+  const Vec3 pa = grid.pointPosition(Id3{cellIjk.i + kOffsets[a][0],
+                                         cellIjk.j + kOffsets[a][1],
+                                         cellIjk.k + kOffsets[a][2]});
+  const Vec3 pb = grid.pointPosition(Id3{cellIjk.i + kOffsets[b][0],
+                                         cellIjk.j + kOffsets[b][1],
+                                         cellIjk.k + kOffsets[b][2]});
+  const double va = corner[a];
+  const double vb = corner[b];
+  const double denom = vb - va;
+  const double t = denom != 0.0 ? (isovalue - va) / denom : 0.5;
+  return {lerp(pa, pb, t), isovalue};
+}
+
+}  // namespace
+
+ContourFilter::Result ContourFilter::run(const UniformGrid& grid,
+                                         const std::string& fieldName) const {
+  const Field& field = grid.field(fieldName);
+  PVIZ_REQUIRE(field.association() == Association::Points,
+               "contour requires a point field");
+  PVIZ_REQUIRE(field.components() == 1, "contour requires a scalar field");
+  PVIZ_REQUIRE(!isovalues_.empty(),
+               "no isovalues set — call setIsovalues or uniformIsovalues");
+
+  const McTables& tables = McTables::instance();
+  const Id numCells = grid.numCells();
+  const std::vector<double>& values = field.data();
+
+  Result result;
+  result.profile.kernel = "contour";
+  result.profile.elements = numCells;  // Moreland–Oldfield rate uses n
+
+  std::atomic<std::int64_t> totalCrossed{0};
+
+  for (const double isovalue : isovalues_) {
+    // --- Pass 1: classify — triangles emitted per cell. -----------------
+    std::vector<std::int64_t> offsets(static_cast<std::size_t>(numCells) + 1, 0);
+    util::parallelFor(0, numCells, [&](Id cell) {
+      const Id3 c = grid.cellIjk(cell);
+      Id pts[8];
+      grid.cellPointIds(c, pts);
+      int caseIndex = 0;
+      for (int i = 0; i < 8; ++i) {
+        if (values[static_cast<std::size_t>(pts[i])] >= isovalue) {
+          caseIndex |= 1 << i;
+        }
+      }
+      offsets[static_cast<std::size_t>(cell)] =
+          tables.triangleCount[static_cast<std::size_t>(caseIndex)];
+    });
+
+    std::int64_t crossed = 0;
+    for (Id cell = 0; cell < numCells; ++cell) {
+      if (offsets[static_cast<std::size_t>(cell)] > 0) ++crossed;
+    }
+    totalCrossed.fetch_add(crossed, std::memory_order_relaxed);
+
+    const std::int64_t numTriangles = util::exclusiveScan(offsets);
+    offsets[static_cast<std::size_t>(numCells)] = numTriangles;
+
+    // --- Pass 2: generate — interpolate and write triangles. ------------
+    TriangleMesh pass;
+    pass.points.resize(static_cast<std::size_t>(numTriangles) * 3);
+    pass.pointScalars.resize(static_cast<std::size_t>(numTriangles) * 3);
+    pass.connectivity.resize(static_cast<std::size_t>(numTriangles) * 3);
+
+    util::parallelFor(0, numCells, [&](Id cell) {
+      const std::int64_t first = offsets[static_cast<std::size_t>(cell)];
+      const std::int64_t count =
+          offsets[static_cast<std::size_t>(cell) + 1] - first;
+      if (count == 0) return;
+
+      const Id3 c = grid.cellIjk(cell);
+      Id pts[8];
+      grid.cellPointIds(c, pts);
+      double corner[8];
+      int caseIndex = 0;
+      for (int i = 0; i < 8; ++i) {
+        corner[i] = values[static_cast<std::size_t>(pts[i])];
+        if (corner[i] >= isovalue) caseIndex |= 1 << i;
+      }
+
+      // Estimate the field gradient from corner differences; used to give
+      // every triangle a consistent orientation (normal toward lower
+      // values, i.e. pointing out of the enclosed high-valued region).
+      const Vec3 gradient{
+          (corner[1] - corner[0]) + (corner[2] - corner[3]) +
+              (corner[5] - corner[4]) + (corner[6] - corner[7]),
+          (corner[3] - corner[0]) + (corner[2] - corner[1]) +
+              (corner[7] - corner[4]) + (corner[6] - corner[5]),
+          (corner[4] - corner[0]) + (corner[5] - corner[1]) +
+              (corner[6] - corner[2]) + (corner[7] - corner[3])};
+
+      const auto& tri = tables.triangles[static_cast<std::size_t>(caseIndex)];
+      for (std::int64_t t = 0; t < count; ++t) {
+        EdgeVertex v[3];
+        for (int k = 0; k < 3; ++k) {
+          const int edge = tri[static_cast<std::size_t>(3 * t + k)];
+          v[k] = interpolateEdge(grid, c, edge, corner, isovalue);
+        }
+        const Vec3 normal =
+            cross(v[1].position - v[0].position, v[2].position - v[0].position);
+        if (dot(normal, gradient) > 0.0) std::swap(v[1], v[2]);
+
+        const std::size_t base = static_cast<std::size_t>(first + t) * 3;
+        for (int k = 0; k < 3; ++k) {
+          pass.points[base + static_cast<std::size_t>(k)] = v[k].position;
+          pass.pointScalars[base + static_cast<std::size_t>(k)] = v[k].scalar;
+          pass.connectivity[base + static_cast<std::size_t>(k)] =
+              static_cast<Id>(base) + k;
+        }
+      }
+    });
+
+    result.surface.append(pass);
+  }
+
+  // --- Workload characterization (real counts from this run). -----------
+  const double passes = static_cast<double>(isovalues_.size());
+  const double cells = static_cast<double>(numCells) * passes;
+  const double crossed = static_cast<double>(totalCrossed.load());
+  const double tris = static_cast<double>(result.surface.numTriangles());
+
+  // Classify: per cell, 8 corner loads, case assembly, table lookup,
+  // count store.  The corner gather streams the point field once per
+  // pass; 7 of 8 corner loads hit cache (shared with neighbors).
+  WorkProfile& classify = result.profile.addPhase("mc-classify");
+  classify.flops = cells * 8;                 // corner comparisons
+  classify.intOps = cells * 14;               // ijk decode, case bits, lookup
+  classify.memOps = cells * 10;               // 8 gathers + table + count
+  classify.bytesStreamed =
+      passes * field.sizeBytes() + cells * 12;  // field read + counts r/w
+  classify.bytesReused = cells * 40;            // corner-line revisits
+  classify.irregularAccesses = cells * 2.2;     // cross-plane gathers
+  // The sweep's gathers touch a sliding window of a few ij-planes —
+  // LLC-resident at any dataset size.
+  classify.workingSetBytes = static_cast<double>(grid.pointDims().i) *
+                             static_cast<double>(grid.pointDims().j) * 8 * 4;
+  classify.parallelFraction = 0.995;
+  classify.overlap = 0.9;
+
+  // Generate: revisit crossed cells, 3 edge interpolations per triangle,
+  // orientation fix, streamed output writes.
+  WorkProfile& generate = result.profile.addPhase("mc-generate");
+  generate.flops = crossed * 11 + tris * 46;  // gradient + lerps + normal
+  generate.intOps = crossed * 40 + tris * 24;
+  generate.memOps = crossed * 14 + tris * 24;
+  generate.bytesStreamed = crossed * 16 + tris * 3 * (24 + 8 + 8);
+  generate.bytesReused = crossed * 8 * 8;
+  generate.irregularAccesses = crossed * 4;
+  generate.workingSetBytes = static_cast<double>(grid.pointDims().i) *
+                             static_cast<double>(grid.pointDims().j) * 8 * 4;
+  generate.parallelFraction = 0.99;
+  generate.overlap = 0.85;
+
+  // The exclusive scan between passes (a parallel tree scan in VTK-m;
+  // the serial host loop here is an implementation convenience).
+  WorkProfile& scan = result.profile.addPhase("mc-scan");
+  scan.intOps = cells * 4;
+  scan.memOps = cells * 3;
+  scan.bytesStreamed = cells * 8 * 2;
+  scan.parallelFraction = 0.9;
+  scan.overlap = 0.9;
+
+  return result;
+}
+
+}  // namespace pviz::vis

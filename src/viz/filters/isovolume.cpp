@@ -1,0 +1,173 @@
+#include "viz/filters/isovolume.h"
+
+#include "util/parallel.h"
+
+namespace pviz::vis {
+
+IsovolumeFilter::Result IsovolumeFilter::run(
+    const UniformGrid& grid, const std::string& fieldName) const {
+  const Field& field = grid.field(fieldName);
+  PVIZ_REQUIRE(field.association() == Association::Points,
+               "isovolume requires a point field");
+  PVIZ_REQUIRE(field.components() == 1, "isovolume requires a scalar field");
+
+  const Id numPoints = grid.numPoints();
+  const std::vector<double>& f = field.data();
+
+  // Stage 1: keep f >= lo.
+  std::vector<double> stage1(static_cast<std::size_t>(numPoints));
+  util::parallelFor(0, numPoints, [&](Id p) {
+    stage1[static_cast<std::size_t>(p)] =
+        f[static_cast<std::size_t>(p)] - lo_;
+  });
+  ClipResult low = clipUniformGrid(grid, stage1, f);
+
+  // Stage 2a: re-examine the whole cells kept by stage 1 against hi.
+  // Build the f <= hi clip scalar once.
+  std::vector<double> stage2(static_cast<std::size_t>(numPoints));
+  util::parallelFor(0, numPoints, [&](Id p) {
+    stage2[static_cast<std::size_t>(p)] =
+        hi_ - f[static_cast<std::size_t>(p)];
+  });
+
+  Result result;
+
+  // Whole cells from stage 1 must be re-classified against hi.  Rather
+  // than clip the full grid again, clip only cells stage 1 kept whole:
+  // the straddling ones go through the tet path.
+  std::vector<double> carriedTet;
+  {
+    TetMesh boundary;
+    std::vector<Id>& keptIds = low.wholeCells.cellIds;
+    std::vector<std::int64_t> keepFlags(keptIds.size() + 1, 0);
+    std::vector<std::uint8_t> cellState(keptIds.size());
+    util::parallelFor(0, static_cast<Id>(keptIds.size()), [&](Id n) {
+      Id pts[8];
+      grid.cellPointIds(grid.cellIjk(keptIds[static_cast<std::size_t>(n)]),
+                        pts);
+      int nKeep = 0;
+      for (int i = 0; i < 8; ++i) {
+        if (stage2[static_cast<std::size_t>(pts[i])] >= 0.0) ++nKeep;
+      }
+      cellState[static_cast<std::size_t>(n)] =
+          nKeep == 8 ? 1 : (nKeep == 0 ? 0 : 2);
+      keepFlags[static_cast<std::size_t>(n)] = nKeep == 8 ? 1 : 0;
+    });
+    const std::int64_t numWhole = util::exclusiveScan(keepFlags);
+    keepFlags[keptIds.size()] = numWhole;
+    result.wholeCells.cellIds.resize(static_cast<std::size_t>(numWhole));
+    result.wholeCells.cellScalars.resize(static_cast<std::size_t>(numWhole));
+
+    for (std::size_t n = 0; n < keptIds.size(); ++n) {
+      if (cellState[n] == 1) {
+        const auto at = static_cast<std::size_t>(keepFlags[n]);
+        result.wholeCells.cellIds[at] = keptIds[n];
+        result.wholeCells.cellScalars[at] = low.wholeCells.cellScalars[n];
+      } else if (cellState[n] == 2) {
+        // Straddles hi: subdivide through the tet path.
+        const Id3 c = grid.cellIjk(keptIds[n]);
+        Id pts[8];
+        grid.cellPointIds(c, pts);
+        Vec3 corner[8];
+        double clip[8];
+        double carry[8];
+        static constexpr Id kOffsets[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0},
+                                              {0, 1, 0}, {0, 0, 1}, {1, 0, 1},
+                                              {1, 1, 1}, {0, 1, 1}};
+        for (int i = 0; i < 8; ++i) {
+          corner[i] = grid.pointPosition(Id3{c.i + kOffsets[i][0],
+                                             c.j + kOffsets[i][1],
+                                             c.k + kOffsets[i][2]});
+          clip[i] = stage2[static_cast<std::size_t>(pts[i])];
+          carry[i] = f[static_cast<std::size_t>(pts[i])];
+        }
+        const auto tets = hexTetDecomposition();
+        for (int t = 0; t < 6; ++t) {
+          const Vec3 tp[4] = {corner[tets[t][0]], corner[tets[t][1]],
+                              corner[tets[t][2]], corner[tets[t][3]]};
+          const double tc[4] = {clip[tets[t][0]], clip[tets[t][1]],
+                                clip[tets[t][2]], clip[tets[t][3]]};
+          const double ta[4] = {carry[tets[t][0]], carry[tets[t][1]],
+                                carry[tets[t][2]], carry[tets[t][3]]};
+          clipTetrahedron(tp, tc, ta, boundary);
+        }
+      }
+    }
+
+    // Stage 2b: re-clip the tet pieces from stage 1 against hi.  Their
+    // carried scalar IS the field, so the clip scalar is hi - scalar.
+    std::vector<double> tetClip(low.cutPieces.pointScalars.size());
+    for (std::size_t i = 0; i < tetClip.size(); ++i) {
+      tetClip[i] = hi_ - low.cutPieces.pointScalars[i];
+    }
+    TetMesh clippedLow = clipTetMesh(low.cutPieces, tetClip);
+
+    // Merge boundary pieces.
+    result.cutPieces = std::move(clippedLow);
+    const Id base = result.cutPieces.numPoints();
+    result.cutPieces.points.insert(result.cutPieces.points.end(),
+                                   boundary.points.begin(),
+                                   boundary.points.end());
+    result.cutPieces.pointScalars.insert(result.cutPieces.pointScalars.end(),
+                                         boundary.pointScalars.begin(),
+                                         boundary.pointScalars.end());
+    for (Id id : boundary.connectivity) {
+      result.cutPieces.connectivity.push_back(base + id);
+    }
+  }
+
+  // --- Workload characterization: two full classification sweeps plus
+  // subdivision — the paper measures isovolume as the most memory-bound
+  // of the set (highest LLC miss rate, lots of waiting on memory).
+  result.profile.kernel = "isovolume";
+  result.profile.elements = grid.numCells();
+  const double points = static_cast<double>(numPoints);
+  const double cells = static_cast<double>(grid.numCells());
+  const double cut = static_cast<double>(low.cellsCut) +
+                     static_cast<double>(result.cutPieces.numTets()) / 3.0;
+  const double keptTets = static_cast<double>(result.cutPieces.numTets());
+
+  WorkProfile& ranges = result.profile.addPhase("range-fields");
+  ranges.flops = points * 4;
+  ranges.intOps = points * 8;
+  ranges.memOps = points * 6;
+  ranges.bytesStreamed = field.sizeBytes() * 2 + points * 16;
+  ranges.parallelFraction = 0.995;
+  ranges.overlap = 0.9;
+
+  WorkProfile& classify = result.profile.addPhase("classify-x2");
+  classify.flops = cells * 16;
+  classify.intOps = cells * 60;
+  classify.memOps = cells * 22;
+  classify.bytesStreamed = points * 16 + cells * 2;
+  classify.bytesReused = cells * 72;
+  classify.irregularAccesses = cells * 3.2;  // two gather sweeps
+  classify.workingSetBytes = static_cast<double>(grid.pointDims().i) *
+                             static_cast<double>(grid.pointDims().j) * 8 * 8;
+  classify.parallelFraction = 0.99;
+  classify.overlap = 0.88;
+
+  WorkProfile& subdivide = result.profile.addPhase("subdivide");
+  subdivide.flops = cut * 6 * 36 + keptTets * 95;
+  subdivide.intOps = cut * 300 + keptTets * 80;
+  subdivide.memOps = cut * 66 + keptTets * 44;
+  subdivide.bytesStreamed = keptTets * 4 * 40 + cut * 24;
+  subdivide.bytesReused = cut * 8 * 24;
+  subdivide.irregularAccesses = cut * 22;
+  subdivide.workingSetBytes = static_cast<double>(grid.pointDims().i) *
+                              static_cast<double>(grid.pointDims().j) * 8 * 8;
+  subdivide.parallelFraction = 0.95;
+  subdivide.overlap = 0.78;
+
+  WorkProfile& compact = result.profile.addPhase("compact");
+  compact.intOps = cells * 8;
+  compact.memOps = cells * 4;
+  compact.bytesStreamed = cells * 9 +
+                          static_cast<double>(result.wholeCells.numCells()) * 16;
+  compact.parallelFraction = 0.25;
+  compact.overlap = 0.9;
+
+  return result;
+}
+
+}  // namespace pviz::vis

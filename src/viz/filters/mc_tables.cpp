@@ -1,0 +1,133 @@
+#include "viz/filters/mc_tables.h"
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace pviz::vis {
+
+namespace {
+
+// Each face lists its four corners cyclically (consecutive corners share
+// a cube edge) and the cube-edge index between consecutive corners.
+struct Face {
+  std::int8_t corners[4];
+  std::int8_t edges[4];  // edges[i] connects corners[i] -> corners[i+1 mod 4]
+};
+
+constexpr Face kFaces[6] = {
+    {{0, 1, 2, 3}, {0, 1, 2, 3}},    // bottom (k = 0)
+    {{4, 5, 6, 7}, {4, 5, 6, 7}},    // top (k = 1)
+    {{0, 1, 5, 4}, {0, 9, 4, 8}},    // front (j = 0)
+    {{1, 2, 6, 5}, {1, 10, 5, 9}},   // right (i = 1)
+    {{2, 3, 7, 6}, {2, 11, 6, 10}},  // back (j = 1)
+    {{3, 0, 4, 7}, {3, 8, 7, 11}},   // left (i = 0)
+};
+
+// For one case, append each face's isoline segments as pairs of cut
+// cube-edge indices.  The pairing depends only on the face's own corner
+// states, so adjacent cells always agree.
+void faceSegments(int caseIndex, const Face& face,
+                  std::vector<std::pair<int, int>>& segments) {
+  bool inside[4];
+  for (int c = 0; c < 4; ++c) {
+    inside[c] = (caseIndex >> face.corners[c]) & 1;
+  }
+  int cut[4];
+  int numCut = 0;
+  for (int e = 0; e < 4; ++e) {
+    if (inside[e] != inside[(e + 1) % 4]) cut[numCut++] = e;
+  }
+  if (numCut == 0) return;
+  PVIZ_ASSERT(numCut == 2 || numCut == 4);
+  if (numCut == 2) {
+    segments.emplace_back(face.edges[cut[0]], face.edges[cut[1]]);
+    return;
+  }
+  // Ambiguous face: two inside corners on a diagonal.  Separate them:
+  // each segment cuts off one inside corner, pairing that corner's two
+  // adjacent face edges.
+  for (int c = 0; c < 4; ++c) {
+    if (!inside[c]) continue;
+    const int prevEdge = (c + 3) % 4;  // edge arriving at corner c
+    const int nextEdge = c;            // edge leaving corner c
+    segments.emplace_back(face.edges[prevEdge], face.edges[nextEdge]);
+  }
+}
+
+}  // namespace
+
+const McTables& McTables::instance() {
+  static const McTables tables = [] {
+    McTables t{};
+    for (int caseIndex = 0; caseIndex < 256; ++caseIndex) {
+      // 1. Which cube edges are cut?
+      std::uint16_t mask = 0;
+      for (int e = 0; e < 12; ++e) {
+        const bool a = (caseIndex >> kEdgeCorners[e][0]) & 1;
+        const bool b = (caseIndex >> kEdgeCorners[e][1]) & 1;
+        if (a != b) mask |= static_cast<std::uint16_t>(1u << e);
+      }
+      t.edgeMask[static_cast<std::size_t>(caseIndex)] = mask;
+
+      // 2. Gather the isoline segments each face contributes.
+      std::vector<std::pair<int, int>> segments;
+      for (const Face& face : kFaces) {
+        faceSegments(caseIndex, face, segments);
+      }
+
+      // 3. Each cut edge appears in exactly two segments (one per
+      //    incident face), so the segments form disjoint closed cycles:
+      //    the isosurface polygons.
+      int partner[12][2];
+      int degree[12] = {};
+      for (const auto& [a, b] : segments) {
+        PVIZ_ASSERT(degree[a] < 2 && degree[b] < 2);
+        partner[a][degree[a]++] = b;
+        partner[b][degree[b]++] = a;
+      }
+      for (int e = 0; e < 12; ++e) {
+        PVIZ_ASSERT(degree[e] == 0 || degree[e] == 2);
+        PVIZ_ASSERT((degree[e] == 2) == (((mask >> e) & 1) != 0));
+      }
+
+      // 4. Trace cycles and fan-triangulate each polygon.
+      auto& tri = t.triangles[static_cast<std::size_t>(caseIndex)];
+      tri.fill(-1);
+      int writeAt = 0;
+      int triCount = 0;
+      bool visited[12] = {};
+      for (int start = 0; start < 12; ++start) {
+        if (degree[start] != 2 || visited[start]) continue;
+        std::vector<int> polygon;
+        int prev = -1;
+        int cur = start;
+        do {
+          visited[cur] = true;
+          polygon.push_back(cur);
+          const int next = partner[cur][0] == prev ? partner[cur][1]
+                                                   : partner[cur][0];
+          prev = cur;
+          cur = next;
+        } while (cur != start);
+        PVIZ_ASSERT(polygon.size() >= 3);
+        for (std::size_t v = 1; v + 1 < polygon.size(); ++v) {
+          PVIZ_ASSERT(writeAt + 3 < kMaxEntries);
+          tri[static_cast<std::size_t>(writeAt++)] =
+              static_cast<std::int8_t>(polygon[0]);
+          tri[static_cast<std::size_t>(writeAt++)] =
+              static_cast<std::int8_t>(polygon[v]);
+          tri[static_cast<std::size_t>(writeAt++)] =
+              static_cast<std::int8_t>(polygon[v + 1]);
+          ++triCount;
+        }
+      }
+      t.triangleCount[static_cast<std::size_t>(caseIndex)] =
+          static_cast<std::uint8_t>(triCount);
+    }
+    return t;
+  }();
+  return tables;
+}
+
+}  // namespace pviz::vis

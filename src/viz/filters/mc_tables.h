@@ -1,0 +1,46 @@
+// Marching-cubes case tables.
+//
+// The tables are generated once at startup by tracing the isosurface
+// polygons on the cube surface for each of the 256 corner configurations
+// (rather than transcribing a published table).  The face-pairing rule is
+// purely a function of each face's own corner states, so two cells
+// sharing a face always agree on the isolines crossing it — which makes
+// the resulting surface watertight across cell boundaries by
+// construction.  Ambiguous faces (two diagonal inside corners) are
+// resolved by separating the inside corners.
+//
+// Corner numbering matches UniformGrid::cellPointIds (VTK hexahedron);
+// edge numbering is the VTK/Bourke convention:
+//
+//   e0:(0,1) e1:(1,2) e2:(2,3)  e3:(3,0)
+//   e4:(4,5) e5:(5,6) e6:(6,7)  e7:(7,4)
+//   e8:(0,4) e9:(1,5) e10:(2,6) e11:(3,7)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pviz::vis {
+
+struct McTables {
+  /// Bit e set when edge e is cut in the given case.
+  std::array<std::uint16_t, 256> edgeMask{};
+
+  /// Triangle list per case: flat edge-index triples, -1 terminated.
+  /// At most 5 polygons of up to 7 vertices => bounded by 16 triangles.
+  static constexpr int kMaxEntries = 49;  // 16 triangles * 3 + terminator
+  std::array<std::array<std::int8_t, kMaxEntries>, 256> triangles{};
+
+  /// Number of triangles in each case.
+  std::array<std::uint8_t, 256> triangleCount{};
+
+  /// Corner pair for each of the 12 edges.
+  static constexpr std::int8_t kEdgeCorners[12][2] = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6},
+      {6, 7}, {7, 4}, {0, 4}, {1, 5}, {2, 6}, {3, 7}};
+
+  /// The singleton, generated on first use (thread-safe static init).
+  static const McTables& instance();
+};
+
+}  // namespace pviz::vis

@@ -1,0 +1,128 @@
+#include "viz/filters/particle_advection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace pviz::vis {
+
+ParticleAdvectionFilter::Result ParticleAdvectionFilter::run(
+    const UniformGrid& grid, const std::string& fieldName) const {
+  const Field& field = grid.field(fieldName);
+  PVIZ_REQUIRE(field.association() == Association::Points,
+               "advection requires a point vector field");
+  PVIZ_REQUIRE(field.components() == 3,
+               "advection requires a 3-component field");
+
+  // Deterministic seed placement throughout the dataset.
+  const Bounds box = grid.bounds();
+  std::vector<Vec3> seeds(static_cast<std::size_t>(seeds_));
+  {
+    util::Rng rng(rngSeed_);
+    for (auto& s : seeds) {
+      s = {rng.uniform(box.lo.x, box.hi.x), rng.uniform(box.lo.y, box.hi.y),
+           rng.uniform(box.lo.z, box.hi.z)};
+    }
+  }
+
+  Result result;
+  std::atomic<std::int64_t> totalSteps{0};
+  std::atomic<std::int64_t> terminated{0};
+
+  // Each particle produces an independent polyline; trace chunks of
+  // particles per worker and stitch the bundle together afterwards.
+  std::mutex mergeMutex;
+  std::vector<std::pair<Id, PolylineSet>> partials;  // (firstSeed, lines)
+
+  util::parallelForChunks(
+      0, seeds_,
+      [&](Id chunkBegin, Id chunkEnd) {
+        PolylineSet local;
+        std::int64_t localSteps = 0;
+        std::int64_t localTerminated = 0;
+        for (Id p = chunkBegin; p < chunkEnd; ++p) {
+          Vec3 x = seeds[static_cast<std::size_t>(p)];
+          local.points.push_back(x);
+          local.pointScalars.push_back(0.0);
+          const double h = stepLength_;
+          Id step = 0;
+          for (; step < maxSteps_; ++step) {
+            Vec3 k1, k2, k3, k4;
+            if (!grid.sampleVector(field, x, k1)) break;
+            if (!grid.sampleVector(field, x + k1 * (h * 0.5), k2)) break;
+            if (!grid.sampleVector(field, x + k2 * (h * 0.5), k3)) break;
+            if (!grid.sampleVector(field, x + k3 * h, k4)) break;
+            x += (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (h / 6.0);
+            if (!box.contains(x)) break;
+            local.points.push_back(x);
+            local.pointScalars.push_back(static_cast<double>(step + 1) * h);
+          }
+          localSteps += step;
+          if (step < maxSteps_) ++localTerminated;
+          local.offsets.push_back(static_cast<Id>(local.points.size()));
+        }
+        totalSteps.fetch_add(localSteps, std::memory_order_relaxed);
+        terminated.fetch_add(localTerminated, std::memory_order_relaxed);
+        std::lock_guard lock(mergeMutex);
+        partials.emplace_back(chunkBegin, std::move(local));
+      },
+      /*grain=*/16);
+
+  std::sort(partials.begin(), partials.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [first, local] : partials) {
+    (void)first;
+    const Id base = static_cast<Id>(result.streamlines.points.size());
+    result.streamlines.points.insert(result.streamlines.points.end(),
+                                     local.points.begin(), local.points.end());
+    result.streamlines.pointScalars.insert(
+        result.streamlines.pointScalars.end(), local.pointScalars.begin(),
+        local.pointScalars.end());
+    for (std::size_t l = 1; l < local.offsets.size(); ++l) {
+      result.streamlines.offsets.push_back(base + local.offsets[l]);
+    }
+  }
+  result.totalSteps = totalSteps.load();
+  result.terminated = terminated.load();
+
+  // --- Workload characterization.  RK4 is arithmetic-dense: four
+  // trilinear vector samples plus the combination per step, with the
+  // gathers landing in a small moving working set (the paper observes
+  // the lowest LLC miss rate and the highest power draw of the study).
+  result.profile.kernel = "particle-advection";
+  result.profile.elements = grid.numCells();
+  const double steps = static_cast<double>(result.totalSteps);
+
+  WorkProfile& advect = result.profile.addPhase("rk4-advect");
+  advect.flops = steps * (4 * 158 + 56);  // 4 trilinear Vec3 samples + blend
+  advect.intOps = steps * (4 * 42 + 20);  // cell locate + index arithmetic
+  advect.memOps = steps * (4 * 26 + 8);
+  // Particle neighborhoods: repeated gathers over a compact moving
+  // working set — almost everything hits in cache.
+  advect.bytesReused = steps * 4 * 24 * 8;
+  // Each particle's gathers revisit a small moving neighborhood; the
+  // aggregate footprint is particles x a few cache lines, independent of
+  // the dataset size (the paper's size-invariant IPC for advection).
+  advect.workingSetBytes = std::min(
+      field.sizeBytes(), static_cast<double>(seeds_) * 4096.0);
+  advect.bytesStreamed = steps * 2 * 24 +  // streamline output + sparse pulls
+                         static_cast<double>(seeds_) * 64;
+  advect.irregularAccesses = steps * 0.3;  // occasional new cache line
+  advect.parallelFraction = 0.995;  // particles schedule in fine chunks
+  advect.overlap = 0.55;            // dependent FP chain per step
+
+  WorkProfile& assemble = result.profile.addPhase("assemble-lines");
+  const double outPts = static_cast<double>(result.streamlines.points.size());
+  assemble.intOps = outPts * 4;
+  assemble.memOps = outPts * 3;
+  assemble.bytesStreamed = outPts * 32;  // one gathered write per point
+  assemble.parallelFraction = 0.5;
+  assemble.overlap = 0.9;
+
+  return result;
+}
+
+}  // namespace pviz::vis

@@ -1,0 +1,57 @@
+// Particle advection — trace massless particles through a steady vector
+// field with fourth-order Runge–Kutta, emitting streamlines.
+//
+// Per the paper: particles are seeded throughout the dataset and advected
+// a fixed number of steps through a single time step of the flow;
+// particles leaving the bounding box terminate.  Seed count, step length
+// and step count are held constant regardless of dataset size (the
+// paper's Phase 3 choice, which is what makes this algorithm's IPC
+// insensitive to dataset size).
+#pragma once
+
+#include <string>
+
+#include "viz/dataset/explicit_mesh.h"
+#include "viz/dataset/uniform_grid.h"
+#include "viz/worklet/work_profile.h"
+
+namespace pviz::vis {
+
+class ParticleAdvectionFilter {
+ public:
+  struct Result {
+    PolylineSet streamlines;
+    std::int64_t totalSteps = 0;   ///< RK4 steps actually taken
+    std::int64_t terminated = 0;   ///< particles that left the domain
+    KernelProfile profile;
+  };
+
+  void setSeedCount(Id seeds) {
+    PVIZ_REQUIRE(seeds >= 1, "need at least one seed");
+    seeds_ = seeds;
+  }
+  void setMaxSteps(Id steps) {
+    PVIZ_REQUIRE(steps >= 1, "need at least one step");
+    maxSteps_ = steps;
+  }
+  void setStepLength(double h) {
+    PVIZ_REQUIRE(h > 0.0, "step length must be positive");
+    stepLength_ = h;
+  }
+  void setSeedRngSeed(std::uint64_t s) { rngSeed_ = s; }
+
+  Id seedCount() const { return seeds_; }
+  Id maxSteps() const { return maxSteps_; }
+  double stepLength() const { return stepLength_; }
+
+  /// Advect through point vector field `fieldName` (3 components).
+  Result run(const UniformGrid& grid, const std::string& fieldName) const;
+
+ private:
+  Id seeds_ = 1000;
+  Id maxSteps_ = 1000;
+  double stepLength_ = 0.001;
+  std::uint64_t rngSeed_ = 42;
+};
+
+}  // namespace pviz::vis

@@ -1,0 +1,84 @@
+#include "viz/filters/threshold.h"
+
+#include "util/parallel.h"
+
+namespace pviz::vis {
+
+ThresholdFilter::Result ThresholdFilter::run(
+    const UniformGrid& grid, const std::string& fieldName) const {
+  const Field& field = grid.field(fieldName);
+  PVIZ_REQUIRE(field.components() == 1, "threshold requires a scalar field");
+  const Id numCells = grid.numCells();
+  const bool pointAssoc = field.association() == Association::Points;
+  const std::vector<double>& values = field.data();
+
+  // Pass 1: flag + count kept cells per chunk; pass 2: compact.
+  std::vector<std::int64_t> flags(static_cast<std::size_t>(numCells) + 1, 0);
+  std::vector<double> cellValue(static_cast<std::size_t>(numCells));
+  util::parallelFor(0, numCells, [&](Id cell) {
+    double v;
+    if (pointAssoc) {
+      Id pts[8];
+      grid.cellPointIds(grid.cellIjk(cell), pts);
+      double sum = 0.0;
+      for (int i = 0; i < 8; ++i) sum += values[static_cast<std::size_t>(pts[i])];
+      v = sum / 8.0;
+    } else {
+      v = values[static_cast<std::size_t>(cell)];
+    }
+    cellValue[static_cast<std::size_t>(cell)] = v;
+    flags[static_cast<std::size_t>(cell)] = (v >= lo_ && v <= hi_) ? 1 : 0;
+  });
+
+  const std::int64_t numKept = util::exclusiveScan(flags);
+  flags[static_cast<std::size_t>(numCells)] = numKept;
+
+  Result result;
+  result.kept.cellIds.resize(static_cast<std::size_t>(numKept));
+  result.kept.cellScalars.resize(static_cast<std::size_t>(numKept));
+  util::parallelFor(0, numCells, [&](Id cell) {
+    const std::int64_t at = flags[static_cast<std::size_t>(cell)];
+    if (flags[static_cast<std::size_t>(cell) + 1] == at) return;
+    result.kept.cellIds[static_cast<std::size_t>(at)] = cell;
+    result.kept.cellScalars[static_cast<std::size_t>(at)] =
+        cellValue[static_cast<std::size_t>(cell)];
+  });
+
+  // --- Workload characterization: loads/stores dominate (the paper notes
+  // threshold's low IPC comes from being dominated by data movement).
+  result.profile.kernel = "threshold";
+  result.profile.elements = numCells;
+  const double cells = static_cast<double>(numCells);
+  const double kept = static_cast<double>(numKept);
+
+  WorkProfile& select = result.profile.addPhase("select");
+  select.flops = cells * (pointAssoc ? 10.0 : 2.0);  // average + compares
+  select.intOps = cells * 14;
+  select.memOps = cells * (pointAssoc ? 12.0 : 4.0);
+  select.bytesStreamed = field.sizeBytes() + cells * (8 + 8);  // field + flag/value
+  select.bytesReused = pointAssoc ? cells * 36 : 0.0;
+  select.irregularAccesses = pointAssoc ? cells * 3.4 : 0.6 * cells;
+  // Sliding plane-window gathers: LLC-resident at any size.
+  select.workingSetBytes = static_cast<double>(grid.pointDims().i) *
+                           static_cast<double>(grid.pointDims().j) * 8 * 4;
+  select.parallelFraction = 0.995;
+  select.overlap = 0.92;
+
+  WorkProfile& scan = result.profile.addPhase("scan");
+  scan.intOps = cells * 4;
+  scan.memOps = cells * 3;
+  scan.bytesStreamed = cells * 8 * 2;
+  scan.parallelFraction = 0.9;
+  scan.overlap = 0.9;
+
+  WorkProfile& compact = result.profile.addPhase("compact");
+  compact.intOps = cells * 6 + kept * 6;
+  compact.memOps = cells * 2 + kept * 4;
+  compact.bytesStreamed = cells * 8 + kept * 16;
+  compact.parallelFraction = 0.99;
+  compact.overlap = 0.92;
+
+  return result;
+}
+
+}  // namespace pviz::vis

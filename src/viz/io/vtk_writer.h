@@ -1,0 +1,38 @@
+// Legacy VTK (ASCII) file export — the lingua franca for inspecting
+// results in ParaView/VisIt.  Covers the output types the filters
+// produce: uniform grids with their fields (STRUCTURED_POINTS),
+// triangle meshes (POLYDATA with POLYGONS), and streamline bundles
+// (POLYDATA with LINES).
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "viz/dataset/explicit_mesh.h"
+#include "viz/dataset/uniform_grid.h"
+
+namespace pviz::vis {
+
+/// STRUCTURED_POINTS with every attached field as POINT_DATA/CELL_DATA.
+void writeVtk(const UniformGrid& grid, std::ostream& os,
+              const std::string& title = "powerviz dataset");
+
+/// POLYDATA with POLYGONS; point scalars (if any) as POINT_DATA.
+void writeVtk(const TriangleMesh& mesh, std::ostream& os,
+              const std::string& title = "powerviz surface");
+
+/// POLYDATA with LINES; point scalars (if any) as POINT_DATA.
+void writeVtk(const PolylineSet& lines, std::ostream& os,
+              const std::string& title = "powerviz streamlines");
+
+/// Convenience: write to a file path (throws pviz::Error on failure).
+template <typename Geometry>
+void writeVtkFile(const Geometry& geometry, const std::string& path,
+                  const std::string& title = "powerviz") {
+  std::ofstream out(path);
+  PVIZ_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  writeVtk(geometry, out, title);
+}
+
+}  // namespace pviz::vis

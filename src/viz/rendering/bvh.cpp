@@ -1,0 +1,155 @@
+#include "viz/rendering/bvh.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pviz::vis {
+
+namespace {
+
+Bounds triangleBounds(const TriangleMesh& mesh, Id tri) {
+  Bounds b;
+  for (int k = 0; k < 3; ++k) {
+    b.expand(mesh.points[static_cast<std::size_t>(
+        mesh.connectivity[static_cast<std::size_t>(3 * tri + k)])]);
+  }
+  return b;
+}
+
+}  // namespace
+
+Bvh::Bvh(const TriangleMesh& mesh, int maxLeafSize) : mesh_(mesh) {
+  PVIZ_REQUIRE(maxLeafSize >= 1, "BVH leaf size must be >= 1");
+  const Id n = mesh.numTriangles();
+  order_.resize(static_cast<std::size_t>(n));
+  std::vector<Vec3> centroids(static_cast<std::size_t>(n));
+  for (Id t = 0; t < n; ++t) {
+    order_[static_cast<std::size_t>(t)] = t;
+    const Bounds b = triangleBounds(mesh, t);
+    centroids[static_cast<std::size_t>(t)] = b.center();
+  }
+  if (n > 0) {
+    nodes_.reserve(static_cast<std::size_t>(2 * n));
+    build(0, n, centroids, maxLeafSize);
+  }
+}
+
+std::int32_t Bvh::build(std::int64_t begin, std::int64_t end,
+                        std::vector<Vec3>& centroids, int maxLeafSize) {
+  const auto nodeIndex = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  Bounds box;
+  Bounds centroidBox;
+  for (std::int64_t i = begin; i < end; ++i) {
+    box.expand(triangleBounds(mesh_, order_[static_cast<std::size_t>(i)]));
+    centroidBox.expand(
+        centroids[static_cast<std::size_t>(order_[static_cast<std::size_t>(i)])]);
+  }
+  nodes_[static_cast<std::size_t>(nodeIndex)].box = box;
+
+  const std::int64_t count = end - begin;
+  const Vec3 extent = centroidBox.extent();
+  const bool degenerate =
+      extent.x <= 0.0 && extent.y <= 0.0 && extent.z <= 0.0;
+  if (count <= maxLeafSize || degenerate) {
+    nodes_[static_cast<std::size_t>(nodeIndex)].first =
+        static_cast<std::int32_t>(begin);
+    nodes_[static_cast<std::size_t>(nodeIndex)].count =
+        static_cast<std::int32_t>(count);
+    return nodeIndex;
+  }
+
+  int axis = 0;
+  if (extent.y > extent[axis]) axis = 1;
+  if (extent.z > extent[axis]) axis = 2;
+
+  const std::int64_t mid = begin + count / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](Id a, Id b) {
+                     return centroids[static_cast<std::size_t>(a)][axis] <
+                            centroids[static_cast<std::size_t>(b)][axis];
+                   });
+
+  const std::int32_t left = build(begin, mid, centroids, maxLeafSize);
+  const std::int32_t right = build(mid, end, centroids, maxLeafSize);
+  nodes_[static_cast<std::size_t>(nodeIndex)].left = left;
+  nodes_[static_cast<std::size_t>(nodeIndex)].right = right;
+  return nodeIndex;
+}
+
+bool Bvh::intersectTriangle(const Ray& ray, Id tri, TriangleHit& best) const {
+  // Möller–Trumbore.
+  const Vec3& a = mesh_.points[static_cast<std::size_t>(
+      mesh_.connectivity[static_cast<std::size_t>(3 * tri)])];
+  const Vec3& b = mesh_.points[static_cast<std::size_t>(
+      mesh_.connectivity[static_cast<std::size_t>(3 * tri + 1)])];
+  const Vec3& c = mesh_.points[static_cast<std::size_t>(
+      mesh_.connectivity[static_cast<std::size_t>(3 * tri + 2)])];
+  const Vec3 e1 = b - a;
+  const Vec3 e2 = c - a;
+  const Vec3 p = cross(ray.direction, e2);
+  const double det = dot(e1, p);
+  if (std::abs(det) < 1e-14) return false;
+  const double invDet = 1.0 / det;
+  const Vec3 s = ray.origin - a;
+  const double u = dot(s, p) * invDet;
+  if (u < 0.0 || u > 1.0) return false;
+  const Vec3 q = cross(s, e1);
+  const double v = dot(ray.direction, q) * invDet;
+  if (v < 0.0 || u + v > 1.0) return false;
+  const double t = dot(e2, q) * invDet;
+  if (t <= 1e-9 || t >= best.t) return false;
+  best.t = t;
+  best.triangle = tri;
+  best.u = u;
+  best.v = v;
+  return true;
+}
+
+TriangleHit Bvh::intersect(const Ray& ray, TraversalStats* stats) const {
+  TriangleHit best;
+  if (nodes_.empty()) return best;
+
+  std::int32_t stack[64];
+  int top = 0;
+  stack[top++] = 0;
+  std::int64_t nodesVisited = 0;
+  std::int64_t triTests = 0;
+
+  while (top > 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack[--top])];
+    ++nodesVisited;
+    double tNear, tFar;
+    if (!intersectBox(ray, node.box, tNear, tFar) || tNear >= best.t) {
+      continue;
+    }
+    if (node.count > 0) {
+      for (std::int32_t i = 0; i < node.count; ++i) {
+        ++triTests;
+        intersectTriangle(
+            ray, order_[static_cast<std::size_t>(node.first + i)], best);
+      }
+    } else {
+      PVIZ_ASSERT(top + 2 <= 64);
+      stack[top++] = node.left;
+      stack[top++] = node.right;
+    }
+  }
+  if (stats != nullptr) {
+    stats->nodesVisited += nodesVisited;
+    stats->trianglesTested += triTests;
+  }
+  return best;
+}
+
+TriangleHit Bvh::intersectBruteForce(const Ray& ray) const {
+  TriangleHit best;
+  for (Id t = 0; t < mesh_.numTriangles(); ++t) {
+    intersectTriangle(ray, t, best);
+  }
+  return best;
+}
+
+}  // namespace pviz::vis

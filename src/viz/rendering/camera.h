@@ -1,0 +1,48 @@
+// Pinhole camera and the study's orbiting camera database.
+//
+// The paper renders an image database of 50 images per visualization
+// cycle from different camera positions around the dataset; cameraOrbit
+// reproduces that placement (equally spaced azimuth at a fixed
+// elevation, all looking at the dataset center).
+#pragma once
+
+#include <vector>
+
+#include "viz/types.h"
+
+namespace pviz::vis {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 direction;  ///< unit length
+};
+
+class Camera {
+ public:
+  Camera(Vec3 position, Vec3 lookAt, Vec3 up, double fovYDegrees);
+
+  /// Primary ray through pixel (x, y) of a width×height image
+  /// (pixel centers, y down).
+  Ray pixelRay(int x, int y, int width, int height) const;
+
+  Vec3 position() const { return position_; }
+
+ private:
+  Vec3 position_;
+  Vec3 forward_;
+  Vec3 right_;
+  Vec3 upVec_;
+  double tanHalfFov_;
+};
+
+/// `count` cameras equally spaced around `box` at ~30° elevation,
+/// distance chosen so the dataset fills most of the frame.
+std::vector<Camera> cameraOrbit(const Bounds& box, int count,
+                                double fovYDegrees = 45.0);
+
+/// Ray/axis-aligned-box intersection; on hit returns true and the entry
+/// and exit parameters (tNear <= tFar, tFar >= 0).
+bool intersectBox(const Ray& ray, const Bounds& box, double& tNear,
+                  double& tFar);
+
+}  // namespace pviz::vis

@@ -1,0 +1,40 @@
+// Scalar-to-color transfer functions (the "cool to warm" default plus a
+// rainbow-ish table for volume rendering with per-entry opacity).
+#pragma once
+
+#include <vector>
+
+#include "util/error.h"
+#include "viz/rendering/image.h"
+
+namespace pviz::vis {
+
+class ColorTable {
+ public:
+  struct ControlPoint {
+    double position;  ///< normalized scalar in [0, 1]
+    Color color;      ///< color + opacity at this position
+  };
+
+  /// Piecewise-linear table from ordered control points.
+  explicit ColorTable(std::vector<ControlPoint> points);
+
+  /// Diverging blue-white-red (surface coloring default).
+  static ColorTable coolToWarm();
+  /// Blue-cyan-green-yellow-red with ramped opacity (volume rendering).
+  static ColorTable rainbowVolume();
+
+  /// Map normalized scalar [0, 1] (clamped) to a color.
+  Color sample(double t) const;
+
+  /// Map a raw scalar given the field range.
+  Color sampleRange(double value, double lo, double hi) const {
+    const double span = hi - lo;
+    return sample(span > 0.0 ? (value - lo) / span : 0.5);
+  }
+
+ private:
+  std::vector<ControlPoint> points_;
+};
+
+}  // namespace pviz::vis

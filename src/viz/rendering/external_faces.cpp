@@ -1,0 +1,103 @@
+#include "viz/rendering/external_faces.h"
+
+#include "util/parallel.h"
+
+namespace pviz::vis {
+
+namespace {
+
+// Local corner indices (VTK hex order) of each of the six faces, wound
+// so the outward normal points away from the cell.
+constexpr int kFaceCorners[6][4] = {
+    {0, 4, 7, 3},  // -i
+    {1, 2, 6, 5},  // +i
+    {0, 1, 5, 4},  // -j
+    {3, 7, 6, 2},  // +j
+    {0, 3, 2, 1},  // -k
+    {4, 5, 6, 7},  // +k
+};
+constexpr Id kNeighborStep[6][3] = {{-1, 0, 0}, {1, 0, 0},  {0, -1, 0},
+                                    {0, 1, 0},  {0, 0, -1}, {0, 0, 1}};
+
+}  // namespace
+
+ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
+                                         const std::string& fieldName) {
+  const Field& field = grid.field(fieldName);
+  PVIZ_REQUIRE(field.association() == Association::Points,
+               "external faces carries a point field");
+  const std::vector<double>& values = field.data();
+  const Id numCells = grid.numCells();
+  const Id3 cd = grid.cellDims();
+
+  // Pass 1: count external faces per cell (streaming neighbor test).
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(numCells) + 1, 0);
+  util::parallelFor(0, numCells, [&](Id cell) {
+    const Id3 c = grid.cellIjk(cell);
+    int external = 0;
+    for (int f = 0; f < 6; ++f) {
+      const Id ni = c.i + kNeighborStep[f][0];
+      const Id nj = c.j + kNeighborStep[f][1];
+      const Id nk = c.k + kNeighborStep[f][2];
+      if (ni < 0 || nj < 0 || nk < 0 || ni >= cd.i || nj >= cd.j ||
+          nk >= cd.k) {
+        ++external;
+      }
+    }
+    offsets[static_cast<std::size_t>(cell)] = external;
+  });
+
+  const std::int64_t numFaces = util::exclusiveScan(offsets);
+  offsets[static_cast<std::size_t>(numCells)] = numFaces;
+
+  ExternalFacesResult result;
+  result.cellsScanned = numCells;
+  result.facesFound = numFaces;
+  TriangleMesh& mesh = result.mesh;
+  mesh.points.resize(static_cast<std::size_t>(numFaces) * 4);
+  mesh.pointScalars.resize(static_cast<std::size_t>(numFaces) * 4);
+  mesh.connectivity.resize(static_cast<std::size_t>(numFaces) * 6);
+
+  // Pass 2: emit 4 corner vertices + 2 triangles per external face.
+  util::parallelFor(0, numCells, [&](Id cell) {
+    std::int64_t at = offsets[static_cast<std::size_t>(cell)];
+    if (offsets[static_cast<std::size_t>(cell) + 1] == at) return;
+    const Id3 c = grid.cellIjk(cell);
+    Id pts[8];
+    grid.cellPointIds(c, pts);
+    static constexpr Id kOffsets[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0},
+                                          {0, 1, 0}, {0, 0, 1}, {1, 0, 1},
+                                          {1, 1, 1}, {0, 1, 1}};
+    for (int f = 0; f < 6; ++f) {
+      const Id ni = c.i + kNeighborStep[f][0];
+      const Id nj = c.j + kNeighborStep[f][1];
+      const Id nk = c.k + kNeighborStep[f][2];
+      const bool boundary = ni < 0 || nj < 0 || nk < 0 || ni >= cd.i ||
+                            nj >= cd.j || nk >= cd.k;
+      if (!boundary) continue;
+      const std::size_t vBase = static_cast<std::size_t>(at) * 4;
+      for (int v = 0; v < 4; ++v) {
+        const int corner = kFaceCorners[f][v];
+        mesh.points[vBase + static_cast<std::size_t>(v)] =
+            grid.pointPosition(Id3{c.i + kOffsets[corner][0],
+                                   c.j + kOffsets[corner][1],
+                                   c.k + kOffsets[corner][2]});
+        mesh.pointScalars[vBase + static_cast<std::size_t>(v)] =
+            values[static_cast<std::size_t>(pts[corner])];
+      }
+      const std::size_t tBase = static_cast<std::size_t>(at) * 6;
+      const Id v0 = static_cast<Id>(vBase);
+      mesh.connectivity[tBase + 0] = v0;
+      mesh.connectivity[tBase + 1] = v0 + 1;
+      mesh.connectivity[tBase + 2] = v0 + 2;
+      mesh.connectivity[tBase + 3] = v0;
+      mesh.connectivity[tBase + 4] = v0 + 2;
+      mesh.connectivity[tBase + 5] = v0 + 3;
+      ++at;
+    }
+  });
+
+  return result;
+}
+
+}  // namespace pviz::vis

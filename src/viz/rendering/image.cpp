@@ -1,0 +1,45 @@
+#include "viz/rendering/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace pviz::vis {
+
+Color Image::average() const {
+  Color sum{0, 0, 0, 0};
+  for (const auto& p : pixels_) sum = sum + p;
+  const double n = static_cast<double>(pixels_.size());
+  return {sum.r / n, sum.g / n, sum.b / n, sum.a / n};
+}
+
+std::int64_t Image::coveredPixels(double threshold) const {
+  std::int64_t covered = 0;
+  for (const auto& p : pixels_) {
+    if (p.a > threshold) ++covered;
+  }
+  return covered;
+}
+
+void Image::writePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  PVIZ_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  std::vector<unsigned char> row(static_cast<std::size_t>(width_) * 3);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Color& c = at(x, y);
+      const double rgb[3] = {c.r, c.g, c.b};
+      for (int k = 0; k < 3; ++k) {
+        const double clamped = std::clamp(rgb[k], 0.0, 1.0);
+        const double encoded = std::pow(clamped, 1.0 / 2.2);
+        row[static_cast<std::size_t>(x) * 3 + static_cast<std::size_t>(k)] =
+            static_cast<unsigned char>(std::lround(encoded * 255.0));
+      }
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+}
+
+}  // namespace pviz::vis

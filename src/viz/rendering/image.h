@@ -1,0 +1,63 @@
+// RGBA framebuffer and PPM export.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "viz/types.h"
+
+namespace pviz::vis {
+
+/// Linear-space RGBA color, components in [0, 1].
+struct Color {
+  double r = 0.0, g = 0.0, b = 0.0, a = 1.0;
+
+  Color operator*(double s) const { return {r * s, g * s, b * s, a * s}; }
+  Color operator+(const Color& o) const {
+    return {r + o.r, g + o.g, b + o.b, a + o.a};
+  }
+};
+
+inline Color lerp(const Color& x, const Color& y, double t) {
+  return x * (1.0 - t) + y * t;
+}
+
+class Image {
+ public:
+  Image(int width, int height) : width_(width), height_(height) {
+    PVIZ_REQUIRE(width >= 1 && height >= 1, "image dimensions must be >= 1");
+    pixels_.resize(static_cast<std::size_t>(width) * height);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Color& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const Color& at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  void fill(const Color& c) {
+    for (auto& p : pixels_) p = c;
+  }
+
+  /// Mean color — a cheap whole-image fingerprint used by tests.
+  Color average() const;
+
+  /// Count of pixels whose alpha exceeds `threshold` (geometry coverage).
+  std::int64_t coveredPixels(double threshold = 0.01) const;
+
+  /// Write binary PPM (P6), clamping and 2.2-gamma encoding.
+  void writePpm(const std::string& path) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Color> pixels_;
+};
+
+}  // namespace pviz::vis

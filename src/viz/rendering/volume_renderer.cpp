@@ -1,0 +1,108 @@
+#include "viz/rendering/volume_renderer.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "util/parallel.h"
+#include "viz/rendering/camera.h"
+
+namespace pviz::vis {
+
+VolumeRenderer::Result VolumeRenderer::run(const UniformGrid& grid,
+                                           const std::string& fieldName) const {
+  const Field& field = grid.field(fieldName);
+  PVIZ_REQUIRE(field.association() == Association::Points,
+               "volume rendering requires a point scalar field");
+  PVIZ_REQUIRE(field.components() == 1,
+               "volume rendering requires a scalar field");
+
+  Result result;
+  result.profile.kernel = "volume-rendering";
+  result.profile.elements = grid.numCells();
+
+  const Bounds box = grid.bounds();
+  const double diagonal = length(box.extent());
+  const double stepSize = diagonal / samplesAcross_;
+  const auto [scalarLo, scalarHi] = field.range();
+  const std::vector<Camera> cameras = cameraOrbit(box, cameraCount_);
+
+  std::atomic<std::int64_t> samplesTaken{0};
+
+  for (int cam = 0; cam < cameraCount_; ++cam) {
+    Image image(width_, height_);
+    const Camera& camera = cameras[static_cast<std::size_t>(cam)];
+    util::parallelForChunks(
+        0, static_cast<Id>(width_) * height_,
+        [&](Id chunkBegin, Id chunkEnd) {
+          std::int64_t localSamples = 0;
+          for (Id pixel = chunkBegin; pixel < chunkEnd; ++pixel) {
+            const int x = static_cast<int>(pixel % width_);
+            const int y = static_cast<int>(pixel / width_);
+            const Ray ray = camera.pixelRay(x, y, width_, height_);
+            double tNear, tFar;
+            if (!intersectBox(ray, box, tNear, tFar)) {
+              image.at(x, y) = {0, 0, 0, 0};
+              continue;
+            }
+            tNear = std::max(tNear, 0.0);
+            Color accum{0, 0, 0, 0};
+            for (double t = tNear + 0.5 * stepSize; t < tFar;
+                 t += stepSize) {
+              double s;
+              if (!grid.sampleScalar(field, ray.origin + ray.direction * t,
+                                     s)) {
+                continue;
+              }
+              ++localSamples;
+              const Color sample =
+                  colors_.sampleRange(s, scalarLo, scalarHi);
+              // Opacity correction for the step size, then front-to-back
+              // "over" compositing with early termination.
+              const double alpha =
+                  1.0 - std::pow(1.0 - sample.a, stepSize / (diagonal / 256.0));
+              const double weight = (1.0 - accum.a) * alpha;
+              accum.r += weight * sample.r;
+              accum.g += weight * sample.g;
+              accum.b += weight * sample.b;
+              accum.a += weight;
+              if (accum.a > 0.99) break;
+            }
+            image.at(x, y) = accum;
+          }
+          samplesTaken.fetch_add(localSamples, std::memory_order_relaxed);
+        },
+        /*grain=*/4096);
+    if (cam == 0 || !keepFirstOnly_) {
+      result.images.push_back(std::move(image));
+    }
+  }
+
+  result.raysTraced =
+      static_cast<std::int64_t>(width_) * height_ * cameraCount_;
+  result.samplesTaken = samplesTaken.load();
+
+  // --- Workload characterization (real counts from this run). -----------
+  const double rays = static_cast<double>(result.raysTraced);
+  const double samples = static_cast<double>(result.samplesTaken);
+
+  // Ray march: per sample, a trilinear reconstruction (~30 flops), the
+  // transfer function, opacity correction (pow) and the blend — a long
+  // arithmetic chain per sample.  The gathers walk the scalar volume,
+  // whose footprint is the whole field: the cost model decides how much
+  // of it lives in cache (this is what makes IPC fall with dataset size).
+  WorkProfile& march = result.profile.addPhase("ray-march");
+  march.flops = samples * 105 + rays * 40;
+  march.intOps = samples * 48 + rays * 30;
+  march.memOps = samples * 30 + rays * 16;
+  march.bytesReused = samples * 8 * 8;  // corner gathers; cache-resident when the field fits
+  march.bytesStreamed = rays * 24;      // framebuffer
+  march.workingSetBytes = field.sizeBytes();
+  march.irregularAccesses = samples * 0.02;
+  march.parallelFraction = 0.995;
+  march.overlap = 0.5;  // dependent chain: sample -> classify -> blend
+  result.profile.phases.back().name = "ray-march";
+
+  return result;
+}
+
+}  // namespace pviz::vis

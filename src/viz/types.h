@@ -1,0 +1,107 @@
+// Core geometric value types shared by the visualization library.
+//
+// PowerViz works in double precision throughout (the paper's CloverLeaf
+// datasets are doubles); rendering output uses floats only at the
+// framebuffer boundary.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace pviz::vis {
+
+using Id = std::int64_t;
+
+/// A 3-component vector of doubles: positions, directions, velocities.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+
+  friend constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+inline constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+inline constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+inline double length(const Vec3& v) { return std::sqrt(dot(v, v)); }
+inline Vec3 normalize(const Vec3& v) {
+  const double len = length(v);
+  return len > 0.0 ? v / len : Vec3{0.0, 0.0, 0.0};
+}
+inline constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) {
+  return a + (b - a) * t;
+}
+inline constexpr double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Integer triple indexing structured grids (i fastest, k slowest).
+struct Id3 {
+  Id i = 0, j = 0, k = 0;
+
+  constexpr Id3() = default;
+  constexpr Id3(Id ii, Id jj, Id kk) : i(ii), j(jj), k(kk) {}
+  constexpr Id product() const { return i * j * k; }
+  friend constexpr bool operator==(const Id3& a, const Id3& b) {
+    return a.i == b.i && a.j == b.j && a.k == b.k;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Id3& v) {
+  return os << '(' << v.i << ", " << v.j << ", " << v.k << ')';
+}
+
+/// Axis-aligned bounding box.
+struct Bounds {
+  Vec3 lo{1e300, 1e300, 1e300};
+  Vec3 hi{-1e300, -1e300, -1e300};
+
+  void expand(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y); lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x); hi.y = std::max(hi.y, p.y); hi.z = std::max(hi.z, p.z);
+  }
+  void expand(const Bounds& b) {
+    expand(b.lo);
+    expand(b.hi);
+  }
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  Vec3 extent() const { return hi - lo; }
+  double surfaceArea() const {
+    if (!valid()) return 0.0;
+    const Vec3 e = extent();
+    return 2.0 * (e.x * e.y + e.y * e.z + e.z * e.x);
+  }
+};
+
+}  // namespace pviz::vis

@@ -1,0 +1,111 @@
+// Workload characterization emitted by every kernel.
+//
+// PowerViz kernels do real work on real data; while doing so they tally
+// the operation counts and memory traffic the run generated.  The
+// architecture model (src/arch) converts a profile plus a machine
+// description and an operating frequency into time, cycles, power draw,
+// and counter readings — that conversion is how the study evaluates the
+// paper's 2×18-core Broadwell package from any host.
+//
+// A kernel is a sequence of *phases*, each with its own compute/memory
+// balance.  Ray tracing, for instance, has data-bound setup phases
+// (external-face gathering, BVH construction) followed by a compute-heavy
+// trace phase; the paper observes the setup dominates, and modeling the
+// phases separately is what reproduces that.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pviz::vis {
+
+/// Operation counts and memory traffic for one homogeneous kernel phase.
+///
+/// All counts are totals across the whole phase (not per element).
+struct WorkProfile {
+  std::string name;  ///< phase label for reports ("mc-cells", "trace", ...)
+
+  // Instruction mix (retired-instruction estimates).
+  double flops = 0.0;     ///< floating-point operations
+  double intOps = 0.0;    ///< integer/logic/address operations
+  double memOps = 0.0;    ///< load/store instructions issued
+
+  // Memory traffic seen below the private caches.
+  double bytesStreamed = 0.0;  ///< compulsory DRAM traffic (streaming reads/writes)
+  double bytesReused = 0.0;    ///< repeated-access traffic (cache candidates)
+  double irregularAccesses = 0.0;  ///< scattered/gather accesses (likely misses)
+
+  /// Footprint of the repeatedly-accessed data, in bytes.  The cost model
+  /// compares it with the modeled LLC capacity: when the working set
+  /// fits, `bytesReused` hits in cache; when it does not, the overflow
+  /// fraction spills to DRAM.  0 means "small" (always fits).
+  double workingSetBytes = 0.0;
+
+  /// Fraction of the phase's work that parallelizes across cores [0, 1].
+  double parallelFraction = 1.0;
+
+  /// Compute/memory overlap achievable on the modeled core [0, 1]:
+  /// 1 = perfectly hidden (latency-bound code under prefetch), 0 = serial.
+  double overlap = 0.85;
+
+  double instructions() const { return flops + intOps + memOps; }
+
+  /// Scale all work counts by `s` (working set, parallel fraction and
+  /// overlap are intensive properties and stay put).  Used to extrapolate
+  /// a sampled run — e.g. profiling 8 of the study's 50 render cameras
+  /// and scaling the per-camera phases by 50/8.
+  void scaleWork(double s) {
+    flops *= s;
+    intOps *= s;
+    memOps *= s;
+    bytesStreamed *= s;
+    bytesReused *= s;
+    irregularAccesses *= s;
+  }
+
+  WorkProfile& operator+=(const WorkProfile& o) {
+    flops += o.flops;
+    intOps += o.intOps;
+    memOps += o.memOps;
+    bytesStreamed += o.bytesStreamed;
+    bytesReused += o.bytesReused;
+    irregularAccesses += o.irregularAccesses;
+    workingSetBytes = std::max(workingSetBytes, o.workingSetBytes);
+    return *this;
+  }
+};
+
+/// An executed kernel: an ordered list of phases plus the element count
+/// used by the Moreland–Oldfield rate metric (elements per second).
+struct KernelProfile {
+  std::string kernel;               ///< e.g. "contour"
+  std::vector<WorkProfile> phases;
+  std::int64_t elements = 0;        ///< input cells (rate metric numerator)
+
+  WorkProfile& addPhase(std::string phaseName) {
+    phases.emplace_back();
+    phases.back().name = std::move(phaseName);
+    return phases.back();
+  }
+
+  double totalInstructions() const {
+    double total = 0.0;
+    for (const auto& p : phases) total += p.instructions();
+    return total;
+  }
+  double totalBytesStreamed() const {
+    double total = 0.0;
+    for (const auto& p : phases) total += p.bytesStreamed;
+    return total;
+  }
+
+  /// Merge another kernel's phases (used when a filter runs sub-filters,
+  /// e.g. slice running contour on a distance field).
+  void append(const KernelProfile& o) {
+    phases.insert(phases.end(), o.phases.begin(), o.phases.end());
+  }
+};
+
+}  // namespace pviz::vis

@@ -1,0 +1,127 @@
+// DVFS governor tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/governor.h"
+#include "util/error.h"
+
+namespace pviz::power {
+namespace {
+
+arch::MachineDescription machine() {
+  return arch::MachineDescription::broadwellE52695v4();
+}
+
+// A simple strictly-increasing power curve: idle + k * f * V(f)^2.
+PowerCurve syntheticCurve(const arch::MachineDescription& m, double idle,
+                          double dynAtTurbo) {
+  return [&m, idle, dynAtTurbo](double f) {
+    return idle + dynAtTurbo * m.dynamicScale(f);
+  };
+}
+
+TEST(Governor, ReturnsTurboWhenUncapped) {
+  const auto m = machine();
+  DvfsGovernor governor(m);
+  const auto curve = syntheticCurve(m, 20, 60);  // 80 W at turbo
+  EXPECT_DOUBLE_EQ(governor.solveFrequency(curve, 120.0),
+                   m.turboAllCoreGhz);
+  EXPECT_DOUBLE_EQ(governor.solveFrequency(curve, 80.0), m.turboAllCoreGhz);
+}
+
+TEST(Governor, SolvesThePowerBalance) {
+  const auto m = machine();
+  DvfsGovernor governor(m);
+  const auto curve = syntheticCurve(m, 20, 80);  // 100 W at turbo
+  for (double cap : {90.0, 70.0, 55.0, 45.0}) {
+    const double f = governor.solveFrequency(curve, cap);
+    EXPECT_LE(curve(f), cap + 1e-6) << "cap " << cap;
+    // And it is the *highest* such frequency (within bisection tolerance).
+    const double fUp = std::min(f + 0.01, m.turboAllCoreGhz);
+    if (fUp > f) {
+      EXPECT_GT(curve(fUp), cap - 1e-6) << "cap " << cap;
+    }
+  }
+}
+
+TEST(Governor, FloorsOutWhenCapUnreachable) {
+  const auto m = machine();
+  DvfsGovernor governor(m);
+  const auto curve = syntheticCurve(m, 60, 60);  // idle alone exceeds cap
+  EXPECT_DOUBLE_EQ(governor.solveFrequency(curve, 40.0),
+                   m.minEffectiveGhz);
+}
+
+TEST(Governor, RejectsNonPositiveCap) {
+  const auto m = machine();
+  DvfsGovernor governor(m);
+  const auto curve = syntheticCurve(m, 10, 50);
+  EXPECT_THROW(governor.solveFrequency(curve, 0.0), Error);
+}
+
+TEST(Governor, StepwiseConvergesToTheIdealSolution) {
+  const auto m = machine();
+  DvfsGovernor governor(m);
+  const auto curve = syntheticCurve(m, 20, 80);
+  const double cap = 60.0;
+  const double ideal = governor.solveFrequency(curve, cap);
+  double f = governor.currentGhz();
+  for (int i = 0; i < 500; ++i) f = governor.stepToward(curve, cap);
+  EXPECT_NEAR(f, ideal, 0.08);
+  EXPECT_LE(curve(f), cap + 2.0);  // settled within the control band
+}
+
+TEST(Governor, StepwiseRacesBackToTurboWhenUnconstrained) {
+  const auto m = machine();
+  DvfsGovernor governor(m);
+  const auto curve = syntheticCurve(m, 10, 40);  // 50 W at turbo
+  // Drag it down with a tight cap, then release.
+  for (int i = 0; i < 200; ++i) governor.stepToward(curve, 25.0);
+  EXPECT_LT(governor.currentGhz(), 2.0);
+  for (int i = 0; i < 200; ++i) governor.stepToward(curve, 120.0);
+  EXPECT_NEAR(governor.currentGhz(), m.turboAllCoreGhz, 1e-9);
+}
+
+TEST(Governor, ResetRestoresTurbo) {
+  const auto m = machine();
+  DvfsGovernor governor(m);
+  const auto curve = syntheticCurve(m, 20, 80);
+  for (int i = 0; i < 100; ++i) governor.stepToward(curve, 45.0);
+  EXPECT_LT(governor.currentGhz(), m.turboAllCoreGhz);
+  governor.reset();
+  EXPECT_DOUBLE_EQ(governor.currentGhz(), m.turboAllCoreGhz);
+}
+
+TEST(Governor, FrequencyStaysWithinMachineRange) {
+  const auto m = machine();
+  DvfsGovernor governor(m);
+  const auto curve = syntheticCurve(m, 35, 100);
+  for (int i = 0; i < 300; ++i) {
+    const double f = governor.stepToward(curve, 38.0);
+    ASSERT_GE(f, m.minEffectiveGhz);
+    ASSERT_LE(f, m.turboAllCoreGhz);
+  }
+}
+
+// Property: the solved frequency is monotone in the cap.
+class GovernorMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(GovernorMonotone, TighterCapNeverRaisesFrequency) {
+  const auto m = machine();
+  DvfsGovernor governor(m);
+  const double dyn = GetParam();
+  const auto curve = syntheticCurve(m, 18, dyn);
+  double lastF = 1e9;
+  for (double cap = 120.0; cap >= 40.0; cap -= 10.0) {
+    const double f = governor.solveFrequency(curve, cap);
+    ASSERT_LE(f, lastF + 1e-9) << "cap " << cap;
+    lastF = f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DynamicPowers, GovernorMonotone,
+                         ::testing::Values(30.0, 50.0, 70.0, 90.0, 110.0));
+
+}  // namespace
+}  // namespace pviz::power

@@ -1,0 +1,134 @@
+// Isovolume filter tests.
+#include <gtest/gtest.h>
+
+#include "viz/filters/isovolume.h"
+
+namespace pviz::vis {
+namespace {
+
+UniformGrid xGrid(Id cells) {
+  UniformGrid g = UniformGrid::cube(cells);
+  Field f = Field::zeros("x", Association::Points, 1, g.numPoints());
+  for (Id p = 0; p < g.numPoints(); ++p) {
+    f.setScalar(p, g.pointPosition(p).x);
+  }
+  g.addField(std::move(f));
+  return g;
+}
+
+TEST(Isovolume, BandVolumeOnLinearFieldIsExact) {
+  const UniformGrid g = xGrid(10);
+  IsovolumeFilter filter;
+  filter.setRange(0.23, 0.61);
+  const auto result = filter.run(g, "x");
+  EXPECT_NEAR(result.totalVolume(g), 0.61 - 0.23, 1e-9);
+  EXPECT_GT(result.cutPieces.numTets(), 0);    // both faces cut cells
+  EXPECT_GT(result.wholeCells.numCells(), 0);  // interior slab kept whole
+}
+
+TEST(Isovolume, FullRangeKeepsUnitVolume) {
+  const UniformGrid g = xGrid(6);
+  IsovolumeFilter filter;
+  filter.setRange(-1.0, 2.0);
+  const auto result = filter.run(g, "x");
+  EXPECT_NEAR(result.totalVolume(g), 1.0, 1e-9);
+  EXPECT_EQ(result.wholeCells.numCells(), g.numCells());
+  EXPECT_EQ(result.cutPieces.numTets(), 0);
+}
+
+TEST(Isovolume, EmptyBandKeepsNothing) {
+  const UniformGrid g = xGrid(6);
+  IsovolumeFilter filter;
+  filter.setRange(5.0, 6.0);
+  const auto result = filter.run(g, "x");
+  EXPECT_NEAR(result.totalVolume(g), 0.0, 1e-12);
+  EXPECT_EQ(result.wholeCells.numCells(), 0);
+}
+
+TEST(Isovolume, AdjacentBandsTileTheRange) {
+  const UniformGrid g = xGrid(8);
+  IsovolumeFilter a;
+  a.setRange(0.1, 0.5);
+  IsovolumeFilter b;
+  b.setRange(0.5, 0.9);
+  IsovolumeFilter whole;
+  whole.setRange(0.1, 0.9);
+  const double va = a.run(g, "x").totalVolume(g);
+  const double vb = b.run(g, "x").totalVolume(g);
+  const double vw = whole.run(g, "x").totalVolume(g);
+  EXPECT_NEAR(va + vb, vw, 1e-9);
+}
+
+TEST(Isovolume, CarriedScalarsStayInsideBand) {
+  const UniformGrid g = xGrid(9);
+  IsovolumeFilter filter;
+  filter.setRange(0.3, 0.7);
+  const auto result = filter.run(g, "x");
+  for (double s : result.cutPieces.pointScalars) {
+    ASSERT_GE(s, 0.3 - 1e-9);
+    ASSERT_LE(s, 0.7 + 1e-9);
+  }
+  // And geometrically: x coordinates must lie inside the band since the
+  // field is x itself.
+  for (const auto& p : result.cutPieces.points) {
+    ASSERT_GE(p.x, 0.3 - 1e-9);
+    ASSERT_LE(p.x, 0.7 + 1e-9);
+  }
+}
+
+TEST(Isovolume, WholeCellsLieStrictlyInsideBand) {
+  const UniformGrid g = xGrid(8);
+  IsovolumeFilter filter;
+  filter.setRange(0.25, 0.75);
+  const auto result = filter.run(g, "x");
+  const Field& f = g.field("x");
+  for (Id c : result.wholeCells.cellIds) {
+    Id pts[8];
+    g.cellPointIds(g.cellIjk(c), pts);
+    for (int k = 0; k < 8; ++k) {
+      ASSERT_GE(f.value(pts[k]), 0.25 - 1e-12);
+      ASSERT_LE(f.value(pts[k]), 0.75 + 1e-12);
+    }
+  }
+}
+
+TEST(Isovolume, RejectsBadInput) {
+  IsovolumeFilter filter;
+  EXPECT_THROW(filter.setRange(1.0, 0.0), Error);
+  UniformGrid g = UniformGrid::cube(2);
+  g.addField(Field::zeros("v", Association::Points, 3, g.numPoints()));
+  filter.setRange(0.0, 1.0);
+  EXPECT_THROW(filter.run(g, "v"), Error);
+}
+
+TEST(Isovolume, ProfileHasFourPhases) {
+  const UniformGrid g = xGrid(6);
+  IsovolumeFilter filter;
+  filter.setRange(0.2, 0.8);
+  const auto result = filter.run(g, "x");
+  EXPECT_EQ(result.profile.kernel, "isovolume");
+  EXPECT_EQ(result.profile.phases.size(), 4u);
+  EXPECT_EQ(result.profile.elements, g.numCells());
+}
+
+// Property: band volume equals band width for any sub-interval of the
+// unit range on a linear field.
+class IsovolumeBand
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(IsovolumeBand, VolumeEqualsWidth) {
+  const auto [lo, hi] = GetParam();
+  const UniformGrid g = xGrid(9);
+  IsovolumeFilter filter;
+  filter.setRange(lo, hi);
+  EXPECT_NEAR(filter.run(g, "x").totalVolume(g), hi - lo, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bands, IsovolumeBand,
+    ::testing::Values(std::pair{0.0, 0.3}, std::pair{0.111, 0.888},
+                      std::pair{0.45, 0.55}, std::pair{0.5, 1.0},
+                      std::pair{0.333, 0.667}, std::pair{0.05, 0.95}));
+
+}  // namespace
+}  // namespace pviz::vis

@@ -1,0 +1,145 @@
+// Marching-cubes table invariants — the tables are generated, so these
+// tests pin down the contract every generated case must satisfy.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "viz/filters/mc_tables.h"
+
+namespace pviz::vis {
+namespace {
+
+const McTables& tables() { return McTables::instance(); }
+
+TEST(McTables, TrivialCasesAreEmpty) {
+  EXPECT_EQ(tables().triangleCount[0], 0);
+  EXPECT_EQ(tables().triangleCount[255], 0);
+  EXPECT_EQ(tables().edgeMask[0], 0);
+  EXPECT_EQ(tables().edgeMask[255], 0);
+}
+
+TEST(McTables, SingleCornerCasesGiveOneTriangle) {
+  for (int corner = 0; corner < 8; ++corner) {
+    const int caseIndex = 1 << corner;
+    EXPECT_EQ(tables().triangleCount[static_cast<std::size_t>(caseIndex)], 1)
+        << "corner " << corner;
+    // And exactly three cut edges.
+    int cut = 0;
+    for (int e = 0; e < 12; ++e) {
+      if ((tables().edgeMask[static_cast<std::size_t>(caseIndex)] >> e) & 1) {
+        ++cut;
+      }
+    }
+    EXPECT_EQ(cut, 3);
+  }
+}
+
+TEST(McTables, EdgeMaskMatchesCornerStates) {
+  for (int caseIndex = 0; caseIndex < 256; ++caseIndex) {
+    for (int e = 0; e < 12; ++e) {
+      const bool a = (caseIndex >> McTables::kEdgeCorners[e][0]) & 1;
+      const bool b = (caseIndex >> McTables::kEdgeCorners[e][1]) & 1;
+      const bool cut =
+          (tables().edgeMask[static_cast<std::size_t>(caseIndex)] >> e) & 1;
+      ASSERT_EQ(cut, a != b) << "case " << caseIndex << " edge " << e;
+    }
+  }
+}
+
+TEST(McTables, TrianglesUseOnlyCutEdges) {
+  for (int caseIndex = 0; caseIndex < 256; ++caseIndex) {
+    const auto& tri = tables().triangles[static_cast<std::size_t>(caseIndex)];
+    const int n = tables().triangleCount[static_cast<std::size_t>(caseIndex)];
+    for (int k = 0; k < 3 * n; ++k) {
+      const int edge = tri[static_cast<std::size_t>(k)];
+      ASSERT_GE(edge, 0);
+      ASSERT_LT(edge, 12);
+      ASSERT_TRUE(
+          (tables().edgeMask[static_cast<std::size_t>(caseIndex)] >> edge) & 1)
+          << "case " << caseIndex;
+    }
+    // Terminated right after the last triangle.
+    ASSERT_EQ(tri[static_cast<std::size_t>(3 * n)], -1);
+  }
+}
+
+TEST(McTables, EveryCutEdgeAppearsInSomeTriangle) {
+  for (int caseIndex = 1; caseIndex < 255; ++caseIndex) {
+    const auto& tri = tables().triangles[static_cast<std::size_t>(caseIndex)];
+    const int n = tables().triangleCount[static_cast<std::size_t>(caseIndex)];
+    std::set<int> used;
+    for (int k = 0; k < 3 * n; ++k) used.insert(tri[static_cast<std::size_t>(k)]);
+    for (int e = 0; e < 12; ++e) {
+      if ((tables().edgeMask[static_cast<std::size_t>(caseIndex)] >> e) & 1) {
+        ASSERT_TRUE(used.count(e)) << "case " << caseIndex << " edge " << e;
+      }
+    }
+  }
+}
+
+TEST(McTables, ComplementaryCasesShareTheCutEdgeSet) {
+  // Inverting inside/outside leaves the cut-edge set unchanged.  The
+  // triangle *count* may legitimately differ: the ambiguity rule
+  // (separate the inside corners) resolves an ambiguous face the other
+  // way for the complement, producing e.g. two triangles vs a hexagon.
+  // That asymmetry is fine — watertightness across cells only needs
+  // both cells of a shared face to see the SAME corner states, which
+  // they always do.
+  for (int caseIndex = 0; caseIndex < 256; ++caseIndex) {
+    const int complement = (~caseIndex) & 0xFF;
+    EXPECT_EQ(tables().edgeMask[static_cast<std::size_t>(caseIndex)],
+              tables().edgeMask[static_cast<std::size_t>(complement)]);
+    if (caseIndex != 0 && caseIndex != 255) {
+      EXPECT_GE(tables().triangleCount[static_cast<std::size_t>(caseIndex)],
+                1);
+    }
+  }
+}
+
+TEST(McTables, TriangleCountsAreBounded) {
+  int maxTris = 0;
+  for (int caseIndex = 0; caseIndex < 256; ++caseIndex) {
+    maxTris = std::max(
+        maxTris,
+        static_cast<int>(tables().triangleCount[static_cast<std::size_t>(caseIndex)]));
+  }
+  EXPECT_GT(maxTris, 3);   // the complex cases exist
+  EXPECT_LE(maxTris, 16);  // fits the table storage
+}
+
+// The isosurface polygons within a cell are closed cycles: every cut
+// edge is used by exactly 1 or 2 triangles, and the triangle fan edges
+// internal to a polygon pair up.  A simpler equivalent check: in the
+// triangle soup of one case, boundary edges (edge-vertex pairs used
+// once) must form closed loops — every vertex has even boundary degree.
+TEST(McTables, PolygonFansAreClosed) {
+  for (int caseIndex = 1; caseIndex < 255; ++caseIndex) {
+    const auto& tri = tables().triangles[static_cast<std::size_t>(caseIndex)];
+    const int n = tables().triangleCount[static_cast<std::size_t>(caseIndex)];
+    std::map<std::pair<int, int>, int> edgeUse;
+    for (int t = 0; t < n; ++t) {
+      for (int k = 0; k < 3; ++k) {
+        int a = tri[static_cast<std::size_t>(3 * t + k)];
+        int b = tri[static_cast<std::size_t>(3 * t + (k + 1) % 3)];
+        if (a > b) std::swap(a, b);
+        edgeUse[{a, b}] += 1;
+      }
+    }
+    std::map<int, int> boundaryDegree;
+    for (const auto& [edge, uses] : edgeUse) {
+      ASSERT_LE(uses, 2) << "case " << caseIndex;
+      if (uses == 1) {
+        boundaryDegree[edge.first] += 1;
+        boundaryDegree[edge.second] += 1;
+      }
+    }
+    for (const auto& [vertex, degree] : boundaryDegree) {
+      ASSERT_EQ(degree % 2, 0)
+          << "case " << caseIndex << " vertex " << vertex;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pviz::vis

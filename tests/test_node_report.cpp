@@ -1,0 +1,122 @@
+// Node-level simulation, CSV reporting, and energy metric tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/node_sim.h"
+#include "core/report.h"
+
+namespace pviz::core {
+namespace {
+
+vis::KernelProfile sampleKernel() {
+  vis::KernelProfile k;
+  k.kernel = "sample";
+  k.elements = 1 << 20;
+  vis::WorkProfile& p = k.addPhase("work");
+  p.flops = 2e10;
+  p.intOps = 1e10;
+  p.memOps = 8e9;
+  p.bytesStreamed = 5e9;
+  p.parallelFraction = 0.99;
+  p.overlap = 0.8;
+  return k;
+}
+
+TEST(NodeSim, AggregatesSocketsPlusOther) {
+  NodeDescription node;
+  node.sockets = 2;
+  node.otherWatts = 32.0;
+  NodeSimulator sim(node);
+  const NodeMeasurement m = sim.run(sampleKernel(), 120.0);
+  EXPECT_NEAR(m.packageWatts, 2.0 * m.perSocket.averageWatts, 1e-9);
+  EXPECT_NEAR(m.nodeWatts, m.packageWatts + 32.0, 1e-9);
+  EXPECT_NEAR(m.energyJoules, m.nodeWatts * m.seconds, 1e-6);
+  EXPECT_GT(m.packageShare(), 0.6);
+  EXPECT_LT(m.packageShare(), 0.95);
+}
+
+TEST(NodeSim, TwoSocketsHalveTheWorkPerSocket) {
+  NodeDescription two;
+  two.sockets = 2;
+  NodeDescription one;
+  one.sockets = 1;
+  NodeSimulator simTwo(two), simOne(one);
+  const double tTwo = simTwo.run(sampleKernel(), 120.0).seconds;
+  const double tOne = simOne.run(sampleKernel(), 120.0).seconds;
+  EXPECT_NEAR(tOne / tTwo, 2.0, 0.1);
+}
+
+TEST(NodeSim, CapActsPerSocket) {
+  NodeSimulator sim;
+  const NodeMeasurement free = sim.run(sampleKernel(), 120.0);
+  const NodeMeasurement capped = sim.run(sampleKernel(), 50.0);
+  EXPECT_LE(capped.perSocket.averageWatts, 52.0);
+  EXPECT_GT(capped.seconds, free.seconds);
+}
+
+TEST(NodeSim, ValidatesConfiguration) {
+  NodeDescription bad;
+  bad.sockets = 0;
+  EXPECT_THROW(NodeSimulator{bad}, Error);
+  bad = NodeDescription{};
+  bad.otherWatts = -1.0;
+  EXPECT_THROW(NodeSimulator{bad}, Error);
+}
+
+std::vector<ConfigRecord> sampleSweep() {
+  std::vector<ConfigRecord> sweep;
+  ExecutionSimulator sim;
+  const auto kernel = sampleKernel();
+  Measurement base;
+  for (double cap : {120.0, 80.0, 40.0}) {
+    ConfigRecord r;
+    r.algorithm = Algorithm::Contour;
+    r.size = 64;
+    r.capWatts = cap;
+    r.measurement = sim.run(kernel, cap);
+    if (cap == 120.0) base = r.measurement;
+    r.ratios = computeRatios(base, 120.0, r.measurement, cap);
+    sweep.push_back(std::move(r));
+  }
+  return sweep;
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerRecord) {
+  const auto sweep = sampleSweep();
+  std::ostringstream os;
+  writeStudyCsv(sweep, os);
+  const std::string csv = os.str();
+  // Header + 3 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("algorithm,size,cap_watts"), std::string::npos);
+  EXPECT_NE(csv.find("Contour,64,120.000"), std::string::npos);
+  // 13 columns per row.
+  const std::string firstLine = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(std::count(firstLine.begin(), firstLine.end(), ','), 12);
+}
+
+TEST(Report, EnergyMetricsAreConsistent) {
+  const auto sweep = sampleSweep();
+  const EnergyMetrics em = energyMetrics(sweep[0].measurement);
+  EXPECT_DOUBLE_EQ(em.energyJoules, sweep[0].measurement.energyJoules);
+  EXPECT_DOUBLE_EQ(em.edp,
+                   em.energyJoules * sweep[0].measurement.seconds);
+  EXPECT_DOUBLE_EQ(em.ed2p, em.edp * sweep[0].measurement.seconds);
+}
+
+TEST(Report, OptimalCapsFindTheRightExtremes) {
+  const auto sweep = sampleSweep();
+  const OptimalCaps best = optimalCaps(sweep);
+  // The sample kernel is compute bound: fastest at the default cap.
+  EXPECT_EQ(best.minTimeCap, 120.0);
+  // Deep caps save energy on compute kernels (voltage scaling beats
+  // the runtime stretch for this one).
+  EXPECT_LT(best.minEnergyCap, 120.0);
+  // EDP sits between the two criteria.
+  EXPECT_GE(best.minEdpCap, best.minEnergyCap);
+  EXPECT_THROW(optimalCaps({}), Error);
+}
+
+}  // namespace
+}  // namespace pviz::core

@@ -1,0 +1,183 @@
+// Particle advection (RK4 streamline) tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "viz/filters/particle_advection.h"
+
+namespace pviz::vis {
+namespace {
+
+UniformGrid constantFlow(Id cells, Vec3 v) {
+  UniformGrid g = UniformGrid::cube(cells);
+  Field f = Field::zeros("velocity", Association::Points, 3, g.numPoints());
+  for (Id p = 0; p < g.numPoints(); ++p) f.setVec3(p, v);
+  g.addField(std::move(f));
+  return g;
+}
+
+// Rigid rotation about the domain center in the x-y plane.
+UniformGrid rotationFlow(Id cells) {
+  UniformGrid g = UniformGrid::cube(cells);
+  Field f = Field::zeros("velocity", Association::Points, 3, g.numPoints());
+  for (Id p = 0; p < g.numPoints(); ++p) {
+    const Vec3 pos = g.pointPosition(p) - Vec3{0.5, 0.5, 0.5};
+    f.setVec3(p, {-pos.y, pos.x, 0.0});
+  }
+  g.addField(std::move(f));
+  return g;
+}
+
+TEST(ParticleAdvection, ZeroFieldParticlesStayPut) {
+  const UniformGrid g = constantFlow(6, {0, 0, 0});
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(20);
+  filter.setMaxSteps(50);
+  const auto result = filter.run(g, "velocity");
+  EXPECT_EQ(result.streamlines.numLines(), 20);
+  for (Id l = 0; l < result.streamlines.numLines(); ++l) {
+    const Id first = result.streamlines.offsets[static_cast<std::size_t>(l)];
+    const Id last =
+        result.streamlines.offsets[static_cast<std::size_t>(l) + 1] - 1;
+    const Vec3 d = result.streamlines.points[static_cast<std::size_t>(last)] -
+                   result.streamlines.points[static_cast<std::size_t>(first)];
+    ASSERT_NEAR(length(d), 0.0, 1e-12);
+  }
+}
+
+TEST(ParticleAdvection, ConstantFlowGivesStraightLinesOfExactLength) {
+  const Vec3 v{0.3, 0.1, 0.05};
+  const UniformGrid g = constantFlow(8, v);
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(10);
+  filter.setMaxSteps(40);
+  filter.setStepLength(0.01);
+  const auto result = filter.run(g, "velocity");
+  // For a constant field, RK4 moves exactly h*v per step.
+  for (Id l = 0; l < result.streamlines.numLines(); ++l) {
+    const Id first = result.streamlines.offsets[static_cast<std::size_t>(l)];
+    const Id count = result.streamlines.lineSize(l);
+    for (Id k = 1; k < count; ++k) {
+      const Vec3 step =
+          result.streamlines.points[static_cast<std::size_t>(first + k)] -
+          result.streamlines.points[static_cast<std::size_t>(first + k - 1)];
+      ASSERT_NEAR(step.x, v.x * 0.01, 1e-12);
+      ASSERT_NEAR(step.y, v.y * 0.01, 1e-12);
+      ASSERT_NEAR(step.z, v.z * 0.01, 1e-12);
+    }
+  }
+}
+
+TEST(ParticleAdvection, RotationKeepsRadiusInvariant) {
+  const UniformGrid g = rotationFlow(32);
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(50);
+  filter.setMaxSteps(200);
+  filter.setStepLength(0.01);
+  const auto result = filter.run(g, "velocity");
+  // RK4 on a rigid rotation preserves radius to high order; verify the
+  // first few hundred steps keep |r| within a tight tolerance.
+  Id checked = 0;
+  for (Id l = 0; l < result.streamlines.numLines(); ++l) {
+    const Id first = result.streamlines.offsets[static_cast<std::size_t>(l)];
+    const Id count = result.streamlines.lineSize(l);
+    if (count < 10) continue;
+    const Vec3 c{0.5, 0.5, 0.5};
+    const Vec3 p0 =
+        result.streamlines.points[static_cast<std::size_t>(first)] - c;
+    const double r0 = std::hypot(p0.x, p0.y);
+    if (r0 < 0.05) continue;
+    for (Id k = 0; k < count; ++k) {
+      const Vec3 p =
+          result.streamlines.points[static_cast<std::size_t>(first + k)] - c;
+      ASSERT_NEAR(std::hypot(p.x, p.y), r0, r0 * 0.02 + 2e-3);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 500);
+}
+
+TEST(ParticleAdvection, OutflowTerminatesParticles) {
+  const UniformGrid g = constantFlow(8, {1.0, 0, 0});
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(30);
+  filter.setMaxSteps(100000);
+  filter.setStepLength(0.01);
+  const auto result = filter.run(g, "velocity");
+  // Everything flows out the +x face long before the step limit.
+  EXPECT_EQ(result.terminated, 30);
+  EXPECT_LT(result.totalSteps, 30 * 120);
+  for (const auto& p : result.streamlines.points) {
+    ASSERT_LE(p.x, 1.0 + 1e-9);
+  }
+}
+
+TEST(ParticleAdvection, DeterministicAcrossRuns) {
+  const UniformGrid g = rotationFlow(12);
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(25);
+  filter.setMaxSteps(60);
+  const auto a = filter.run(g, "velocity");
+  const auto b = filter.run(g, "velocity");
+  ASSERT_EQ(a.streamlines.points.size(), b.streamlines.points.size());
+  for (std::size_t i = 0; i < a.streamlines.points.size(); ++i) {
+    ASSERT_EQ(a.streamlines.points[i], b.streamlines.points[i]);
+  }
+  EXPECT_EQ(a.totalSteps, b.totalSteps);
+}
+
+TEST(ParticleAdvection, SeedRngChangesSeeds) {
+  const UniformGrid g = rotationFlow(12);
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(5);
+  filter.setMaxSteps(5);
+  const auto a = filter.run(g, "velocity");
+  filter.setSeedRngSeed(777);
+  const auto b = filter.run(g, "velocity");
+  EXPECT_FALSE(a.streamlines.points[0] == b.streamlines.points[0]);
+}
+
+TEST(ParticleAdvection, ScalarsRecordIntegrationTime) {
+  const UniformGrid g = constantFlow(8, {0.5, 0, 0});
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(3);
+  filter.setMaxSteps(10);
+  filter.setStepLength(0.002);
+  const auto result = filter.run(g, "velocity");
+  for (Id l = 0; l < result.streamlines.numLines(); ++l) {
+    const Id first = result.streamlines.offsets[static_cast<std::size_t>(l)];
+    const Id count = result.streamlines.lineSize(l);
+    for (Id k = 0; k < count; ++k) {
+      ASSERT_NEAR(
+          result.streamlines.pointScalars[static_cast<std::size_t>(first + k)],
+          static_cast<double>(k) * 0.002, 1e-12);
+    }
+  }
+}
+
+TEST(ParticleAdvection, ValidatesParameters) {
+  ParticleAdvectionFilter filter;
+  EXPECT_THROW(filter.setSeedCount(0), Error);
+  EXPECT_THROW(filter.setMaxSteps(0), Error);
+  EXPECT_THROW(filter.setStepLength(0.0), Error);
+  UniformGrid g = UniformGrid::cube(2);
+  g.addField(Field::zeros("s", Association::Points, 1, g.numPoints()));
+  EXPECT_THROW(filter.run(g, "s"), Error);
+}
+
+TEST(ParticleAdvection, ProfileCountsTrackSteps) {
+  const UniformGrid g = rotationFlow(10);
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(40);
+  filter.setMaxSteps(30);
+  const auto result = filter.run(g, "velocity");
+  EXPECT_EQ(result.profile.kernel, "particle-advection");
+  EXPECT_GT(result.totalSteps, 0);
+  // Advection flops scale linearly with the steps actually taken.
+  const auto& advect = result.profile.phases.front();
+  EXPECT_DOUBLE_EQ(advect.flops,
+                   static_cast<double>(result.totalSteps) * (4 * 158 + 56));
+}
+
+}  // namespace
+}  // namespace pviz::vis

@@ -1,0 +1,96 @@
+// Power meter (100 ms sampling) tests.
+#include <gtest/gtest.h>
+
+#include "power/power_meter.h"
+
+namespace pviz::power {
+namespace {
+
+TEST(PowerMeter, ConstantLoadReadsConstantPower) {
+  MsrFile msr;
+  RaplDomain rapl(msr);
+  PowerMeter meter(rapl, 0.1);
+  meter.start(0.0);
+  const double watts = 73.0;
+  for (int quantum = 0; quantum < 200; ++quantum) {
+    const double dt = 0.005;
+    rapl.depositEnergy(watts * dt);
+    // Exact boundary-aligned timestamps (deposits land in the right
+    // sampling window; the simulator aligns the same way).
+    meter.advanceTo(static_cast<double>(quantum + 1) * dt + 1e-9);
+  }
+  ASSERT_EQ(meter.samples().size(), 10u);  // 1 s at 100 ms cadence
+  for (const auto& sample : meter.samples()) {
+    ASSERT_NEAR(sample.watts, watts, 0.1);
+  }
+  EXPECT_NEAR(meter.stats().mean(), watts, 0.1);
+}
+
+TEST(PowerMeter, SampleTimestampsAreOnTheCadence) {
+  MsrFile msr;
+  RaplDomain rapl(msr);
+  PowerMeter meter(rapl, 0.1);
+  meter.start(0.0);
+  rapl.depositEnergy(10.0);
+  meter.advanceTo(0.35);
+  ASSERT_EQ(meter.samples().size(), 3u);
+  EXPECT_NEAR(meter.samples()[0].timeSeconds, 0.1, 1e-12);
+  EXPECT_NEAR(meter.samples()[2].timeSeconds, 0.3, 1e-12);
+}
+
+TEST(PowerMeter, DetectsAStepInPower) {
+  MsrFile msr;
+  RaplDomain rapl(msr);
+  PowerMeter meter(rapl, 0.1);
+  meter.start(0.0);
+  for (int quantum = 0; quantum < 100; ++quantum) {
+    const double watts = quantum < 50 ? 40.0 : 90.0;
+    rapl.depositEnergy(watts * 0.01);
+    meter.advanceTo(static_cast<double>(quantum + 1) * 0.01 + 1e-9);
+  }
+  const auto& samples = meter.samples();
+  ASSERT_EQ(samples.size(), 10u);
+  EXPECT_NEAR(samples.front().watts, 40.0, 0.5);
+  EXPECT_NEAR(samples.back().watts, 90.0, 0.5);
+}
+
+TEST(PowerMeter, SurvivesEnergyCounterWrap) {
+  MsrFile msr;
+  RaplDomain rapl(msr);
+  // Park the counter just below the wrap point.
+  const double wrapJoules = 4294967296.0 * rapl.energyUnitJoules();
+  rapl.depositEnergy(wrapJoules - 5.0);
+  PowerMeter meter(rapl, 0.1);
+  meter.start(0.0);
+  for (int quantum = 0; quantum < 40; ++quantum) {
+    rapl.depositEnergy(50.0 * 0.01);  // wraps partway through
+    meter.advanceTo(static_cast<double>(quantum + 1) * 0.01 + 1e-9);
+  }
+  for (const auto& sample : meter.samples()) {
+    ASSERT_NEAR(sample.watts, 50.0, 0.5) << "at t=" << sample.timeSeconds;
+  }
+}
+
+TEST(PowerMeter, RequiresStart) {
+  MsrFile msr;
+  RaplDomain rapl(msr);
+  PowerMeter meter(rapl);
+  EXPECT_THROW(meter.advanceTo(1.0), Error);
+  EXPECT_THROW(PowerMeter(rapl, 0.0), Error);
+}
+
+TEST(PowerMeter, RestartClearsHistory) {
+  MsrFile msr;
+  RaplDomain rapl(msr);
+  PowerMeter meter(rapl, 0.1);
+  meter.start(0.0);
+  rapl.depositEnergy(5.0);
+  meter.advanceTo(0.501);
+  EXPECT_EQ(meter.samples().size(), 5u);
+  meter.start(10.0);
+  EXPECT_TRUE(meter.samples().empty());
+  EXPECT_EQ(meter.stats().count(), 0);
+}
+
+}  // namespace
+}  // namespace pviz::power

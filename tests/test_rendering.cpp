@@ -1,0 +1,165 @@
+// Camera, image, and color-table tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "viz/rendering/camera.h"
+#include "viz/rendering/color_table.h"
+#include "viz/rendering/image.h"
+
+namespace pviz::vis {
+namespace {
+
+TEST(Camera, CenterPixelLooksForward) {
+  const Camera cam({0, 0, 0}, {0, 0, -5}, {0, 1, 0}, 45.0);
+  const Ray ray = cam.pixelRay(50, 50, 101, 101);  // center of odd image
+  EXPECT_NEAR(ray.direction.x, 0.0, 1e-12);
+  EXPECT_NEAR(ray.direction.y, 0.0, 1e-12);
+  EXPECT_NEAR(ray.direction.z, -1.0, 1e-12);
+  EXPECT_EQ(ray.origin, (Vec3{0, 0, 0}));
+}
+
+TEST(Camera, RaysAreUnitLength) {
+  const Camera cam({1, 2, 3}, {4, 5, 6}, {0, 0, 1}, 60.0);
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      ASSERT_NEAR(length(cam.pixelRay(x, y, 8, 8).direction), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Camera, CornerRaysDivergeSymmetrically) {
+  const Camera cam({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 90.0);
+  const Ray topLeft = cam.pixelRay(0, 0, 100, 100);
+  const Ray bottomRight = cam.pixelRay(99, 99, 100, 100);
+  EXPECT_NEAR(topLeft.direction.x, -bottomRight.direction.x, 1e-12);
+  EXPECT_NEAR(topLeft.direction.y, -bottomRight.direction.y, 1e-12);
+  EXPECT_GT(topLeft.direction.y, 0.0);  // y is down in pixel space
+}
+
+TEST(Camera, RejectsDegenerateSetup) {
+  EXPECT_THROW(Camera({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 0.0), Error);
+  EXPECT_THROW(Camera({0, 0, 0}, {0, 0, -1}, {0, 0, 1}, 45.0), Error);
+}
+
+TEST(CameraOrbit, CountAndGeometry) {
+  Bounds box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  const auto cameras = cameraOrbit(box, 12);
+  EXPECT_EQ(cameras.size(), 12u);
+  const Vec3 center = box.center();
+  // All cameras sit at the same distance from the center.
+  const double d0 = length(cameras[0].position() - center);
+  for (const auto& cam : cameras) {
+    ASSERT_NEAR(length(cam.position() - center), d0, 1e-9);
+    ASSERT_GT(length(cam.position() - center), length(box.extent()) * 0.5);
+  }
+  EXPECT_THROW(cameraOrbit(box, 0), Error);
+}
+
+TEST(IntersectBox, HitMissAndInside) {
+  Bounds box;
+  box.expand({0, 0, 0});
+  box.expand({1, 1, 1});
+  double tNear, tFar;
+  // Straight-on hit.
+  EXPECT_TRUE(intersectBox({{-1, 0.5, 0.5}, {1, 0, 0}}, box, tNear, tFar));
+  EXPECT_NEAR(tNear, 1.0, 1e-12);
+  EXPECT_NEAR(tFar, 2.0, 1e-12);
+  // Miss.
+  EXPECT_FALSE(intersectBox({{-1, 2.0, 0.5}, {1, 0, 0}}, box, tNear, tFar));
+  // Origin inside: tNear < 0 <= tFar.
+  EXPECT_TRUE(intersectBox({{0.5, 0.5, 0.5}, {0, 0, 1}}, box, tNear, tFar));
+  EXPECT_LT(tNear, 0.0);
+  EXPECT_NEAR(tFar, 0.5, 1e-12);
+  // Behind the box.
+  EXPECT_FALSE(intersectBox({{3, 0.5, 0.5}, {1, 0, 0}}, box, tNear, tFar));
+  // Axis-parallel ray outside a slab.
+  EXPECT_FALSE(intersectBox({{0.5, 2.0, 0.5}, {0, 0, 1}}, box, tNear, tFar));
+}
+
+TEST(Image, FillAverageCoverage) {
+  Image img(4, 2);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 2);
+  img.fill({0.5, 0.25, 0.0, 1.0});
+  const Color avg = img.average();
+  EXPECT_NEAR(avg.r, 0.5, 1e-12);
+  EXPECT_NEAR(avg.g, 0.25, 1e-12);
+  EXPECT_EQ(img.coveredPixels(), 8);
+  img.at(0, 0) = {0, 0, 0, 0};
+  EXPECT_EQ(img.coveredPixels(), 7);
+}
+
+TEST(Image, PpmRoundTripHeader) {
+  Image img(3, 2);
+  img.fill({1, 0, 0, 1});
+  const std::string path = "test_image_out.ppm";
+  img.writePpm(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w, h, maxv;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxv, 255);
+  in.get();  // single whitespace
+  std::vector<unsigned char> data(3 * 2 * 3);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  EXPECT_TRUE(in.good());
+  EXPECT_EQ(data[0], 255);  // red channel saturated
+  EXPECT_EQ(data[1], 0);
+  std::remove(path.c_str());
+}
+
+TEST(Image, RejectsBadDimensions) {
+  EXPECT_THROW(Image(0, 5), Error);
+  EXPECT_THROW(Image(5, -1), Error);
+}
+
+TEST(ColorTable, EndpointsAndClamping) {
+  const ColorTable t = ColorTable::coolToWarm();
+  const Color lo = t.sample(0.0);
+  const Color hi = t.sample(1.0);
+  EXPECT_GT(lo.b, lo.r);  // cool end is blue
+  EXPECT_GT(hi.r, hi.b);  // warm end is red
+  const Color below = t.sample(-5.0);
+  EXPECT_NEAR(below.r, lo.r, 1e-12);
+  const Color above = t.sample(5.0);
+  EXPECT_NEAR(above.r, hi.r, 1e-12);
+}
+
+TEST(ColorTable, MidpointInterpolation) {
+  const ColorTable t({{0.0, {0, 0, 0, 0}}, {1.0, {1, 1, 1, 1}}});
+  const Color mid = t.sample(0.5);
+  EXPECT_NEAR(mid.r, 0.5, 1e-12);
+  EXPECT_NEAR(mid.a, 0.5, 1e-12);
+}
+
+TEST(ColorTable, SampleRangeMapsField) {
+  const ColorTable t({{0.0, {0, 0, 0, 0}}, {1.0, {1, 1, 1, 1}}});
+  EXPECT_NEAR(t.sampleRange(15.0, 10.0, 20.0).r, 0.5, 1e-12);
+  // Degenerate range falls back to the middle.
+  EXPECT_NEAR(t.sampleRange(10.0, 10.0, 10.0).r, 0.5, 1e-12);
+}
+
+TEST(ColorTable, VolumeTableOpacityRamps) {
+  const ColorTable t = ColorTable::rainbowVolume();
+  EXPECT_LT(t.sample(0.0).a, 0.01);
+  EXPECT_GT(t.sample(1.0).a, 0.5);
+}
+
+TEST(ColorTable, RejectsBadControlPoints) {
+  std::vector<ColorTable::ControlPoint> single = {{0.5, {0, 0, 0, 0}}};
+  EXPECT_THROW(ColorTable{single}, Error);
+  std::vector<ColorTable::ControlPoint> unordered = {{0.9, {0, 0, 0, 0}},
+                                                     {0.1, {0, 0, 0, 0}}};
+  EXPECT_THROW(ColorTable{unordered}, Error);
+}
+
+}  // namespace
+}  // namespace pviz::vis

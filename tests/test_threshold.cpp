@@ -1,0 +1,140 @@
+// Threshold filter tests.
+#include <gtest/gtest.h>
+
+#include "viz/filters/threshold.h"
+
+namespace pviz::vis {
+namespace {
+
+UniformGrid zGrid(Id cells) {
+  UniformGrid g = UniformGrid::cube(cells);
+  Field f = Field::zeros("z", Association::Points, 1, g.numPoints());
+  for (Id p = 0; p < g.numPoints(); ++p) {
+    f.setScalar(p, g.pointPosition(p).z);
+  }
+  g.addField(std::move(f));
+  return g;
+}
+
+TEST(Threshold, KeepsEverythingForFullRange) {
+  const UniformGrid g = zGrid(8);
+  ThresholdFilter filter;
+  filter.setRange(-1.0, 2.0);
+  const auto result = filter.run(g, "z");
+  EXPECT_EQ(result.kept.numCells(), g.numCells());
+}
+
+TEST(Threshold, KeepsNothingForEmptyRange) {
+  const UniformGrid g = zGrid(8);
+  ThresholdFilter filter;
+  filter.setRange(5.0, 6.0);
+  const auto result = filter.run(g, "z");
+  EXPECT_EQ(result.kept.numCells(), 0);
+}
+
+TEST(Threshold, LinearFieldKeepsExactSlabOfCells)  {
+  // Cell average of z is (k + 0.5) * h; keep the bottom half exactly.
+  const Id n = 10;
+  const UniformGrid g = zGrid(n);
+  ThresholdFilter filter;
+  filter.setRange(0.0, 0.5);
+  const auto result = filter.run(g, "z");
+  EXPECT_EQ(result.kept.numCells(), n * n * (n / 2));
+}
+
+TEST(Threshold, KeptCellsActuallySatisfyRange) {
+  const UniformGrid g = zGrid(9);
+  ThresholdFilter filter;
+  filter.setRange(0.3, 0.7);
+  const auto result = filter.run(g, "z");
+  EXPECT_GT(result.kept.numCells(), 0);
+  const Field& f = g.field("z");
+  for (Id i = 0; i < result.kept.numCells(); ++i) {
+    const Id cell = result.kept.cellIds[static_cast<std::size_t>(i)];
+    Id pts[8];
+    g.cellPointIds(g.cellIjk(cell), pts);
+    double avg = 0.0;
+    for (int k = 0; k < 8; ++k) avg += f.value(pts[k]);
+    avg /= 8.0;
+    ASSERT_GE(avg, 0.3);
+    ASSERT_LE(avg, 0.7);
+    ASSERT_DOUBLE_EQ(result.kept.cellScalars[static_cast<std::size_t>(i)],
+                     avg);
+  }
+}
+
+TEST(Threshold, CellIdsAreSortedAndUnique) {
+  const UniformGrid g = zGrid(7);
+  ThresholdFilter filter;
+  filter.setRange(0.2, 0.9);
+  const auto result = filter.run(g, "z");
+  for (std::size_t i = 1; i < result.kept.cellIds.size(); ++i) {
+    ASSERT_LT(result.kept.cellIds[i - 1], result.kept.cellIds[i]);
+  }
+}
+
+TEST(Threshold, CellAssociatedFieldPath) {
+  UniformGrid g = UniformGrid::cube(4);
+  Field f = Field::zeros("c", Association::Cells, 1, g.numCells());
+  for (Id c = 0; c < g.numCells(); ++c) {
+    f.setScalar(c, static_cast<double>(c));
+  }
+  g.addField(std::move(f));
+  ThresholdFilter filter;
+  filter.setRange(10.0, 20.0);
+  const auto result = filter.run(g, "c");
+  EXPECT_EQ(result.kept.numCells(), 11);
+  EXPECT_EQ(result.kept.cellIds.front(), 10);
+  EXPECT_EQ(result.kept.cellIds.back(), 20);
+}
+
+TEST(Threshold, BoundaryValuesAreInclusive) {
+  UniformGrid g = UniformGrid::cube(2);
+  Field f = Field::zeros("c", Association::Cells, 1, g.numCells());
+  for (Id c = 0; c < g.numCells(); ++c) f.setScalar(c, 1.0);
+  g.addField(std::move(f));
+  ThresholdFilter filter;
+  filter.setRange(1.0, 1.0);
+  EXPECT_EQ(filter.run(g, "c").kept.numCells(), g.numCells());
+}
+
+TEST(Threshold, RejectsInvertedRangeAndVectorField) {
+  ThresholdFilter filter;
+  EXPECT_THROW(filter.setRange(2.0, 1.0), Error);
+  UniformGrid g = UniformGrid::cube(2);
+  g.addField(Field::zeros("v", Association::Points, 3, g.numPoints()));
+  filter.setRange(0.0, 1.0);
+  EXPECT_THROW(filter.run(g, "v"), Error);
+}
+
+TEST(Threshold, ProfileHasThreePhasesPlusElements) {
+  const UniformGrid g = zGrid(6);
+  ThresholdFilter filter;
+  filter.setRange(0.0, 1.0);
+  const auto result = filter.run(g, "z");
+  EXPECT_EQ(result.profile.kernel, "threshold");
+  EXPECT_EQ(result.profile.elements, g.numCells());
+  EXPECT_EQ(result.profile.phases.size(), 3u);
+}
+
+// Property: for the linear field, kept count is monotone in the range
+// width and complementary ranges partition the cells.
+class ThresholdSplit : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSplit, ComplementaryRangesPartitionCells) {
+  const double split = GetParam();
+  const UniformGrid g = zGrid(8);
+  ThresholdFilter below;
+  below.setRange(-1.0, split);
+  ThresholdFilter above;
+  above.setRange(std::nextafter(split, 2.0), 2.0);
+  const Id nBelow = below.run(g, "z").kept.numCells();
+  const Id nAbove = above.run(g, "z").kept.numCells();
+  EXPECT_EQ(nBelow + nAbove, g.numCells());
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, ThresholdSplit,
+                         ::testing::Values(0.1, 0.3, 0.4375, 0.5, 0.62, 0.9));
+
+}  // namespace
+}  // namespace pviz::vis

@@ -1,0 +1,109 @@
+// Geometric value types.
+#include <gtest/gtest.h>
+
+#include "viz/types.h"
+
+namespace pviz::vis {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, (Vec3{2, 3, 4}));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, (Vec3{1, 2, 3}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{3, 6, 9}));
+}
+
+TEST(Vec3, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_EQ(cross({1, 0, 0}, {0, 1, 0}), (Vec3{0, 0, 1}));
+  EXPECT_EQ(cross({0, 1, 0}, {1, 0, 0}), (Vec3{0, 0, -1}));
+  // Cross product is orthogonal to both inputs.
+  const Vec3 a{1.5, -2.0, 0.7};
+  const Vec3 b{-0.3, 4.0, 2.2};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(a, c), 0.0, 1e-12);
+  EXPECT_NEAR(dot(b, c), 0.0, 1e-12);
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  EXPECT_DOUBLE_EQ(length({3, 4, 0}), 5.0);
+  const Vec3 n = normalize({3, 4, 0});
+  EXPECT_NEAR(length(n), 1.0, 1e-15);
+  EXPECT_EQ(normalize({0, 0, 0}), (Vec3{0, 0, 0}));  // safe zero handling
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v{7, 8, 9};
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[1], 8);
+  EXPECT_EQ(v[2], 9);
+  v[1] = 42;
+  EXPECT_EQ(v.y, 42);
+}
+
+TEST(Lerp, ScalarAndVector) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 1.0), 4.0);
+  EXPECT_EQ(lerp(Vec3{0, 0, 0}, Vec3{2, 4, 6}, 0.5), (Vec3{1, 2, 3}));
+}
+
+TEST(Id3, ProductAndEquality) {
+  EXPECT_EQ((Id3{2, 3, 4}).product(), 24);
+  EXPECT_EQ((Id3{1, 2, 3}), (Id3{1, 2, 3}));
+  EXPECT_FALSE((Id3{1, 2, 3}) == (Id3{3, 2, 1}));
+}
+
+TEST(Bounds, ExpandAndContain) {
+  Bounds b;
+  EXPECT_FALSE(b.valid());
+  b.expand({1, 1, 1});
+  EXPECT_TRUE(b.valid());
+  b.expand({-1, 2, 0});
+  EXPECT_TRUE(b.contains({0, 1.5, 0.5}));
+  EXPECT_FALSE(b.contains({0, 3, 0}));
+  EXPECT_EQ(b.lo, (Vec3{-1, 1, 0}));
+  EXPECT_EQ(b.hi, (Vec3{1, 2, 1}));
+}
+
+TEST(Bounds, CenterExtentArea) {
+  Bounds b;
+  b.expand({0, 0, 0});
+  b.expand({2, 4, 6});
+  EXPECT_EQ(b.center(), (Vec3{1, 2, 3}));
+  EXPECT_EQ(b.extent(), (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(b.surfaceArea(), 2.0 * (8 + 24 + 12));
+}
+
+TEST(Bounds, ExpandByBounds) {
+  Bounds a;
+  a.expand({0, 0, 0});
+  a.expand({1, 1, 1});
+  Bounds b;
+  b.expand({-2, 0.5, 0.5});
+  a.expand(b);
+  EXPECT_EQ(a.lo, (Vec3{-2, 0, 0}));
+}
+
+TEST(Bounds, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1, 2, 3} << Id3{4, 5, 6};
+  EXPECT_EQ(os.str(), "(1, 2, 3)(4, 5, 6)");
+}
+
+}  // namespace
+}  // namespace pviz::vis

@@ -1,0 +1,132 @@
+// Legacy VTK export tests (format structure, counts, round-trippable
+// numbers).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "viz/io/vtk_writer.h"
+
+namespace pviz::vis {
+namespace {
+
+std::vector<std::string> lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) out.push_back(line);
+  return out;
+}
+
+TEST(VtkWriter, StructuredPointsHeaderAndFields) {
+  UniformGrid g({3, 4, 5}, {1, 2, 3}, {0.5, 0.5, 0.25});
+  Field scalar = Field::zeros("energy", Association::Points, 1,
+                              g.numPoints());
+  for (Id p = 0; p < g.numPoints(); ++p) {
+    scalar.setScalar(p, static_cast<double>(p));
+  }
+  g.addField(std::move(scalar));
+  g.addField(Field::zeros("velocity", Association::Points, 3,
+                          g.numPoints()));
+  g.addField(Field::zeros("density", Association::Cells, 1, g.numCells()));
+
+  std::ostringstream os;
+  writeVtk(g, os, "unit test");
+  const std::string text = os.str();
+  const auto all = lines(text);
+
+  ASSERT_GE(all.size(), 8u);
+  EXPECT_EQ(all[0], "# vtk DataFile Version 3.0");
+  EXPECT_EQ(all[1], "unit test");
+  EXPECT_EQ(all[2], "ASCII");
+  EXPECT_EQ(all[3], "DATASET STRUCTURED_POINTS");
+  EXPECT_EQ(all[4], "DIMENSIONS 3 4 5");
+  EXPECT_EQ(all[5], "ORIGIN 1 2 3");
+  EXPECT_EQ(all[6], "SPACING 0.5 0.5 0.25");
+  EXPECT_NE(text.find("POINT_DATA 60"), std::string::npos);
+  EXPECT_NE(text.find("CELL_DATA 24"), std::string::npos);
+  EXPECT_NE(text.find("SCALARS energy double 1"), std::string::npos);
+  EXPECT_NE(text.find("VECTORS velocity double"), std::string::npos);
+  EXPECT_NE(text.find("SCALARS density double 1"), std::string::npos);
+  // POINT_DATA must come before CELL_DATA.
+  EXPECT_LT(text.find("POINT_DATA"), text.find("CELL_DATA"));
+}
+
+TEST(VtkWriter, ScalarValuesAreWrittenInOrder) {
+  UniformGrid g = UniformGrid::cube(1);  // 8 points
+  Field f = Field::zeros("f", Association::Points, 1, g.numPoints());
+  for (Id p = 0; p < 8; ++p) f.setScalar(p, static_cast<double>(10 + p));
+  g.addField(std::move(f));
+  std::ostringstream os;
+  writeVtk(g, os);
+  const auto all = lines(os.str());
+  // Find the LOOKUP_TABLE line and check the 8 following values.
+  std::size_t at = 0;
+  for (; at < all.size(); ++at) {
+    if (all[at] == "LOOKUP_TABLE default") break;
+  }
+  ASSERT_LT(at + 8, all.size());
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(all[at + 1 + static_cast<std::size_t>(k)],
+              std::to_string(10 + k));
+  }
+}
+
+TEST(VtkWriter, TriangleMeshPolydata) {
+  TriangleMesh mesh;
+  mesh.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+  mesh.pointScalars = {1, 2, 3, 4};
+  mesh.connectivity = {0, 1, 2, 1, 3, 2};
+  std::ostringstream os;
+  writeVtk(mesh, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("DATASET POLYDATA"), std::string::npos);
+  EXPECT_NE(text.find("POINTS 4 double"), std::string::npos);
+  EXPECT_NE(text.find("POLYGONS 2 8"), std::string::npos);
+  EXPECT_NE(text.find("3 0 1 2"), std::string::npos);
+  EXPECT_NE(text.find("3 1 3 2"), std::string::npos);
+  EXPECT_NE(text.find("POINT_DATA 4"), std::string::npos);
+}
+
+TEST(VtkWriter, MeshWithoutScalarsOmitsPointData) {
+  TriangleMesh mesh;
+  mesh.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  mesh.connectivity = {0, 1, 2};
+  std::ostringstream os;
+  writeVtk(mesh, os);
+  EXPECT_EQ(os.str().find("POINT_DATA"), std::string::npos);
+}
+
+TEST(VtkWriter, PolylineSetLines) {
+  PolylineSet linesSet;
+  linesSet.points = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {5, 5, 5}, {6, 5, 5}};
+  linesSet.pointScalars = {0, 1, 2, 0, 1};
+  linesSet.offsets = {0, 3, 5};
+  std::ostringstream os;
+  writeVtk(linesSet, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("POINTS 5 double"), std::string::npos);
+  // 2 lines; entries = (1+3) + (1+2) = 7.
+  EXPECT_NE(text.find("LINES 2 7"), std::string::npos);
+  EXPECT_NE(text.find("3 0 1 2"), std::string::npos);
+  EXPECT_NE(text.find("2 3 4"), std::string::npos);
+  EXPECT_NE(text.find("SCALARS integration_time double 1"),
+            std::string::npos);
+}
+
+TEST(VtkWriter, FileHelperWritesAndThrowsOnBadPath) {
+  TriangleMesh mesh;
+  mesh.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  mesh.connectivity = {0, 1, 2};
+  const std::string path = "test_vtk_out.vtk";
+  writeVtkFile(mesh, path, "file test");
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "# vtk DataFile Version 3.0");
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_THROW(writeVtkFile(mesh, "/no/such/dir/x.vtk"), Error);
+}
+
+}  // namespace
+}  // namespace pviz::vis

@@ -1,0 +1,179 @@
+// powerviz_study — command-line driver for the full study.
+//
+//   powerviz_study --phase 3 --csv results.csv
+//   powerviz_study --algorithms contour,slice --sizes 32,64 --caps 120,80,40
+//
+// Runs the requested slice of the (cap x algorithm x size) matrix,
+// prints a paper-style summary, and optionally exports every record as
+// CSV for plotting.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pviz;
+
+[[noreturn]] void usage(int exitCode) {
+  std::cout <<
+      R"(powerviz_study — reproduce the IPDPS'19 power/performance study
+
+options:
+  --phase N             run the paper's phase 1, 2 or 3 (overrides
+                        --algorithms/--sizes)
+  --algorithms a,b,...  subset by name: contour threshold clip isovolume
+                        slice advection raytracing volume (default: all)
+  --sizes n,n,...       cells per axis (default: 32,64,128,256)
+  --caps w,w,...        power caps in watts, default first
+                        (default: 120..40 step 10)
+  --cycles N            visualization cycles per configuration (default 10)
+  --full-render         trace all 50 cameras instead of sampling 8
+  --csv PATH            write every record as CSV
+  --cache PATH          characterization cache file (default:
+                        pviz_profile_cache.txt; "none" disables)
+  --quiet               suppress progress logging
+  -h, --help            this text
+)";
+  std::exit(exitCode);
+}
+
+std::vector<std::string> splitCsv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::stringstream ss(arg);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+core::Algorithm parseAlgorithm(const std::string& name) {
+  if (name == "contour") return core::Algorithm::Contour;
+  if (name == "threshold") return core::Algorithm::Threshold;
+  if (name == "clip") return core::Algorithm::SphericalClip;
+  if (name == "isovolume") return core::Algorithm::Isovolume;
+  if (name == "slice") return core::Algorithm::Slice;
+  if (name == "advection") return core::Algorithm::ParticleAdvection;
+  if (name == "raytracing") return core::Algorithm::RayTracing;
+  if (name == "volume") return core::Algorithm::VolumeRendering;
+  std::cerr << "unknown algorithm '" << name << "'\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::StudyConfig config;
+  config.params.cameraCount = 50;
+  config.params.sampledCameraCount = 8;
+  config.params.imageWidth = 512;
+  config.params.imageHeight = 512;
+  config.cachePath = "pviz_profile_cache.txt";
+  util::setLogLevel(util::LogLevel::Info);
+
+  std::vector<core::Algorithm> algorithms = core::allAlgorithms();
+  int phase = 0;
+  std::string csvPath;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") usage(0);
+    else if (arg == "--phase") phase = std::atoi(next().c_str());
+    else if (arg == "--cycles") config.cycles = std::atoi(next().c_str());
+    else if (arg == "--full-render") config.params.sampledCameraCount = 0;
+    else if (arg == "--csv") csvPath = next();
+    else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
+    else if (arg == "--cache") {
+      const std::string path = next();
+      config.cachePath = path == "none" ? "" : path;
+    } else if (arg == "--sizes") {
+      config.sizes.clear();
+      for (const auto& token : splitCsv(next())) {
+        config.sizes.push_back(std::atoll(token.c_str()));
+      }
+    } else if (arg == "--caps") {
+      config.capsWatts.clear();
+      for (const auto& token : splitCsv(next())) {
+        config.capsWatts.push_back(std::atof(token.c_str()));
+      }
+    } else if (arg == "--algorithms") {
+      algorithms.clear();
+      for (const auto& token : splitCsv(next())) {
+        algorithms.push_back(parseAlgorithm(token));
+      }
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      usage(2);
+    }
+  }
+
+  if (phase == 1) {
+    algorithms = {core::Algorithm::Contour};
+    config.sizes = {128};
+  } else if (phase == 2) {
+    algorithms = core::allAlgorithms();
+    config.sizes = {128};
+  } else if (phase == 3) {
+    algorithms = core::allAlgorithms();
+    config.sizes = {32, 64, 128, 256};
+  } else if (phase != 0) {
+    std::cerr << "phase must be 1, 2 or 3\n";
+    return 2;
+  }
+
+  core::Study study(config);
+  std::vector<core::ConfigRecord> records;
+  for (vis::Id size : config.sizes) {
+    for (core::Algorithm algorithm : algorithms) {
+      auto sweep = study.capSweep(algorithm, size);
+      records.insert(records.end(), sweep.begin(), sweep.end());
+    }
+  }
+
+  // Summary: one row per (algorithm, size) with the slowdown knee.
+  util::TextTable table;
+  table.setHeader({"Algorithm", "Size", "Draw(W)", "IPC", "Knee(W)",
+                   "Tratio@min"});
+  for (std::size_t r = 0; r < records.size();
+       r += config.capsWatts.size()) {
+    std::vector<double> tratios;
+    for (std::size_t c = 0; c < config.capsWatts.size(); ++c) {
+      tratios.push_back(records[r + c].ratios.tRatio);
+    }
+    const int knee = core::firstSlowdownIndex(tratios);
+    const auto& first = records[r];
+    table.addRow(
+        {core::algorithmName(first.algorithm), std::to_string(first.size),
+         util::formatFixed(first.measurement.averageWatts, 1),
+         util::formatFixed(first.measurement.ipc, 2),
+         knee >= 0 ? util::formatFixed(config.capsWatts[static_cast<std::size_t>(knee)], 0)
+                   : std::string("none"),
+         util::formatRatio(tratios.back())});
+  }
+  table.print(std::cout);
+  std::cout << records.size() << " configurations evaluated\n";
+
+  if (!csvPath.empty()) {
+    std::ofstream out(csvPath);
+    if (!out.good()) {
+      std::cerr << "cannot write " << csvPath << '\n';
+      return 1;
+    }
+    core::writeStudyCsv(records, out);
+    std::cout << "wrote " << csvPath << '\n';
+  }
+  return 0;
+}
