@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_advisor.dir/ablation_advisor.cpp.o"
+  "CMakeFiles/ablation_advisor.dir/ablation_advisor.cpp.o.d"
+  "ablation_advisor"
+  "ablation_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_architectures.dir/ablation_architectures.cpp.o"
+  "CMakeFiles/ablation_architectures.dir/ablation_architectures.cpp.o.d"
+  "ablation_architectures"
+  "ablation_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

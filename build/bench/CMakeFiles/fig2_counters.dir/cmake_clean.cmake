@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_counters.dir/fig2_counters.cpp.o"
+  "CMakeFiles/fig2_counters.dir/fig2_counters.cpp.o.d"
+  "fig2_counters"
+  "fig2_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig456_ipc_datasize.dir/fig456_ipc_datasize.cpp.o"
+  "CMakeFiles/fig456_ipc_datasize.dir/fig456_ipc_datasize.cpp.o.d"
+  "fig456_ipc_datasize"
+  "fig456_ipc_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig456_ipc_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

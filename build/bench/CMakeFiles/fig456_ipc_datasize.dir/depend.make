@@ -1,0 +1,2 @@
+# Empty dependencies file for fig456_ipc_datasize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_contour_caps.dir/table1_contour_caps.cpp.o"
+  "CMakeFiles/table1_contour_caps.dir/table1_contour_caps.cpp.o.d"
+  "table1_contour_caps"
+  "table1_contour_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_contour_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_all_algorithms_128.dir/table2_all_algorithms_128.cpp.o"
+  "CMakeFiles/table2_all_algorithms_128.dir/table2_all_algorithms_128.cpp.o.d"
+  "table2_all_algorithms_128"
+  "table2_all_algorithms_128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_all_algorithms_128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_all_algorithms_256.dir/table3_all_algorithms_256.cpp.o"
+  "CMakeFiles/table3_all_algorithms_256.dir/table3_all_algorithms_256.cpp.o.d"
+  "table3_all_algorithms_256"
+  "table3_all_algorithms_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_all_algorithms_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

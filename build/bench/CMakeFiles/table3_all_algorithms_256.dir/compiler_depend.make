@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_all_algorithms_256.
+# This may be replaced when dependencies are built.

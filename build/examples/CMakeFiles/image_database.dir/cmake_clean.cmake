@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_database.dir/image_database.cpp.o"
+  "CMakeFiles/image_database.dir/image_database.cpp.o.d"
+  "image_database"
+  "image_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

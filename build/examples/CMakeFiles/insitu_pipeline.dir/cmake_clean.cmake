@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_pipeline.dir/insitu_pipeline.cpp.o"
+  "CMakeFiles/insitu_pipeline.dir/insitu_pipeline.cpp.o.d"
+  "insitu_pipeline"
+  "insitu_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

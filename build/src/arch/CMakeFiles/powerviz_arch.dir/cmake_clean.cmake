@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerviz_arch.dir/cost_model.cpp.o"
+  "CMakeFiles/powerviz_arch.dir/cost_model.cpp.o.d"
+  "libpowerviz_arch.a"
+  "libpowerviz_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerviz_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

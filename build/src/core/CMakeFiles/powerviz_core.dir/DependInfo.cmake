@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/powerviz_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/powerviz_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/execution_sim.cpp" "src/core/CMakeFiles/powerviz_core.dir/execution_sim.cpp.o" "gcc" "src/core/CMakeFiles/powerviz_core.dir/execution_sim.cpp.o.d"
+  "/root/repo/src/core/node_sim.cpp" "src/core/CMakeFiles/powerviz_core.dir/node_sim.cpp.o" "gcc" "src/core/CMakeFiles/powerviz_core.dir/node_sim.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/powerviz_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/powerviz_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/power_advisor.cpp" "src/core/CMakeFiles/powerviz_core.dir/power_advisor.cpp.o" "gcc" "src/core/CMakeFiles/powerviz_core.dir/power_advisor.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/powerviz_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/powerviz_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/powerviz_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/powerviz_core.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/powerviz_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/powerviz_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/powerviz_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/powerviz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powerviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

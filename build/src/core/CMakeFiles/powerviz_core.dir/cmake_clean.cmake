@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerviz_core.dir/algorithms.cpp.o"
+  "CMakeFiles/powerviz_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/powerviz_core.dir/execution_sim.cpp.o"
+  "CMakeFiles/powerviz_core.dir/execution_sim.cpp.o.d"
+  "CMakeFiles/powerviz_core.dir/node_sim.cpp.o"
+  "CMakeFiles/powerviz_core.dir/node_sim.cpp.o.d"
+  "CMakeFiles/powerviz_core.dir/pipeline.cpp.o"
+  "CMakeFiles/powerviz_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/powerviz_core.dir/power_advisor.cpp.o"
+  "CMakeFiles/powerviz_core.dir/power_advisor.cpp.o.d"
+  "CMakeFiles/powerviz_core.dir/report.cpp.o"
+  "CMakeFiles/powerviz_core.dir/report.cpp.o.d"
+  "CMakeFiles/powerviz_core.dir/study.cpp.o"
+  "CMakeFiles/powerviz_core.dir/study.cpp.o.d"
+  "libpowerviz_core.a"
+  "libpowerviz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerviz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerviz_power.dir/governor.cpp.o"
+  "CMakeFiles/powerviz_power.dir/governor.cpp.o.d"
+  "CMakeFiles/powerviz_power.dir/msr.cpp.o"
+  "CMakeFiles/powerviz_power.dir/msr.cpp.o.d"
+  "CMakeFiles/powerviz_power.dir/power_meter.cpp.o"
+  "CMakeFiles/powerviz_power.dir/power_meter.cpp.o.d"
+  "CMakeFiles/powerviz_power.dir/rapl.cpp.o"
+  "CMakeFiles/powerviz_power.dir/rapl.cpp.o.d"
+  "libpowerviz_power.a"
+  "libpowerviz_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerviz_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpowerviz_power.a"
+)

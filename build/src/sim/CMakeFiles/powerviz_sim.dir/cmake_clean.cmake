@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerviz_sim.dir/cloverleaf.cpp.o"
+  "CMakeFiles/powerviz_sim.dir/cloverleaf.cpp.o.d"
+  "libpowerviz_sim.a"
+  "libpowerviz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerviz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

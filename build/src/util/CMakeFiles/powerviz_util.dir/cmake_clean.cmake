@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerviz_util.dir/log.cpp.o"
+  "CMakeFiles/powerviz_util.dir/log.cpp.o.d"
+  "CMakeFiles/powerviz_util.dir/table.cpp.o"
+  "CMakeFiles/powerviz_util.dir/table.cpp.o.d"
+  "CMakeFiles/powerviz_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/powerviz_util.dir/thread_pool.cpp.o.d"
+  "libpowerviz_util.a"
+  "libpowerviz_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerviz_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/dataset/geometry_conversion.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/dataset/geometry_conversion.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/dataset/geometry_conversion.cpp.o.d"
+  "/root/repo/src/viz/dataset/uniform_grid.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/dataset/uniform_grid.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/dataset/uniform_grid.cpp.o.d"
+  "/root/repo/src/viz/dataset/weld.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/dataset/weld.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/dataset/weld.cpp.o.d"
+  "/root/repo/src/viz/filters/clip_common.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/clip_common.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/clip_common.cpp.o.d"
+  "/root/repo/src/viz/filters/clip_sphere.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/clip_sphere.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/clip_sphere.cpp.o.d"
+  "/root/repo/src/viz/filters/contour.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/contour.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/contour.cpp.o.d"
+  "/root/repo/src/viz/filters/gradient.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/gradient.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/gradient.cpp.o.d"
+  "/root/repo/src/viz/filters/histogram.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/histogram.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/histogram.cpp.o.d"
+  "/root/repo/src/viz/filters/isovolume.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/isovolume.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/isovolume.cpp.o.d"
+  "/root/repo/src/viz/filters/mc_tables.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/mc_tables.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/mc_tables.cpp.o.d"
+  "/root/repo/src/viz/filters/particle_advection.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/particle_advection.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/particle_advection.cpp.o.d"
+  "/root/repo/src/viz/filters/slice.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/slice.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/slice.cpp.o.d"
+  "/root/repo/src/viz/filters/threshold.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/filters/threshold.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/filters/threshold.cpp.o.d"
+  "/root/repo/src/viz/io/vtk_writer.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/io/vtk_writer.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/io/vtk_writer.cpp.o.d"
+  "/root/repo/src/viz/rendering/bvh.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/bvh.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/bvh.cpp.o.d"
+  "/root/repo/src/viz/rendering/camera.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/camera.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/camera.cpp.o.d"
+  "/root/repo/src/viz/rendering/color_table.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/color_table.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/color_table.cpp.o.d"
+  "/root/repo/src/viz/rendering/external_faces.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/external_faces.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/external_faces.cpp.o.d"
+  "/root/repo/src/viz/rendering/image.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/image.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/image.cpp.o.d"
+  "/root/repo/src/viz/rendering/ray_tracer.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/ray_tracer.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/ray_tracer.cpp.o.d"
+  "/root/repo/src/viz/rendering/volume_renderer.cpp" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/volume_renderer.cpp.o" "gcc" "src/viz/CMakeFiles/powerviz_viz.dir/rendering/volume_renderer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/powerviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for powerviz_viz.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clip.dir/test_clip.cpp.o"
+  "CMakeFiles/test_clip.dir/test_clip.cpp.o.d"
+  "test_clip"
+  "test_clip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloverleaf.dir/test_cloverleaf.cpp.o"
+  "CMakeFiles/test_cloverleaf.dir/test_cloverleaf.cpp.o.d"
+  "test_cloverleaf"
+  "test_cloverleaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloverleaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contour.dir/test_contour.cpp.o"
+  "CMakeFiles/test_contour.dir/test_contour.cpp.o.d"
+  "test_contour"
+  "test_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

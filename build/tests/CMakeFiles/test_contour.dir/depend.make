@@ -1,0 +1,2 @@
+# Empty dependencies file for test_contour.
+# This may be replaced when dependencies are built.

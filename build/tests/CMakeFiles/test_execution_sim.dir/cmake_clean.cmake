@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execution_sim.dir/test_execution_sim.cpp.o"
+  "CMakeFiles/test_execution_sim.dir/test_execution_sim.cpp.o.d"
+  "test_execution_sim"
+  "test_execution_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execution_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_conversion.dir/test_geometry_conversion.cpp.o"
+  "CMakeFiles/test_geometry_conversion.dir/test_geometry_conversion.cpp.o.d"
+  "test_geometry_conversion"
+  "test_geometry_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isovolume.dir/test_isovolume.cpp.o"
+  "CMakeFiles/test_isovolume.dir/test_isovolume.cpp.o.d"
+  "test_isovolume"
+  "test_isovolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isovolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_isovolume.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_tables.dir/test_mc_tables.cpp.o"
+  "CMakeFiles/test_mc_tables.dir/test_mc_tables.cpp.o.d"
+  "test_mc_tables"
+  "test_mc_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

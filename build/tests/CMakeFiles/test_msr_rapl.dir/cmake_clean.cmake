@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msr_rapl.dir/test_msr_rapl.cpp.o"
+  "CMakeFiles/test_msr_rapl.dir/test_msr_rapl.cpp.o.d"
+  "test_msr_rapl"
+  "test_msr_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msr_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

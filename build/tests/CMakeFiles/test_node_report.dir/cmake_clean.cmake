@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_report.dir/test_node_report.cpp.o"
+  "CMakeFiles/test_node_report.dir/test_node_report.cpp.o.d"
+  "test_node_report"
+  "test_node_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_particle_advection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_advisor.dir/test_power_advisor.cpp.o"
+  "CMakeFiles/test_power_advisor.dir/test_power_advisor.cpp.o.d"
+  "test_power_advisor"
+  "test_power_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

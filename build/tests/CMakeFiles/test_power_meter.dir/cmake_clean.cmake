@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_meter.dir/test_power_meter.cpp.o"
+  "CMakeFiles/test_power_meter.dir/test_power_meter.cpp.o.d"
+  "test_power_meter"
+  "test_power_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ray_tracer.dir/test_ray_tracer.cpp.o"
+  "CMakeFiles/test_ray_tracer.dir/test_ray_tracer.cpp.o.d"
+  "test_ray_tracer"
+  "test_ray_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ray_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slice.dir/test_slice.cpp.o"
+  "CMakeFiles/test_slice.dir/test_slice.cpp.o.d"
+  "test_slice"
+  "test_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

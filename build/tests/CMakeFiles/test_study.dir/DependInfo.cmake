@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_study.cpp" "tests/CMakeFiles/test_study.dir/test_study.cpp.o" "gcc" "tests/CMakeFiles/test_study.dir/test_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/powerviz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/powerviz_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/powerviz_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/powerviz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/powerviz_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powerviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_viz_types.dir/test_viz_types.cpp.o"
+  "CMakeFiles/test_viz_types.dir/test_viz_types.cpp.o.d"
+  "test_viz_types"
+  "test_viz_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_viz_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_volume_renderer.dir/test_volume_renderer.cpp.o"
+  "CMakeFiles/test_volume_renderer.dir/test_volume_renderer.cpp.o.d"
+  "test_volume_renderer"
+  "test_volume_renderer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_volume_renderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

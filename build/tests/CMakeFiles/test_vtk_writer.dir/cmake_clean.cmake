@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vtk_writer.dir/test_vtk_writer.cpp.o"
+  "CMakeFiles/test_vtk_writer.dir/test_vtk_writer.cpp.o.d"
+  "test_vtk_writer"
+  "test_vtk_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vtk_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

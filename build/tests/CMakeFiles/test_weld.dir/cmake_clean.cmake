@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weld.dir/test_weld.cpp.o"
+  "CMakeFiles/test_weld.dir/test_weld.cpp.o.d"
+  "test_weld"
+  "test_weld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerviz_study.dir/powerviz_study.cpp.o"
+  "CMakeFiles/powerviz_study.dir/powerviz_study.cpp.o.d"
+  "powerviz_study"
+  "powerviz_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerviz_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

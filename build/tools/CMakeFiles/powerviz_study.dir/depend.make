@@ -1,0 +1,2 @@
+# Empty dependencies file for powerviz_study.
+# This may be replaced when dependencies are built.
