@@ -1,0 +1,218 @@
+// service_loadgen — concurrent load generator for powerviz_serve.
+//
+//   ./bench/service_loadgen                # in-process server, 8 clients
+//   ./bench/service_loadgen --port 7077    # against a running server
+//
+// Each client thread opens its own connection and issues a mix of
+// classify / budget / stats requests drawn from a small configuration
+// set, so after the first pass every heavy request is a cache hit.
+// Reports per-op throughput, latency percentiles, the cold-vs-cached
+// latency ratio for the repeated requests (the acceptance bar is
+// >= 10x), and the server's own stats counters.
+//
+// Environment knobs: PVIZ_LOADGEN_CLIENTS, PVIZ_LOADGEN_REQUESTS
+// (per client), PVIZ_LOADGEN_SIZE override the defaults (8, 40, 16).
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "util/options.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pviz;
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct ClientResult {
+  std::vector<double> classifyMs;
+  std::vector<double> budgetMs;
+  std::vector<double> statsMs;
+  std::vector<double> cachedMs;  ///< heavy requests answered from cache
+  std::vector<double> coldMs;    ///< heavy requests computed fresh
+  int errors = 0;
+  int overloaded = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;  // -1 = spin up an in-process server
+  int clients = benchutil::envInt("PVIZ_LOADGEN_CLIENTS", 8);
+  int requestsPerClient = benchutil::envInt("PVIZ_LOADGEN_REQUESTS", 40);
+  const vis::Id size =
+      static_cast<vis::Id>(benchutil::envInt("PVIZ_LOADGEN_SIZE", 16));
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return "";
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") port = static_cast<int>(util::parseInt(next(), "--port"));
+    else if (arg == "--host") host = next();
+    else if (arg == "--clients") clients = static_cast<int>(util::parseInt(next(), "--clients"));
+    else if (arg == "--requests") requestsPerClient = static_cast<int>(util::parseInt(next(), "--requests"));
+  }
+
+  benchutil::printBanner(
+      "service_loadgen — concurrent study/advisor service load",
+      "section VII serving scenario (many in situ clients, one advisor)");
+
+  // In-process server unless pointed at a running one.
+  std::unique_ptr<service::Server> server;
+  if (port < 0) {
+    service::ServerConfig config;
+    config.port = 0;
+    config.workers = 4;
+    config.engine.study = benchutil::defaultStudyConfig();
+    config.engine.study.params = core::AlgorithmParams::lightRendering();
+    config.engine.study.cachePath.clear();
+    server = std::make_unique<service::Server>(config);
+    server->start();
+    port = server->port();
+    std::cout << "in-process server on port " << port << "\n";
+  }
+
+  // The request mix: two classify targets and one budget target, so
+  // every heavy configuration repeats many times across the run.
+  const std::vector<core::Algorithm> classifyAlgorithms = {
+      core::Algorithm::Contour, core::Algorithm::Threshold};
+
+  std::cout << clients << " clients x " << requestsPerClient
+            << " requests, size " << size << "^3\n\n";
+
+  // Warm nothing: the first heavy requests are the cold measurements.
+  std::vector<ClientResult> results(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto runStart = Clock::now();
+
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientResult& out = results[static_cast<std::size_t>(c)];
+      try {
+        service::ServiceClient client(host, port);
+        for (int r = 0; r < requestsPerClient; ++r) {
+          service::Request request;
+          std::vector<double>* bucket = nullptr;
+          switch (r % 4) {
+            case 0:
+            case 1:
+              request.op = service::Op::Classify;
+              request.algorithm =
+                  classifyAlgorithms[static_cast<std::size_t>(r) %
+                                     classifyAlgorithms.size()];
+              request.size = size;
+              bucket = &out.classifyMs;
+              break;
+            case 2:
+              request.op = service::Op::Budget;
+              request.algorithm = core::Algorithm::Contour;
+              request.size = size;
+              request.budgetWatts = 65.0;
+              bucket = &out.budgetMs;
+              break;
+            default:
+              request.op = service::Op::Stats;
+              bucket = &out.statsMs;
+              break;
+          }
+          const auto start = Clock::now();
+          const service::Response response = client.request(request);
+          const double ms = millisSince(start);
+          if (response.status == "overloaded") {
+            ++out.overloaded;
+            continue;
+          }
+          if (!response.ok()) {
+            ++out.errors;
+            continue;
+          }
+          bucket->push_back(ms);
+          if (request.op != service::Op::Stats) {
+            (response.cached ? out.cachedMs : out.coldMs).push_back(ms);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "client " << c << ": " << e.what() << '\n';
+        ++out.errors;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wallSeconds = millisSince(runStart) / 1000.0;
+
+  // Aggregate.
+  std::vector<double> classifyMs, budgetMs, statsMs, cachedMs, coldMs;
+  int errors = 0;
+  int overloaded = 0;
+  for (const ClientResult& r : results) {
+    classifyMs.insert(classifyMs.end(), r.classifyMs.begin(), r.classifyMs.end());
+    budgetMs.insert(budgetMs.end(), r.budgetMs.begin(), r.budgetMs.end());
+    statsMs.insert(statsMs.end(), r.statsMs.begin(), r.statsMs.end());
+    cachedMs.insert(cachedMs.end(), r.cachedMs.begin(), r.cachedMs.end());
+    coldMs.insert(coldMs.end(), r.coldMs.begin(), r.coldMs.end());
+    errors += r.errors;
+    overloaded += r.overloaded;
+  }
+  const std::size_t completed =
+      classifyMs.size() + budgetMs.size() + statsMs.size();
+
+  util::TextTable table;
+  table.setHeader({"Op", "Count", "p50(ms)", "p95(ms)", "Max(ms)"});
+  auto addRow = [&](const char* name, std::vector<double>& ms) {
+    if (ms.empty()) return;
+    double maxMs = 0.0;
+    for (double m : ms) maxMs = std::max(maxMs, m);
+    table.addRow({name, std::to_string(ms.size()),
+                  util::formatFixed(util::percentile(ms, 0.50), 2),
+                  util::formatFixed(util::percentile(ms, 0.95), 2),
+                  util::formatFixed(maxMs, 2)});
+  };
+  addRow("classify", classifyMs);
+  addRow("budget", budgetMs);
+  addRow("stats", statsMs);
+  addRow("heavy/cold", coldMs);
+  addRow("heavy/cached", cachedMs);
+  table.print(std::cout);
+
+  std::cout << '\n'
+            << completed << " requests in "
+            << util::formatFixed(wallSeconds, 2) << " s ("
+            << util::formatFixed(static_cast<double>(completed) / wallSeconds,
+                                 0)
+            << " req/s across " << clients << " clients), " << errors
+            << " errors, " << overloaded << " overloaded\n";
+
+  if (!coldMs.empty() && !cachedMs.empty()) {
+    const double cold = util::percentile(coldMs, 0.50);
+    const double cached = util::percentile(cachedMs, 0.50);
+    std::cout << "cold p50 " << util::formatFixed(cold, 2)
+              << " ms vs cached p50 " << util::formatFixed(cached, 3)
+              << " ms: " << util::formatFixed(cold / cached, 1)
+              << "x speedup from the result cache\n";
+  }
+
+  if (server != nullptr) {
+    std::cout << "\nserver stats: " << server->statsJson().dump() << '\n';
+    server->stop();
+  }
+  return errors == 0 ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "core/algorithms.h"
 
+#include <sstream>
+
 #include "viz/filters/clip_sphere.h"
 #include "viz/filters/contour.h"
 #include "viz/filters/isovolume.h"
@@ -33,6 +35,41 @@ std::string algorithmName(Algorithm algorithm) {
     case Algorithm::VolumeRendering: return "Volume Rendering";
   }
   return "?";
+}
+
+std::string algorithmToken(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::Contour: return "contour";
+    case Algorithm::Threshold: return "threshold";
+    case Algorithm::SphericalClip: return "clip";
+    case Algorithm::Isovolume: return "isovolume";
+    case Algorithm::Slice: return "slice";
+    case Algorithm::ParticleAdvection: return "advection";
+    case Algorithm::RayTracing: return "raytracing";
+    case Algorithm::VolumeRendering: return "volume";
+  }
+  return "?";
+}
+
+Algorithm parseAlgorithmToken(const std::string& token) {
+  for (Algorithm algorithm : allAlgorithms()) {
+    if (token == algorithmToken(algorithm)) return algorithm;
+  }
+  throw Error("unknown algorithm '" + token +
+              "' (expected contour threshold clip isovolume slice "
+              "advection raytracing volume)");
+}
+
+std::vector<Algorithm> parseAlgorithmList(const std::string& csv) {
+  if (csv.empty() || csv == "all") return allAlgorithms();
+  std::vector<Algorithm> algorithms;
+  std::string token;
+  std::stringstream ss(csv);
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) algorithms.push_back(parseAlgorithmToken(token));
+  }
+  PVIZ_REQUIRE(!algorithms.empty(), "algorithm list is empty");
+  return algorithms;
 }
 
 vis::WorkProfile frameworkOverheadPhase(int launches) {

@@ -41,6 +41,18 @@ const std::vector<Algorithm>& allAlgorithms();
 /// Paper-facing display name ("Contour", "Spherical Clip", ...).
 std::string algorithmName(Algorithm algorithm);
 
+/// CLI/protocol token ("contour", "clip", "raytracing", ...): the inverse
+/// of parseAlgorithmToken, stable across releases.
+std::string algorithmToken(Algorithm algorithm);
+
+/// Parse a CLI/protocol algorithm token; throws pviz::Error naming the
+/// token when it matches no algorithm.
+Algorithm parseAlgorithmToken(const std::string& token);
+
+/// Parse a comma-separated algorithm list; "all" (or an empty string)
+/// selects all eight.  Throws pviz::Error on an unknown name.
+std::vector<Algorithm> parseAlgorithmList(const std::string& csv);
+
 struct AlgorithmParams {
   // Contour.
   int isovalueCount = 10;

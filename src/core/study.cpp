@@ -1,5 +1,9 @@
 #include "core/study.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -31,6 +35,9 @@ Study::Study(StudyConfig config)
 }
 
 const vis::UniformGrid& Study::dataset(vis::Id size) {
+  // One lock spans lookup and generation: concurrent requests for the
+  // same size wait for the single generation instead of racing it.
+  std::lock_guard lock(datasetMutex_);
   auto it = datasets_.find(size);
   if (it == datasets_.end()) {
     PVIZ_LOG_INFO("generating " << size << "^3 clover dataset");
@@ -44,57 +51,97 @@ const vis::UniformGrid& Study::dataset(vis::Id size) {
 
 const vis::KernelProfile& Study::characterize(Algorithm algorithm,
                                               vis::Id size) {
-  const auto key = std::make_pair(static_cast<int>(algorithm), size);
-  auto it = profiles_.find(key);
-  if (it != profiles_.end()) return it->second;
+  const ProfileKey key{static_cast<int>(algorithm), size};
 
-  // On-disk cache lookup.
-  const std::string diskKey = cacheKey(algorithm, size, config_.params);
-  if (!config_.cachePath.empty()) {
-    auto disk = loadProfileCache(config_.cachePath);
-    auto hit = disk.find(diskKey);
-    if (hit != disk.end()) {
-      PVIZ_LOG_INFO("profile cache hit: " << diskKey);
-      return profiles_.emplace(key, std::move(hit->second)).first->second;
+  // Claim the key or join a characterization already in flight.
+  // profiles_ is a node-based map, so returned references stay valid
+  // while other threads insert.
+  {
+    std::unique_lock lock(profileMutex_);
+    for (;;) {
+      auto it = profiles_.find(key);
+      if (it != profiles_.end()) return it->second;
+      if (inFlight_.insert(key).second) break;  // this thread runs it
+      profileReady_.wait(lock);
     }
   }
 
-  PVIZ_LOG_INFO("characterizing " << algorithmName(algorithm) << " at "
-                                  << size << "^3");
-  vis::KernelProfile profile =
-      runAlgorithm(algorithm, dataset(size), config_.params);
-  auto inserted = profiles_.emplace(key, std::move(profile)).first;
+  vis::KernelProfile profile;
+  try {
+    // On-disk cache lookup.
+    const std::string diskKey = cacheKey(algorithm, size, config_.params);
+    bool fromDisk = false;
+    if (!config_.cachePath.empty()) {
+      std::lock_guard diskLock(diskCacheMutex_);
+      auto disk = loadProfileCache(config_.cachePath);
+      auto hit = disk.find(diskKey);
+      if (hit != disk.end()) {
+        PVIZ_LOG_INFO("profile cache hit: " << diskKey);
+        profile = std::move(hit->second);
+        fromDisk = true;
+      }
+    }
 
-  if (!config_.cachePath.empty()) {
-    auto disk = loadProfileCache(config_.cachePath);
-    disk[diskKey] = inserted->second;
-    saveProfileCache(config_.cachePath, disk);
+    if (!fromDisk) {
+      PVIZ_LOG_INFO("characterizing " << algorithmName(algorithm) << " at "
+                                      << size << "^3");
+      profile = runAlgorithm(algorithm, dataset(size), config_.params);
+      if (!config_.cachePath.empty()) {
+        std::lock_guard diskLock(diskCacheMutex_);
+        auto disk = loadProfileCache(config_.cachePath);
+        disk[diskKey] = profile;
+        saveProfileCache(config_.cachePath, disk);
+      }
+    }
+  } catch (...) {
+    std::lock_guard lock(profileMutex_);
+    inFlight_.erase(key);
+    profileReady_.notify_all();
+    throw;
   }
+
+  std::lock_guard lock(profileMutex_);
+  auto inserted = profiles_.emplace(key, std::move(profile)).first;
+  inFlight_.erase(key);
+  profileReady_.notify_all();
   return inserted->second;
 }
 
 Measurement Study::measure(Algorithm algorithm, vis::Id size,
                            double capWatts) {
+  return measure(algorithm, size, capWatts, config_.cycles);
+}
+
+Measurement Study::measure(Algorithm algorithm, vis::Id size, double capWatts,
+                           int cycles) {
+  PVIZ_REQUIRE(cycles >= 1, "measure needs at least one cycle");
   const vis::KernelProfile& once = characterize(algorithm, size);
   vis::KernelProfile scaled = scaleKernelWork(once, config_.workScale);
-  if (config_.cycles > 1) scaled = repeatKernel(scaled, config_.cycles);
+  if (cycles > 1) scaled = repeatKernel(scaled, cycles);
   return simulator_.run(scaled, capWatts);
 }
 
 std::vector<ConfigRecord> Study::capSweep(Algorithm algorithm, vis::Id size) {
+  return capSweep(algorithm, size, config_.capsWatts, config_.cycles);
+}
+
+std::vector<ConfigRecord> Study::capSweep(Algorithm algorithm, vis::Id size,
+                                          const std::vector<double>& capsWatts,
+                                          int cycles) {
+  PVIZ_REQUIRE(!capsWatts.empty(), "cap sweep needs at least one cap");
   std::vector<ConfigRecord> records;
-  records.reserve(config_.capsWatts.size());
+  records.reserve(capsWatts.size());
   Measurement baseline;
-  for (std::size_t i = 0; i < config_.capsWatts.size(); ++i) {
-    const double cap = config_.capsWatts[i];
+  for (std::size_t i = 0; i < capsWatts.size(); ++i) {
+    const double cap = capsWatts[i];
     ConfigRecord record;
     record.algorithm = algorithm;
     record.size = size;
     record.capWatts = cap;
-    record.measurement = measure(algorithm, size, cap);
+    record.measurement = measure(algorithm, size, cap, cycles);
     if (i == 0) baseline = record.measurement;
-    record.ratios = computeRatios(baseline, config_.capsWatts.front(),
-                                  record.measurement, cap);
+    record.ratios =
+        computeRatios(baseline, capsWatts.front(), record.measurement, cap);
     records.push_back(std::move(record));
   }
   return records;
@@ -132,19 +179,39 @@ std::vector<ConfigRecord> Study::runPhase3() {
 void saveProfileCache(
     const std::string& path,
     const std::map<std::string, vis::KernelProfile>& entries) {
-  std::ofstream out(path);
-  PVIZ_REQUIRE(out.good(), "cannot write profile cache at '" + path + "'");
-  out.precision(17);
-  for (const auto& [key, profile] : entries) {
-    out << "entry " << key << ' ' << profile.kernel << ' '
-        << profile.elements << ' ' << profile.phases.size() << '\n';
-    for (const auto& ph : profile.phases) {
-      out << "phase " << (ph.name.empty() ? "?" : ph.name) << ' ' << ph.flops
-          << ' ' << ph.intOps << ' ' << ph.memOps << ' ' << ph.bytesStreamed
-          << ' ' << ph.bytesReused << ' ' << ph.irregularAccesses << ' '
-          << ph.workingSetBytes << ' ' << ph.parallelFraction << ' '
-          << ph.overlap << '\n';
+  // Write-then-rename: the temporary lives in the same directory as the
+  // final path so the rename is atomic, and a concurrent loadProfileCache
+  // (another bench binary or server worker sharing --cache) sees either
+  // the old complete file or the new complete file, never a torn one.
+  static std::atomic<unsigned> tmpSerial{0};
+  std::ostringstream tmpName;
+  tmpName << path << ".tmp." << ::getpid() << '.'
+          << tmpSerial.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmpPath = tmpName.str();
+  {
+    std::ofstream out(tmpPath, std::ios::trunc);
+    PVIZ_REQUIRE(out.good(),
+                 "cannot write profile cache at '" + tmpPath + "'");
+    out.precision(17);
+    for (const auto& [key, profile] : entries) {
+      out << "entry " << key << ' ' << profile.kernel << ' '
+          << profile.elements << ' ' << profile.phases.size() << '\n';
+      for (const auto& ph : profile.phases) {
+        out << "phase " << (ph.name.empty() ? "?" : ph.name) << ' ' << ph.flops
+            << ' ' << ph.intOps << ' ' << ph.memOps << ' ' << ph.bytesStreamed
+            << ' ' << ph.bytesReused << ' ' << ph.irregularAccesses << ' '
+            << ph.workingSetBytes << ' ' << ph.parallelFraction << ' '
+            << ph.overlap << '\n';
+      }
     }
+    out.flush();
+    PVIZ_REQUIRE(out.good(),
+                 "short write to profile cache at '" + tmpPath + "'");
+  }
+  if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+    std::remove(tmpPath.c_str());
+    PVIZ_REQUIRE(false,
+                 "cannot move profile cache into place at '" + path + "'");
   }
 }
 

@@ -9,9 +9,12 @@
 // binaries share them.
 #pragma once
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -51,6 +54,10 @@ struct ConfigRecord {
   Ratios ratios;  ///< against the default (first) cap of the same pair
 };
 
+/// The study driver.  Safe to share across threads: the memoization maps
+/// are lock-protected and a characterization in flight is joined by
+/// concurrent requests for the same (algorithm, size) rather than rerun
+/// (the service layer issues these from several request workers at once).
 class Study {
  public:
   explicit Study(StudyConfig config = {});
@@ -62,9 +69,17 @@ class Study {
   /// Evaluate one configuration (characterize + model under the cap,
   /// repeated for the configured cycle count).
   Measurement measure(Algorithm algorithm, vis::Id size, double capWatts);
+  /// Same, overriding the configured cycle count (the service layer
+  /// evaluates per-request cycle counts against one shared Study).
+  Measurement measure(Algorithm algorithm, vis::Id size, double capWatts,
+                      int cycles);
 
   /// All caps for one (algorithm, size); ratios are against caps[0].
   std::vector<ConfigRecord> capSweep(Algorithm algorithm, vis::Id size);
+  /// Same, overriding the configured cap list and cycle count.
+  std::vector<ConfigRecord> capSweep(Algorithm algorithm, vis::Id size,
+                                     const std::vector<double>& capsWatts,
+                                     int cycles);
 
   /// Phase 1: contour at 128^3 across all caps (9 tests).
   std::vector<ConfigRecord> runPhase1();
@@ -79,13 +94,23 @@ class Study {
   const StudyConfig& config() const { return config_; }
 
  private:
+  using ProfileKey = std::pair<int, vis::Id>;
+
   StudyConfig config_;
   ExecutionSimulator simulator_;
+  std::mutex datasetMutex_;  ///< guards datasets_ (incl. generation)
   std::map<vis::Id, std::unique_ptr<vis::UniformGrid>> datasets_;
-  std::map<std::pair<int, vis::Id>, vis::KernelProfile> profiles_;
+  std::mutex profileMutex_;  ///< guards profiles_ and inFlight_
+  std::condition_variable profileReady_;
+  std::map<ProfileKey, vis::KernelProfile> profiles_;
+  std::set<ProfileKey> inFlight_;  ///< keys being characterized right now
+  std::mutex diskCacheMutex_;  ///< serializes the cache read-modify-write
 };
 
 /// Serialize/load characterization profiles (the on-disk cache format).
+/// Saving is atomic: the cache is written to a temporary file in the same
+/// directory and renamed into place, so a concurrent reader (another
+/// bench binary or server worker sharing --cache) never sees a torn file.
 void saveProfileCache(
     const std::string& path,
     const std::map<std::string, vis::KernelProfile>& entries);

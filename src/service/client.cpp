@@ -1,0 +1,86 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace pviz::service {
+
+ServiceClient::ServiceClient(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PVIZ_REQUIRE(fd_ >= 0, "cannot create client socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("invalid service address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot connect to " + host + ":" + std::to_string(port) +
+                ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response ServiceClient::request(Request req) {
+  if (req.id.empty()) req.id = "c" + std::to_string(nextId_++);
+  writeAll(toJson(req).dump() + "\n");
+  for (;;) {
+    const Response response = responseFromJson(Json::parse(readLine()));
+    if (response.id == req.id || response.id.empty()) return response;
+    // A response to some other request on a shared connection: skip.
+  }
+}
+
+std::string ServiceClient::exchangeLine(const std::string& line) {
+  writeAll(line + "\n");
+  return readLine();
+}
+
+void ServiceClient::writeAll(const std::string& frame) {
+  PVIZ_REQUIRE(fd_ >= 0, "client is not connected");
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    PVIZ_REQUIRE(n > 0, "service connection closed while writing");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string ServiceClient::readLine() {
+  PVIZ_REQUIRE(fd_ >= 0, "client is not connected");
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    PVIZ_REQUIRE(n > 0, "service connection closed while reading");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace pviz::service

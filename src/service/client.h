@@ -1,0 +1,45 @@
+// Blocking TCP client for the PowerViz service protocol.
+//
+// One connection, synchronous request/response: request() frames the
+// JSON, writes the line, then reads response lines until the one whose
+// id matches (the server may interleave responses to other requests on
+// a shared connection; this client issues one request at a time, so in
+// practice the first line is the answer).  Used by powerviz_client, the
+// load generator, and the end-to-end tests.
+#pragma once
+
+#include <string>
+
+#include "service/protocol.h"
+
+namespace pviz::service {
+
+class ServiceClient {
+ public:
+  /// Connect to host:port; throws pviz::Error on failure.
+  ServiceClient(const std::string& host, int port);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Send one request and block for its response (matched by id; the
+  /// client stamps an id when the request has none).
+  Response request(Request req);
+
+  /// Raw exchange: send `line`, return the next response line verbatim
+  /// (no id matching).  For protocol tests and hand-written frames.
+  std::string exchangeLine(const std::string& line);
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  void writeAll(const std::string& frame);
+  std::string readLine();  ///< blocks; throws on EOF/error
+
+  int fd_ = -1;
+  std::string buffer_;
+  unsigned nextId_ = 1;
+};
+
+}  // namespace pviz::service

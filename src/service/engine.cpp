@@ -1,0 +1,144 @@
+#include "service/engine.h"
+
+#include <chrono>
+#include <thread>
+
+#include "core/execution_sim.h"
+#include "sim/cloverleaf.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace pviz::service {
+
+ServiceEngine::ServiceEngine(EngineConfig config)
+    : config_(std::move(config)),
+      study_(config_.study),
+      advisor_(config_.study.machine),
+      cache_(config_.cacheEntries, config_.cacheShards) {}
+
+Request ServiceEngine::normalize(const Request& request) const {
+  Request out = request;
+  if (out.capsWatts.empty()) out.capsWatts = config_.study.capsWatts;
+  if (out.cycles <= 0) out.cycles = config_.study.cycles;
+  if (out.op == Op::Study) {
+    if (out.algorithms.empty()) out.algorithms = core::allAlgorithms();
+    if (out.sizes.empty()) out.sizes = config_.study.sizes;
+  }
+  if (out.op == Op::Budget && out.simSteps <= 0) {
+    out.simSteps = config_.defaultSimSteps;
+  }
+  return out;
+}
+
+ServiceEngine::Outcome ServiceEngine::handle(const Request& rawRequest) {
+  PVIZ_REQUIRE(rawRequest.op != Op::Stats,
+               "stats requests are answered by the server, not the engine");
+  const Request request = normalize(rawRequest);
+  const std::string key = canonicalCacheKey(request);
+
+  if (!key.empty()) {
+    if (auto hit = cache_.get(key)) {
+      return Outcome{Json::parse(*hit), true};
+    }
+  }
+  Json result = execute(request);
+  if (!key.empty()) cache_.put(key, result.dump());
+  return Outcome{std::move(result), false};
+}
+
+Json ServiceEngine::execute(const Request& request) {
+  switch (request.op) {
+    case Op::Ping: {
+      if (request.delayMs > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(request.delayMs));
+      }
+      Json out = Json::object();
+      out.set("pong", true);
+      return out;
+    }
+
+    case Op::Characterize: {
+      // The raw single-cycle profile, before work-scale calibration —
+      // what a client needs to run its own advisor locally.
+      return profileToJson(study_.characterize(request.algorithm,
+                                               request.size));
+    }
+
+    case Op::Classify: {
+      const vis::KernelProfile kernel = core::scaleKernelWork(
+          study_.characterize(request.algorithm, request.size),
+          config_.study.workScale);
+      const core::Classification cls =
+          advisor_.classify(kernel, request.capsWatts);
+      Json out = classificationToJson(cls);
+      out.set("algorithm", core::algorithmToken(request.algorithm));
+      out.set("size", request.size);
+      return out;
+    }
+
+    case Op::Budget: {
+      const vis::KernelProfile vizKernel = core::scaleKernelWork(
+          study_.characterize(request.algorithm, request.size),
+          config_.study.workScale);
+      const vis::KernelProfile& simKernel =
+          simProfile(request.size, request.simSteps);
+      const core::BudgetPlan plan =
+          advisor_.planBudget(simKernel, vizKernel, request.budgetWatts);
+      Json out = budgetPlanToJson(plan);
+      out.set("algorithm", core::algorithmToken(request.algorithm));
+      out.set("size", request.size);
+      out.set("budget_watts", request.budgetWatts);
+      out.set("classification",
+              classificationToJson(advisor_.classify(vizKernel)));
+      return out;
+    }
+
+    case Op::Study:
+      return runStudySlice(request);
+
+    case Op::Stats:
+      break;
+  }
+  throw Error("unhandled op");
+}
+
+Json ServiceEngine::runStudySlice(const Request& request) {
+  Json records = Json::array();
+  std::size_t count = 0;
+  for (vis::Id size : request.sizes) {
+    for (core::Algorithm algorithm : request.algorithms) {
+      for (core::ConfigRecord& record :
+           study_.capSweep(algorithm, size, request.capsWatts,
+                           request.cycles)) {
+        records.push(recordToJson(record));
+        ++count;
+      }
+    }
+  }
+  Json out = Json::object();
+  out.set("count", static_cast<double>(count));
+  out.set("records", std::move(records));
+  return out;
+}
+
+const vis::KernelProfile& ServiceEngine::simProfile(vis::Id size, int steps) {
+  // Memoized like Study::characterize: the lock spans the hydro run so
+  // concurrent budget requests for the same configuration share one run.
+  std::lock_guard lock(simProfileMutex_);
+  const auto key = std::make_pair(size, steps);
+  auto it = simProfiles_.find(key);
+  if (it == simProfiles_.end()) {
+    PVIZ_LOG_INFO("characterizing " << steps << " hydro steps at " << size
+                                    << "^3 for budget planning");
+    sim::CloverLeaf clover(size);
+    clover.run(steps);
+    it = simProfiles_
+             .emplace(key, core::scaleKernelWork(clover.takeProfile(),
+                                                 config_.study.workScale))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace pviz::service

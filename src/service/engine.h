@@ -1,0 +1,68 @@
+// The service engine: executes protocol requests against a shared Study
+// and PowerAdvisor, with the result cache in front.
+//
+// The engine is the server's single source of study state.  It owns one
+// Study instance (whose characterization memoization is thread-safe and
+// deduplicates concurrent identical work), one PowerAdvisor, a memoized
+// CloverLeaf simulation profile per (size, steps) for budget requests,
+// and the sharded LRU over serialized results.  handle() is safe to
+// call from any number of worker threads.
+//
+// Request normalization happens here: empty cap lists, zero cycle
+// counts and zero sim-step counts pick up the engine defaults *before*
+// the cache key is computed, so "the default sweep" and an explicitly
+// spelled-out default sweep hit the same cache entry.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/power_advisor.h"
+#include "core/study.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+
+namespace pviz::service {
+
+struct EngineConfig {
+  core::StudyConfig study;          ///< defaults: caps, sizes, cycles, cache
+  std::size_t cacheEntries = 1024;  ///< result cache bound (0 disables)
+  std::size_t cacheShards = 8;
+  int defaultSimSteps = 10;  ///< hydro steps behind a `budget` request
+};
+
+class ServiceEngine {
+ public:
+  explicit ServiceEngine(EngineConfig config = {});
+
+  struct Outcome {
+    Json result;          ///< op-specific payload
+    bool cached = false;  ///< served from the result cache
+  };
+
+  /// Execute one request (never `stats` — the server answers that from
+  /// its metrics).  Throws pviz::Error for malformed parameters; the
+  /// server maps that to an `error` response.
+  Outcome handle(const Request& request);
+
+  /// Fill engine defaults into a request (caps, sizes, cycles, steps).
+  Request normalize(const Request& request) const;
+
+  const ResultCache& cache() const { return cache_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  Json execute(const Request& request);  ///< uncached path
+  Json runStudySlice(const Request& request);
+  const vis::KernelProfile& simProfile(vis::Id size, int steps);
+
+  EngineConfig config_;
+  core::Study study_;
+  core::PowerAdvisor advisor_;
+  ResultCache cache_;
+  std::mutex simProfileMutex_;
+  std::map<std::pair<vis::Id, int>, vis::KernelProfile> simProfiles_;
+};
+
+}  // namespace pviz::service

@@ -1,0 +1,102 @@
+#include "service/metrics.h"
+
+namespace pviz::service {
+
+void ServiceMetrics::recordRequest(Op op, double latencyMs, bool cached,
+                                   bool error) {
+  std::lock_guard lock(mutex_);
+  OpCounters& c = perOp_[static_cast<std::size_t>(op)];
+  ++c.requests;
+  if (error) ++c.errors;
+  if (cached) ++c.cacheHits;
+  c.latencyMs.add(latencyMs);
+}
+
+void ServiceMetrics::recordOverloaded() {
+  std::lock_guard lock(mutex_);
+  ++overloaded_;
+}
+
+void ServiceMetrics::recordBadRequest() {
+  std::lock_guard lock(mutex_);
+  ++badRequests_;
+}
+
+void ServiceMetrics::connectionOpened() {
+  std::lock_guard lock(mutex_);
+  ++connectionsAccepted_;
+  ++connectionsActive_;
+}
+
+void ServiceMetrics::connectionClosed() {
+  std::lock_guard lock(mutex_);
+  if (connectionsActive_ > 0) --connectionsActive_;
+}
+
+void ServiceMetrics::recordQueueDepth(std::size_t depth) {
+  std::lock_guard lock(mutex_);
+  queueDepth_ = depth;
+  maxQueueDepth_ = std::max(maxQueueDepth_, depth);
+}
+
+ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  for (std::size_t i = 0; i < perOp_.size(); ++i) {
+    const OpCounters& c = perOp_[i];
+    OpSnapshot& s = snap.perOp[i];
+    s.requests = c.requests;
+    s.errors = c.errors;
+    s.cacheHits = c.cacheHits;
+    s.meanLatencyMs = c.latencyMs.mean();
+    s.maxLatencyMs = c.latencyMs.max();
+    snap.totalRequests += c.requests;
+  }
+  snap.overloaded = overloaded_;
+  snap.badRequests = badRequests_;
+  snap.queueDepth = queueDepth_;
+  snap.maxQueueDepth = maxQueueDepth_;
+  snap.connectionsAccepted = connectionsAccepted_;
+  snap.connectionsActive = connectionsActive_;
+  return snap;
+}
+
+Json ServiceMetrics::toJson(const Snapshot& snapshot,
+                            const ResultCache::Stats& cache) {
+  Json ops = Json::object();
+  for (std::size_t i = 0; i < snapshot.perOp.size(); ++i) {
+    const OpSnapshot& s = snapshot.perOp[i];
+    if (s.requests == 0) continue;
+    Json op = Json::object();
+    op.set("requests", static_cast<double>(s.requests));
+    op.set("errors", static_cast<double>(s.errors));
+    op.set("cache_hits", static_cast<double>(s.cacheHits));
+    op.set("mean_latency_ms", s.meanLatencyMs);
+    op.set("max_latency_ms", s.maxLatencyMs);
+    ops.set(opToken(static_cast<Op>(i)), std::move(op));
+  }
+
+  Json cacheJson = Json::object();
+  cacheJson.set("hits", static_cast<double>(cache.hits));
+  cacheJson.set("misses", static_cast<double>(cache.misses));
+  cacheJson.set("insertions", static_cast<double>(cache.insertions));
+  cacheJson.set("evictions", static_cast<double>(cache.evictions));
+  cacheJson.set("entries", static_cast<double>(cache.entries));
+  cacheJson.set("bytes", static_cast<double>(cache.bytes));
+
+  Json out = Json::object();
+  out.set("total_requests", static_cast<double>(snapshot.totalRequests));
+  out.set("overloaded", static_cast<double>(snapshot.overloaded));
+  out.set("bad_requests", static_cast<double>(snapshot.badRequests));
+  out.set("queue_depth", static_cast<double>(snapshot.queueDepth));
+  out.set("max_queue_depth", static_cast<double>(snapshot.maxQueueDepth));
+  out.set("connections_accepted",
+          static_cast<double>(snapshot.connectionsAccepted));
+  out.set("connections_active",
+          static_cast<double>(snapshot.connectionsActive));
+  out.set("ops", std::move(ops));
+  out.set("cache", std::move(cacheJson));
+  return out;
+}
+
+}  // namespace pviz::service

@@ -1,0 +1,81 @@
+// Per-request observability for the service layer.
+//
+// Counters are grouped per operation (requests, errors, cache hits,
+// latency distribution) plus server-wide gauges (queue depth, admission
+// rejections, connections).  A snapshot is taken under the same mutex
+// that guards the latency accumulators, so the in-band `stats` response
+// is internally consistent; the hot-path record calls take that mutex
+// once per request, which is noise next to a socket round trip.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/result_cache.h"
+#include "util/stats.h"
+
+namespace pviz::service {
+
+class ServiceMetrics {
+ public:
+  struct OpSnapshot {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t cacheHits = 0;
+    double meanLatencyMs = 0.0;
+    double maxLatencyMs = 0.0;
+  };
+
+  struct Snapshot {
+    std::array<OpSnapshot, 6> perOp;  ///< indexed by Op
+    std::uint64_t totalRequests = 0;
+    std::uint64_t overloaded = 0;   ///< admission-control rejections
+    std::uint64_t badRequests = 0;  ///< unparseable frames
+    std::size_t queueDepth = 0;
+    std::size_t maxQueueDepth = 0;
+    std::uint64_t connectionsAccepted = 0;
+    std::size_t connectionsActive = 0;
+  };
+
+  /// One completed request (any status but "overloaded").
+  void recordRequest(Op op, double latencyMs, bool cached, bool error);
+  /// One admission-control rejection.
+  void recordOverloaded();
+  /// One frame that did not parse to a request.
+  void recordBadRequest();
+
+  void connectionOpened();
+  void connectionClosed();
+
+  /// Queue depth after a push/pop (tracks the high-water mark).
+  void recordQueueDepth(std::size_t depth);
+
+  Snapshot snapshot() const;
+
+  /// The `stats` result payload: this snapshot plus the cache counters.
+  static Json toJson(const Snapshot& snapshot,
+                     const ResultCache::Stats& cache);
+
+ private:
+  struct OpCounters {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t cacheHits = 0;
+    util::RunningStats latencyMs;
+  };
+
+  mutable std::mutex mutex_;
+  std::array<OpCounters, 6> perOp_;
+  std::uint64_t overloaded_ = 0;
+  std::uint64_t badRequests_ = 0;
+  std::size_t queueDepth_ = 0;
+  std::size_t maxQueueDepth_ = 0;
+  std::uint64_t connectionsAccepted_ = 0;
+  std::size_t connectionsActive_ = 0;
+};
+
+}  // namespace pviz::service

@@ -1,0 +1,359 @@
+#include "service/protocol.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pviz::service {
+
+namespace {
+
+// Helpers shared by the from-json parsers.
+
+double numberField(const Json& json, const char* key, double fallback) {
+  const Json* v = json.find(key);
+  return v != nullptr ? v->asNumber() : fallback;
+}
+
+std::string stringField(const Json& json, const char* key,
+                        const std::string& fallback) {
+  const Json* v = json.find(key);
+  return v != nullptr ? v->asString() : fallback;
+}
+
+const Json& requiredField(const Json& json, const char* key) {
+  const Json* v = json.find(key);
+  PVIZ_REQUIRE(v != nullptr,
+               std::string("request is missing required field '") + key + "'");
+  return *v;
+}
+
+}  // namespace
+
+const char* opToken(Op op) {
+  switch (op) {
+    case Op::Ping: return "ping";
+    case Op::Characterize: return "characterize";
+    case Op::Study: return "study";
+    case Op::Classify: return "classify";
+    case Op::Budget: return "budget";
+    case Op::Stats: return "stats";
+  }
+  return "?";
+}
+
+Op parseOpToken(const std::string& token) {
+  for (Op op : {Op::Ping, Op::Characterize, Op::Study, Op::Classify,
+                Op::Budget, Op::Stats}) {
+    if (token == opToken(op)) return op;
+  }
+  throw Error("unknown op '" + token +
+              "' (expected ping characterize study classify budget stats)");
+}
+
+Json toJson(const Request& request) {
+  Json out = Json::object();
+  out.set("op", opToken(request.op));
+  if (!request.id.empty()) out.set("id", request.id);
+  switch (request.op) {
+    case Op::Ping:
+      if (request.delayMs > 0.0) out.set("delay_ms", request.delayMs);
+      break;
+    case Op::Stats:
+      break;
+    case Op::Characterize:
+      out.set("algorithm", core::algorithmToken(request.algorithm));
+      out.set("size", request.size);
+      break;
+    case Op::Classify:
+    case Op::Budget:
+      out.set("algorithm", core::algorithmToken(request.algorithm));
+      out.set("size", request.size);
+      if (request.op == Op::Budget) {
+        out.set("budget_watts", request.budgetWatts);
+        if (request.simSteps > 0) out.set("sim_steps", request.simSteps);
+      }
+      break;
+    case Op::Study: {
+      Json algorithms = Json::array();
+      for (core::Algorithm a : request.algorithms) {
+        algorithms.push(core::algorithmToken(a));
+      }
+      if (!request.algorithms.empty()) out.set("algorithms", std::move(algorithms));
+      Json sizes = Json::array();
+      for (vis::Id s : request.sizes) sizes.push(s);
+      if (!request.sizes.empty()) out.set("sizes", std::move(sizes));
+      break;
+    }
+  }
+  if (!request.capsWatts.empty() &&
+      (request.op == Op::Study || request.op == Op::Classify)) {
+    Json caps = Json::array();
+    for (double c : request.capsWatts) caps.push(c);
+    out.set("caps", std::move(caps));
+  }
+  if (request.cycles > 0 && request.op == Op::Study) {
+    out.set("cycles", request.cycles);
+  }
+  return out;
+}
+
+Request requestFromJson(const Json& json) {
+  PVIZ_REQUIRE(json.isObject(), "request must be a JSON object");
+  Request request;
+  request.op = parseOpToken(requiredField(json, "op").asString());
+  request.id = stringField(json, "id", "");
+
+  if (request.op == Op::Ping) {
+    request.delayMs = numberField(json, "delay_ms", 0.0);
+    PVIZ_REQUIRE(request.delayMs >= 0.0 && request.delayMs <= 60000.0,
+                 "delay_ms must be in [0, 60000]");
+    return request;
+  }
+  if (request.op == Op::Stats) return request;
+
+  if (const Json* caps = json.find("caps")) {
+    for (const Json& c : caps->asArray()) {
+      const double cap = c.asNumber();
+      PVIZ_REQUIRE(cap > 0.0, "caps must be positive watts");
+      request.capsWatts.push_back(cap);
+    }
+  }
+
+  if (request.op == Op::Study) {
+    if (const Json* algorithms = json.find("algorithms")) {
+      for (const Json& a : algorithms->asArray()) {
+        request.algorithms.push_back(core::parseAlgorithmToken(a.asString()));
+      }
+    }
+    if (const Json* sizes = json.find("sizes")) {
+      for (const Json& s : sizes->asArray()) {
+        const vis::Id size = s.asInt();
+        PVIZ_REQUIRE(size > 0, "sizes must be positive");
+        request.sizes.push_back(size);
+      }
+    }
+    request.cycles = static_cast<int>(numberField(json, "cycles", 0.0));
+    PVIZ_REQUIRE(request.cycles >= 0, "cycles must be non-negative");
+    return request;
+  }
+
+  // Single-kernel operations.
+  request.algorithm =
+      core::parseAlgorithmToken(requiredField(json, "algorithm").asString());
+  request.size = requiredField(json, "size").asInt();
+  PVIZ_REQUIRE(request.size > 0, "size must be positive");
+  if (request.op == Op::Budget) {
+    request.budgetWatts = requiredField(json, "budget_watts").asNumber();
+    PVIZ_REQUIRE(request.budgetWatts > 0.0, "budget_watts must be positive");
+    request.simSteps = static_cast<int>(numberField(json, "sim_steps", 0.0));
+    PVIZ_REQUIRE(request.simSteps >= 0, "sim_steps must be non-negative");
+  }
+  return request;
+}
+
+Json toJson(const Response& response) {
+  Json out = Json::object();
+  out.set("id", response.id);
+  out.set("op", opToken(response.op));
+  out.set("status", response.status);
+  if (response.ok()) {
+    out.set("cached", response.cached);
+    out.set("elapsed_ms", response.elapsedMs);
+    out.set("result", response.result);
+  } else {
+    out.set("error", response.error);
+  }
+  return out;
+}
+
+Response responseFromJson(const Json& json) {
+  PVIZ_REQUIRE(json.isObject(), "response must be a JSON object");
+  Response response;
+  response.id = stringField(json, "id", "");
+  response.op = parseOpToken(requiredField(json, "op").asString());
+  response.status = requiredField(json, "status").asString();
+  if (response.ok()) {
+    if (const Json* cached = json.find("cached")) {
+      response.cached = cached->asBool();
+    }
+    response.elapsedMs = numberField(json, "elapsed_ms", 0.0);
+    if (const Json* result = json.find("result")) response.result = *result;
+  } else {
+    response.error = stringField(json, "error", "");
+  }
+  return response;
+}
+
+// --- Result payloads ------------------------------------------------------
+
+Json profileToJson(const vis::KernelProfile& profile) {
+  Json phases = Json::array();
+  for (const vis::WorkProfile& ph : profile.phases) {
+    Json p = Json::object();
+    p.set("name", ph.name);
+    p.set("flops", ph.flops);
+    p.set("int_ops", ph.intOps);
+    p.set("mem_ops", ph.memOps);
+    p.set("bytes_streamed", ph.bytesStreamed);
+    p.set("bytes_reused", ph.bytesReused);
+    p.set("irregular_accesses", ph.irregularAccesses);
+    p.set("working_set_bytes", ph.workingSetBytes);
+    p.set("parallel_fraction", ph.parallelFraction);
+    p.set("overlap", ph.overlap);
+    phases.push(std::move(p));
+  }
+  Json out = Json::object();
+  out.set("kernel", profile.kernel);
+  out.set("elements", profile.elements);
+  out.set("instructions", profile.totalInstructions());
+  out.set("bytes_streamed", profile.totalBytesStreamed());
+  out.set("phases", std::move(phases));
+  return out;
+}
+
+vis::KernelProfile profileFromJson(const Json& json) {
+  vis::KernelProfile profile;
+  profile.kernel = requiredField(json, "kernel").asString();
+  profile.elements = requiredField(json, "elements").asInt();
+  for (const Json& p : requiredField(json, "phases").asArray()) {
+    vis::WorkProfile ph;
+    ph.name = stringField(p, "name", "");
+    ph.flops = numberField(p, "flops", 0.0);
+    ph.intOps = numberField(p, "int_ops", 0.0);
+    ph.memOps = numberField(p, "mem_ops", 0.0);
+    ph.bytesStreamed = numberField(p, "bytes_streamed", 0.0);
+    ph.bytesReused = numberField(p, "bytes_reused", 0.0);
+    ph.irregularAccesses = numberField(p, "irregular_accesses", 0.0);
+    ph.workingSetBytes = numberField(p, "working_set_bytes", 0.0);
+    ph.parallelFraction = numberField(p, "parallel_fraction", 1.0);
+    ph.overlap = numberField(p, "overlap", 0.85);
+    profile.phases.push_back(std::move(ph));
+  }
+  return profile;
+}
+
+Json recordToJson(const core::ConfigRecord& record) {
+  Json out = Json::object();
+  out.set("algorithm", core::algorithmToken(record.algorithm));
+  out.set("size", record.size);
+  out.set("cap_watts", record.capWatts);
+  out.set("seconds", record.measurement.seconds);
+  out.set("joules", record.measurement.energyJoules);
+  out.set("watts", record.measurement.averageWatts);
+  out.set("ghz", record.measurement.effectiveGhz);
+  out.set("ipc", record.measurement.ipc);
+  out.set("llc_miss_rate", record.measurement.llcMissRate);
+  out.set("elements_per_second", record.measurement.elementsPerSecond);
+  out.set("t_ratio", record.ratios.tRatio);
+  out.set("p_ratio", record.ratios.pRatio);
+  out.set("f_ratio", record.ratios.fRatio);
+  return out;
+}
+
+core::ConfigRecord recordFromJson(const Json& json) {
+  core::ConfigRecord record;
+  record.algorithm =
+      core::parseAlgorithmToken(requiredField(json, "algorithm").asString());
+  record.size = requiredField(json, "size").asInt();
+  record.capWatts = requiredField(json, "cap_watts").asNumber();
+  record.measurement.seconds = numberField(json, "seconds", 0.0);
+  record.measurement.energyJoules = numberField(json, "joules", 0.0);
+  record.measurement.averageWatts = numberField(json, "watts", 0.0);
+  record.measurement.effectiveGhz = numberField(json, "ghz", 0.0);
+  record.measurement.ipc = numberField(json, "ipc", 0.0);
+  record.measurement.llcMissRate = numberField(json, "llc_miss_rate", 0.0);
+  record.measurement.elementsPerSecond =
+      numberField(json, "elements_per_second", 0.0);
+  record.ratios.tRatio = numberField(json, "t_ratio", 1.0);
+  record.ratios.pRatio = numberField(json, "p_ratio", 1.0);
+  record.ratios.fRatio = numberField(json, "f_ratio", 1.0);
+  return record;
+}
+
+Json classificationToJson(const core::Classification& c) {
+  Json out = Json::object();
+  out.set("class", c.powerOpportunity ? "opportunity" : "sensitive");
+  out.set("knee_cap_watts", c.kneeCapWatts);
+  out.set("draw_at_tdp_watts", c.drawAtTdpWatts);
+  out.set("slowdown_at_min_cap", c.slowdownAtMinCap);
+  out.set("ipc_at_tdp", c.ipcAtTdp);
+  return out;
+}
+
+core::Classification classificationFromJson(const Json& json) {
+  core::Classification c;
+  c.powerOpportunity = requiredField(json, "class").asString() == "opportunity";
+  c.kneeCapWatts = numberField(json, "knee_cap_watts", 0.0);
+  c.drawAtTdpWatts = numberField(json, "draw_at_tdp_watts", 0.0);
+  c.slowdownAtMinCap = numberField(json, "slowdown_at_min_cap", 1.0);
+  c.ipcAtTdp = numberField(json, "ipc_at_tdp", 0.0);
+  return c;
+}
+
+Json budgetPlanToJson(const core::BudgetPlan& plan) {
+  Json out = Json::object();
+  out.set("sim_cap_watts", plan.simCapWatts);
+  out.set("viz_cap_watts", plan.vizCapWatts);
+  out.set("predicted_seconds", plan.predictedSeconds);
+  out.set("uniform_seconds", plan.uniformSeconds);
+  out.set("predicted_average_watts", plan.predictedAverageWatts);
+  out.set("speedup_vs_uniform", plan.speedupVsUniform);
+  return out;
+}
+
+core::BudgetPlan budgetPlanFromJson(const Json& json) {
+  core::BudgetPlan plan;
+  plan.simCapWatts = numberField(json, "sim_cap_watts", 0.0);
+  plan.vizCapWatts = numberField(json, "viz_cap_watts", 0.0);
+  plan.predictedSeconds = numberField(json, "predicted_seconds", 0.0);
+  plan.uniformSeconds = numberField(json, "uniform_seconds", 0.0);
+  plan.predictedAverageWatts =
+      numberField(json, "predicted_average_watts", 0.0);
+  plan.speedupVsUniform = numberField(json, "speedup_vs_uniform", 1.0);
+  return plan;
+}
+
+std::string canonicalCacheKey(const Request& request) {
+  if (request.op == Op::Ping || request.op == Op::Stats) return "";
+  std::ostringstream key;
+  key.precision(17);
+  key << opToken(request.op);
+  auto appendCaps = [&] {
+    key << "|caps=";
+    for (double c : request.capsWatts) key << c << ',';
+  };
+  switch (request.op) {
+    case Op::Characterize:
+      key << "|alg=" << core::algorithmToken(request.algorithm)
+          << "|size=" << request.size;
+      break;
+    case Op::Classify:
+      key << "|alg=" << core::algorithmToken(request.algorithm)
+          << "|size=" << request.size;
+      appendCaps();
+      break;
+    case Op::Budget:
+      key << "|alg=" << core::algorithmToken(request.algorithm)
+          << "|size=" << request.size << "|budget=" << request.budgetWatts
+          << "|steps=" << request.simSteps;
+      break;
+    case Op::Study: {
+      key << "|algs=";
+      for (core::Algorithm a : request.algorithms) {
+        key << core::algorithmToken(a) << ',';
+      }
+      key << "|sizes=";
+      for (vis::Id s : request.sizes) key << s << ',';
+      appendCaps();
+      key << "|cycles=" << request.cycles;
+      break;
+    }
+    case Op::Ping:
+    case Op::Stats:
+      break;
+  }
+  return key.str();
+}
+
+}  // namespace pviz::service

@@ -1,0 +1,115 @@
+// The PowerViz service wire protocol.
+//
+// Transport: newline-delimited JSON over a localhost TCP stream.  Each
+// request is one JSON object on one line; the server answers with one
+// JSON object on one line carrying the request's `id` (responses may be
+// issued out of order when several workers share a connection, so the
+// id is the correlation token).
+//
+// Operations:
+//   ping          liveness probe; optional `delay_ms` holds a worker for
+//                 that long (load/overload testing)
+//   characterize  run one (algorithm, size) kernel for real; returns the
+//                 full phase-level KernelProfile
+//   study         a slice of the cap×algorithm×size matrix; returns one
+//                 record per configuration with the paper's ratios
+//   classify      power-opportunity vs power-sensitive for one kernel
+//   budget        PowerAdvisor cap split for a sim+viz power budget
+//   stats         server counters: queue, cache, latency per op
+//
+// Request fields (unknown fields are ignored; snake_case on the wire):
+//   {"op":"classify","id":"42","algorithm":"contour","size":64,
+//    "caps":[120,80,40],"cycles":10}
+//   {"op":"study","algorithms":["contour","slice"],"sizes":[32,64],
+//    "caps":[120,80],"cycles":5}
+//   {"op":"budget","algorithm":"volume","size":64,"budget_watts":65,
+//    "sim_steps":10}
+//
+// Response envelope:
+//   {"id":"42","op":"classify","status":"ok","cached":false,
+//    "elapsed_ms":17.3,"result":{...}}
+// `status` is "ok", "error" (with an `error` message), or "overloaded"
+// (admission control rejected the request; retry later).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/power_advisor.h"
+#include "core/study.h"
+#include "service/json.h"
+
+namespace pviz::service {
+
+enum class Op { Ping, Characterize, Study, Classify, Budget, Stats };
+
+/// Wire token for an operation ("ping", "characterize", ...).
+const char* opToken(Op op);
+/// Parse a wire token; throws pviz::Error on an unknown operation.
+Op parseOpToken(const std::string& token);
+
+struct Request {
+  Op op = Op::Ping;
+  std::string id;  ///< client correlation token, echoed verbatim
+
+  // Single-kernel operations (characterize / classify / budget).
+  core::Algorithm algorithm = core::Algorithm::Contour;
+  vis::Id size = 128;
+
+  // Study slices (empty = server defaults).
+  std::vector<core::Algorithm> algorithms;
+  std::vector<vis::Id> sizes;
+
+  std::vector<double> capsWatts;  ///< empty = server default sweep
+  int cycles = 0;                 ///< 0 = server default
+
+  // Budget.
+  double budgetWatts = 0.0;
+  int simSteps = 0;  ///< hydro steps characterizing the sim side (0 = default)
+
+  // Ping.
+  double delayMs = 0.0;  ///< artificial service time, for load tests
+};
+
+Json toJson(const Request& request);
+/// Parse a request object; throws pviz::Error on a malformed request
+/// (missing/unknown op, bad algorithm name, non-positive size, ...).
+Request requestFromJson(const Json& json);
+
+struct Response {
+  std::string id;
+  Op op = Op::Ping;
+  std::string status = "ok";  ///< "ok" | "error" | "overloaded"
+  bool cached = false;
+  double elapsedMs = 0.0;
+  std::string error;  ///< set when status != "ok"
+  Json result;        ///< op-specific payload when status == "ok"
+
+  bool ok() const { return status == "ok"; }
+};
+
+Json toJson(const Response& response);
+Response responseFromJson(const Json& json);
+
+// --- Result payloads ------------------------------------------------------
+// Each core result type serializes to the `result` member of an "ok"
+// response; the From functions invert exactly (round-trip tested).
+
+Json profileToJson(const vis::KernelProfile& profile);
+vis::KernelProfile profileFromJson(const Json& json);
+
+Json recordToJson(const core::ConfigRecord& record);
+core::ConfigRecord recordFromJson(const Json& json);
+
+Json classificationToJson(const core::Classification& c);
+core::Classification classificationFromJson(const Json& json);
+
+Json budgetPlanToJson(const core::BudgetPlan& plan);
+core::BudgetPlan budgetPlanFromJson(const Json& json);
+
+/// Deterministic cache key for a *normalized* request (defaults already
+/// applied by the engine).  Empty for operations that are never cached
+/// (ping, stats).
+std::string canonicalCacheKey(const Request& request);
+
+}  // namespace pviz::service

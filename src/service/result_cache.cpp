@@ -1,0 +1,96 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace pviz::service {
+
+ResultCache::ResultCache(std::size_t maxEntries, std::size_t shardCount)
+    : maxEntries_(maxEntries) {
+  shardCount = std::max<std::size_t>(1, shardCount);
+  // Never more shards than entries, or the per-shard bound collapses.
+  if (maxEntries_ > 0) shardCount = std::min(shardCount, maxEntries_);
+  perShardEntries_ =
+      maxEntries_ == 0 ? 0 : (maxEntries_ + shardCount - 1) / shardCount;
+  shards_.reserve(shardCount);
+  for (std::size_t i = 0; i < shardCount; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::uint64_t ResultCache::hashKey(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+ResultCache::Shard& ResultCache::shardFor(const std::string& key) {
+  return *shards_[hashKey(key) % shards_.size()];
+}
+
+std::optional<std::string> ResultCache::get(const std::string& key) {
+  if (maxEntries_ == 0) return std::nullopt;
+  Shard& shard = shardFor(key);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::put(const std::string& key, std::string value) {
+  if (maxEntries_ == 0) return;
+  Shard& shard = shardFor(key);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->value.size();
+    shard.bytes += value.size();
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.bytes += key.size() + value.size();
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.insertions;
+  while (shard.lru.size() > perShardEntries_) {
+    const Entry& tail = shard.lru.back();
+    shard.bytes -= tail.key.size() + tail.value.size();
+    shard.index.erase(tail.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.entries += shard->lru.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+void ResultCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace pviz::service

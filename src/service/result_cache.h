@@ -1,0 +1,82 @@
+// Sharded, size-bounded LRU cache for serialized service results.
+//
+// Keys are the canonical request strings from protocol.h; values are the
+// serialized `result` payloads, so a hit skips the study entirely and
+// the response is a hash lookup plus a socket write.  The key's FNV-1a
+// hash picks a shard; each shard holds an independent LRU list under its
+// own mutex, so workers hitting different shards never contend.  The
+// entry bound is global (split evenly across shards) and eviction is
+// per-shard LRU — the classic approximation of global LRU that avoids a
+// global lock.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pviz::service {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;  ///< sum of key+value sizes currently held
+  };
+
+  /// `maxEntries` bounds the whole cache (0 disables caching);
+  /// `shardCount` is rounded up to at least 1.
+  explicit ResultCache(std::size_t maxEntries = 1024,
+                       std::size_t shardCount = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Look up `key`, refreshing its recency; counts a hit or a miss.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Insert or refresh `key`; evicts the shard's LRU tail past capacity.
+  void put(const std::string& key, std::string value);
+
+  /// Aggregated counters across all shards.
+  Stats stats() const;
+
+  void clear();
+
+  std::size_t maxEntries() const { return maxEntries_; }
+
+  /// FNV-1a 64-bit, exposed for tests.
+  static std::uint64_t hashKey(const std::string& key);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shardFor(const std::string& key);
+
+  std::size_t maxEntries_;
+  std::size_t perShardEntries_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pviz::service

@@ -1,0 +1,289 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace pviz::service {
+
+namespace {
+
+constexpr int kPollMillis = 100;  // shutdown-check cadence for all polls
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), engine_(config_.engine) {
+  PVIZ_REQUIRE(config_.workers >= 1, "server needs at least one worker");
+  PVIZ_REQUIRE(config_.maxQueueDepth >= 1, "queue depth must be >= 1");
+  PVIZ_REQUIRE(config_.maxConnections >= 1, "connection bound must be >= 1");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  PVIZ_REQUIRE(!started_, "server already started");
+
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PVIZ_REQUIRE(listenFd_ >= 0, "cannot create listen socket");
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  PVIZ_REQUIRE(::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) == 1,
+               "invalid listen address '" + config_.host + "'");
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw Error("cannot bind " + config_.host + ":" +
+                std::to_string(config_.port) + ": " + why);
+  }
+  PVIZ_REQUIRE(::listen(listenFd_, 128) == 0, "listen failed");
+
+  socklen_t addrLen = sizeof addr;
+  PVIZ_REQUIRE(
+      ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &addrLen) ==
+          0,
+      "getsockname failed");
+  boundPort_ = ntohs(addr.sin_port);
+
+  started_ = true;
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  PVIZ_LOG_INFO("service listening on " << config_.host << ':' << boundPort_
+                                        << " (" << config_.workers
+                                        << " workers, queue "
+                                        << config_.maxQueueDepth << ")");
+}
+
+void Server::stop() {
+  if (!started_ || stopped_.exchange(true)) return;
+  stopping_ = true;
+
+  // 1. Stop taking new connections and new requests.
+  if (acceptThread_.joinable()) acceptThread_.join();
+  reapReaders(/*joinAll=*/true);
+
+  // 2. Drain: workers finish every request already admitted and write
+  //    the responses (connections are kept alive by the tasks' refs).
+  queueCv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // 3. Tear the listener down.
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  PVIZ_LOG_INFO("service on port " << boundPort_ << " drained and stopped");
+}
+
+Json Server::statsJson() const {
+  return ServiceMetrics::toJson(metrics_.snapshot(), engine_.cache().stats());
+}
+
+void Server::acceptLoop() {
+  while (!stopping_) {
+    pollfd pfd{listenFd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) {
+      reapReaders(/*joinAll=*/false);
+      continue;
+    }
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    auto conn = std::make_shared<Connection>(fd);
+    if (activeConnections_.load() >= config_.maxConnections) {
+      // Admission control at the connection level: one overloaded line,
+      // then the Connection destructor closes the socket.
+      metrics_.recordOverloaded();
+      respondOverloaded(*conn, "");
+      continue;
+    }
+
+    activeConnections_.fetch_add(1);
+    metrics_.connectionOpened();
+    std::lock_guard lock(readersMutex_);
+    readers_.emplace_back(
+        std::thread([this, conn] { readerLoop(conn); }), conn);
+  }
+}
+
+void Server::reapReaders(bool joinAll) {
+  std::lock_guard lock(readersMutex_);
+  for (auto it = readers_.begin(); it != readers_.end();) {
+    if (joinAll || it->second->readerDone.load()) {
+      it->first.join();
+      it = readers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::readerLoop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[16384];
+  bool open = true;
+
+  while (open && !stopping_) {
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;
+
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // EOF or error: the client is gone
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    if (buffer.size() > config_.maxLineBytes) {
+      PVIZ_LOG_WARN("dropping connection: frame exceeds "
+                    << config_.maxLineBytes << " bytes");
+      metrics_.recordBadRequest();
+      break;
+    }
+
+    std::size_t lineStart = 0;
+    for (std::size_t nl = buffer.find('\n', lineStart);
+         nl != std::string::npos; nl = buffer.find('\n', lineStart)) {
+      std::string line = buffer.substr(lineStart, nl - lineStart);
+      lineStart = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      Task task{conn, line, std::chrono::steady_clock::now()};
+      if (!tryEnqueue(std::move(task))) {
+        // Backpressure: answer now instead of buffering unboundedly.
+        metrics_.recordOverloaded();
+        respondOverloaded(*conn, line);
+      }
+    }
+    buffer.erase(0, lineStart);
+  }
+
+  metrics_.connectionClosed();
+  activeConnections_.fetch_sub(1);
+  conn->readerDone = true;
+}
+
+bool Server::tryEnqueue(Task task) {
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(queueMutex_);
+    if (queue_.size() >= config_.maxQueueDepth) return false;
+    queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  metrics_.recordQueueDepth(depth);
+  queueCv_.notify_one();
+  return true;
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(queueMutex_);
+      queueCv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      metrics_.recordQueueDepth(queue_.size());
+    }
+    process(task);
+  }
+}
+
+void Server::process(Task& task) {
+  Response response;
+  try {
+    const Request request = requestFromJson(Json::parse(task.line));
+    response.id = request.id;
+    response.op = request.op;
+    try {
+      if (request.op == Op::Stats) {
+        response.result = statsJson();
+      } else {
+        ServiceEngine::Outcome outcome = engine_.handle(request);
+        response.result = std::move(outcome.result);
+        response.cached = outcome.cached;
+      }
+    } catch (const std::exception& e) {
+      response.status = "error";
+      response.error = e.what();
+    }
+    response.elapsedMs = millisSince(task.enqueued);
+    metrics_.recordRequest(request.op, response.elapsedMs, response.cached,
+                           !response.ok());
+  } catch (const std::exception& e) {
+    // The frame itself did not parse to a request.
+    metrics_.recordBadRequest();
+    response.status = "error";
+    response.error = e.what();
+    response.elapsedMs = millisSince(task.enqueued);
+  }
+  writeLine(*task.conn, toJson(response).dump());
+}
+
+void Server::writeLine(Connection& conn, const std::string& line) {
+  std::lock_guard lock(conn.writeMutex);
+  std::string frame = line;
+  frame += '\n';
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(conn.fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // client gone; drop the response
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::respondOverloaded(Connection& conn, const std::string& line) {
+  Response response;
+  response.status = "overloaded";
+  response.error = "request queue is full, retry later";
+  // Best-effort id echo so the client can correlate the rejection.
+  try {
+    const Json json = Json::parse(line);
+    if (const Json* id = json.find("id")) response.id = id->asString();
+    if (const Json* op = json.find("op")) {
+      response.op = parseOpToken(op->asString());
+    }
+  } catch (const std::exception&) {
+    // Unparseable or empty: reply without correlation fields.
+  }
+  writeLine(conn, toJson(response).dump());
+}
+
+}  // namespace pviz::service

@@ -1,0 +1,122 @@
+// The PowerViz service server: a concurrent TCP front end over the
+// ServiceEngine.
+//
+// Threading model
+//   * one accept thread (poll with a short timeout, so shutdown needs
+//     no signal tricks),
+//   * one reader thread per connection (bounded by maxConnections;
+//     finished readers are reaped on the next accept),
+//   * a fixed pool of request workers draining one bounded queue.
+//
+// Admission control and backpressure: a request that arrives while the
+// queue is full is answered immediately with an `overloaded` response
+// instead of being buffered — queue depth, not client count, bounds the
+// server's memory and its worst-case latency.  A connection past
+// maxConnections gets a single `overloaded` line and is closed.
+//
+// Shutdown is drain-and-stop: stop() (the SIGINT path in
+// powerviz_serve) stops accepting connections and reading new requests,
+// lets the workers finish every queued request, writes those responses,
+// then closes the sockets and joins all threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/engine.h"
+#include "service/metrics.h"
+
+namespace pviz::service {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";  ///< listen address (localhost only)
+  int port = 0;                    ///< 0 = ephemeral, see Server::port()
+  int workers = 4;                 ///< request worker threads
+  std::size_t maxQueueDepth = 64;  ///< admission-control bound
+  std::size_t maxConnections = 64;
+  std::size_t maxLineBytes = 1 << 20;  ///< protocol frame size bound
+  EngineConfig engine;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();  ///< stops (draining) if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and spawn the threads; throws pviz::Error on failure.
+  void start();
+
+  /// The bound port (the ephemeral one when config.port was 0).
+  int port() const { return boundPort_; }
+
+  bool running() const { return started_ && !stopped_; }
+
+  /// Drain and shut down: refuse new work, finish queued requests,
+  /// write their responses, close sockets, join threads.  Idempotent.
+  void stop();
+
+  ServiceEngine& engine() { return engine_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+  /// The `stats` payload (metrics snapshot + cache counters).
+  Json statsJson() const;
+
+ private:
+  struct Connection {
+    explicit Connection(int fileDescriptor) : fd(fileDescriptor) {}
+    ~Connection();
+    const int fd;
+    std::mutex writeMutex;
+    std::atomic<bool> readerDone{false};
+  };
+
+  struct Task {
+    std::shared_ptr<Connection> conn;
+    std::string line;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void acceptLoop();
+  void readerLoop(std::shared_ptr<Connection> conn);
+  void workerLoop();
+  void reapReaders(bool joinAll);
+
+  /// False when the queue is full (the caller answers `overloaded`).
+  bool tryEnqueue(Task task);
+  void process(Task& task);
+  void writeLine(Connection& conn, const std::string& line);
+  void respondOverloaded(Connection& conn, const std::string& line);
+
+  ServerConfig config_;
+  ServiceEngine engine_;
+  ServiceMetrics metrics_;
+
+  int listenFd_ = -1;
+  int boundPort_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::size_t> activeConnections_{0};
+
+  std::thread acceptThread_;
+  std::vector<std::thread> workers_;
+  std::mutex readersMutex_;
+  std::list<std::pair<std::thread, std::shared_ptr<Connection>>> readers_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<Task> queue_;
+};
+
+}  // namespace pviz::service

@@ -1,0 +1,62 @@
+#include "util/options.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pviz::util {
+
+std::vector<std::string> splitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+std::int64_t parseInt(const std::string& token, const std::string& what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  PVIZ_REQUIRE(!token.empty() && end == token.c_str() + token.size() &&
+                   errno == 0,
+               what + ": '" + token + "' is not an integer");
+  return static_cast<std::int64_t>(value);
+}
+
+double parseDouble(const std::string& token, const std::string& what) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  PVIZ_REQUIRE(!token.empty() && end == token.c_str() + token.size() &&
+                   errno == 0,
+               what + ": '" + token + "' is not a number");
+  return value;
+}
+
+std::vector<std::int64_t> parseSizeList(const std::string& csv) {
+  std::vector<std::int64_t> sizes;
+  for (const auto& token : splitList(csv)) {
+    const std::int64_t size = parseInt(token, "size list");
+    PVIZ_REQUIRE(size > 0, "size list: '" + token + "' must be positive");
+    sizes.push_back(size);
+  }
+  PVIZ_REQUIRE(!sizes.empty(), "size list is empty");
+  return sizes;
+}
+
+std::vector<double> parseCapList(const std::string& csv) {
+  std::vector<double> caps;
+  for (const auto& token : splitList(csv)) {
+    const double cap = parseDouble(token, "cap list");
+    PVIZ_REQUIRE(cap > 0.0, "cap list: '" + token + "' must be positive");
+    caps.push_back(cap);
+  }
+  PVIZ_REQUIRE(!caps.empty(), "cap list is empty");
+  return caps;
+}
+
+}  // namespace pviz::util

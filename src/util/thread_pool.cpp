@@ -88,6 +88,11 @@ void ThreadPool::parallelFor(
     return;
   }
 
+  // Admit one top-level loop at a time; concurrent callers (service
+  // request workers) queue here.  Nested calls never reach this point —
+  // the insideWorker_ test above already ran them inline.
+  std::lock_guard callerLock(callerMutex_);
+
   Job job;
   job.begin = begin;
   job.end = end;

@@ -27,9 +27,12 @@ namespace pviz::util {
 
 /// A persistent pool of worker threads executing blocked-range loops.
 ///
-/// The pool is safe to use from one caller thread at a time; nested
-/// parallelism executes the inner loop serially on the calling worker
-/// (the same policy VTK-m uses for its serial fallback).
+/// The pool is safe to use from any number of caller threads: concurrent
+/// loops are serialized through an admission mutex (one loop owns the
+/// workers at a time — the service layer issues characterizations from
+/// several request workers).  Nested parallelism executes the inner loop
+/// serially on the calling worker (the same policy VTK-m uses for its
+/// serial fallback).
 class ThreadPool {
  public:
   /// Create a pool with `workers` threads (0 = hardware concurrency).
@@ -65,6 +68,7 @@ class ThreadPool {
   };
 
   std::vector<std::thread> threads_;
+  std::mutex callerMutex_;  // admits one top-level loop at a time
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;

@@ -1,0 +1,125 @@
+// Sharded LRU result cache: hit/miss accounting, eviction order, the
+// entry bound, and concurrent access.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/result_cache.h"
+
+namespace pviz::service {
+namespace {
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(8, 1);
+  EXPECT_FALSE(cache.get("k").has_value());
+  cache.put("k", "v");
+  auto hit = cache.get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "v");
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, std::string("k").size() + std::string("v").size());
+}
+
+TEST(ResultCache, UpdateRefreshesValue) {
+  ResultCache cache(8, 1);
+  cache.put("k", "old");
+  cache.put("k", "new");
+  EXPECT_EQ(*cache.get("k"), "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);  // update, not insertion
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(3, 1);  // one shard so LRU order is global
+  cache.put("a", "1");
+  cache.put("b", "2");
+  cache.put("c", "3");
+  // Touch "a" so "b" becomes the LRU entry.
+  EXPECT_TRUE(cache.get("a").has_value());
+  cache.put("d", "4");
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());  // evicted
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ResultCache, EntryBoundHoldsAcrossShards) {
+  const std::size_t maxEntries = 64;
+  ResultCache cache(maxEntries, 8);
+  for (int i = 0; i < 1000; ++i) {
+    cache.put("key-" + std::to_string(i), "value");
+  }
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.entries, maxEntries);
+  EXPECT_EQ(stats.insertions, 1000u);
+  EXPECT_EQ(stats.evictions, 1000u - stats.entries);
+}
+
+TEST(ResultCache, ZeroEntriesDisablesCaching) {
+  ResultCache cache(0);
+  cache.put("k", "v");
+  EXPECT_FALSE(cache.get("k").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);  // disabled lookups are not misses
+}
+
+TEST(ResultCache, ClearEmptiesAllShards) {
+  ResultCache cache(64, 4);
+  for (int i = 0; i < 32; ++i) {
+    cache.put("key-" + std::to_string(i), "value");
+  }
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_FALSE(cache.get("key-0").has_value());
+}
+
+TEST(ResultCache, HashIsStable) {
+  EXPECT_EQ(ResultCache::hashKey("classify|alg=contour"),
+            ResultCache::hashKey("classify|alg=contour"));
+  EXPECT_NE(ResultCache::hashKey("a"), ResultCache::hashKey("b"));
+}
+
+TEST(ResultCache, ConcurrentMixedAccess) {
+  ResultCache cache(128, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "key-" + std::to_string((t * 7 + i) % 200);
+        if (i % 3 == 0) {
+          cache.put(key, "value-" + std::to_string(i));
+        } else {
+          cache.get(key);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Per thread: i % 3 == 0 holds 667 times in [0, 2000), so 1333 gets.
+  int getsPerThread = 0;
+  for (int i = 0; i < kOpsPerThread; ++i) {
+    if (i % 3 != 0) ++getsPerThread;
+  }
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.entries, 128u);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads * getsPerThread));
+}
+
+}  // namespace
+}  // namespace pviz::service

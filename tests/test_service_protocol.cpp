@@ -1,0 +1,331 @@
+// Service protocol: JSON parse/serialize and the request/response and
+// result-payload round trips for every operation type.
+#include <gtest/gtest.h>
+
+#include "service/protocol.h"
+#include "util/error.h"
+
+namespace pviz::service {
+namespace {
+
+// --- Json -----------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(Json::parse("null").dump(), "null");
+  EXPECT_EQ(Json::parse("true").dump(), "true");
+  EXPECT_EQ(Json::parse("false").dump(), "false");
+  EXPECT_EQ(Json::parse("42").dump(), "42");
+  EXPECT_EQ(Json::parse("-3.25").dump(), "-3.25");
+  EXPECT_EQ(Json::parse("\"hi\"").dump(), "\"hi\"");
+}
+
+TEST(Json, StructureRoundTrip) {
+  const std::string text =
+      R"({"op":"study","sizes":[32,64],"nested":{"a":true,"b":null}})";
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(Json, StringEscapes) {
+  const Json v = Json::parse(R"("line\nbreak\ttab \"quoted\" A")");
+  EXPECT_EQ(v.asString(), "line\nbreak\ttab \"quoted\" A");
+  // Dump re-escapes control characters.
+  EXPECT_EQ(Json(std::string("a\nb")).dump(), "\"a\\nb\"");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const Json v = Json::parse("  { \"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(v.find("a")->asArray().size(), 2u);
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":}"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("{} trailing"), Error);
+  EXPECT_THROW(Json::parse("1.2.3"), Error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json v = Json::parse("{\"a\":1}");
+  EXPECT_THROW(v.asArray(), Error);
+  EXPECT_THROW(v.find("a")->asString(), Error);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, DumpIsSingleLine) {
+  Json v = Json::object();
+  v.set("text", "has\nnewline");
+  EXPECT_EQ(v.dump().find('\n'), std::string::npos);
+}
+
+// --- Requests -------------------------------------------------------------
+
+void expectRequestRoundTrip(const Request& request) {
+  const Request parsed = requestFromJson(Json::parse(toJson(request).dump()));
+  EXPECT_EQ(parsed.op, request.op);
+  EXPECT_EQ(parsed.id, request.id);
+  EXPECT_EQ(parsed.algorithm, request.algorithm);
+  EXPECT_EQ(parsed.size, request.size);
+  EXPECT_EQ(parsed.algorithms, request.algorithms);
+  EXPECT_EQ(parsed.sizes, request.sizes);
+  EXPECT_EQ(parsed.capsWatts, request.capsWatts);
+  EXPECT_EQ(parsed.cycles, request.cycles);
+  EXPECT_DOUBLE_EQ(parsed.budgetWatts, request.budgetWatts);
+  EXPECT_EQ(parsed.simSteps, request.simSteps);
+  EXPECT_DOUBLE_EQ(parsed.delayMs, request.delayMs);
+}
+
+TEST(Protocol, PingRoundTrip) {
+  Request request;
+  request.op = Op::Ping;
+  request.id = "p1";
+  request.delayMs = 12.5;
+  expectRequestRoundTrip(request);
+}
+
+TEST(Protocol, StatsRoundTrip) {
+  Request request;
+  request.op = Op::Stats;
+  request.id = "s1";
+  expectRequestRoundTrip(request);
+}
+
+TEST(Protocol, CharacterizeRoundTrip) {
+  Request request;
+  request.op = Op::Characterize;
+  request.id = "c1";
+  request.algorithm = core::Algorithm::RayTracing;
+  request.size = 64;
+  expectRequestRoundTrip(request);
+}
+
+TEST(Protocol, ClassifyRoundTrip) {
+  Request request;
+  request.op = Op::Classify;
+  request.algorithm = core::Algorithm::VolumeRendering;
+  request.size = 32;
+  request.capsWatts = {120, 80, 40};
+  expectRequestRoundTrip(request);
+}
+
+TEST(Protocol, StudyRoundTrip) {
+  Request request;
+  request.op = Op::Study;
+  request.id = "batch-7";
+  request.algorithms = {core::Algorithm::Contour, core::Algorithm::Slice};
+  request.sizes = {32, 64};
+  request.capsWatts = {120, 60};
+  request.cycles = 5;
+  expectRequestRoundTrip(request);
+}
+
+TEST(Protocol, BudgetRoundTrip) {
+  Request request;
+  request.op = Op::Budget;
+  request.algorithm = core::Algorithm::Threshold;
+  request.size = 128;
+  request.budgetWatts = 65.0;
+  request.simSteps = 12;
+  expectRequestRoundTrip(request);
+}
+
+TEST(Protocol, MalformedRequestsThrow) {
+  // No op.
+  EXPECT_THROW(requestFromJson(Json::parse("{}")), Error);
+  // Unknown op.
+  EXPECT_THROW(requestFromJson(Json::parse(R"({"op":"frobnicate"})")), Error);
+  // Unknown algorithm.
+  EXPECT_THROW(requestFromJson(Json::parse(
+                   R"({"op":"classify","algorithm":"nope","size":32})")),
+               Error);
+  // Missing size.
+  EXPECT_THROW(requestFromJson(Json::parse(
+                   R"({"op":"classify","algorithm":"contour"})")),
+               Error);
+  // Non-positive size.
+  EXPECT_THROW(requestFromJson(Json::parse(
+                   R"({"op":"classify","algorithm":"contour","size":0})")),
+               Error);
+  // Negative cap.
+  EXPECT_THROW(
+      requestFromJson(Json::parse(
+          R"({"op":"classify","algorithm":"contour","size":32,"caps":[-5]})")),
+      Error);
+  // Budget without budget_watts.
+  EXPECT_THROW(requestFromJson(Json::parse(
+                   R"({"op":"budget","algorithm":"contour","size":32})")),
+               Error);
+  // Not an object at all.
+  EXPECT_THROW(requestFromJson(Json::parse("[1,2,3]")), Error);
+}
+
+// --- Responses ------------------------------------------------------------
+
+TEST(Protocol, OkResponseRoundTrip) {
+  Response response;
+  response.id = "42";
+  response.op = Op::Classify;
+  response.status = "ok";
+  response.cached = true;
+  response.elapsedMs = 3.75;
+  Json result = Json::object();
+  result.set("class", "opportunity");
+  response.result = std::move(result);
+
+  const Response parsed = responseFromJson(Json::parse(toJson(response).dump()));
+  EXPECT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.id, "42");
+  EXPECT_EQ(parsed.op, Op::Classify);
+  EXPECT_TRUE(parsed.cached);
+  EXPECT_DOUBLE_EQ(parsed.elapsedMs, 3.75);
+  EXPECT_EQ(parsed.result.find("class")->asString(), "opportunity");
+}
+
+TEST(Protocol, ErrorAndOverloadedResponseRoundTrip) {
+  for (const char* status : {"error", "overloaded"}) {
+    Response response;
+    response.id = "9";
+    response.op = Op::Study;
+    response.status = status;
+    response.error = "something";
+    const Response parsed =
+        responseFromJson(Json::parse(toJson(response).dump()));
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status, status);
+    EXPECT_EQ(parsed.error, "something");
+  }
+}
+
+// --- Result payloads ------------------------------------------------------
+
+TEST(Protocol, ProfileRoundTrip) {
+  vis::KernelProfile profile;
+  profile.kernel = "contour";
+  profile.elements = 32768;
+  vis::WorkProfile& a = profile.addPhase("mc-cells");
+  a.flops = 1e6;
+  a.intOps = 2e6;
+  a.memOps = 3e6;
+  a.bytesStreamed = 4e6;
+  a.bytesReused = 5e5;
+  a.irregularAccesses = 1e4;
+  a.workingSetBytes = 1e5;
+  a.parallelFraction = 0.95;
+  a.overlap = 0.8;
+  profile.addPhase("weld").flops = 7e5;
+
+  const vis::KernelProfile parsed =
+      profileFromJson(Json::parse(profileToJson(profile).dump()));
+  ASSERT_EQ(parsed.phases.size(), 2u);
+  EXPECT_EQ(parsed.kernel, "contour");
+  EXPECT_EQ(parsed.elements, 32768);
+  EXPECT_EQ(parsed.phases[0].name, "mc-cells");
+  EXPECT_DOUBLE_EQ(parsed.phases[0].flops, 1e6);
+  EXPECT_DOUBLE_EQ(parsed.phases[0].parallelFraction, 0.95);
+  EXPECT_DOUBLE_EQ(parsed.phases[0].overlap, 0.8);
+  EXPECT_DOUBLE_EQ(parsed.phases[1].flops, 7e5);
+  EXPECT_DOUBLE_EQ(parsed.totalInstructions(), profile.totalInstructions());
+}
+
+TEST(Protocol, RecordRoundTrip) {
+  core::ConfigRecord record;
+  record.algorithm = core::Algorithm::Isovolume;
+  record.size = 64;
+  record.capWatts = 80;
+  record.measurement.seconds = 12.5;
+  record.measurement.averageWatts = 77.2;
+  record.measurement.ipc = 1.31;
+  record.measurement.elementsPerSecond = 2.1e7;
+  record.ratios.tRatio = 1.04;
+  record.ratios.pRatio = 1.5;
+  record.ratios.fRatio = 1.2;
+
+  const core::ConfigRecord parsed =
+      recordFromJson(Json::parse(recordToJson(record).dump()));
+  EXPECT_EQ(parsed.algorithm, core::Algorithm::Isovolume);
+  EXPECT_EQ(parsed.size, 64);
+  EXPECT_DOUBLE_EQ(parsed.capWatts, 80);
+  EXPECT_DOUBLE_EQ(parsed.measurement.seconds, 12.5);
+  EXPECT_DOUBLE_EQ(parsed.measurement.ipc, 1.31);
+  EXPECT_DOUBLE_EQ(parsed.ratios.tRatio, 1.04);
+  EXPECT_DOUBLE_EQ(parsed.ratios.pRatio, 1.5);
+}
+
+TEST(Protocol, ClassificationRoundTrip) {
+  core::Classification c;
+  c.powerOpportunity = true;
+  c.kneeCapWatts = 50;
+  c.drawAtTdpWatts = 88.5;
+  c.slowdownAtMinCap = 1.07;
+  c.ipcAtTdp = 0.42;
+  const core::Classification parsed =
+      classificationFromJson(Json::parse(classificationToJson(c).dump()));
+  EXPECT_TRUE(parsed.powerOpportunity);
+  EXPECT_DOUBLE_EQ(parsed.kneeCapWatts, 50);
+  EXPECT_DOUBLE_EQ(parsed.drawAtTdpWatts, 88.5);
+  EXPECT_DOUBLE_EQ(parsed.slowdownAtMinCap, 1.07);
+  EXPECT_DOUBLE_EQ(parsed.ipcAtTdp, 0.42);
+}
+
+TEST(Protocol, BudgetPlanRoundTrip) {
+  core::BudgetPlan plan;
+  plan.simCapWatts = 90;
+  plan.vizCapWatts = 50;
+  plan.predictedSeconds = 30.5;
+  plan.uniformSeconds = 34.0;
+  plan.predictedAverageWatts = 64.8;
+  plan.speedupVsUniform = 1.11;
+  const core::BudgetPlan parsed =
+      budgetPlanFromJson(Json::parse(budgetPlanToJson(plan).dump()));
+  EXPECT_DOUBLE_EQ(parsed.simCapWatts, 90);
+  EXPECT_DOUBLE_EQ(parsed.vizCapWatts, 50);
+  EXPECT_DOUBLE_EQ(parsed.predictedSeconds, 30.5);
+  EXPECT_DOUBLE_EQ(parsed.uniformSeconds, 34.0);
+  EXPECT_DOUBLE_EQ(parsed.speedupVsUniform, 1.11);
+}
+
+// --- Cache keys -----------------------------------------------------------
+
+TEST(Protocol, CacheKeyDistinguishesConfigs) {
+  Request a;
+  a.op = Op::Classify;
+  a.algorithm = core::Algorithm::Contour;
+  a.size = 64;
+  a.capsWatts = {120, 60};
+  Request b = a;
+  EXPECT_EQ(canonicalCacheKey(a), canonicalCacheKey(b));
+  b.size = 128;
+  EXPECT_NE(canonicalCacheKey(a), canonicalCacheKey(b));
+  b = a;
+  b.capsWatts = {120, 40};
+  EXPECT_NE(canonicalCacheKey(a), canonicalCacheKey(b));
+  b = a;
+  b.op = Op::Characterize;
+  EXPECT_NE(canonicalCacheKey(a), canonicalCacheKey(b));
+}
+
+TEST(Protocol, CacheKeyIgnoresId) {
+  Request a;
+  a.op = Op::Characterize;
+  a.algorithm = core::Algorithm::Slice;
+  a.size = 32;
+  Request b = a;
+  a.id = "1";
+  b.id = "2";
+  EXPECT_EQ(canonicalCacheKey(a), canonicalCacheKey(b));
+}
+
+TEST(Protocol, UncacheableOpsHaveEmptyKey) {
+  Request ping;
+  ping.op = Op::Ping;
+  EXPECT_TRUE(canonicalCacheKey(ping).empty());
+  Request stats;
+  stats.op = Op::Stats;
+  EXPECT_TRUE(canonicalCacheKey(stats).empty());
+}
+
+}  // namespace
+}  // namespace pviz::service

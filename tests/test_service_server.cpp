@@ -1,0 +1,285 @@
+// End-to-end service tests: a real server on an ephemeral localhost
+// port, real TCP clients, concurrent classify requests, backpressure,
+// drain-on-stop, and SIGINT drain of the powerviz_serve binary.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "service/client.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/error.h"
+
+namespace pviz::service {
+namespace {
+
+/// A server config sized for tests: tiny dataset, light rendering, no
+/// on-disk cache, ephemeral port.
+ServerConfig testConfig() {
+  ServerConfig config;
+  config.port = 0;
+  config.workers = 4;
+  config.engine.study.params = core::AlgorithmParams::lightRendering();
+  config.engine.study.cachePath.clear();
+  config.engine.study.cycles = 2;
+  return config;
+}
+
+Request classifyRequest(vis::Id size = 12) {
+  Request request;
+  request.op = Op::Classify;
+  request.algorithm = core::Algorithm::Contour;
+  request.size = size;
+  return request;
+}
+
+TEST(ServiceServer, PingRoundTrip) {
+  Server server(testConfig());
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  ServiceClient client("127.0.0.1", server.port());
+  Request request;
+  request.op = Op::Ping;
+  const Response response = client.request(request);
+  EXPECT_EQ(response.status, "ok");
+  EXPECT_EQ(response.op, Op::Ping);
+  const Json* pong = response.result.find("pong");
+  ASSERT_NE(pong, nullptr);
+  EXPECT_TRUE(pong->asBool());
+
+  server.stop();
+}
+
+// The ISSUE acceptance test: concurrent classify requests from several
+// client threads produce identical results, and a follow-up identical
+// request is served from the result cache.
+TEST(ServiceServer, ConcurrentClassifyIdenticalResultsAndCacheHit) {
+  Server server(testConfig());
+  server.start();
+
+  constexpr int kClients = 6;
+  std::vector<std::string> payloads(kClients);
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &payloads, &errors, c] {
+      try {
+        ServiceClient client("127.0.0.1", server.port());
+        const Response response = client.request(classifyRequest());
+        if (response.status != "ok") {
+          errors[static_cast<std::size_t>(c)] =
+              "status " + response.status + ": " + response.error;
+          return;
+        }
+        payloads[static_cast<std::size_t>(c)] = response.result.dump();
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(c)] = e.what();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(errors[static_cast<std::size_t>(c)], "") << "client " << c;
+    EXPECT_FALSE(payloads[static_cast<std::size_t>(c)].empty())
+        << "client " << c;
+  }
+  // All concurrent clients saw the same classification.
+  const std::set<std::string> distinct(payloads.begin(), payloads.end());
+  EXPECT_EQ(distinct.size(), 1u);
+
+  // A follow-up identical request must be a cache hit.
+  ServiceClient follower("127.0.0.1", server.port());
+  const Response cachedResponse = follower.request(classifyRequest());
+  ASSERT_EQ(cachedResponse.status, "ok");
+  EXPECT_TRUE(cachedResponse.cached);
+  EXPECT_EQ(cachedResponse.result.dump(), *distinct.begin());
+  EXPECT_GE(server.engine().cache().stats().hits, 1u);
+
+  server.stop();
+}
+
+TEST(ServiceServer, StatsRequestReportsCounters) {
+  Server server(testConfig());
+  server.start();
+
+  ServiceClient client("127.0.0.1", server.port());
+  client.request(classifyRequest());
+
+  Request statsRequest;
+  statsRequest.op = Op::Stats;
+  const Response response = client.request(statsRequest);
+  ASSERT_EQ(response.status, "ok");
+  const Json* ops = response.result.find("ops");
+  ASSERT_NE(ops, nullptr);
+  const Json* classify = ops->find("classify");
+  ASSERT_NE(classify, nullptr);
+  EXPECT_EQ(classify->find("requests")->asInt(), 1);
+  const Json* cache = response.result.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GE(cache->find("entries")->asInt(), 1);
+
+  server.stop();
+}
+
+TEST(ServiceServer, MalformedLineGetsErrorResponse) {
+  Server server(testConfig());
+  server.start();
+
+  ServiceClient client("127.0.0.1", server.port());
+  const Json bad = Json::parse(client.exchangeLine("this is not json"));
+  EXPECT_EQ(bad.find("status")->asString(), "error");
+  EXPECT_FALSE(bad.find("error")->asString().empty());
+
+  // Valid JSON, invalid request (unknown op).
+  const Json unknownOp =
+      Json::parse(client.exchangeLine("{\"op\":\"frobnicate\"}"));
+  EXPECT_EQ(unknownOp.find("status")->asString(), "error");
+
+  // The connection stays usable after errors.
+  Request ping;
+  ping.op = Op::Ping;
+  EXPECT_EQ(client.request(ping).status, "ok");
+
+  server.stop();
+}
+
+// Queue depth 1 + one worker + slow pings ⇒ the third concurrent
+// request must be refused with an `overloaded` response.
+TEST(ServiceServer, OverloadedWhenQueueFull) {
+  ServerConfig config = testConfig();
+  config.workers = 1;
+  config.maxQueueDepth = 1;
+  Server server(config);
+  server.start();
+
+  Request slowPing;
+  slowPing.op = Op::Ping;
+  slowPing.delayMs = 400;
+
+  std::vector<std::string> statuses(2);
+  // Occupy the worker, then the queue slot.
+  std::thread first([&] {
+    ServiceClient client("127.0.0.1", server.port());
+    statuses[0] = client.request(slowPing).status;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::thread second([&] {
+    ServiceClient client("127.0.0.1", server.port());
+    statuses[1] = client.request(slowPing).status;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Worker busy, queue full: this one must bounce immediately.
+  ServiceClient third("127.0.0.1", server.port());
+  Request fastPing;
+  fastPing.op = Op::Ping;
+  const Response refused = third.request(fastPing);
+  EXPECT_EQ(refused.status, "overloaded");
+
+  first.join();
+  second.join();
+  EXPECT_EQ(statuses[0], "ok");
+  EXPECT_EQ(statuses[1], "ok");
+  EXPECT_GE(server.metrics().snapshot().overloaded, 1u);
+
+  server.stop();
+}
+
+// stop() must drain: a request already queued when stop() begins still
+// gets its response before the socket closes.
+TEST(ServiceServer, StopDrainsQueuedRequests) {
+  ServerConfig config = testConfig();
+  config.workers = 1;
+  Server server(config);
+  server.start();
+
+  Request slowPing;
+  slowPing.op = Op::Ping;
+  slowPing.delayMs = 300;
+
+  std::string status;
+  std::thread inFlight([&] {
+    ServiceClient client("127.0.0.1", server.port());
+    status = client.request(slowPing).status;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  server.stop();
+  inFlight.join();
+  EXPECT_EQ(status, "ok");
+  EXPECT_FALSE(server.running());
+
+  // New connections are refused once stopped.
+  EXPECT_THROW(ServiceClient("127.0.0.1", server.port()), Error);
+}
+
+#ifdef POWERVIZ_SERVE_BIN
+// Spawn the real powerviz_serve binary, talk to it over TCP, send
+// SIGINT, and require a clean (drained) exit with status 0.
+TEST(ServiceServer, ServeBinaryDrainsOnSigint) {
+  int outPipe[2];
+  ASSERT_EQ(pipe(outPipe), 0);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: stdout → pipe, exec the server on an ephemeral port.
+    dup2(outPipe[1], STDOUT_FILENO);
+    close(outPipe[0]);
+    close(outPipe[1]);
+    execl(POWERVIZ_SERVE_BIN, POWERVIZ_SERVE_BIN, "--port", "0", "--light",
+          "--cache", "none", "--quiet", static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  close(outPipe[1]);
+
+  // Scrape "powerviz_serve listening port=NNNN" from the child's stdout.
+  std::string banner;
+  char chunk[256];
+  int port = 0;
+  while (port == 0) {
+    const ssize_t n = read(outPipe[0], chunk, sizeof chunk);
+    ASSERT_GT(n, 0) << "server exited before printing its port";
+    banner.append(chunk, static_cast<std::size_t>(n));
+    const std::size_t at = banner.find("port=");
+    if (at != std::string::npos &&
+        banner.find('\n', at) != std::string::npos) {
+      port = std::atoi(banner.c_str() + at + 5);
+    }
+  }
+  ASSERT_GT(port, 0);
+
+  {
+    ServiceClient client("127.0.0.1", port);
+    Request ping;
+    ping.op = Op::Ping;
+    EXPECT_EQ(client.request(ping).status, "ok");
+  }
+
+  ASSERT_EQ(kill(pid, SIGINT), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  close(outPipe[0]);
+}
+#endif  // POWERVIZ_SERVE_BIN
+
+}  // namespace
+}  // namespace pviz::service

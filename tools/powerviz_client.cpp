@@ -1,0 +1,170 @@
+// powerviz_client — command-line client for a running powerviz_serve.
+//
+//   powerviz_client --port 7077 classify --algorithm contour --size 128
+//   powerviz_client --port 7077 study --algorithms contour,slice \
+//       --sizes 32,64 --caps 120,80,40
+//   powerviz_client --port 7077 budget --algorithm volume --size 64 \
+//       --budget 65
+//   powerviz_client --port 7077 stats
+//   powerviz_client --port 7077 ping
+//
+// Prints a human summary by default; --json prints the raw response
+// line (one JSON object), for scripting.
+#include <iostream>
+
+#include "service/client.h"
+#include "util/error.h"
+#include "util/options.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pviz;
+
+[[noreturn]] void usage(int exitCode) {
+  std::cout <<
+      R"(powerviz_client — query a running powerviz_serve
+
+usage: powerviz_client [--host H] [--port N] [--json] OP [op options]
+
+operations:
+  ping [--delay-ms X]       liveness probe
+  characterize --algorithm A --size N
+  classify --algorithm A --size N [--caps w,w,...]
+  study [--algorithms a,b,...] [--sizes n,n,...] [--caps w,w,...]
+        [--cycles N]
+  budget --algorithm A --size N --budget W [--sim-steps N]
+  stats                     server counters (queue, cache, latency)
+
+algorithms: contour threshold clip isovolume slice advection raytracing
+volume (or "all")
+)";
+  std::exit(exitCode);
+}
+
+void printStudy(const service::Json& result) {
+  util::TextTable table;
+  table.setHeader({"Algorithm", "Size", "Cap(W)", "Time(s)", "Draw(W)",
+                   "IPC", "Tratio", "Pratio"});
+  for (const service::Json& row : result.find("records")->asArray()) {
+    const core::ConfigRecord record = service::recordFromJson(row);
+    table.addRow({core::algorithmName(record.algorithm),
+                  std::to_string(record.size),
+                  util::formatFixed(record.capWatts, 0),
+                  util::formatFixed(record.measurement.seconds, 2),
+                  util::formatFixed(record.measurement.averageWatts, 1),
+                  util::formatFixed(record.measurement.ipc, 2),
+                  util::formatRatio(record.ratios.tRatio),
+                  util::formatRatio(record.ratios.pRatio)});
+  }
+  table.print(std::cout);
+}
+
+void printSummary(const service::Response& response) {
+  switch (response.op) {
+    case service::Op::Ping:
+      std::cout << "pong (" << util::formatFixed(response.elapsedMs, 2)
+                << " ms)\n";
+      return;
+    case service::Op::Study:
+      printStudy(response.result);
+      break;
+    case service::Op::Classify: {
+      const core::Classification c =
+          service::classificationFromJson(response.result);
+      std::cout << (c.powerOpportunity ? "power opportunity"
+                                       : "power sensitive")
+                << ": knee " << util::formatFixed(c.kneeCapWatts, 0)
+                << " W, draw " << util::formatFixed(c.drawAtTdpWatts, 1)
+                << " W at TDP, IPC " << util::formatFixed(c.ipcAtTdp, 2)
+                << ", slowdown at min cap "
+                << util::formatRatio(c.slowdownAtMinCap) << '\n';
+      break;
+    }
+    case service::Op::Budget: {
+      const core::BudgetPlan plan =
+          service::budgetPlanFromJson(response.result);
+      std::cout << "viz cap " << util::formatFixed(plan.vizCapWatts, 0)
+                << " W, sim cap " << util::formatFixed(plan.simCapWatts, 0)
+                << " W, predicted "
+                << util::formatFixed(plan.predictedSeconds, 2) << " s vs "
+                << util::formatFixed(plan.uniformSeconds, 2)
+                << " s uniform (speedup "
+                << util::formatRatio(plan.speedupVsUniform) << ")\n";
+      break;
+    }
+    case service::Op::Characterize:
+    case service::Op::Stats:
+      std::cout << response.result.dump() << '\n';
+      break;
+  }
+  std::cout << (response.cached ? "cached" : "computed") << " in "
+            << util::formatFixed(response.elapsedMs, 2) << " ms\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7077;
+  bool rawJson = false;
+  service::Request request;
+  bool haveOp = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << arg << " needs a value\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "-h" || arg == "--help") usage(0);
+      else if (arg == "--host") host = next();
+      else if (arg == "--port") port = static_cast<int>(util::parseInt(next(), "--port"));
+      else if (arg == "--json") rawJson = true;
+      else if (arg == "--algorithm") request.algorithm = core::parseAlgorithmToken(next());
+      else if (arg == "--algorithms") request.algorithms = core::parseAlgorithmList(next());
+      else if (arg == "--size") request.size = util::parseInt(next(), "--size");
+      else if (arg == "--sizes") {
+        request.sizes.clear();
+        for (std::int64_t s : util::parseSizeList(next())) request.sizes.push_back(s);
+      }
+      else if (arg == "--caps") request.capsWatts = util::parseCapList(next());
+      else if (arg == "--cycles") request.cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
+      else if (arg == "--budget") request.budgetWatts = util::parseDouble(next(), "--budget");
+      else if (arg == "--sim-steps") request.simSteps = static_cast<int>(util::parseInt(next(), "--sim-steps"));
+      else if (arg == "--delay-ms") request.delayMs = util::parseDouble(next(), "--delay-ms");
+      else if (!arg.empty() && arg[0] != '-' && !haveOp) {
+        request.op = service::parseOpToken(arg);
+        haveOp = true;
+      } else {
+        std::cerr << "unknown option '" << arg << "'\n";
+        usage(2);
+      }
+    }
+    if (!haveOp) usage(2);
+    if (request.op == service::Op::Budget && request.budgetWatts <= 0.0) {
+      std::cerr << "budget requires --budget WATTS\n";
+      return 2;
+    }
+
+    service::ServiceClient client(host, port);
+    const service::Response response = client.request(request);
+    if (rawJson) {
+      std::cout << service::toJson(response).dump() << '\n';
+      return response.ok() ? 0 : 1;
+    }
+    if (!response.ok()) {
+      std::cerr << response.status << ": " << response.error << '\n';
+      return 1;
+    }
+    printSummary(response);
+    return 0;
+  } catch (const pviz::Error& e) {
+    std::cerr << "powerviz_client: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,135 @@
+// powerviz_serve — the PowerViz study/advisor service.
+//
+//   powerviz_serve --port 7077 --workers 8 --cache profiles.txt
+//   powerviz_serve --port 0          # ephemeral; the port is printed
+//
+// Speaks newline-delimited JSON over localhost TCP (see
+// src/service/protocol.h).  Prints one line to stdout once ready:
+//
+//   powerviz_serve listening port=NNNN
+//
+// so wrappers (tests, the load generator) can scrape the bound port.
+// SIGINT/SIGTERM drain the request queue — every admitted request is
+// answered — then the process exits 0.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "service/server.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/options.h"
+
+namespace {
+
+using namespace pviz;
+
+[[noreturn]] void usage(int exitCode) {
+  std::cout <<
+      R"(powerviz_serve — serve study/classify/budget requests over localhost TCP
+
+options:
+  --port N            listen port (0 = ephemeral, printed on stdout;
+                      default 7077)
+  --host ADDR         listen address (default 127.0.0.1)
+  --workers N         request worker threads (default 4)
+  --queue N           bounded request queue depth; requests beyond it get
+                      an `overloaded` response (default 64)
+  --max-connections N concurrent client bound (default 64)
+  --cache PATH        on-disk characterization cache shared with the
+                      study tools ("none" disables; default none)
+  --result-cache N    in-memory result cache entries (0 disables,
+                      default 1024)
+  --caps w,w,...      default cap sweep for classify/study requests
+  --cycles N          default visualization cycles (default 10)
+  --light             light rendering parameters (few cameras, small
+                      images) — fast characterizations for tests/demos
+  --quiet             suppress progress logging
+  -h, --help          this text
+)";
+  std::exit(exitCode);
+}
+
+int signalPipe[2] = {-1, -1};
+
+void onShutdownSignal(int) {
+  const char byte = 's';
+  // Self-pipe: write() is async-signal-safe; the main thread does the
+  // actual drain outside signal context.
+  [[maybe_unused]] const ssize_t n = ::write(signalPipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerConfig config;
+  config.port = 7077;
+  config.engine.study.cachePath.clear();
+  util::setLogLevel(util::LogLevel::Info);
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << arg << " needs a value\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "-h" || arg == "--help") usage(0);
+      else if (arg == "--port") config.port = static_cast<int>(util::parseInt(next(), "--port"));
+      else if (arg == "--host") config.host = next();
+      else if (arg == "--workers") config.workers = static_cast<int>(util::parseInt(next(), "--workers"));
+      else if (arg == "--queue") config.maxQueueDepth = static_cast<std::size_t>(util::parseInt(next(), "--queue"));
+      else if (arg == "--max-connections") config.maxConnections = static_cast<std::size_t>(util::parseInt(next(), "--max-connections"));
+      else if (arg == "--result-cache") config.engine.cacheEntries = static_cast<std::size_t>(util::parseInt(next(), "--result-cache"));
+      else if (arg == "--caps") config.engine.study.capsWatts = util::parseCapList(next());
+      else if (arg == "--cycles") config.engine.study.cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
+      else if (arg == "--light") config.engine.study.params = core::AlgorithmParams::lightRendering();
+      else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
+      else if (arg == "--cache") {
+        const std::string path = next();
+        config.engine.study.cachePath = path == "none" ? "" : path;
+      } else {
+        std::cerr << "unknown option '" << arg << "'\n";
+        usage(2);
+      }
+    }
+
+    if (::pipe(signalPipe) != 0) {
+      std::cerr << "cannot create signal pipe\n";
+      return 1;
+    }
+    struct sigaction action {};
+    action.sa_handler = onShutdownSignal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+
+    service::Server server(config);
+    server.start();
+    std::printf("powerviz_serve listening port=%d\n", server.port());
+    std::fflush(stdout);
+
+    // Block until a shutdown signal lands on the self-pipe.
+    char byte = 0;
+    while (::read(signalPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::fprintf(stderr, "powerviz_serve: draining...\n");
+    server.stop();
+
+    const auto snap = server.metrics().snapshot();
+    std::printf("powerviz_serve exiting: %llu requests, %llu overloaded\n",
+                static_cast<unsigned long long>(snap.totalRequests),
+                static_cast<unsigned long long>(snap.overloaded));
+    return 0;
+  } catch (const pviz::Error& e) {
+    std::cerr << "powerviz_serve: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -9,11 +9,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "core/report.h"
 #include "core/study.h"
 #include "util/log.h"
+#include "util/options.h"
 #include "util/table.h"
 
 namespace {
@@ -43,29 +43,6 @@ options:
   std::exit(exitCode);
 }
 
-std::vector<std::string> splitCsv(const std::string& arg) {
-  std::vector<std::string> out;
-  std::stringstream ss(arg);
-  std::string token;
-  while (std::getline(ss, token, ',')) {
-    if (!token.empty()) out.push_back(token);
-  }
-  return out;
-}
-
-core::Algorithm parseAlgorithm(const std::string& name) {
-  if (name == "contour") return core::Algorithm::Contour;
-  if (name == "threshold") return core::Algorithm::Threshold;
-  if (name == "clip") return core::Algorithm::SphericalClip;
-  if (name == "isovolume") return core::Algorithm::Isovolume;
-  if (name == "slice") return core::Algorithm::Slice;
-  if (name == "advection") return core::Algorithm::ParticleAdvection;
-  if (name == "raytracing") return core::Algorithm::RayTracing;
-  if (name == "volume") return core::Algorithm::VolumeRendering;
-  std::cerr << "unknown algorithm '" << name << "'\n";
-  std::exit(2);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,43 +58,42 @@ int main(int argc, char** argv) {
   int phase = 0;
   std::string csvPath;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << arg << " needs a value\n";
-        std::exit(2);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << arg << " needs a value\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "-h" || arg == "--help") usage(0);
+      else if (arg == "--phase") phase = static_cast<int>(util::parseInt(next(), "--phase"));
+      else if (arg == "--cycles") config.cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
+      else if (arg == "--full-render") config.params.sampledCameraCount = 0;
+      else if (arg == "--csv") csvPath = next();
+      else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
+      else if (arg == "--cache") {
+        const std::string path = next();
+        config.cachePath = path == "none" ? "" : path;
+      } else if (arg == "--sizes") {
+        config.sizes.clear();
+        for (std::int64_t size : util::parseSizeList(next())) {
+          config.sizes.push_back(size);
+        }
+      } else if (arg == "--caps") {
+        config.capsWatts = util::parseCapList(next());
+      } else if (arg == "--algorithms") {
+        algorithms = core::parseAlgorithmList(next());
+      } else {
+        std::cerr << "unknown option '" << arg << "'\n";
+        usage(2);
       }
-      return argv[++i];
-    };
-    if (arg == "-h" || arg == "--help") usage(0);
-    else if (arg == "--phase") phase = std::atoi(next().c_str());
-    else if (arg == "--cycles") config.cycles = std::atoi(next().c_str());
-    else if (arg == "--full-render") config.params.sampledCameraCount = 0;
-    else if (arg == "--csv") csvPath = next();
-    else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
-    else if (arg == "--cache") {
-      const std::string path = next();
-      config.cachePath = path == "none" ? "" : path;
-    } else if (arg == "--sizes") {
-      config.sizes.clear();
-      for (const auto& token : splitCsv(next())) {
-        config.sizes.push_back(std::atoll(token.c_str()));
-      }
-    } else if (arg == "--caps") {
-      config.capsWatts.clear();
-      for (const auto& token : splitCsv(next())) {
-        config.capsWatts.push_back(std::atof(token.c_str()));
-      }
-    } else if (arg == "--algorithms") {
-      algorithms.clear();
-      for (const auto& token : splitCsv(next())) {
-        algorithms.push_back(parseAlgorithm(token));
-      }
-    } else {
-      std::cerr << "unknown option '" << arg << "'\n";
-      usage(2);
     }
+  } catch (const pviz::Error& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
   }
 
   if (phase == 1) {
