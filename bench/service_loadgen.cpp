@@ -2,6 +2,7 @@
 //
 //   ./bench/service_loadgen                # in-process server, 8 clients
 //   ./bench/service_loadgen --port 7077    # against a running server
+//   ./bench/service_loadgen --chaos        # mix fault injection into load
 //
 // Each client thread opens its own connection and issues a mix of
 // classify / budget / stats requests drawn from a small configuration
@@ -10,16 +11,31 @@
 // latency ratio for the repeated requests (the acceptance bar is
 // >= 10x), and the server's own stats counters.
 //
+// --chaos adds four misbehaving clients running alongside the normal
+// load: a slow-loris writer (bytes trickled so a frame never finishes
+// inside the frame deadline), an oversized-frame sender, a mid-frame
+// disconnector (abortive RST close), and a garbage-byte sender.  The
+// run then fails unless the server stayed responsive throughout, every
+// normal request was answered, and the stats counters show the defenses
+// fired (nonzero timeouts and rejected_frames).  The in-process server
+// is configured with tight limits in chaos mode so every scenario
+// triggers quickly; against an external server the scenarios still run
+// but the counter assertions apply only to what that server reports.
+//
 // Environment knobs: PVIZ_LOADGEN_CLIENTS, PVIZ_LOADGEN_REQUESTS
 // (per client), PVIZ_LOADGEN_SIZE override the defaults (8, 40, 16).
+#include <sys/resource.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "service/chaos.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "util/options.h"
@@ -46,6 +62,107 @@ struct ClientResult {
   int overloaded = 0;
 };
 
+// --- Chaos agents ---------------------------------------------------------
+// Four misbehaving clients, run concurrently with the normal load.
+// Counters record what the *agent* observed; the authoritative server-
+// side view is the stats op's timeouts/rejected_frames counters.
+
+struct ChaosOutcome {
+  std::atomic<int> lorisCut{0};          ///< slow-loris connections cut off
+  std::atomic<int> oversizedRejected{0}; ///< oversized frames answered/cut
+  std::atomic<int> midFrameDrops{0};     ///< abortive mid-frame disconnects
+  std::atomic<int> garbageAnswered{0};   ///< garbage frames answered `error`
+  std::atomic<int> garbageRecovered{0};  ///< valid request OK after garbage
+};
+
+void chaosSlowLoris(const std::string& host, int port, ChaosOutcome& out,
+                    const std::atomic<bool>& stop) {
+  // Trickle a frame so slowly it cannot finish inside any sane frame
+  // deadline (1 byte / 40 ms ≈ 16 s for the whole frame); the server
+  // must cut the connection (send starts failing).  The frame is kept
+  // small so a run against a server with deadlines disabled still
+  // terminates in bounded time.
+  std::string frame = "{\"op\":\"ping\",\"id\":\"loris\",\"pad\":\"";
+  frame.append(360, 'z');
+  frame += "\"}\n";
+  for (int round = 0; round < 64 && (round < 1 || !stop); ++round) {
+    try {
+      service::MisbehavingClient client(host, port);
+      if (!client.sendSlowly(frame, 1, 40)) {
+        out.lorisCut.fetch_add(1);
+        continue;
+      }
+      // Frame got through whole (deadline disabled server-side): drain
+      // the reply so the next round starts clean.
+      client.readLine(2000);
+    } catch (const std::exception&) {
+      break;  // cannot connect (server shedding); nothing more to learn
+    }
+  }
+}
+
+void chaosOversized(const std::string& host, int port,
+                    std::size_t frameBytes, ChaosOutcome& out,
+                    const std::atomic<bool>& stop) {
+  const std::string frame = std::string(frameBytes, 'x') + "\n";
+  for (int round = 0; round < 64 && (round < 2 || !stop); ++round) {
+    try {
+      service::MisbehavingClient client(host, port);
+      const bool sent = client.sendRaw(frame);
+      const std::string reply = client.readLine(3000);
+      // Either a clean `error` reply or a cut connection counts: the
+      // server refused the frame without crashing or buffering it all.
+      if (!sent || reply.find("error") != std::string::npos ||
+          reply.empty()) {
+        out.oversizedRejected.fetch_add(1);
+      }
+    } catch (const std::exception&) {
+      break;
+    }
+  }
+}
+
+void chaosMidFrameDisconnect(const std::string& host, int port,
+                             ChaosOutcome& out,
+                             const std::atomic<bool>& stop) {
+  for (int round = 0; round < 128 && (round < 4 || !stop); ++round) {
+    try {
+      service::MisbehavingClient client(host, port);
+      client.sendRaw("{\"op\":\"classify\",\"algorithm\":\"cont");
+      client.closeAbruptly();  // RST with half a frame outstanding
+      out.midFrameDrops.fetch_add(1);
+    } catch (const std::exception&) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+void chaosGarbage(const std::string& host, int port, ChaosOutcome& out,
+                  const std::atomic<bool>& stop) {
+  const std::string garbage = "\x01\x02\x7f not json at all {]\n";
+  for (int round = 0; round < 64 && (round < 2 || !stop); ++round) {
+    try {
+      service::MisbehavingClient client(host, port);
+      if (!client.sendRaw(garbage)) continue;
+      const std::string reply = client.readLine(3000);
+      if (reply.find("\"error\"") != std::string::npos) {
+        out.garbageAnswered.fetch_add(1);
+      }
+      // The same connection must still serve a well-formed request.
+      if (client.sendRaw("{\"op\":\"ping\",\"id\":\"after-garbage\"}\n")) {
+        const std::string pong = client.readLine(3000);
+        if (pong.find("\"ok\"") != std::string::npos) {
+          out.garbageRecovered.fetch_add(1);
+        }
+      }
+    } catch (const std::exception&) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,6 +170,7 @@ int main(int argc, char** argv) {
   int port = -1;  // -1 = spin up an in-process server
   int clients = benchutil::envInt("PVIZ_LOADGEN_CLIENTS", 8);
   int requestsPerClient = benchutil::envInt("PVIZ_LOADGEN_REQUESTS", 40);
+  bool chaos = false;
   const vis::Id size =
       static_cast<vis::Id>(benchutil::envInt("PVIZ_LOADGEN_SIZE", 16));
 
@@ -69,14 +187,18 @@ int main(int argc, char** argv) {
     else if (arg == "--host") host = next();
     else if (arg == "--clients") clients = static_cast<int>(util::parseInt(next(), "--clients"));
     else if (arg == "--requests") requestsPerClient = static_cast<int>(util::parseInt(next(), "--requests"));
+    else if (arg == "--chaos") chaos = true;
   }
 
   benchutil::printBanner(
       "service_loadgen — concurrent study/advisor service load",
       "section VII serving scenario (many in situ clients, one advisor)");
 
-  // In-process server unless pointed at a running one.
+  // In-process server unless pointed at a running one.  Chaos mode
+  // tightens the in-process limits so every fault-injection scenario
+  // trips its defense within the run, not after 30 s of politeness.
   std::unique_ptr<service::Server> server;
+  std::size_t serverFrameBytes = 1 << 20;  // assumed bound when external
   if (port < 0) {
     service::ServerConfig config;
     config.port = 0;
@@ -84,10 +206,17 @@ int main(int argc, char** argv) {
     config.engine.study = benchutil::defaultStudyConfig();
     config.engine.study.params = core::AlgorithmParams::lightRendering();
     config.engine.study.cachePath.clear();
+    if (chaos) {
+      config.maxFrameBytes = 4096;
+      config.frameTimeoutMs = 400;
+      config.idleTimeoutMs = 5000;
+    }
+    serverFrameBytes = config.maxFrameBytes;
     server = std::make_unique<service::Server>(config);
     server->start();
     port = server->port();
-    std::cout << "in-process server on port " << port << "\n";
+    std::cout << "in-process server on port " << port
+              << (chaos ? " (chaos limits)" : "") << "\n";
   }
 
   // The request mix: two classify targets and one budget target, so
@@ -103,6 +232,28 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   const auto runStart = Clock::now();
+
+  // Chaos agents run alongside the normal load so robustness is tested
+  // under contention, not in isolation.
+  ChaosOutcome chaosOutcome;
+  std::atomic<bool> chaosStop{false};
+  std::vector<std::thread> chaosThreads;
+  if (chaos) {
+    // Capture by value: the agent threads outlive this block scope.
+    const std::size_t oversizedBytes = serverFrameBytes + 4096;
+    chaosThreads.emplace_back([&] {
+      chaosSlowLoris(host, port, chaosOutcome, chaosStop);
+    });
+    chaosThreads.emplace_back([&, oversizedBytes] {
+      chaosOversized(host, port, oversizedBytes, chaosOutcome, chaosStop);
+    });
+    chaosThreads.emplace_back([&] {
+      chaosMidFrameDisconnect(host, port, chaosOutcome, chaosStop);
+    });
+    chaosThreads.emplace_back([&] {
+      chaosGarbage(host, port, chaosOutcome, chaosStop);
+    });
+  }
 
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
@@ -157,6 +308,8 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& t : threads) t.join();
+  chaosStop = true;
+  for (auto& t : chaosThreads) t.join();
   const double wallSeconds = millisSince(runStart) / 1000.0;
 
   // Aggregate.
@@ -210,9 +363,67 @@ int main(int argc, char** argv) {
               << "x speedup from the result cache\n";
   }
 
+  bool chaosOk = true;
+  if (chaos) {
+    // The server's own view of the attack: after the run it must still
+    // answer stats, and the defense counters must have fired.
+    std::uint64_t timeouts = 0, rejectedFrames = 0;
+    std::size_t connectionsActive = 0;
+    bool statsAlive = false;
+    try {
+      service::ServiceClient::Limits limits;
+      limits.recvTimeoutMs = 5000;
+      service::ServiceClient statsClient(host, port, limits);
+      service::Request statsRequest;
+      statsRequest.op = service::Op::Stats;
+      const service::Response resp = statsClient.request(statsRequest);
+      if (resp.ok()) {
+        statsAlive = true;
+        auto counter = [&resp](const char* key) -> std::uint64_t {
+          const service::Json* v = resp.result.find(key);
+          return v != nullptr ? static_cast<std::uint64_t>(v->asInt()) : 0;
+        };
+        timeouts = counter("timeouts");
+        rejectedFrames = counter("rejected_frames");
+        connectionsActive = static_cast<std::size_t>(
+            counter("connections_active"));
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "stats after chaos failed: " << e.what() << '\n';
+    }
+
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    std::cout << "\nchaos: " << chaosOutcome.lorisCut.load()
+              << " slow-loris cut, " << chaosOutcome.oversizedRejected.load()
+              << " oversized rejected, " << chaosOutcome.midFrameDrops.load()
+              << " mid-frame disconnects, "
+              << chaosOutcome.garbageAnswered.load() << " garbage answered, "
+              << chaosOutcome.garbageRecovered.load()
+              << " recovered after garbage\n"
+              << "server after chaos: " << (statsAlive ? "alive" : "DEAD")
+              << ", timeouts " << timeouts << ", rejected_frames "
+              << rejectedFrames << ", connections_active "
+              << connectionsActive << ", peak RSS "
+              << usage.ru_maxrss / 1024 << " MiB\n";
+
+    chaosOk = statsAlive && timeouts > 0 && rejectedFrames > 0 &&
+              chaosOutcome.garbageRecovered.load() > 0;
+    std::cout << (chaosOk ? "CHAOS PASS" : "CHAOS FAIL")
+              << ": server survived fault injection with its defenses "
+              << (chaosOk ? "firing" : "NOT all firing") << '\n';
+  }
+
   if (server != nullptr) {
     std::cout << "\nserver stats: " << server->statsJson().dump() << '\n';
     server->stop();
+    // Drained server: every reader joined, so no connection can leak.
+    const auto finalSnap = server->metrics().snapshot();
+    if (finalSnap.connectionsActive != 0) {
+      std::cerr << "leaked reader threads: " << finalSnap.connectionsActive
+                << " connections still active after stop()\n";
+      chaosOk = false;
+    }
   }
-  return errors == 0 ? 0 : 1;
+  return errors == 0 && chaosOk ? 0 : 1;
 }

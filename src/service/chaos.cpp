@@ -1,0 +1,109 @@
+#include "service/chaos.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/error.h"
+
+namespace pviz::service {
+
+MisbehavingClient::MisbehavingClient(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PVIZ_REQUIRE(fd_ >= 0, "cannot create chaos client socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("invalid chaos target address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("chaos client cannot connect to " + host + ":" +
+                std::to_string(port) + ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+MisbehavingClient::~MisbehavingClient() { close(); }
+
+bool MisbehavingClient::sendRaw(const std::string& bytes) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;  // peer closed: the server cut us off
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool MisbehavingClient::sendSlowly(const std::string& bytes,
+                                   std::size_t chunkBytes, int delayMs) {
+  PVIZ_REQUIRE(chunkBytes >= 1, "slow-loris chunk must be >= 1 byte");
+  for (std::size_t at = 0; at < bytes.size(); at += chunkBytes) {
+    if (!sendRaw(bytes.substr(at, chunkBytes))) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+  }
+  return true;
+}
+
+std::string MisbehavingClient::readLine(int timeoutMs) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeoutMs);
+  while (fd_ >= 0) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return "";
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) return "";
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return "";  // EOF / reset
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  return "";
+}
+
+void MisbehavingClient::shutdownSend() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void MisbehavingClient::closeAbruptly() {
+  if (fd_ < 0) return;
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void MisbehavingClient::close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace pviz::service

@@ -1,0 +1,62 @@
+// Fault-injection driver for the service layer: a raw TCP client with
+// no protocol conveniences, built to misbehave on purpose.
+//
+// Where ServiceClient frames requests correctly and blocks politely,
+// MisbehavingClient sends whatever bytes it is told, however slowly it
+// is told to, and can vanish mid-frame (including with an RST rather
+// than a FIN).  The chaos tests in test_service_server.cpp and the
+// `--chaos` mode of bench/service_loadgen drive every robustness
+// mechanism — frame-size limits, idle and stalled-frame deadlines,
+// depth limits — through this class, so the scenarios exercised in CI
+// are byte-identical to what a hostile client could send.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pviz::service {
+
+class MisbehavingClient {
+ public:
+  /// Connect to host:port; throws pviz::Error on failure.
+  MisbehavingClient(const std::string& host, int port);
+  ~MisbehavingClient();
+
+  MisbehavingClient(const MisbehavingClient&) = delete;
+  MisbehavingClient& operator=(const MisbehavingClient&) = delete;
+
+  /// Send raw bytes verbatim.  Returns false once the peer has closed
+  /// (EPIPE/ECONNRESET) — chaos scenarios treat that as the server
+  /// having cut the connection, not as a failure.
+  bool sendRaw(const std::string& bytes);
+
+  /// Slow-loris: send `bytes` in `chunkBytes`-sized pieces with
+  /// `delayMs` between them.  Returns false as soon as the server cuts
+  /// the connection (the expected outcome under a frame deadline).
+  bool sendSlowly(const std::string& bytes, std::size_t chunkBytes,
+                  int delayMs);
+
+  /// Read one newline-terminated line, waiting at most `timeoutMs`.
+  /// Returns the line without the newline; empty on timeout, EOF, or
+  /// error (chaos assertions only ever check substrings).
+  std::string readLine(int timeoutMs);
+
+  /// Half-close: no more sends, reads still possible.
+  void shutdownSend();
+
+  /// Abortive close: SO_LINGER 0 makes close() send an RST, the rudest
+  /// possible mid-frame disconnect.
+  void closeAbruptly();
+
+  /// Orderly close (FIN).
+  void close();
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace pviz::service

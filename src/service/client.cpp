@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -13,7 +14,12 @@
 
 namespace pviz::service {
 
-ServiceClient::ServiceClient(const std::string& host, int port) {
+ServiceClient::ServiceClient(const std::string& host, int port, Limits limits)
+    : limits_(limits) {
+  PVIZ_REQUIRE(limits_.maxFrameBytes >= 64,
+               "client frame bound must fit a minimal response");
+  PVIZ_REQUIRE(limits_.recvTimeoutMs >= 0,
+               "client receive deadline must be >= 0 (0 disables)");
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   PVIZ_REQUIRE(fd_ >= 0, "cannot create client socket");
 
@@ -34,6 +40,12 @@ ServiceClient::ServiceClient(const std::string& host, int port) {
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (limits_.recvTimeoutMs > 0) {
+    timeval tv{};
+    tv.tv_sec = limits_.recvTimeoutMs / 1000;
+    tv.tv_usec = (limits_.recvTimeoutMs % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
 }
 
 ServiceClient::~ServiceClient() {
@@ -76,8 +88,15 @@ std::string ServiceClient::readLine() {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
+    PVIZ_REQUIRE(buffer_.size() <= limits_.maxFrameBytes,
+                 "service response frame exceeds " +
+                     std::to_string(limits_.maxFrameBytes) + " bytes");
     char chunk[16384];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      throw Error("service read timed out after " +
+                  std::to_string(limits_.recvTimeoutMs) + " ms");
+    }
     PVIZ_REQUIRE(n > 0, "service connection closed while reading");
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }

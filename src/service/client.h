@@ -6,18 +6,35 @@
 // a shared connection; this client issues one request at a time, so in
 // practice the first line is the answer).  Used by powerviz_client, the
 // load generator, and the end-to-end tests.
+//
+// The read path mirrors the server's defenses: a response frame larger
+// than Limits::maxFrameBytes throws instead of accumulating without
+// bound, and an optional receive deadline keeps a hung or slow server
+// from blocking the client forever.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "service/protocol.h"
 
 namespace pviz::service {
 
+struct ClientLimits {
+  /// Response frame bound.  Study responses are much larger than
+  /// requests (one record per configuration), hence the generous
+  /// default.
+  std::size_t maxFrameBytes = 256u << 20;
+  /// Receive deadline per read, in ms (0 = block indefinitely).
+  int recvTimeoutMs = 0;
+};
+
 class ServiceClient {
  public:
+  using Limits = ClientLimits;
+
   /// Connect to host:port; throws pviz::Error on failure.
-  ServiceClient(const std::string& host, int port);
+  ServiceClient(const std::string& host, int port, Limits limits = {});
   ~ServiceClient();
 
   ServiceClient(const ServiceClient&) = delete;
@@ -38,6 +55,7 @@ class ServiceClient {
   std::string readLine();  ///< blocks; throws on EOF/error
 
   int fd_ = -1;
+  Limits limits_;
   std::string buffer_;
   unsigned nextId_ = 1;
 };

@@ -1,5 +1,6 @@
 #include "service/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -50,8 +51,10 @@ Json ServiceEngine::execute(const Request& request) {
   switch (request.op) {
     case Op::Ping: {
       if (request.delayMs > 0.0) {
+        const double delayMs =
+            std::min(request.delayMs, config_.maxPingDelayMs);
         std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(request.delayMs));
+            std::chrono::duration<double, std::milli>(delayMs));
       }
       Json out = Json::object();
       out.set("pong", true);

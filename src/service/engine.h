@@ -30,6 +30,10 @@ struct EngineConfig {
   std::size_t cacheEntries = 1024;  ///< result cache bound (0 disables)
   std::size_t cacheShards = 8;
   int defaultSimSteps = 10;  ///< hydro steps behind a `budget` request
+  /// Upper bound on the client-supplied ping `delay_ms` — the delay
+  /// sleeps a request worker, so an unbounded value lets one client
+  /// park the whole worker pool.
+  double maxPingDelayMs = 10000.0;
 };
 
 class ServiceEngine {

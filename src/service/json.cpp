@@ -92,7 +92,8 @@ void appendValue(std::string& out, const Json& v) {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, std::size_t maxDepth)
+      : text_(text), maxDepth_(maxDepth) {}
 
   Json parseDocument() {
     Json value = parseValue();
@@ -127,6 +128,20 @@ class Parser {
     }
   }
 
+  // RAII depth guard: every container level on the parser's own call
+  // stack counts against maxDepth_, so adversarial nesting fails with a
+  // parse error long before the process stack is at risk.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > parser_.maxDepth_) {
+        parser_.fail("nesting deeper than " +
+                     std::to_string(parser_.maxDepth_) + " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    Parser& parser_;
+  };
+
   Json parseValue() {
     skipSpace();
     switch (peek()) {
@@ -141,6 +156,7 @@ class Parser {
   }
 
   Json parseObject() {
+    const DepthGuard guard(*this);
     take();  // '{'
     Json out = Json::object();
     skipSpace();
@@ -163,6 +179,7 @@ class Parser {
   }
 
   Json parseArray() {
+    const DepthGuard guard(*this);
     take();  // '['
     Json out = Json::array();
     skipSpace();
@@ -252,6 +269,8 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t maxDepth_ = Json::kDefaultMaxDepth;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
@@ -313,8 +332,9 @@ std::string Json::dump() const {
   return out;
 }
 
-Json Json::parse(const std::string& text) {
-  return Parser(text).parseDocument();
+Json Json::parse(const std::string& text, std::size_t maxDepth) {
+  PVIZ_REQUIRE(maxDepth >= 1, "json: depth bound must be >= 1");
+  return Parser(text, maxDepth).parseDocument();
 }
 
 }  // namespace pviz::service

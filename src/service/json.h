@@ -13,6 +13,7 @@
 // that into an `error` response rather than dropping the connection.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -68,9 +69,16 @@ class Json {
   /// so a dumped value is always one well-formed protocol frame).
   std::string dump() const;
 
+  /// Default nesting bound for parse(): deep enough for any protocol
+  /// payload, shallow enough that a remotely supplied `[[[[...` frame
+  /// fails with a parse error instead of overflowing the recursive-
+  /// descent parser's stack.
+  static constexpr std::size_t kDefaultMaxDepth = 64;
+
   /// Parse one JSON document (throws pviz::Error; trailing garbage is
-  /// an error).
-  static Json parse(const std::string& text);
+  /// an error, as is nesting deeper than `maxDepth` containers).
+  static Json parse(const std::string& text,
+                    std::size_t maxDepth = kDefaultMaxDepth);
 
  private:
   Type type_ = Type::Null;

@@ -22,6 +22,21 @@ void ServiceMetrics::recordBadRequest() {
   ++badRequests_;
 }
 
+void ServiceMetrics::recordTimeout() {
+  std::lock_guard lock(mutex_);
+  ++timeouts_;
+}
+
+void ServiceMetrics::recordRejectedFrame() {
+  std::lock_guard lock(mutex_);
+  ++rejectedFrames_;
+}
+
+void ServiceMetrics::recordShedConnection() {
+  std::lock_guard lock(mutex_);
+  ++shedConnections_;
+}
+
 void ServiceMetrics::connectionOpened() {
   std::lock_guard lock(mutex_);
   ++connectionsAccepted_;
@@ -54,6 +69,9 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   }
   snap.overloaded = overloaded_;
   snap.badRequests = badRequests_;
+  snap.timeouts = timeouts_;
+  snap.rejectedFrames = rejectedFrames_;
+  snap.shedConnections = shedConnections_;
   snap.queueDepth = queueDepth_;
   snap.maxQueueDepth = maxQueueDepth_;
   snap.connectionsAccepted = connectionsAccepted_;
@@ -88,6 +106,9 @@ Json ServiceMetrics::toJson(const Snapshot& snapshot,
   out.set("total_requests", static_cast<double>(snapshot.totalRequests));
   out.set("overloaded", static_cast<double>(snapshot.overloaded));
   out.set("bad_requests", static_cast<double>(snapshot.badRequests));
+  out.set("timeouts", static_cast<double>(snapshot.timeouts));
+  out.set("rejected_frames", static_cast<double>(snapshot.rejectedFrames));
+  out.set("shed_connections", static_cast<double>(snapshot.shedConnections));
   out.set("queue_depth", static_cast<double>(snapshot.queueDepth));
   out.set("max_queue_depth", static_cast<double>(snapshot.maxQueueDepth));
   out.set("connections_accepted",

@@ -33,8 +33,12 @@ class ServiceMetrics {
   struct Snapshot {
     std::array<OpSnapshot, 6> perOp;  ///< indexed by Op
     std::uint64_t totalRequests = 0;
-    std::uint64_t overloaded = 0;   ///< admission-control rejections
-    std::uint64_t badRequests = 0;  ///< unparseable frames
+    std::uint64_t overloaded = 0;       ///< admission-control rejections
+    std::uint64_t badRequests = 0;      ///< unparseable frames
+    std::uint64_t timeouts = 0;         ///< deadline violations (idle,
+                                        ///< stalled frame, request budget)
+    std::uint64_t rejectedFrames = 0;   ///< frames over the size bound
+    std::uint64_t shedConnections = 0;  ///< accept-time connection shedding
     std::size_t queueDepth = 0;
     std::size_t maxQueueDepth = 0;
     std::uint64_t connectionsAccepted = 0;
@@ -47,6 +51,13 @@ class ServiceMetrics {
   void recordOverloaded();
   /// One frame that did not parse to a request.
   void recordBadRequest();
+  /// One deadline violation: connection idle too long, a started frame
+  /// that stalled, or a request whose wall-clock budget expired.
+  void recordTimeout();
+  /// One frame dropped for exceeding the size bound.
+  void recordRejectedFrame();
+  /// One connection shed at accept time (over the connection bound).
+  void recordShedConnection();
 
   void connectionOpened();
   void connectionClosed();
@@ -72,6 +83,9 @@ class ServiceMetrics {
   std::array<OpCounters, 6> perOp_;
   std::uint64_t overloaded_ = 0;
   std::uint64_t badRequests_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t rejectedFrames_ = 0;
+  std::uint64_t shedConnections_ = 0;
   std::size_t queueDepth_ = 0;
   std::size_t maxQueueDepth_ = 0;
   std::uint64_t connectionsAccepted_ = 0;

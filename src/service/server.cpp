@@ -37,6 +37,12 @@ Server::Server(ServerConfig config)
   PVIZ_REQUIRE(config_.workers >= 1, "server needs at least one worker");
   PVIZ_REQUIRE(config_.maxQueueDepth >= 1, "queue depth must be >= 1");
   PVIZ_REQUIRE(config_.maxConnections >= 1, "connection bound must be >= 1");
+  PVIZ_REQUIRE(config_.maxFrameBytes >= 64,
+               "frame bound must fit at least a minimal request");
+  PVIZ_REQUIRE(config_.maxJsonDepth >= 1, "JSON depth bound must be >= 1");
+  PVIZ_REQUIRE(config_.idleTimeoutMs >= 0 && config_.frameTimeoutMs >= 0 &&
+                   config_.requestTimeoutMs >= 0,
+               "deadlines must be >= 0 (0 disables)");
 }
 
 Server::~Server() { stop(); }
@@ -123,10 +129,11 @@ void Server::acceptLoop() {
 
     auto conn = std::make_shared<Connection>(fd);
     if (activeConnections_.load() >= config_.maxConnections) {
-      // Admission control at the connection level: one overloaded line,
-      // then the Connection destructor closes the socket.
-      metrics_.recordOverloaded();
-      respondOverloaded(*conn, "");
+      // Accept-time shedding: one overloaded line, then the Connection
+      // destructor closes the socket.
+      metrics_.recordShedConnection();
+      respondStatus(*conn, "", "overloaded",
+                    "connection limit reached, retry later");
       continue;
     }
 
@@ -153,23 +160,43 @@ void Server::reapReaders(bool joinAll) {
 void Server::readerLoop(std::shared_ptr<Connection> conn) {
   std::string buffer;
   char chunk[16384];
-  bool open = true;
 
-  while (open && !stopping_) {
+  // Deadline bookkeeping: lastByteAt tracks any received byte (idle
+  // deadline); frameStartedAt is set while a partial frame sits in the
+  // buffer (stalled-frame deadline — a slow-loris writer keeps the
+  // connection "busy" without ever completing a frame, so idleness
+  // alone cannot catch it).
+  auto lastByteAt = std::chrono::steady_clock::now();
+  auto frameStartedAt = lastByteAt;
+
+  while (!stopping_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (config_.idleTimeoutMs > 0 && buffer.empty() &&
+        millisSince(lastByteAt) > config_.idleTimeoutMs) {
+      metrics_.recordTimeout();
+      respondStatus(*conn, "", "error",
+                    "idle timeout: no request within " +
+                        std::to_string(config_.idleTimeoutMs) + " ms");
+      break;
+    }
+    if (config_.frameTimeoutMs > 0 && !buffer.empty() &&
+        millisSince(frameStartedAt) > config_.frameTimeoutMs) {
+      metrics_.recordTimeout();
+      respondStatus(*conn, "", "error",
+                    "frame timeout: frame not completed within " +
+                        std::to_string(config_.frameTimeoutMs) + " ms");
+      break;
+    }
+
     pollfd pfd{conn->fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMillis);
     if (ready <= 0) continue;
 
     const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
     if (n <= 0) break;  // EOF or error: the client is gone
+    if (buffer.empty()) frameStartedAt = now;
+    lastByteAt = now;
     buffer.append(chunk, static_cast<std::size_t>(n));
-
-    if (buffer.size() > config_.maxLineBytes) {
-      PVIZ_LOG_WARN("dropping connection: frame exceeds "
-                    << config_.maxLineBytes << " bytes");
-      metrics_.recordBadRequest();
-      break;
-    }
 
     std::size_t lineStart = 0;
     for (std::size_t nl = buffer.find('\n', lineStart);
@@ -179,6 +206,15 @@ void Server::readerLoop(std::shared_ptr<Connection> conn) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
 
+      if (line.size() > config_.maxFrameBytes) {
+        // A complete frame over the bound still has a clean boundary,
+        // so reject just the frame and keep the connection.
+        metrics_.recordRejectedFrame();
+        respondStatus(*conn, "", "error",
+                      "frame exceeds " + std::to_string(config_.maxFrameBytes) +
+                          " bytes");
+        continue;
+      }
       Task task{conn, line, std::chrono::steady_clock::now()};
       if (!tryEnqueue(std::move(task))) {
         // Backpressure: answer now instead of buffering unboundedly.
@@ -187,6 +223,19 @@ void Server::readerLoop(std::shared_ptr<Connection> conn) {
       }
     }
     buffer.erase(0, lineStart);
+
+    if (buffer.size() > config_.maxFrameBytes) {
+      // A partial frame already over the bound: the only way to regain
+      // framing would be to buffer without limit, so reply and drop the
+      // connection — this is what bounds per-connection memory.
+      PVIZ_LOG_WARN("dropping connection: frame exceeds "
+                    << config_.maxFrameBytes << " bytes");
+      metrics_.recordRejectedFrame();
+      respondStatus(*conn, "", "error",
+                    "frame exceeds " + std::to_string(config_.maxFrameBytes) +
+                        " bytes");
+      break;
+    }
   }
 
   metrics_.connectionClosed();
@@ -226,9 +275,24 @@ void Server::workerLoop() {
 }
 
 void Server::process(Task& task) {
+  // Request budget, checked at dispatch: engine work is not preemptible,
+  // so the enforceable deadline is "still worth starting".  A request
+  // that sat in the queue past its budget gets an `error` reply instead
+  // of stale work — under overload this sheds exactly the requests whose
+  // clients have likely given up waiting.
+  if (config_.requestTimeoutMs > 0 &&
+      millisSince(task.enqueued) > config_.requestTimeoutMs) {
+    metrics_.recordTimeout();
+    respondStatus(*task.conn, task.line, "error",
+                  "deadline exceeded: request queued longer than " +
+                      std::to_string(config_.requestTimeoutMs) + " ms");
+    return;
+  }
+
   Response response;
   try {
-    const Request request = requestFromJson(Json::parse(task.line));
+    const Request request =
+        requestFromJson(Json::parse(task.line, config_.maxJsonDepth));
     response.id = request.id;
     response.op = request.op;
     try {
@@ -270,12 +334,18 @@ void Server::writeLine(Connection& conn, const std::string& line) {
 }
 
 void Server::respondOverloaded(Connection& conn, const std::string& line) {
+  respondStatus(conn, line, "overloaded", "request queue is full, retry later");
+}
+
+void Server::respondStatus(Connection& conn, const std::string& line,
+                           const std::string& status,
+                           const std::string& message) {
   Response response;
-  response.status = "overloaded";
-  response.error = "request queue is full, retry later";
+  response.status = status;
+  response.error = message;
   // Best-effort id echo so the client can correlate the rejection.
   try {
-    const Json json = Json::parse(line);
+    const Json json = Json::parse(line, config_.maxJsonDepth);
     if (const Json* id = json.find("id")) response.id = id->asString();
     if (const Json* op = json.find("op")) {
       response.op = parseOpToken(op->asString());

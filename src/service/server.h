@@ -12,7 +12,16 @@
 // queue is full is answered immediately with an `overloaded` response
 // instead of being buffered — queue depth, not client count, bounds the
 // server's memory and its worst-case latency.  A connection past
-// maxConnections gets a single `overloaded` line and is closed.
+// maxConnections gets a single `overloaded` line and is closed (shed).
+//
+// Robustness against misbehaving clients: the reader enforces a hard
+// frame-size bound (one `error` reply, then the connection closes — the
+// frame boundary is lost), an idle deadline, and a stalled-frame
+// deadline that cuts off slow-loris writers; the JSON parser refuses
+// nesting deeper than maxJsonDepth; workers drop requests whose
+// wall-clock budget expired while queued (`error` reply, `timeouts`
+// counter) rather than doing stale work.  All violations are counted in
+// the `stats` payload (timeouts / rejected_frames / shed_connections).
 //
 // Shutdown is drain-and-stop: stop() (the SIGINT path in
 // powerviz_serve) stops accepting connections and reading new requests,
@@ -42,7 +51,20 @@ struct ServerConfig {
   int workers = 4;                 ///< request worker threads
   std::size_t maxQueueDepth = 64;  ///< admission-control bound
   std::size_t maxConnections = 64;
-  std::size_t maxLineBytes = 1 << 20;  ///< protocol frame size bound
+  std::size_t maxFrameBytes = 1 << 20;  ///< request frame size bound
+  std::size_t maxJsonDepth = 64;        ///< request JSON nesting bound
+
+  // Deadlines, all in milliseconds; 0 disables the check.  Enforced by
+  // the per-connection reader's poll loop (idle / stalled frame) and at
+  // worker dequeue (request budget), with ~100 ms granularity.  The
+  // frame deadline is deliberately tight: a well-behaved localhost
+  // client writes a full 1 MiB frame in well under a second, so a frame
+  // still incomplete after 5 s is a slow-loris writer, not a slow link.
+  int idleTimeoutMs = 300000;    ///< no bytes at all on the connection
+  int frameTimeoutMs = 5000;     ///< a started frame that never finishes
+                                 ///< (slow-loris writers)
+  int requestTimeoutMs = 0;      ///< queue-to-dispatch wall-clock budget
+
   EngineConfig engine;
 };
 
@@ -97,6 +119,10 @@ class Server {
   void process(Task& task);
   void writeLine(Connection& conn, const std::string& line);
   void respondOverloaded(Connection& conn, const std::string& line);
+  /// One `status` reply (error/overloaded) with best-effort id/op echo
+  /// scraped from `line` (empty line = no correlation fields).
+  void respondStatus(Connection& conn, const std::string& line,
+                     const std::string& status, const std::string& message);
 
   ServerConfig config_;
   ServiceEngine engine_;

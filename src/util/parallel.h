@@ -33,21 +33,27 @@ void parallelForChunks(std::int64_t begin, std::int64_t end, Func&& f,
 
 /// Map-reduce over [begin, end): `identity` seeds each chunk, `map(acc, i)`
 /// folds an index into a chunk accumulator, and `combine(a, b)` merges
-/// chunk results.  `combine` order is unspecified but each index is
-/// visited exactly once.
+/// chunk results.  Partials are indexed by chunk (the pool hands out
+/// grain-aligned chunks from `begin`) and combined in chunk order, so
+/// identical inputs reduce in the same order on every run regardless of
+/// thread scheduling — floating-point reductions are bit-reproducible,
+/// which the Rng header's determinism contract depends on.
 template <typename T, typename Map, typename Combine>
 T parallelReduce(std::int64_t begin, std::int64_t end, T identity, Map&& map,
                  Combine&& combine, std::int64_t grain = kDefaultGrain) {
-  std::vector<T> partials;
-  std::mutex partialsMutex;
+  if (begin >= end) return identity;
+  PVIZ_REQUIRE(grain > 0, "parallelReduce grain must be positive");
+  const std::size_t chunkCount =
+      static_cast<std::size_t>((end - begin + grain - 1) / grain);
+  std::vector<T> partials(chunkCount, identity);
   ThreadPool::global().parallelFor(
       begin, end, grain, [&](std::int64_t b, std::int64_t e) {
         T acc = identity;
         for (std::int64_t i = b; i < e; ++i) acc = map(std::move(acc), i);
-        std::lock_guard lock(partialsMutex);
-        partials.push_back(std::move(acc));
+        partials[static_cast<std::size_t>((b - begin) / grain)] =
+            std::move(acc);
       });
-  T total = identity;
+  T total = std::move(identity);
   for (auto& p : partials) total = combine(std::move(total), std::move(p));
   return total;
 }

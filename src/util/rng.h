@@ -42,11 +42,24 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
-  /// Uniform integer in [0, n).
+  /// Uniform integer in [0, n).  Exactly uniform: Lemire's
+  /// nearly-divisionless bounded sampling *with* the rejection step —
+  /// without it, outputs whose preimage interval spans one extra input
+  /// value are over-represented (for n = 3·2^62 the multiply-shift
+  /// alone lands on v ≡ 0 (mod 3) half the time instead of a third).
   std::uint64_t below(std::uint64_t n) {
-    // Lemire's nearly-divisionless bounded sampling.
-    const unsigned __int128 m =
+    unsigned __int128 m =
         static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(n);
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+      // 2^64 mod n, computed without 128-bit division.
+      const std::uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(next()) *
+            static_cast<unsigned __int128>(n);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
     return static_cast<std::uint64_t>(m >> 64);
   }
 

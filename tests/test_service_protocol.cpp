@@ -61,6 +61,46 @@ TEST(Json, DumpIsSingleLine) {
   EXPECT_EQ(v.dump().find('\n'), std::string::npos);
 }
 
+// Regression: the recursive-descent parser used to recurse once per
+// nesting level with no bound, so a remotely supplied "[[[[..." frame
+// could overflow the stack.  Depth past the cap must be a parse error,
+// not a crash.
+TEST(Json, NestingDepthIsBounded) {
+  auto nested = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  // At the default bound: parses.
+  EXPECT_NO_THROW(Json::parse(nested(Json::kDefaultMaxDepth)));
+  // One past it: clean error.
+  EXPECT_THROW(Json::parse(nested(Json::kDefaultMaxDepth + 1)), Error);
+  // Deep enough that unbounded recursion would have crashed the
+  // process rather than thrown.
+  EXPECT_THROW(Json::parse(nested(1u << 20)), Error);
+  // Objects count toward the same bound as arrays.
+  std::string deepObject;
+  for (std::size_t i = 0; i <= Json::kDefaultMaxDepth; ++i) {
+    deepObject += "{\"k\":";
+  }
+  deepObject += "null";
+  deepObject.append(Json::kDefaultMaxDepth + 1, '}');
+  EXPECT_THROW(Json::parse(deepObject), Error);
+}
+
+TEST(Json, NestingDepthIsConfigurable) {
+  EXPECT_THROW(Json::parse("[[1]]", 1), Error);
+  EXPECT_NO_THROW(Json::parse("[[1]]", 2));
+  const Json v = Json::parse("[[[[[1]]]]]", 5);
+  EXPECT_EQ(v.dump(), "[[[[[1]]]]]");
+  // A failed parse names the bound in its message.
+  try {
+    Json::parse("[[[]]]", 2);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting deeper than 2"),
+              std::string::npos);
+  }
+}
+
 // --- Requests -------------------------------------------------------------
 
 void expectRequestRoundTrip(const Request& request) {

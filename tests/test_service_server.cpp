@@ -1,6 +1,9 @@
 // End-to-end service tests: a real server on an ephemeral localhost
 // port, real TCP clients, concurrent classify requests, backpressure,
-// drain-on-stop, and SIGINT drain of the powerviz_serve binary.
+// drain-on-stop, SIGINT drain of the powerviz_serve binary, and the
+// chaos suite — every misbehaving-client scenario must end in a clean
+// `error`/disconnect with the server still serving and no reader
+// threads leaked.
 #include <gtest/gtest.h>
 
 #include <signal.h>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "core/algorithms.h"
+#include "service/chaos.h"
 #include "service/client.h"
 #include "service/json.h"
 #include "service/protocol.h"
@@ -227,6 +231,258 @@ TEST(ServiceServer, StopDrainsQueuedRequests) {
 
   // New connections are refused once stopped.
   EXPECT_THROW(ServiceClient("127.0.0.1", server.port()), Error);
+}
+
+// --- Chaos suite ----------------------------------------------------------
+// Every scenario: the fault gets a clean `error` reply or disconnect,
+// the right counter moves, the server keeps serving, and stop() leaves
+// zero active connections (no leaked reader threads).
+
+/// Poll until the server has reaped the chaos connections (the reader
+/// marks itself done asynchronously) or ~2 s pass.
+void waitForActiveConnections(const Server& server, std::size_t want) {
+  for (int i = 0; i < 100; ++i) {
+    if (server.metrics().snapshot().connectionsActive == want) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+TEST(ServiceChaos, CompleteOversizedFrameRejectedFrameOnly) {
+  ServerConfig config = testConfig();
+  config.maxFrameBytes = 256;
+  Server server(config);
+  server.start();
+
+  MisbehavingClient client("127.0.0.1", server.port());
+  // A complete frame over the bound (newline intact): the frame is
+  // rejected but the connection survives.
+  ASSERT_TRUE(client.sendRaw(std::string(400, 'x') + "\n"));
+  const std::string reply = client.readLine(3000);
+  EXPECT_NE(reply.find("\"error\""), std::string::npos) << reply;
+  EXPECT_NE(reply.find("frame exceeds"), std::string::npos) << reply;
+  EXPECT_GE(server.metrics().snapshot().rejectedFrames, 1u);
+
+  // Same connection still serves a valid request.
+  ASSERT_TRUE(client.sendRaw("{\"op\":\"ping\",\"id\":\"after\"}\n"));
+  EXPECT_NE(client.readLine(3000).find("\"ok\""), std::string::npos);
+
+  server.stop();
+  EXPECT_EQ(server.metrics().snapshot().connectionsActive, 0u);
+}
+
+TEST(ServiceChaos, UnboundedPartialFrameDropsConnection) {
+  ServerConfig config = testConfig();
+  config.maxFrameBytes = 256;
+  Server server(config);
+  server.start();
+
+  MisbehavingClient client("127.0.0.1", server.port());
+  // No newline ever: the server must reply once and cut the connection
+  // instead of buffering without bound.
+  ASSERT_TRUE(client.sendRaw(std::string(1024, 'y')));
+  const std::string reply = client.readLine(3000);
+  EXPECT_NE(reply.find("frame exceeds"), std::string::npos) << reply;
+  EXPECT_EQ(client.readLine(500), "");  // connection closed behind it
+  EXPECT_GE(server.metrics().snapshot().rejectedFrames, 1u);
+
+  // The server is unimpressed and keeps serving new clients.
+  ServiceClient fresh("127.0.0.1", server.port());
+  Request ping;
+  ping.op = Op::Ping;
+  EXPECT_EQ(fresh.request(ping).status, "ok");
+
+  server.stop();
+  EXPECT_EQ(server.metrics().snapshot().connectionsActive, 0u);
+}
+
+TEST(ServiceChaos, DeeplyNestedJsonGetsParseError) {
+  Server server(testConfig());
+  server.start();
+
+  MisbehavingClient client("127.0.0.1", server.port());
+  // 100k-deep nesting: well under the frame bound, far over the depth
+  // bound — pre-fix this overflowed the parser's stack and killed the
+  // process.
+  const std::string bomb(100000, '[');
+  ASSERT_TRUE(client.sendRaw(bomb + "\n"));
+  const std::string reply = client.readLine(3000);
+  EXPECT_NE(reply.find("\"error\""), std::string::npos) << reply;
+  EXPECT_NE(reply.find("nesting"), std::string::npos) << reply;
+  EXPECT_GE(server.metrics().snapshot().badRequests, 1u);
+
+  // The connection survives a depth rejection (the frame was complete).
+  ASSERT_TRUE(client.sendRaw("{\"op\":\"ping\",\"id\":\"deep\"}\n"));
+  EXPECT_NE(client.readLine(3000).find("\"ok\""), std::string::npos);
+
+  server.stop();
+}
+
+TEST(ServiceChaos, SlowLorisFrameTimesOut) {
+  ServerConfig config = testConfig();
+  config.frameTimeoutMs = 200;
+  Server server(config);
+  server.start();
+
+  MisbehavingClient loris("127.0.0.1", server.port());
+  // Start a frame and stall: the reader must reply and cut us off after
+  // the frame deadline, not wait forever.
+  ASSERT_TRUE(loris.sendRaw("{\"op\":\"ping\",\"id\":\"lo"));
+  const std::string reply = loris.readLine(3000);
+  EXPECT_NE(reply.find("frame timeout"), std::string::npos) << reply;
+  EXPECT_EQ(loris.readLine(500), "");  // then EOF
+  EXPECT_GE(server.metrics().snapshot().timeouts, 1u);
+
+  // Other clients are unaffected.
+  ServiceClient fresh("127.0.0.1", server.port());
+  Request ping;
+  ping.op = Op::Ping;
+  EXPECT_EQ(fresh.request(ping).status, "ok");
+
+  server.stop();
+  EXPECT_EQ(server.metrics().snapshot().connectionsActive, 0u);
+}
+
+TEST(ServiceChaos, IdleConnectionTimesOut) {
+  ServerConfig config = testConfig();
+  config.idleTimeoutMs = 200;
+  Server server(config);
+  server.start();
+
+  MisbehavingClient idle("127.0.0.1", server.port());
+  const std::string reply = idle.readLine(3000);  // send nothing at all
+  EXPECT_NE(reply.find("idle timeout"), std::string::npos) << reply;
+  EXPECT_GE(server.metrics().snapshot().timeouts, 1u);
+
+  server.stop();
+  EXPECT_EQ(server.metrics().snapshot().connectionsActive, 0u);
+}
+
+TEST(ServiceChaos, MidFrameDisconnectsLeaveNoLeakedReaders) {
+  Server server(testConfig());
+  server.start();
+
+  // A volley of clients that die mid-frame, some with an RST.
+  for (int i = 0; i < 8; ++i) {
+    MisbehavingClient client("127.0.0.1", server.port());
+    client.sendRaw("{\"op\":\"classify\",\"algorithm\":\"cont");
+    if (i % 2 == 0) {
+      client.closeAbruptly();
+    }  // else: destructor FIN-closes
+  }
+  waitForActiveConnections(server, 0);
+
+  // Server is intact and the readers are gone.
+  ServiceClient fresh("127.0.0.1", server.port());
+  Request ping;
+  ping.op = Op::Ping;
+  EXPECT_EQ(fresh.request(ping).status, "ok");
+
+  server.stop();
+  EXPECT_EQ(server.metrics().snapshot().connectionsActive, 0u);
+}
+
+TEST(ServiceChaos, GarbageBytesAnsweredThenConnectionRecovers) {
+  Server server(testConfig());
+  server.start();
+
+  MisbehavingClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.sendRaw("\x01\x02\x7f not json {]\n"));
+  const std::string reply = client.readLine(3000);
+  EXPECT_NE(reply.find("\"error\""), std::string::npos) << reply;
+  EXPECT_GE(server.metrics().snapshot().badRequests, 1u);
+
+  // An intact subsequent request on the same connection.
+  ASSERT_TRUE(client.sendRaw("{\"op\":\"ping\",\"id\":\"g2\"}\n"));
+  EXPECT_NE(client.readLine(3000).find("\"ok\""), std::string::npos);
+
+  server.stop();
+}
+
+TEST(ServiceChaos, RequestBudgetExpiresInQueue) {
+  ServerConfig config = testConfig();
+  config.workers = 1;
+  config.requestTimeoutMs = 150;
+  Server server(config);
+  server.start();
+
+  Request slowPing;
+  slowPing.op = Op::Ping;
+  slowPing.delayMs = 500;
+
+  // Occupy the only worker…
+  std::thread first([&] {
+    ServiceClient client("127.0.0.1", server.port());
+    client.request(slowPing);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // …so this request waits ~400 ms in the queue, past its 150 ms budget.
+  ServiceClient second("127.0.0.1", server.port());
+  Request fastPing;
+  fastPing.op = Op::Ping;
+  const Response expired = second.request(fastPing);
+  EXPECT_EQ(expired.status, "error");
+  EXPECT_NE(expired.error.find("deadline exceeded"), std::string::npos)
+      << expired.error;
+  EXPECT_GE(server.metrics().snapshot().timeouts, 1u);
+
+  first.join();
+  server.stop();
+}
+
+TEST(ServiceChaos, ConnectionsPastBoundAreShed) {
+  ServerConfig config = testConfig();
+  config.maxConnections = 1;
+  Server server(config);
+  server.start();
+
+  ServiceClient keeper("127.0.0.1", server.port());
+  Request ping;
+  ping.op = Op::Ping;
+  ASSERT_EQ(keeper.request(ping).status, "ok");
+
+  // Second connection: one `overloaded` line, then close.
+  MisbehavingClient shed("127.0.0.1", server.port());
+  const std::string reply = shed.readLine(3000);
+  EXPECT_NE(reply.find("overloaded"), std::string::npos) << reply;
+  EXPECT_EQ(shed.readLine(500), "");  // closed
+  EXPECT_GE(server.metrics().snapshot().shedConnections, 1u);
+
+  // The admitted connection still works.
+  EXPECT_EQ(keeper.request(ping).status, "ok");
+
+  server.stop();
+}
+
+TEST(ServiceChaos, StatsReportsRobustnessCounters) {
+  ServerConfig config = testConfig();
+  config.maxFrameBytes = 256;
+  config.frameTimeoutMs = 200;
+  Server server(config);
+  server.start();
+
+  {
+    MisbehavingClient oversized("127.0.0.1", server.port());
+    oversized.sendRaw(std::string(400, 'x') + "\n");
+    oversized.readLine(2000);
+  }
+  {
+    MisbehavingClient loris("127.0.0.1", server.port());
+    loris.sendRaw("{\"op");
+    loris.readLine(2000);
+  }
+  waitForActiveConnections(server, 0);
+
+  ServiceClient client("127.0.0.1", server.port());
+  Request statsRequest;
+  statsRequest.op = Op::Stats;
+  const Response response = client.request(statsRequest);
+  ASSERT_EQ(response.status, "ok");
+  EXPECT_GE(response.result.find("timeouts")->asInt(), 1);
+  EXPECT_GE(response.result.find("rejected_frames")->asInt(), 1);
+  ASSERT_NE(response.result.find("shed_connections"), nullptr);
+
+  server.stop();
 }
 
 #ifdef POWERVIZ_SERVE_BIN

@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
 #include "util/parallel.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace pviz::util {
@@ -109,6 +112,52 @@ TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
       10, 10, 42, [](int acc, std::int64_t) { return acc + 1; },
       [](int a, int b) { return a + b; });
   EXPECT_EQ(total, 42);
+}
+
+// Regression: partials used to be pushed in thread-completion order, so
+// a floating-point sum could combine in a different order on every run
+// — breaking the bit-reproducibility contract in util/rng.h.  Partials
+// are now indexed by chunk, so repeated reductions of the same input
+// must agree to the last bit no matter how the scheduler interleaves.
+TEST(ParallelReduce, FloatingPointSumIsBitReproducible) {
+  // Values spanning ~16 orders of magnitude make the sum highly
+  // sensitive to combine order.
+  constexpr std::int64_t kCount = 100000;
+  std::vector<double> values(static_cast<std::size_t>(kCount));
+  Rng rng(321);
+  for (auto& v : values) {
+    v = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-8.0, 8.0));
+  }
+
+  auto reduceOnce = [&] {
+    return parallelReduce<double>(
+        0, kCount, 0.0,
+        [&](double acc, std::int64_t i) {
+          return acc + values[static_cast<std::size_t>(i)];
+        },
+        [](double a, double b) { return a + b; },
+        /*grain=*/97);  // many small chunks → many interleavings
+  };
+
+  const double first = reduceOnce();
+  for (int run = 0; run < 60; ++run) {
+    const double again = reduceOnce();
+    ASSERT_EQ(std::memcmp(&first, &again, sizeof first), 0)
+        << "run " << run << ": " << first << " vs " << again;
+  }
+}
+
+// The partials vector is chunk-indexed off grain-aligned offsets; an
+// awkward (count, grain) pair must still visit every index exactly once
+// and combine every chunk.
+TEST(ParallelReduce, ChunkIndexingCoversAwkwardRanges) {
+  for (const std::int64_t grain : {1, 3, 97, 4096}) {
+    const std::int64_t n = 12345;
+    const auto total = parallelReduce<std::int64_t>(
+        -7, n, 0, [](std::int64_t acc, std::int64_t i) { return acc + i; },
+        [](std::int64_t a, std::int64_t b) { return a + b; }, grain);
+    EXPECT_EQ(total, (n - 1) * n / 2 - 28) << "grain " << grain;
+  }
 }
 
 TEST(ExclusiveScan, BasicAndTotal) {

@@ -25,7 +25,11 @@ using namespace pviz;
   std::cout <<
       R"(powerviz_client — query a running powerviz_serve
 
-usage: powerviz_client [--host H] [--port N] [--json] OP [op options]
+usage: powerviz_client [--host H] [--port N] [--json] [--timeout-ms N]
+                       OP [op options]
+
+`--timeout-ms N` bounds each read from the server (0 = wait forever,
+the default) so a hung server fails the command instead of blocking it.
 
 operations:
   ping [--delay-ms X]       liveness probe
@@ -108,6 +112,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7077;
   bool rawJson = false;
+  service::ServiceClient::Limits limits;
   service::Request request;
   bool haveOp = false;
 
@@ -125,6 +130,7 @@ int main(int argc, char** argv) {
       else if (arg == "--host") host = next();
       else if (arg == "--port") port = static_cast<int>(util::parseInt(next(), "--port"));
       else if (arg == "--json") rawJson = true;
+      else if (arg == "--timeout-ms") limits.recvTimeoutMs = static_cast<int>(util::parseInt(next(), "--timeout-ms"));
       else if (arg == "--algorithm") request.algorithm = core::parseAlgorithmToken(next());
       else if (arg == "--algorithms") request.algorithms = core::parseAlgorithmList(next());
       else if (arg == "--size") request.size = util::parseInt(next(), "--size");
@@ -151,7 +157,7 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    service::ServiceClient client(host, port);
+    service::ServiceClient client(host, port, limits);
     const service::Response response = client.request(request);
     if (rawJson) {
       std::cout << service::toJson(response).dump() << '\n';

@@ -40,7 +40,19 @@ options:
   --workers N         request worker threads (default 4)
   --queue N           bounded request queue depth; requests beyond it get
                       an `overloaded` response (default 64)
-  --max-connections N concurrent client bound (default 64)
+  --max-connections N concurrent client bound; connections beyond it are
+                      shed at accept time (default 64)
+  --max-frame-bytes N request frame size bound; larger frames get an
+                      `error` reply (default 1048576)
+  --max-json-depth N  request JSON nesting bound (default 64)
+  --idle-timeout-ms N close connections with no traffic for N ms
+                      (0 disables; default 300000)
+  --frame-timeout-ms N close connections whose started frame has not
+                      completed after N ms — cuts off slow-loris writers
+                      (0 disables; default 5000)
+  --request-timeout-ms N answer `error` instead of dispatching a request
+                      that waited in the queue longer than N ms
+                      (0 disables; default 0)
   --cache PATH        on-disk characterization cache shared with the
                       study tools ("none" disables; default none)
   --result-cache N    in-memory result cache entries (0 disables,
@@ -88,6 +100,11 @@ int main(int argc, char** argv) {
       else if (arg == "--workers") config.workers = static_cast<int>(util::parseInt(next(), "--workers"));
       else if (arg == "--queue") config.maxQueueDepth = static_cast<std::size_t>(util::parseInt(next(), "--queue"));
       else if (arg == "--max-connections") config.maxConnections = static_cast<std::size_t>(util::parseInt(next(), "--max-connections"));
+      else if (arg == "--max-frame-bytes") config.maxFrameBytes = static_cast<std::size_t>(util::parseInt(next(), "--max-frame-bytes"));
+      else if (arg == "--max-json-depth") config.maxJsonDepth = static_cast<std::size_t>(util::parseInt(next(), "--max-json-depth"));
+      else if (arg == "--idle-timeout-ms") config.idleTimeoutMs = static_cast<int>(util::parseInt(next(), "--idle-timeout-ms"));
+      else if (arg == "--frame-timeout-ms") config.frameTimeoutMs = static_cast<int>(util::parseInt(next(), "--frame-timeout-ms"));
+      else if (arg == "--request-timeout-ms") config.requestTimeoutMs = static_cast<int>(util::parseInt(next(), "--request-timeout-ms"));
       else if (arg == "--result-cache") config.engine.cacheEntries = static_cast<std::size_t>(util::parseInt(next(), "--result-cache"));
       else if (arg == "--caps") config.engine.study.capsWatts = util::parseCapList(next());
       else if (arg == "--cycles") config.engine.study.cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
@@ -124,9 +141,14 @@ int main(int argc, char** argv) {
     server.stop();
 
     const auto snap = server.metrics().snapshot();
-    std::printf("powerviz_serve exiting: %llu requests, %llu overloaded\n",
-                static_cast<unsigned long long>(snap.totalRequests),
-                static_cast<unsigned long long>(snap.overloaded));
+    std::printf(
+        "powerviz_serve exiting: %llu requests, %llu overloaded, "
+        "%llu timeouts, %llu rejected frames, %llu shed connections\n",
+        static_cast<unsigned long long>(snap.totalRequests),
+        static_cast<unsigned long long>(snap.overloaded),
+        static_cast<unsigned long long>(snap.timeouts),
+        static_cast<unsigned long long>(snap.rejectedFrames),
+        static_cast<unsigned long long>(snap.shedConnections));
     return 0;
   } catch (const pviz::Error& e) {
     std::cerr << "powerviz_serve: " << e.what() << '\n';
