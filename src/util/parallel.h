@@ -1,10 +1,12 @@
 // Convenience wrappers over the global ThreadPool: index-based
-// parallelFor, parallelReduce, and a deterministic per-thread scratch
-// gather pattern used by filters that emit variable-sized output.
+// parallelFor, parallelReduce, a parallel three-phase exclusive scan,
+// and deterministic compaction/gather patterns used by filters that
+// emit variable-sized output.
 #pragma once
 
 #include <cstdint>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "util/thread_pool.h"
@@ -12,6 +14,11 @@
 namespace pviz::util {
 
 inline constexpr std::int64_t kDefaultGrain = 1024;
+
+/// Chunk size used by the scan/compaction primitives.  Large enough that
+/// the serial scan-of-chunk-sums phase is negligible, small enough to
+/// load-balance on every pool size we run.
+inline constexpr std::int64_t kScanGrain = 1 << 14;
 
 /// Run `f(i)` for every i in [begin, end) on the global pool.
 template <typename Func>
@@ -27,8 +34,7 @@ void parallelFor(std::int64_t begin, std::int64_t end, Func&& f,
 template <typename Func>
 void parallelForChunks(std::int64_t begin, std::int64_t end, Func&& f,
                        std::int64_t grain = kDefaultGrain) {
-  ThreadPool::global().parallelFor(begin, end, grain,
-                                   std::function<void(std::int64_t, std::int64_t)>(f));
+  ThreadPool::global().parallelFor(begin, end, grain, std::forward<Func>(f));
 }
 
 /// Map-reduce over [begin, end): `identity` seeds each chunk, `map(acc, i)`
@@ -60,14 +66,115 @@ T parallelReduce(std::int64_t begin, std::int64_t end, T identity, Map&& map,
 
 /// Exclusive prefix sum of `counts`; returns the grand total.  Used by the
 /// two-pass "count then fill" pattern every variable-output filter follows.
+///
+/// Arrays past one chunk run as a three-phase tree scan on the global
+/// pool (per-chunk sums → serial scan of the sums → parallel per-chunk
+/// fix-up); smaller inputs — or a single-thread pool, where the extra
+/// passes only cost bandwidth — take a single serial sweep.  Both paths
+/// are exact integer arithmetic, so the result is identical everywhere.
 inline std::int64_t exclusiveScan(std::vector<std::int64_t>& counts) {
-  std::int64_t running = 0;
-  for (auto& c : counts) {
-    const std::int64_t n = c;
-    c = running;
-    running += n;
+  const auto n = static_cast<std::int64_t>(counts.size());
+  ThreadPool& pool = ThreadPool::global();
+  if (n <= 2 * kScanGrain || pool.concurrency() == 1) {
+    std::int64_t running = 0;
+    for (auto& c : counts) {
+      const std::int64_t v = c;
+      c = running;
+      running += v;
+    }
+    return running;
   }
+
+  // Phase 1: independent chunk sums.
+  const std::size_t chunkCount =
+      static_cast<std::size_t>((n + kScanGrain - 1) / kScanGrain);
+  std::vector<std::int64_t> chunkSums(chunkCount, 0);
+  pool.parallelFor(0, n, kScanGrain, [&](std::int64_t b, std::int64_t e) {
+    std::int64_t sum = 0;
+    for (std::int64_t i = b; i < e; ++i) {
+      sum += counts[static_cast<std::size_t>(i)];
+    }
+    chunkSums[static_cast<std::size_t>(b / kScanGrain)] = sum;
+  });
+
+  // Phase 2: serial exclusive scan of the (few) chunk sums.
+  std::int64_t running = 0;
+  for (auto& s : chunkSums) {
+    const std::int64_t v = s;
+    s = running;
+    running += v;
+  }
+
+  // Phase 3: per-chunk fix-up re-scans each chunk seeded by its offset.
+  pool.parallelFor(0, n, kScanGrain, [&](std::int64_t b, std::int64_t e) {
+    std::int64_t acc = chunkSums[static_cast<std::size_t>(b / kScanGrain)];
+    for (std::int64_t i = b; i < e; ++i) {
+      const std::int64_t v = counts[static_cast<std::size_t>(i)];
+      counts[static_cast<std::size_t>(i)] = acc;
+      acc += v;
+    }
+  });
   return running;
+}
+
+/// Stream-compact the indices in [0, n) where `pred(i)` holds, in
+/// ascending order.  Runs as count → chunk scan → fill on the global
+/// pool; the output is identical for every pool size and grain because
+/// chunks are fixed ranges written at scanned offsets.
+template <typename Pred>
+std::vector<std::int64_t> parallelSelect(std::int64_t n, Pred&& pred,
+                                         std::int64_t grain = kScanGrain) {
+  PVIZ_REQUIRE(grain > 0, "parallelSelect grain must be positive");
+  std::vector<std::int64_t> out;
+  if (n <= 0) return out;
+  if (n <= grain || ThreadPool::global().concurrency() == 1) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (pred(i)) out.push_back(i);
+    }
+    return out;
+  }
+  const std::size_t chunkCount =
+      static_cast<std::size_t>((n + grain - 1) / grain);
+  std::vector<std::int64_t> chunkCounts(chunkCount + 1, 0);
+  ThreadPool::global().parallelFor(
+      0, n, grain, [&](std::int64_t b, std::int64_t e) {
+        std::int64_t count = 0;
+        for (std::int64_t i = b; i < e; ++i) count += pred(i) ? 1 : 0;
+        chunkCounts[static_cast<std::size_t>(b / grain)] = count;
+      });
+  const std::int64_t total = exclusiveScan(chunkCounts);
+  out.resize(static_cast<std::size_t>(total));
+  ThreadPool::global().parallelFor(
+      0, n, grain, [&](std::int64_t b, std::int64_t e) {
+        auto at = static_cast<std::size_t>(
+            chunkCounts[static_cast<std::size_t>(b / grain)]);
+        for (std::int64_t i = b; i < e; ++i) {
+          if (pred(i)) out[at++] = i;
+        }
+      });
+  return out;
+}
+
+/// Chunked map-gather for variable-sized output: `body(local, b, e)`
+/// appends chunk [b, e)'s output into a default-constructed `T`, and
+/// `merge(result, part)` splices partials together **in ascending chunk
+/// order** — unlike a completion-order mutex gather, the concatenated
+/// output is byte-identical on every pool size and schedule.
+template <typename T, typename ChunkBody, typename Merge>
+T parallelGatherChunks(std::int64_t begin, std::int64_t end, ChunkBody&& body,
+                       Merge&& merge, std::int64_t grain = kDefaultGrain) {
+  T result;
+  if (begin >= end) return result;
+  PVIZ_REQUIRE(grain > 0, "parallelGatherChunks grain must be positive");
+  const std::size_t chunkCount =
+      static_cast<std::size_t>((end - begin + grain - 1) / grain);
+  std::vector<T> partials(chunkCount);
+  ThreadPool::global().parallelFor(
+      begin, end, grain, [&](std::int64_t b, std::int64_t e) {
+        body(partials[static_cast<std::size_t>((b - begin) / grain)], b, e);
+      });
+  for (auto& p : partials) merge(result, std::move(p));
+  return result;
 }
 
 }  // namespace pviz::util

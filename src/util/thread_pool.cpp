@@ -5,6 +5,7 @@
 namespace pviz::util {
 
 thread_local bool ThreadPool::insideWorker_ = false;
+std::atomic<ThreadPool*> ThreadPool::globalOverride_{nullptr};
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) {
@@ -28,8 +29,15 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::global() {
+  if (ThreadPool* override = globalOverride_.load(std::memory_order_acquire)) {
+    return *override;
+  }
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool* ThreadPool::setGlobalForTesting(ThreadPool* pool) {
+  return globalOverride_.exchange(pool, std::memory_order_acq_rel);
 }
 
 void ThreadPool::workerLoop() {
@@ -64,7 +72,7 @@ void ThreadPool::runChunks() {
     if (chunkBegin >= job->end) return;
     const std::int64_t chunkEnd = std::min(chunkBegin + job->grain, job->end);
     try {
-      (*job->body)(chunkBegin, chunkEnd);
+      job->invoke(job->ctx, chunkBegin, chunkEnd);
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!firstError_) firstError_ = std::current_exception();
@@ -75,16 +83,16 @@ void ThreadPool::runChunks() {
   }
 }
 
-void ThreadPool::parallelFor(
-    std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t)>& body) {
+void ThreadPool::parallelForImpl(std::int64_t begin, std::int64_t end,
+                                 std::int64_t grain, void* ctx,
+                                 ChunkInvoker invoke) {
   if (begin >= end) return;
   PVIZ_REQUIRE(grain > 0, "parallelFor grain must be positive");
 
   // Nested or trivially small loops run inline on the calling thread.
   const std::int64_t count = end - begin;
   if (insideWorker_ || threads_.empty() || count <= grain) {
-    body(begin, end);
+    invoke(ctx, begin, end);
     return;
   }
 
@@ -97,7 +105,8 @@ void ThreadPool::parallelFor(
   job.begin = begin;
   job.end = end;
   job.grain = grain;
-  job.body = &body;
+  job.ctx = ctx;
+  job.invoke = invoke;
   job.cursor.store(begin, std::memory_order_relaxed);
 
   {

@@ -16,9 +16,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "util/error.h"
@@ -48,13 +49,35 @@ class ThreadPool {
   /// Run `body(chunkBegin, chunkEnd)` over [begin, end) in chunks of at
   /// most `grain` iterations.  Blocks until all chunks complete.
   /// Exceptions thrown by `body` are captured and rethrown (first wins).
+  ///
+  /// The callable is invoked through a single function-pointer thunk per
+  /// chunk — no std::function allocation or double indirection on the
+  /// dispatch path.
+  template <typename Body>
   void parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                   const std::function<void(std::int64_t, std::int64_t)>& body);
+                   Body&& body) {
+    using Stored = std::remove_reference_t<Body>;
+    parallelForImpl(
+        begin, end, grain,
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+        [](void* ctx, std::int64_t b, std::int64_t e) {
+          (*static_cast<Stored*>(ctx))(b, e);
+        });
+  }
 
   /// The process-wide pool used by pviz::util::parallelFor and friends.
   static ThreadPool& global();
 
+  /// Test hook: redirect global() to `pool` (nullptr restores the real
+  /// process-wide pool).  Returns the previous override so tests can
+  /// nest/restore.  Intended for single-threaded test drivers only.
+  static ThreadPool* setGlobalForTesting(ThreadPool* pool);
+
  private:
+  using ChunkInvoker = void (*)(void*, std::int64_t, std::int64_t);
+
+  void parallelForImpl(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, void* ctx, ChunkInvoker invoke);
   void workerLoop();
   void runChunks();
 
@@ -62,7 +85,8 @@ class ThreadPool {
     std::int64_t begin = 0;
     std::int64_t end = 0;
     std::int64_t grain = 1;
-    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    void* ctx = nullptr;
+    ChunkInvoker invoke = nullptr;
     std::atomic<std::int64_t> cursor{0};
     std::atomic<unsigned> active{0};
   };
@@ -77,6 +101,7 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr firstError_;  // guarded by mutex_
   static thread_local bool insideWorker_;
+  static std::atomic<ThreadPool*> globalOverride_;
 };
 
 }  // namespace pviz::util

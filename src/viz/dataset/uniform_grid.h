@@ -11,6 +11,7 @@
 //      0--------1
 #pragma once
 
+#include <array>
 #include <map>
 #include <string>
 
@@ -84,6 +85,35 @@ class UniformGrid {
   Vec3 pointPosition(Id flat) const { return pointPosition(pointIjk(flat)); }
   Vec3 cellCenter(Id3 c) const {
     return pointPosition(c) + spacing_ * 0.5;
+  }
+
+  // --- row iteration ----------------------------------------------------
+  // Cells sharing a (j, k) pair form an i-contiguous "row": their flat
+  // ids are [row * cellDims().i, (row + 1) * cellDims().i).  Hot kernel
+  // loops sweep rows and step cell/point indices incrementally instead
+  // of div/mod-decoding ijk for every cell.
+
+  /// Number of cell rows (cellDims().j * cellDims().k).
+  Id numCellRows() const {
+    const Id3 cd = cellDims();
+    return cd.j * cd.k;
+  }
+  /// The (0, j, k) triple of row `row`; rows are ordered j-fastest to
+  /// match flat cell ids.
+  Id3 cellRowIjk(Id row) const {
+    const Id3 cd = cellDims();
+    return {0, row % cd.j, row / cd.j};
+  }
+  /// Corner-0 point id of the first cell in `row`; consecutive cells in
+  /// the row advance it by exactly 1.
+  Id cellRowFirstPointId(Id row) const { return pointId(cellRowIjk(row)); }
+  /// Corner point-id offsets relative to corner 0, VTK hexahedron order.
+  /// Adding these to a cell's corner-0 point id enumerates its corners
+  /// without re-deriving the j/k strides per cell.
+  std::array<Id, 8> cellCornerOffsets() const {
+    const Id dj = pointDims_.i;
+    const Id dk = pointDims_.i * pointDims_.j;
+    return {0, 1, 1 + dj, dj, dk, 1 + dk, 1 + dj + dk, dj + dk};
   }
 
   /// The eight corner point ids of cell `c`, VTK hexahedron order.

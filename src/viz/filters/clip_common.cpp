@@ -1,7 +1,5 @@
 #include "viz/filters/clip_common.h"
 
-#include <mutex>
-
 #include "util/parallel.h"
 
 namespace pviz::vis {
@@ -51,6 +49,20 @@ void emitPrism(const ClipVertex& t0, const ClipVertex& t1,
   emitTet(t0, t1, t2, b0, out);
   emitTet(t1, t2, b0, b2, out);
   emitTet(t1, b0, b1, b2, out);
+}
+
+// Splice `part` onto the end of `into`, rebasing connectivity.  Always
+// applied in ascending chunk order so concatenated output is identical
+// on every pool size.
+void spliceTetMesh(TetMesh& into, TetMesh&& part) {
+  const Id base = into.numPoints();
+  into.points.insert(into.points.end(), part.points.begin(),
+                     part.points.end());
+  into.pointScalars.insert(into.pointScalars.end(), part.pointScalars.begin(),
+                           part.pointScalars.end());
+  into.connectivity.reserve(into.connectivity.size() +
+                            part.connectivity.size());
+  for (Id id : part.connectivity) into.connectivity.push_back(base + id);
 }
 
 }  // namespace
@@ -118,99 +130,105 @@ ClipResult clipUniformGrid(const UniformGrid& grid,
                "carried scalar must be a per-point array");
 
   const Id numCells = grid.numCells();
+  const Id rows = grid.numCellRows();
+  const Id rowLen = grid.cellDims().i;
+  const auto corner = grid.cellCornerOffsets();
+  const Id rowGrain =
+      std::max<Id>(1, util::kDefaultGrain / std::max<Id>(Id{1}, rowLen));
   ClipResult result;
 
-  // Pass 1: classify cells (0 = out, 1 = in, 2 = cut).
+  // Pass 1: classify cells (0 = out, 1 = in, 2 = cut), swept as i-rows
+  // with incremental index stepping.
   std::vector<std::uint8_t> state(static_cast<std::size_t>(numCells));
-  util::parallelFor(0, numCells, [&](Id cell) {
+  util::parallelForChunks(
+      0, rows,
+      [&](Id rowBegin, Id rowEnd) {
+        for (Id row = rowBegin; row < rowEnd; ++row) {
+          Id cell = row * rowLen;
+          Id base = grid.cellRowFirstPointId(row);
+          for (Id i = 0; i < rowLen; ++i, ++cell, ++base) {
+            int nKeep = 0;
+            for (int c = 0; c < 8; ++c) {
+              if (clipScalar[static_cast<std::size_t>(base + corner[c])] >=
+                  0.0) {
+                ++nKeep;
+              }
+            }
+            state[static_cast<std::size_t>(cell)] =
+                nKeep == 8 ? 1 : (nKeep == 0 ? 0 : 2);
+          }
+        }
+      },
+      rowGrain);
+
+  // Compacted whole-kept and cut lists replace the full-grid re-sweep;
+  // both are in ascending cell order.
+  const std::vector<std::int64_t> wholeList = util::parallelSelect(
+      numCells, [&](std::int64_t cell) {
+        return state[static_cast<std::size_t>(cell)] == 1;
+      });
+  const std::vector<std::int64_t> cutList = util::parallelSelect(
+      numCells, [&](std::int64_t cell) {
+        return state[static_cast<std::size_t>(cell)] == 2;
+      });
+  result.cellsIn = static_cast<std::int64_t>(wholeList.size());
+  result.cellsCut = static_cast<std::int64_t>(cutList.size());
+  result.cellsOut = numCells - result.cellsIn - result.cellsCut;
+
+  // Pass 2a: whole kept cells — direct scatter to compacted slots.
+  result.wholeCells.cellIds.resize(wholeList.size());
+  result.wholeCells.cellScalars.resize(wholeList.size());
+  util::parallelFor(0, static_cast<Id>(wholeList.size()), [&](Id n) {
+    const Id cell = wholeList[static_cast<std::size_t>(n)];
     Id pts[8];
     grid.cellPointIds(grid.cellIjk(cell), pts);
-    int nKeep = 0;
+    double avg = 0.0;
     for (int i = 0; i < 8; ++i) {
-      if (clipScalar[static_cast<std::size_t>(pts[i])] >= 0.0) ++nKeep;
+      avg += carried[static_cast<std::size_t>(pts[i])];
     }
-    state[static_cast<std::size_t>(cell)] =
-        nKeep == 8 ? 1 : (nKeep == 0 ? 0 : 2);
+    result.wholeCells.cellIds[static_cast<std::size_t>(n)] = cell;
+    result.wholeCells.cellScalars[static_cast<std::size_t>(n)] = avg / 8.0;
   });
 
-  // Pass 2: whole kept cells (compact) and cut cells (clip per thread,
-  // merge at the end — output sizes are data dependent).
-  std::vector<std::int64_t> keepOffsets(static_cast<std::size_t>(numCells) + 1,
-                                        0);
-  for (Id cell = 0; cell < numCells; ++cell) {
-    const std::uint8_t s = state[static_cast<std::size_t>(cell)];
-    keepOffsets[static_cast<std::size_t>(cell)] = s == 1 ? 1 : 0;
-    if (s == 1) ++result.cellsIn;
-    else if (s == 0) ++result.cellsOut;
-    else ++result.cellsCut;
-  }
-  const std::int64_t numKept = util::exclusiveScan(keepOffsets);
-  keepOffsets[static_cast<std::size_t>(numCells)] = numKept;
-
-  result.wholeCells.cellIds.resize(static_cast<std::size_t>(numKept));
-  result.wholeCells.cellScalars.resize(static_cast<std::size_t>(numKept));
-
-  std::mutex mergeMutex;
-  std::vector<TetMesh> partials;
-
-  util::parallelForChunks(0, numCells, [&](Id chunkBegin, Id chunkEnd) {
-    TetMesh local;
-    for (Id cell = chunkBegin; cell < chunkEnd; ++cell) {
-      const std::uint8_t s = state[static_cast<std::size_t>(cell)];
-      if (s == 0) continue;
-      Id pts[8];
-      grid.cellPointIds(grid.cellIjk(cell), pts);
-      if (s == 1) {
-        const std::int64_t at = keepOffsets[static_cast<std::size_t>(cell)];
-        double avg = 0.0;
-        for (int i = 0; i < 8; ++i) {
-          avg += carried[static_cast<std::size_t>(pts[i])];
+  // Pass 2b: cut cells — clip per chunk of the compacted list, splice in
+  // chunk order (deterministic output for every pool size).
+  result.cutPieces = util::parallelGatherChunks<TetMesh>(
+      0, static_cast<Id>(cutList.size()),
+      [&](TetMesh& local, Id chunkBegin, Id chunkEnd) {
+        for (Id n = chunkBegin; n < chunkEnd; ++n) {
+          const Id cell = cutList[static_cast<std::size_t>(n)];
+          Id pts[8];
+          const Id3 c = grid.cellIjk(cell);
+          grid.cellPointIds(c, pts);
+          Vec3 cornerPos[8];
+          double clip[8];
+          double carry[8];
+          static constexpr Id kOffsets[8][3] = {{0, 0, 0}, {1, 0, 0},
+                                                {1, 1, 0}, {0, 1, 0},
+                                                {0, 0, 1}, {1, 0, 1},
+                                                {1, 1, 1}, {0, 1, 1}};
+          for (int i = 0; i < 8; ++i) {
+            cornerPos[i] = grid.pointPosition(Id3{c.i + kOffsets[i][0],
+                                                  c.j + kOffsets[i][1],
+                                                  c.k + kOffsets[i][2]});
+            clip[i] = clipScalar[static_cast<std::size_t>(pts[i])];
+            carry[i] = carried[static_cast<std::size_t>(pts[i])];
+          }
+          for (const auto& tet : kHexTets) {
+            const Vec3 tp[4] = {cornerPos[tet[0]], cornerPos[tet[1]],
+                                cornerPos[tet[2]], cornerPos[tet[3]]};
+            const double tc[4] = {clip[tet[0]], clip[tet[1]], clip[tet[2]],
+                                  clip[tet[3]]};
+            const double ta[4] = {carry[tet[0]], carry[tet[1]], carry[tet[2]],
+                                  carry[tet[3]]};
+            clipTetrahedron(tp, tc, ta, local);
+          }
         }
-        result.wholeCells.cellIds[static_cast<std::size_t>(at)] = cell;
-        result.wholeCells.cellScalars[static_cast<std::size_t>(at)] = avg / 8.0;
-        continue;
-      }
-      Vec3 corner[8];
-      double clip[8];
-      double carry[8];
-      const Id3 c = grid.cellIjk(cell);
-      static constexpr Id kOffsets[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0},
-                                            {0, 1, 0}, {0, 0, 1}, {1, 0, 1},
-                                            {1, 1, 1}, {0, 1, 1}};
-      for (int i = 0; i < 8; ++i) {
-        corner[i] = grid.pointPosition(Id3{c.i + kOffsets[i][0],
-                                           c.j + kOffsets[i][1],
-                                           c.k + kOffsets[i][2]});
-        clip[i] = clipScalar[static_cast<std::size_t>(pts[i])];
-        carry[i] = carried[static_cast<std::size_t>(pts[i])];
-      }
-      for (const auto& tet : kHexTets) {
-        const Vec3 tp[4] = {corner[tet[0]], corner[tet[1]], corner[tet[2]],
-                            corner[tet[3]]};
-        const double tc[4] = {clip[tet[0]], clip[tet[1]], clip[tet[2]],
-                              clip[tet[3]]};
-        const double ta[4] = {carry[tet[0]], carry[tet[1]], carry[tet[2]],
-                              carry[tet[3]]};
-        clipTetrahedron(tp, tc, ta, local);
-      }
-    }
-    if (!local.points.empty()) {
-      std::lock_guard lock(mergeMutex);
-      partials.push_back(std::move(local));
-    }
-  });
-
-  for (const auto& part : partials) {
-    const Id base = result.cutPieces.numPoints();
-    result.cutPieces.points.insert(result.cutPieces.points.end(),
-                                   part.points.begin(), part.points.end());
-    result.cutPieces.pointScalars.insert(result.cutPieces.pointScalars.end(),
-                                         part.pointScalars.begin(),
-                                         part.pointScalars.end());
-    for (Id id : part.connectivity) {
-      result.cutPieces.connectivity.push_back(base + id);
-    }
-  }
+      },
+      [](TetMesh& into, TetMesh&& part) {
+        spliceTetMesh(into, std::move(part));
+      },
+      /*grain=*/256);
   return result;
 }
 
@@ -218,40 +236,28 @@ TetMesh clipTetMesh(const TetMesh& mesh,
                     const std::vector<double>& clipScalar) {
   PVIZ_REQUIRE(static_cast<Id>(clipScalar.size()) == mesh.numPoints(),
                "clip scalar must match mesh point count");
-  std::mutex mergeMutex;
-  std::vector<TetMesh> partials;
-  util::parallelForChunks(0, mesh.numTets(), [&](Id chunkBegin, Id chunkEnd) {
-    TetMesh local;
-    for (Id t = chunkBegin; t < chunkEnd; ++t) {
-      Vec3 pos[4];
-      double clip[4];
-      double carry[4];
-      for (int i = 0; i < 4; ++i) {
-        const Id p = mesh.connectivity[static_cast<std::size_t>(4 * t + i)];
-        pos[i] = mesh.points[static_cast<std::size_t>(p)];
-        clip[i] = clipScalar[static_cast<std::size_t>(p)];
-        carry[i] = mesh.pointScalars.empty()
-                       ? 0.0
-                       : mesh.pointScalars[static_cast<std::size_t>(p)];
-      }
-      clipTetrahedron(pos, clip, carry, local);
-    }
-    if (!local.points.empty()) {
-      std::lock_guard lock(mergeMutex);
-      partials.push_back(std::move(local));
-    }
-  });
-
-  TetMesh out;
-  for (const auto& part : partials) {
-    const Id base = out.numPoints();
-    out.points.insert(out.points.end(), part.points.begin(),
-                      part.points.end());
-    out.pointScalars.insert(out.pointScalars.end(), part.pointScalars.begin(),
-                            part.pointScalars.end());
-    for (Id id : part.connectivity) out.connectivity.push_back(base + id);
-  }
-  return out;
+  return util::parallelGatherChunks<TetMesh>(
+      0, mesh.numTets(),
+      [&](TetMesh& local, Id chunkBegin, Id chunkEnd) {
+        for (Id t = chunkBegin; t < chunkEnd; ++t) {
+          Vec3 pos[4];
+          double clip[4];
+          double carry[4];
+          for (int i = 0; i < 4; ++i) {
+            const Id p = mesh.connectivity[static_cast<std::size_t>(4 * t + i)];
+            pos[i] = mesh.points[static_cast<std::size_t>(p)];
+            clip[i] = clipScalar[static_cast<std::size_t>(p)];
+            carry[i] = mesh.pointScalars.empty()
+                           ? 0.0
+                           : mesh.pointScalars[static_cast<std::size_t>(p)];
+          }
+          clipTetrahedron(pos, clip, carry, local);
+        }
+      },
+      [](TetMesh& into, TetMesh&& part) {
+        spliceTetMesh(into, std::move(part));
+      },
+      /*grain=*/512);
 }
 
 }  // namespace pviz::vis

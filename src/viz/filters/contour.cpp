@@ -1,6 +1,5 @@
 #include "viz/filters/contour.h"
 
-#include <atomic>
 #include <cmath>
 
 #include "util/parallel.h"
@@ -29,26 +28,20 @@ struct EdgeVertex {
   double scalar;
 };
 
-EdgeVertex interpolateEdge(const UniformGrid& grid, Id3 cellIjk, int edge,
+// Corner offsets in (i,j,k) follow the VTK hexahedron ordering.
+constexpr Id kCornerIjk[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+                                 {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}};
+
+EdgeVertex interpolateEdge(const Vec3 cornerPos[8], int edge,
                            const double corner[8], double isovalue) {
   const auto* pair = McTables::kEdgeCorners[edge];
   const int a = pair[0];
   const int b = pair[1];
-  // Corner offsets in (i,j,k) follow the VTK hexahedron ordering.
-  static constexpr Id kOffsets[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0},
-                                        {0, 1, 0}, {0, 0, 1}, {1, 0, 1},
-                                        {1, 1, 1}, {0, 1, 1}};
-  const Vec3 pa = grid.pointPosition(Id3{cellIjk.i + kOffsets[a][0],
-                                         cellIjk.j + kOffsets[a][1],
-                                         cellIjk.k + kOffsets[a][2]});
-  const Vec3 pb = grid.pointPosition(Id3{cellIjk.i + kOffsets[b][0],
-                                         cellIjk.j + kOffsets[b][1],
-                                         cellIjk.k + kOffsets[b][2]});
   const double va = corner[a];
   const double vb = corner[b];
   const double denom = vb - va;
   const double t = denom != 0.0 ? (isovalue - va) / denom : 0.5;
-  return {lerp(pa, pb, t), isovalue};
+  return {lerp(cornerPos[a], cornerPos[b], t), isovalue};
 }
 
 }  // namespace
@@ -64,101 +57,173 @@ ContourFilter::Result ContourFilter::run(const UniformGrid& grid,
 
   const McTables& tables = McTables::instance();
   const Id numCells = grid.numCells();
+  const Id numPoints = grid.numPoints();
+  const Id rows = grid.numCellRows();
+  const Id rowLen = grid.cellDims().i;
+  const auto corner = grid.cellCornerOffsets();
+  const Id rowGrain =
+      std::max<Id>(1, util::kDefaultGrain / std::max<Id>(Id{1}, rowLen));
   const std::vector<double>& values = field.data();
 
   Result result;
   result.profile.kernel = "contour";
   result.profile.elements = numCells;  // Moreland–Oldfield rate uses n
 
-  std::atomic<std::int64_t> totalCrossed{0};
+  std::int64_t totalCrossed = 0;
 
-  for (const double isovalue : isovalues_) {
-    // --- Pass 1: classify — triangles emitted per cell. -----------------
-    std::vector<std::int64_t> offsets(static_cast<std::size_t>(numCells) + 1, 0);
-    util::parallelFor(0, numCells, [&](Id cell) {
-      const Id3 c = grid.cellIjk(cell);
-      Id pts[8];
-      grid.cellPointIds(c, pts);
-      int caseIndex = 0;
-      for (int i = 0; i < 8; ++i) {
-        if (values[static_cast<std::size_t>(pts[i])] >= isovalue) {
-          caseIndex |= 1 << i;
-        }
-      }
-      offsets[static_cast<std::size_t>(cell)] =
-          tables.triangleCount[static_cast<std::size_t>(caseIndex)];
+  // Per-pass classify artifacts, kept so every pass is classified before
+  // the output mesh is sized: the case index and scanned triangle
+  // offsets per cell plus the compacted active-cell list.  Isovalue
+  // counts are small (a handful), so holding all passes is cheap — and
+  // it lets the output arrays be allocated exactly once at their final
+  // size instead of growing (realloc + copy) per pass.
+  struct Pass {
+    std::vector<std::uint8_t> caseOf;
+    std::vector<std::int64_t> offsets;
+    std::vector<std::int64_t> active;
+    std::int64_t triangles = 0;
+  };
+  std::vector<Pass> passData(isovalues_.size());
+  std::vector<std::uint8_t> above(static_cast<std::size_t>(numPoints));
+  std::int64_t totalTriangles = 0;
+
+  for (std::size_t pi = 0; pi < isovalues_.size(); ++pi) {
+    const double isovalue = isovalues_[pi];
+    Pass& pass = passData[pi];
+    pass.caseOf.resize(static_cast<std::size_t>(numCells));
+    pass.offsets.resize(static_cast<std::size_t>(numCells) + 1);
+
+    // --- Pass 1: classify — compare each point once, then assemble the
+    // MC case per cell from the cached above/below bytes, caching the
+    // case index and the triangle count.  Cells are swept as i-rows with
+    // incremental index stepping (no per-cell ijk decode); within a row
+    // the case is stepped from its predecessor — the shared face's four
+    // corners (bits 1,2,5,6) become bits 0,3,4,7, so only the four new
+    // corners are loaded per cell.
+    util::parallelFor(0, numPoints, [&](Id p) {
+      above[static_cast<std::size_t>(p)] =
+          values[static_cast<std::size_t>(p)] >= isovalue ? 1 : 0;
     });
+    util::parallelForChunks(
+        0, rows,
+        [&](Id rowBegin, Id rowEnd) {
+          for (Id row = rowBegin; row < rowEnd; ++row) {
+            Id cell = row * rowLen;
+            Id base = grid.cellRowFirstPointId(row);
+            int caseIndex = 0;
+            for (Id i = 0; i < rowLen; ++i, ++cell, ++base) {
+              if (i == 0) {
+                caseIndex = 0;
+                for (int c = 0; c < 8; ++c) {
+                  caseIndex |=
+                      above[static_cast<std::size_t>(base + corner[c])] << c;
+                }
+              } else {
+                caseIndex =
+                    ((caseIndex >> 1) & 1) | (((caseIndex >> 2) & 1) << 3) |
+                    (((caseIndex >> 5) & 1) << 4) |
+                    (((caseIndex >> 6) & 1) << 7) |
+                    (above[static_cast<std::size_t>(base + corner[1])] << 1) |
+                    (above[static_cast<std::size_t>(base + corner[2])] << 2) |
+                    (above[static_cast<std::size_t>(base + corner[5])] << 5) |
+                    (above[static_cast<std::size_t>(base + corner[6])] << 6);
+              }
+              pass.caseOf[static_cast<std::size_t>(cell)] =
+                  static_cast<std::uint8_t>(caseIndex);
+              pass.offsets[static_cast<std::size_t>(cell)] =
+                  tables.triangleCount[static_cast<std::size_t>(caseIndex)];
+            }
+          }
+        },
+        rowGrain);
 
-    std::int64_t crossed = 0;
-    for (Id cell = 0; cell < numCells; ++cell) {
-      if (offsets[static_cast<std::size_t>(cell)] > 0) ++crossed;
-    }
-    totalCrossed.fetch_add(crossed, std::memory_order_relaxed);
+    // Compacted active-cell list: the generate pass visits only crossed
+    // cells.
+    pass.active = util::parallelSelect(numCells, [&](std::int64_t cell) {
+      return pass.offsets[static_cast<std::size_t>(cell)] > 0;
+    });
+    totalCrossed += static_cast<std::int64_t>(pass.active.size());
 
-    const std::int64_t numTriangles = util::exclusiveScan(offsets);
-    offsets[static_cast<std::size_t>(numCells)] = numTriangles;
+    pass.offsets[static_cast<std::size_t>(numCells)] = 0;
+    pass.triangles = util::exclusiveScan(pass.offsets);
+    totalTriangles += pass.triangles;
+  }
 
-    // --- Pass 2: generate — interpolate and write triangles. ------------
-    TriangleMesh pass;
-    pass.points.resize(static_cast<std::size_t>(numTriangles) * 3);
-    pass.pointScalars.resize(static_cast<std::size_t>(numTriangles) * 3);
-    pass.connectivity.resize(static_cast<std::size_t>(numTriangles) * 3);
+  // --- Pass 2: generate — interpolate and write triangles for the
+  // crossed cells only, re-reading the cached case index instead of
+  // re-classifying the corners.  Output goes straight into the result
+  // mesh at a per-pass base offset (no per-pass staging mesh + append
+  // copy); the layout matches what sequential appends would produce.
+  TriangleMesh& surface = result.surface;
+  surface.points.resize(static_cast<std::size_t>(totalTriangles) * 3);
+  surface.pointScalars.resize(static_cast<std::size_t>(totalTriangles) * 3);
+  surface.connectivity.resize(static_cast<std::size_t>(totalTriangles) * 3);
 
-    util::parallelFor(0, numCells, [&](Id cell) {
+  std::size_t passBase = 0;
+  for (std::size_t pi = 0; pi < isovalues_.size(); ++pi) {
+    const double isovalue = isovalues_[pi];
+    const Pass& pass = passData[pi];
+    const std::vector<std::int64_t>& offsets = pass.offsets;
+    const std::vector<std::uint8_t>& caseOf = pass.caseOf;
+
+    util::parallelFor(0, static_cast<Id>(pass.active.size()), [&](Id n) {
+      const Id cell = pass.active[static_cast<std::size_t>(n)];
       const std::int64_t first = offsets[static_cast<std::size_t>(cell)];
       const std::int64_t count =
           offsets[static_cast<std::size_t>(cell) + 1] - first;
-      if (count == 0) return;
 
       const Id3 c = grid.cellIjk(cell);
-      Id pts[8];
-      grid.cellPointIds(c, pts);
-      double corner[8];
-      int caseIndex = 0;
+      const Id base = grid.pointId(c);
+      double corners[8];
+      Vec3 cornerPos[8];
       for (int i = 0; i < 8; ++i) {
-        corner[i] = values[static_cast<std::size_t>(pts[i])];
-        if (corner[i] >= isovalue) caseIndex |= 1 << i;
+        corners[i] = values[static_cast<std::size_t>(base + corner[i])];
+        cornerPos[i] = grid.pointPosition(Id3{c.i + kCornerIjk[i][0],
+                                              c.j + kCornerIjk[i][1],
+                                              c.k + kCornerIjk[i][2]});
       }
+      const int caseIndex = caseOf[static_cast<std::size_t>(cell)];
 
       // Estimate the field gradient from corner differences; used to give
       // every triangle a consistent orientation (normal toward lower
       // values, i.e. pointing out of the enclosed high-valued region).
       const Vec3 gradient{
-          (corner[1] - corner[0]) + (corner[2] - corner[3]) +
-              (corner[5] - corner[4]) + (corner[6] - corner[7]),
-          (corner[3] - corner[0]) + (corner[2] - corner[1]) +
-              (corner[7] - corner[4]) + (corner[6] - corner[5]),
-          (corner[4] - corner[0]) + (corner[5] - corner[1]) +
-              (corner[6] - corner[2]) + (corner[7] - corner[3])};
+          (corners[1] - corners[0]) + (corners[2] - corners[3]) +
+              (corners[5] - corners[4]) + (corners[6] - corners[7]),
+          (corners[3] - corners[0]) + (corners[2] - corners[1]) +
+              (corners[7] - corners[4]) + (corners[6] - corners[5]),
+          (corners[4] - corners[0]) + (corners[5] - corners[1]) +
+              (corners[6] - corners[2]) + (corners[7] - corners[3])};
 
       const auto& tri = tables.triangles[static_cast<std::size_t>(caseIndex)];
       for (std::int64_t t = 0; t < count; ++t) {
         EdgeVertex v[3];
         for (int k = 0; k < 3; ++k) {
           const int edge = tri[static_cast<std::size_t>(3 * t + k)];
-          v[k] = interpolateEdge(grid, c, edge, corner, isovalue);
+          v[k] = interpolateEdge(cornerPos, edge, corners, isovalue);
         }
         const Vec3 normal =
             cross(v[1].position - v[0].position, v[2].position - v[0].position);
         if (dot(normal, gradient) > 0.0) std::swap(v[1], v[2]);
 
-        const std::size_t base = static_cast<std::size_t>(first + t) * 3;
+        const std::size_t vbase =
+            passBase + static_cast<std::size_t>(first + t) * 3;
         for (int k = 0; k < 3; ++k) {
-          pass.points[base + static_cast<std::size_t>(k)] = v[k].position;
-          pass.pointScalars[base + static_cast<std::size_t>(k)] = v[k].scalar;
-          pass.connectivity[base + static_cast<std::size_t>(k)] =
-              static_cast<Id>(base) + k;
+          surface.points[vbase + static_cast<std::size_t>(k)] = v[k].position;
+          surface.pointScalars[vbase + static_cast<std::size_t>(k)] =
+              v[k].scalar;
+          surface.connectivity[vbase + static_cast<std::size_t>(k)] =
+              static_cast<Id>(vbase) + k;
         }
       }
     });
-
-    result.surface.append(pass);
+    passBase += static_cast<std::size_t>(pass.triangles) * 3;
   }
 
   // --- Workload characterization (real counts from this run). -----------
   const double passes = static_cast<double>(isovalues_.size());
   const double cells = static_cast<double>(numCells) * passes;
-  const double crossed = static_cast<double>(totalCrossed.load());
+  const double crossed = static_cast<double>(totalCrossed);
   const double tris = static_cast<double>(result.surface.numTriangles());
 
   // Classify: per cell, 8 corner loads, case assembly, table lookup,
@@ -193,8 +258,8 @@ ContourFilter::Result ContourFilter::run(const UniformGrid& grid,
   generate.parallelFraction = 0.99;
   generate.overlap = 0.85;
 
-  // The exclusive scan between passes (a parallel tree scan in VTK-m;
-  // the serial host loop here is an implementation convenience).
+  // The exclusive scan between passes (a parallel three-phase tree scan
+  // here, matching VTK-m's device scan).
   WorkProfile& scan = result.profile.addPhase("mc-scan");
   scan.intOps = cells * 4;
   scan.memOps = cells * 3;

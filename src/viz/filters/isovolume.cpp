@@ -39,7 +39,6 @@ IsovolumeFilter::Result IsovolumeFilter::run(
   {
     TetMesh boundary;
     std::vector<Id>& keptIds = low.wholeCells.cellIds;
-    std::vector<std::int64_t> keepFlags(keptIds.size() + 1, 0);
     std::vector<std::uint8_t> cellState(keptIds.size());
     util::parallelFor(0, static_cast<Id>(keptIds.size()), [&](Id n) {
       Id pts[8];
@@ -51,20 +50,31 @@ IsovolumeFilter::Result IsovolumeFilter::run(
       }
       cellState[static_cast<std::size_t>(n)] =
           nKeep == 8 ? 1 : (nKeep == 0 ? 0 : 2);
-      keepFlags[static_cast<std::size_t>(n)] = nKeep == 8 ? 1 : 0;
     });
-    const std::int64_t numWhole = util::exclusiveScan(keepFlags);
-    keepFlags[keptIds.size()] = numWhole;
-    result.wholeCells.cellIds.resize(static_cast<std::size_t>(numWhole));
-    result.wholeCells.cellScalars.resize(static_cast<std::size_t>(numWhole));
 
-    for (std::size_t n = 0; n < keptIds.size(); ++n) {
-      if (cellState[n] == 1) {
-        const auto at = static_cast<std::size_t>(keepFlags[n]);
-        result.wholeCells.cellIds[at] = keptIds[n];
-        result.wholeCells.cellScalars[at] = low.wholeCells.cellScalars[n];
-      } else if (cellState[n] == 2) {
-        // Straddles hi: subdivide through the tet path.
+    // Cells still whole after the hi recheck, compacted in order.
+    const std::vector<std::int64_t> wholeSel = util::parallelSelect(
+        static_cast<std::int64_t>(keptIds.size()), [&](std::int64_t n) {
+          return cellState[static_cast<std::size_t>(n)] == 1;
+        });
+    result.wholeCells.cellIds.resize(wholeSel.size());
+    result.wholeCells.cellScalars.resize(wholeSel.size());
+    util::parallelFor(0, static_cast<Id>(wholeSel.size()), [&](Id w) {
+      const auto n = static_cast<std::size_t>(wholeSel[static_cast<std::size_t>(w)]);
+      result.wholeCells.cellIds[static_cast<std::size_t>(w)] = keptIds[n];
+      result.wholeCells.cellScalars[static_cast<std::size_t>(w)] =
+          low.wholeCells.cellScalars[n];
+    });
+
+    // Straddling cells take the tet path, in ascending order (serial:
+    // the straddling set is a thin shell of the kept region).
+    const std::vector<std::int64_t> straddleSel = util::parallelSelect(
+        static_cast<std::int64_t>(keptIds.size()), [&](std::int64_t n) {
+          return cellState[static_cast<std::size_t>(n)] == 2;
+        });
+    for (const std::int64_t sn : straddleSel) {
+      const auto n = static_cast<std::size_t>(sn);
+      {
         const Id3 c = grid.cellIjk(keptIds[n]);
         Id pts[8];
         grid.cellPointIds(c, pts);
@@ -97,9 +107,10 @@ IsovolumeFilter::Result IsovolumeFilter::run(
     // Stage 2b: re-clip the tet pieces from stage 1 against hi.  Their
     // carried scalar IS the field, so the clip scalar is hi - scalar.
     std::vector<double> tetClip(low.cutPieces.pointScalars.size());
-    for (std::size_t i = 0; i < tetClip.size(); ++i) {
-      tetClip[i] = hi_ - low.cutPieces.pointScalars[i];
-    }
+    util::parallelFor(0, static_cast<Id>(tetClip.size()), [&](Id i) {
+      tetClip[static_cast<std::size_t>(i)] =
+          hi_ - low.cutPieces.pointScalars[static_cast<std::size_t>(i)];
+    });
     TetMesh clippedLow = clipTetMesh(low.cutPieces, tetClip);
 
     // Merge boundary pieces.

@@ -12,35 +12,57 @@ ThresholdFilter::Result ThresholdFilter::run(
   const bool pointAssoc = field.association() == Association::Points;
   const std::vector<double>& values = field.data();
 
-  // Pass 1: flag + count kept cells per chunk; pass 2: compact.
-  std::vector<std::int64_t> flags(static_cast<std::size_t>(numCells) + 1, 0);
+  // Pass 1: per-cell value + keep flag, swept as i-rows with incremental
+  // index stepping; pass 2 then touches only the kept cells.
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(numCells));
   std::vector<double> cellValue(static_cast<std::size_t>(numCells));
-  util::parallelFor(0, numCells, [&](Id cell) {
-    double v;
-    if (pointAssoc) {
-      Id pts[8];
-      grid.cellPointIds(grid.cellIjk(cell), pts);
-      double sum = 0.0;
-      for (int i = 0; i < 8; ++i) sum += values[static_cast<std::size_t>(pts[i])];
-      v = sum / 8.0;
-    } else {
-      v = values[static_cast<std::size_t>(cell)];
-    }
-    cellValue[static_cast<std::size_t>(cell)] = v;
-    flags[static_cast<std::size_t>(cell)] = (v >= lo_ && v <= hi_) ? 1 : 0;
-  });
+  if (pointAssoc) {
+    const Id rows = grid.numCellRows();
+    const Id rowLen = grid.cellDims().i;
+    const auto corner = grid.cellCornerOffsets();
+    const Id rowGrain =
+        std::max<Id>(1, util::kDefaultGrain / std::max<Id>(Id{1}, rowLen));
+    util::parallelForChunks(
+        0, rows,
+        [&](Id rowBegin, Id rowEnd) {
+          for (Id row = rowBegin; row < rowEnd; ++row) {
+            Id cell = row * rowLen;
+            Id base = grid.cellRowFirstPointId(row);
+            for (Id i = 0; i < rowLen; ++i, ++cell, ++base) {
+              double sum = 0.0;
+              for (int c = 0; c < 8; ++c) {
+                sum += values[static_cast<std::size_t>(base + corner[c])];
+              }
+              const double v = sum / 8.0;
+              cellValue[static_cast<std::size_t>(cell)] = v;
+              keep[static_cast<std::size_t>(cell)] =
+                  (v >= lo_ && v <= hi_) ? 1 : 0;
+            }
+          }
+        },
+        rowGrain);
+  } else {
+    util::parallelFor(0, numCells, [&](Id cell) {
+      const double v = values[static_cast<std::size_t>(cell)];
+      cellValue[static_cast<std::size_t>(cell)] = v;
+      keep[static_cast<std::size_t>(cell)] = (v >= lo_ && v <= hi_) ? 1 : 0;
+    });
+  }
 
-  const std::int64_t numKept = util::exclusiveScan(flags);
-  flags[static_cast<std::size_t>(numCells)] = numKept;
+  // Compacted kept-cell list IS the output id array.
+  const std::vector<std::int64_t> kept = util::parallelSelect(
+      numCells, [&](std::int64_t cell) {
+        return keep[static_cast<std::size_t>(cell)] != 0;
+      });
+  const auto numKept = static_cast<std::int64_t>(kept.size());
 
   Result result;
   result.kept.cellIds.resize(static_cast<std::size_t>(numKept));
   result.kept.cellScalars.resize(static_cast<std::size_t>(numKept));
-  util::parallelFor(0, numCells, [&](Id cell) {
-    const std::int64_t at = flags[static_cast<std::size_t>(cell)];
-    if (flags[static_cast<std::size_t>(cell) + 1] == at) return;
-    result.kept.cellIds[static_cast<std::size_t>(at)] = cell;
-    result.kept.cellScalars[static_cast<std::size_t>(at)] =
+  util::parallelFor(0, numKept, [&](Id n) {
+    const Id cell = kept[static_cast<std::size_t>(n)];
+    result.kept.cellIds[static_cast<std::size_t>(n)] = cell;
+    result.kept.cellScalars[static_cast<std::size_t>(n)] =
         cellValue[static_cast<std::size_t>(cell)];
   });
 
@@ -49,7 +71,7 @@ ThresholdFilter::Result ThresholdFilter::run(
   result.profile.kernel = "threshold";
   result.profile.elements = numCells;
   const double cells = static_cast<double>(numCells);
-  const double kept = static_cast<double>(numKept);
+  const double keptCount = static_cast<double>(numKept);
 
   WorkProfile& select = result.profile.addPhase("select");
   select.flops = cells * (pointAssoc ? 10.0 : 2.0);  // average + compares
@@ -72,9 +94,9 @@ ThresholdFilter::Result ThresholdFilter::run(
   scan.overlap = 0.9;
 
   WorkProfile& compact = result.profile.addPhase("compact");
-  compact.intOps = cells * 6 + kept * 6;
-  compact.memOps = cells * 2 + kept * 4;
-  compact.bytesStreamed = cells * 8 + kept * 16;
+  compact.intOps = cells * 6 + keptCount * 6;
+  compact.memOps = cells * 2 + keptCount * 4;
+  compact.bytesStreamed = cells * 8 + keptCount * 16;
   compact.parallelFraction = 0.99;
   compact.overlap = 0.92;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace pviz::vis {
 
@@ -17,46 +18,87 @@ Bounds triangleBounds(const TriangleMesh& mesh, Id tri) {
   return b;
 }
 
+// Below this many triangles a parallel build costs more than it saves.
+constexpr std::int64_t kMinParallelTris = 4096;
+// Stop splitting top-level tasks once a range is this small.
+constexpr std::int64_t kMinTaskTris = 2048;
+
 }  // namespace
 
-Bvh::Bvh(const TriangleMesh& mesh, int maxLeafSize) : mesh_(mesh) {
+/// Per-triangle bounds and build items computed once up front, so the
+/// recursive build never re-gathers the three mesh points per triangle
+/// per tree level.  Items carry the centroid next to the triangle index,
+/// so the nth_element partitions compare and move 32-byte records
+/// directly instead of chasing an index indirection per comparison; the
+/// permutation depends only on comparator outcomes, so the resulting
+/// triangle order is identical to partitioning the index array.
+struct Bvh::BuildData {
+  struct Item {
+    Vec3 centroid;
+    Id tri;
+  };
+  std::vector<Bounds> triBounds;
+  std::vector<Item> items;
+  int maxLeafSize = 4;
+};
+
+Bvh::Bvh(const TriangleMesh& mesh, int maxLeafSize, bool parallelBuild)
+    : mesh_(mesh) {
   PVIZ_REQUIRE(maxLeafSize >= 1, "BVH leaf size must be >= 1");
   const Id n = mesh.numTriangles();
   order_.resize(static_cast<std::size_t>(n));
-  std::vector<Vec3> centroids(static_cast<std::size_t>(n));
-  for (Id t = 0; t < n; ++t) {
-    order_[static_cast<std::size_t>(t)] = t;
+  BuildData bd;
+  bd.maxLeafSize = maxLeafSize;
+  bd.triBounds.resize(static_cast<std::size_t>(n));
+  bd.items.resize(static_cast<std::size_t>(n));
+  util::parallelFor(0, n, [&](Id t) {
     const Bounds b = triangleBounds(mesh, t);
-    centroids[static_cast<std::size_t>(t)] = b.center();
+    bd.triBounds[static_cast<std::size_t>(t)] = b;
+    bd.items[static_cast<std::size_t>(t)] = {b.center(), t};
+  });
+  if (n == 0) return;
+  nodes_.reserve(static_cast<std::size_t>(2 * n));
+
+  const unsigned conc = util::ThreadPool::global().concurrency();
+  if (parallelBuild && conc > 1 && n >= kMinParallelTris) {
+    buildParallel(bd, conc);
+  } else {
+    buildInto(nodes_, 0, n, bd);
   }
-  if (n > 0) {
-    nodes_.reserve(static_cast<std::size_t>(2 * n));
-    build(0, n, centroids, maxLeafSize);
-  }
+  util::parallelFor(0, n, [&](Id t) {
+    order_[static_cast<std::size_t>(t)] =
+        bd.items[static_cast<std::size_t>(t)].tri;
+  });
 }
 
-std::int32_t Bvh::build(std::int64_t begin, std::int64_t end,
-                        std::vector<Vec3>& centroids, int maxLeafSize) {
-  const auto nodeIndex = static_cast<std::int32_t>(nodes_.size());
-  nodes_.emplace_back();
+std::int32_t Bvh::buildInto(std::vector<Node>& out, std::int64_t begin,
+                            std::int64_t end, BuildData& bd) {
+  const auto nodeIndex = static_cast<std::int32_t>(out.size());
+  out.emplace_back();
 
-  Bounds box;
+  // Only the centroid bounds are swept here; the node box is the union
+  // of the child boxes, filled in bottom-up after the recursion (min/max
+  // is exact, so this matches a direct sweep bit-for-bit at half the
+  // per-level cost).
   Bounds centroidBox;
   for (std::int64_t i = begin; i < end; ++i) {
-    box.expand(triangleBounds(mesh_, order_[static_cast<std::size_t>(i)]));
-    centroidBox.expand(
-        centroids[static_cast<std::size_t>(order_[static_cast<std::size_t>(i)])]);
+    centroidBox.expand(bd.items[static_cast<std::size_t>(i)].centroid);
   }
-  nodes_[static_cast<std::size_t>(nodeIndex)].box = box;
 
   const std::int64_t count = end - begin;
   const Vec3 extent = centroidBox.extent();
   const bool degenerate =
       extent.x <= 0.0 && extent.y <= 0.0 && extent.z <= 0.0;
-  if (count <= maxLeafSize || degenerate) {
-    nodes_[static_cast<std::size_t>(nodeIndex)].first =
+  if (count <= bd.maxLeafSize || degenerate) {
+    Bounds box;
+    for (std::int64_t i = begin; i < end; ++i) {
+      box.expand(bd.triBounds[static_cast<std::size_t>(
+          bd.items[static_cast<std::size_t>(i)].tri)]);
+    }
+    out[static_cast<std::size_t>(nodeIndex)].box = box;
+    out[static_cast<std::size_t>(nodeIndex)].first =
         static_cast<std::int32_t>(begin);
-    nodes_[static_cast<std::size_t>(nodeIndex)].count =
+    out[static_cast<std::size_t>(nodeIndex)].count =
         static_cast<std::int32_t>(count);
     return nodeIndex;
   }
@@ -66,17 +108,148 @@ std::int32_t Bvh::build(std::int64_t begin, std::int64_t end,
   if (extent.z > extent[axis]) axis = 2;
 
   const std::int64_t mid = begin + count / 2;
-  std::nth_element(order_.begin() + begin, order_.begin() + mid,
-                   order_.begin() + end, [&](Id a, Id b) {
-                     return centroids[static_cast<std::size_t>(a)][axis] <
-                            centroids[static_cast<std::size_t>(b)][axis];
+  std::nth_element(bd.items.begin() + begin, bd.items.begin() + mid,
+                   bd.items.begin() + end,
+                   [axis](const BuildData::Item& a, const BuildData::Item& b) {
+                     return a.centroid[axis] < b.centroid[axis];
                    });
 
-  const std::int32_t left = build(begin, mid, centroids, maxLeafSize);
-  const std::int32_t right = build(mid, end, centroids, maxLeafSize);
-  nodes_[static_cast<std::size_t>(nodeIndex)].left = left;
-  nodes_[static_cast<std::size_t>(nodeIndex)].right = right;
+  const std::int32_t left = buildInto(out, begin, mid, bd);
+  const std::int32_t right = buildInto(out, mid, end, bd);
+  Bounds box = out[static_cast<std::size_t>(left)].box;
+  box.expand(out[static_cast<std::size_t>(right)].box);
+  out[static_cast<std::size_t>(nodeIndex)].box = box;
+  out[static_cast<std::size_t>(nodeIndex)].left = left;
+  out[static_cast<std::size_t>(nodeIndex)].right = right;
   return nodeIndex;
+}
+
+void Bvh::buildParallel(BuildData& bd, unsigned concurrency) {
+  // Phase 1 (serial): split the top of the tree until there are enough
+  // independent subtree tasks to feed the pool.  The skeleton performs
+  // exactly the same leaf tests, axis picks, and nth_element partitions
+  // the serial recursion would, so the final tree is identical.
+  struct SkNode {
+    Bounds box;
+    int left = -1, right = -1;   // skeleton children
+    int task = -1;               // subtree task index, -1 for skeleton nodes
+    std::int32_t first = -1, count = 0;  // leaf payload
+    bool leaf = false;
+  };
+  struct Subtree {
+    std::int64_t begin = 0, end = 0;
+    std::vector<Node> nodes;
+  };
+  std::vector<SkNode> skeleton;
+  std::vector<Subtree> tasks;
+
+  int maxDepth = 0;
+  while ((std::int64_t{1} << maxDepth) < 4 * static_cast<std::int64_t>(concurrency)) {
+    ++maxDepth;
+  }
+
+  auto split = [&](auto&& self, std::int64_t begin, std::int64_t end,
+                   int depth) -> int {
+    const int idx = static_cast<int>(skeleton.size());
+    skeleton.emplace_back();
+
+    // As in buildInto: sweep centroid bounds only; inner-node boxes are
+    // unioned from the children during the emit phase.
+    Bounds centroidBox;
+    for (std::int64_t i = begin; i < end; ++i) {
+      centroidBox.expand(bd.items[static_cast<std::size_t>(i)].centroid);
+    }
+
+    const std::int64_t count = end - begin;
+    const Vec3 extent = centroidBox.extent();
+    const bool degenerate =
+        extent.x <= 0.0 && extent.y <= 0.0 && extent.z <= 0.0;
+    if (count <= bd.maxLeafSize || degenerate) {
+      Bounds box;
+      for (std::int64_t i = begin; i < end; ++i) {
+        box.expand(bd.triBounds[static_cast<std::size_t>(
+            bd.items[static_cast<std::size_t>(i)].tri)]);
+      }
+      skeleton[static_cast<std::size_t>(idx)].box = box;
+      skeleton[static_cast<std::size_t>(idx)].leaf = true;
+      skeleton[static_cast<std::size_t>(idx)].first =
+          static_cast<std::int32_t>(begin);
+      skeleton[static_cast<std::size_t>(idx)].count =
+          static_cast<std::int32_t>(count);
+      return idx;
+    }
+    if (depth >= maxDepth || count <= kMinTaskTris) {
+      // Hand the whole range to a subtree task; its root node recomputes
+      // the same box during the parallel phase.
+      tasks.push_back({begin, end, {}});
+      skeleton[static_cast<std::size_t>(idx)].task =
+          static_cast<int>(tasks.size()) - 1;
+      return idx;
+    }
+
+    int axis = 0;
+    if (extent.y > extent[axis]) axis = 1;
+    if (extent.z > extent[axis]) axis = 2;
+    const std::int64_t mid = begin + count / 2;
+    std::nth_element(bd.items.begin() + begin, bd.items.begin() + mid,
+                     bd.items.begin() + end,
+                     [axis](const BuildData::Item& a, const BuildData::Item& b) {
+                       return a.centroid[axis] < b.centroid[axis];
+                     });
+    const int left = self(self, begin, mid, depth + 1);
+    const int right = self(self, mid, end, depth + 1);
+    skeleton[static_cast<std::size_t>(idx)].left = left;
+    skeleton[static_cast<std::size_t>(idx)].right = right;
+    return idx;
+  };
+  const int root = split(split, 0, static_cast<std::int64_t>(order_.size()), 0);
+
+  // Phase 2 (parallel): build each subtree into its own node array.
+  // Tasks own disjoint item ranges, so the in-place nth_element
+  // partitions never overlap.
+  util::parallelFor(
+      0, static_cast<std::int64_t>(tasks.size()),
+      [&](std::int64_t t) {
+        Subtree& task = tasks[static_cast<std::size_t>(t)];
+        task.nodes.reserve(static_cast<std::size_t>(2 * (task.end - task.begin)));
+        buildInto(task.nodes, task.begin, task.end, bd);
+      },
+      /*grain=*/1);
+
+  // Phase 3 (serial): emit depth-first — node, left subtree, right
+  // subtree — splicing task blocks with child offsets rebased.  This is
+  // exactly the layout the serial recursion produces.
+  auto emit = [&](auto&& self, int sk) -> std::int32_t {
+    const SkNode& sn = skeleton[static_cast<std::size_t>(sk)];
+    if (sn.task >= 0) {
+      const auto offset = static_cast<std::int32_t>(nodes_.size());
+      for (Node node : tasks[static_cast<std::size_t>(sn.task)].nodes) {
+        if (node.count == 0) {
+          node.left += offset;
+          node.right += offset;
+        }
+        nodes_.push_back(node);
+      }
+      return offset;
+    }
+    const auto idx = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    if (sn.leaf) {
+      nodes_[static_cast<std::size_t>(idx)].box = sn.box;
+      nodes_[static_cast<std::size_t>(idx)].first = sn.first;
+      nodes_[static_cast<std::size_t>(idx)].count = sn.count;
+      return idx;
+    }
+    const std::int32_t left = self(self, sn.left);
+    const std::int32_t right = self(self, sn.right);
+    Bounds box = nodes_[static_cast<std::size_t>(left)].box;
+    box.expand(nodes_[static_cast<std::size_t>(right)].box);
+    nodes_[static_cast<std::size_t>(idx)].box = box;
+    nodes_[static_cast<std::size_t>(idx)].left = left;
+    nodes_[static_cast<std::size_t>(idx)].right = right;
+    return idx;
+  };
+  emit(emit, root);
 }
 
 bool Bvh::intersectTriangle(const Ray& ray, Id tri, TriangleHit& best) const {

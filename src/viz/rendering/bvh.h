@@ -31,8 +31,21 @@ struct TraversalStats {
 
 class Bvh {
  public:
-  /// Build over `mesh` (which must outlive the BVH).
-  explicit Bvh(const TriangleMesh& mesh, int maxLeafSize = 4);
+  struct Node {
+    Bounds box;
+    std::int32_t left = -1;    ///< index of left child (-1 for leaves)
+    std::int32_t right = -1;   ///< index of right child (-1 for leaves)
+    std::int32_t first = -1;   ///< leaf: first entry in order_
+    std::int32_t count = 0;    ///< leaf: triangle count (0 for inner nodes)
+  };
+
+  /// Build over `mesh` (which must outlive the BVH).  Construction runs
+  /// the centroid/bounds pass and the top-level splits on the global
+  /// pool; `parallelBuild = false` forces the serial reference path,
+  /// which produces a bit-identical node array (the determinism suite
+  /// checks this).
+  explicit Bvh(const TriangleMesh& mesh, int maxLeafSize = 4,
+               bool parallelBuild = true);
 
   /// Nearest intersection along `ray`, or a miss.
   TriangleHit intersect(const Ray& ray, TraversalStats* stats = nullptr) const;
@@ -43,17 +56,16 @@ class Bvh {
   std::int64_t nodeCount() const { return static_cast<std::int64_t>(nodes_.size()); }
   const Bounds& rootBounds() const { return nodes_.empty() ? empty_ : nodes_[0].box; }
 
- private:
-  struct Node {
-    Bounds box;
-    std::int32_t left = -1;    ///< index of left child (-1 for leaves)
-    std::int32_t right = -1;   ///< index of right child (-1 for leaves)
-    std::int32_t first = -1;   ///< leaf: first entry in order_
-    std::int32_t count = 0;    ///< leaf: triangle count (0 for inner nodes)
-  };
+  /// Structure accessors for the determinism/equivalence suite.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Id>& triangleOrder() const { return order_; }
 
-  std::int32_t build(std::int64_t begin, std::int64_t end,
-                     std::vector<Vec3>& centroids, int maxLeafSize);
+ private:
+  struct BuildData;  // cached per-triangle bounds/centroids (bvh.cpp)
+
+  std::int32_t buildInto(std::vector<Node>& out, std::int64_t begin,
+                         std::int64_t end, BuildData& bd);
+  void buildParallel(BuildData& bd, unsigned concurrency);
   bool intersectTriangle(const Ray& ray, Id tri, TriangleHit& best) const;
 
   const TriangleMesh& mesh_;

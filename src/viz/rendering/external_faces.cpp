@@ -1,5 +1,7 @@
 #include "viz/rendering/external_faces.h"
 
+#include <bit>
+
 #include "util/parallel.h"
 
 namespace pviz::vis {
@@ -16,8 +18,6 @@ constexpr int kFaceCorners[6][4] = {
     {0, 3, 2, 1},  // -k
     {4, 5, 6, 7},  // +k
 };
-constexpr Id kNeighborStep[6][3] = {{-1, 0, 0}, {1, 0, 0},  {0, -1, 0},
-                                    {0, 1, 0},  {0, 0, -1}, {0, 0, 1}};
 
 }  // namespace
 
@@ -29,26 +29,46 @@ ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
   const std::vector<double>& values = field.data();
   const Id numCells = grid.numCells();
   const Id3 cd = grid.cellDims();
+  const Id rows = grid.numCellRows();
+  const Id rowLen = cd.i;
+  const Id rowGrain =
+      std::max<Id>(1, util::kDefaultGrain / std::max<Id>(Id{1}, rowLen));
 
-  // Pass 1: count external faces per cell (streaming neighbor test).
+  // Pass 1: classify — a 6-bit external-face mask per cell.  The j/k
+  // face bits are constant along a row, so the sweep computes them once
+  // per row and only the ±i bits vary with the cell.
+  std::vector<std::uint8_t> faceMask(static_cast<std::size_t>(numCells));
   std::vector<std::int64_t> offsets(static_cast<std::size_t>(numCells) + 1, 0);
-  util::parallelFor(0, numCells, [&](Id cell) {
-    const Id3 c = grid.cellIjk(cell);
-    int external = 0;
-    for (int f = 0; f < 6; ++f) {
-      const Id ni = c.i + kNeighborStep[f][0];
-      const Id nj = c.j + kNeighborStep[f][1];
-      const Id nk = c.k + kNeighborStep[f][2];
-      if (ni < 0 || nj < 0 || nk < 0 || ni >= cd.i || nj >= cd.j ||
-          nk >= cd.k) {
-        ++external;
-      }
-    }
-    offsets[static_cast<std::size_t>(cell)] = external;
-  });
+  util::parallelForChunks(
+      0, rows,
+      [&](Id rowBegin, Id rowEnd) {
+        for (Id row = rowBegin; row < rowEnd; ++row) {
+          const Id3 r = grid.cellRowIjk(row);
+          std::uint8_t rowBits = 0;
+          if (r.j == 0) rowBits |= 1u << 2;          // -j
+          if (r.j == cd.j - 1) rowBits |= 1u << 3;   // +j
+          if (r.k == 0) rowBits |= 1u << 4;          // -k
+          if (r.k == cd.k - 1) rowBits |= 1u << 5;   // +k
+          Id cell = row * rowLen;
+          for (Id i = 0; i < rowLen; ++i, ++cell) {
+            std::uint8_t mask = rowBits;
+            if (i == 0) mask |= 1u << 0;             // -i
+            if (i == rowLen - 1) mask |= 1u << 1;    // +i
+            faceMask[static_cast<std::size_t>(cell)] = mask;
+            offsets[static_cast<std::size_t>(cell)] =
+                std::popcount(static_cast<unsigned>(mask));
+          }
+        }
+      },
+      rowGrain);
+
+  // Compacted boundary-cell list: interior cells never reach pass 2.
+  const std::vector<std::int64_t> active = util::parallelSelect(
+      numCells, [&](std::int64_t cell) {
+        return faceMask[static_cast<std::size_t>(cell)] != 0;
+      });
 
   const std::int64_t numFaces = util::exclusiveScan(offsets);
-  offsets[static_cast<std::size_t>(numCells)] = numFaces;
 
   ExternalFacesResult result;
   result.cellsScanned = numCells;
@@ -58,10 +78,12 @@ ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
   mesh.pointScalars.resize(static_cast<std::size_t>(numFaces) * 4);
   mesh.connectivity.resize(static_cast<std::size_t>(numFaces) * 6);
 
-  // Pass 2: emit 4 corner vertices + 2 triangles per external face.
-  util::parallelFor(0, numCells, [&](Id cell) {
+  // Pass 2: emit 4 corner vertices + 2 triangles per external face,
+  // driven by the cached face mask (no neighbor re-tests).
+  util::parallelFor(0, static_cast<Id>(active.size()), [&](Id n) {
+    const Id cell = active[static_cast<std::size_t>(n)];
     std::int64_t at = offsets[static_cast<std::size_t>(cell)];
-    if (offsets[static_cast<std::size_t>(cell) + 1] == at) return;
+    const std::uint8_t mask = faceMask[static_cast<std::size_t>(cell)];
     const Id3 c = grid.cellIjk(cell);
     Id pts[8];
     grid.cellPointIds(c, pts);
@@ -69,12 +91,7 @@ ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
                                           {0, 1, 0}, {0, 0, 1}, {1, 0, 1},
                                           {1, 1, 1}, {0, 1, 1}};
     for (int f = 0; f < 6; ++f) {
-      const Id ni = c.i + kNeighborStep[f][0];
-      const Id nj = c.j + kNeighborStep[f][1];
-      const Id nk = c.k + kNeighborStep[f][2];
-      const bool boundary = ni < 0 || nj < 0 || nk < 0 || ni >= cd.i ||
-                            nj >= cd.j || nk >= cd.k;
-      if (!boundary) continue;
+      if (((mask >> f) & 1u) == 0) continue;
       const std::size_t vBase = static_cast<std::size_t>(at) * 4;
       for (int v = 0; v < 4; ++v) {
         const int corner = kFaceCorners[f][v];

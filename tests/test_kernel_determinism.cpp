@@ -1,0 +1,348 @@
+// Determinism and cross-pool equivalence of the data-parallel kernels.
+//
+// The two-pass (classify → scan → generate) rewrite of the filters must
+// produce byte-identical meshes and images for every thread-pool size:
+// the compaction lists are in ascending cell order, chunked gathers merge
+// in chunk order, and the exclusive scan is exact integer arithmetic.
+// These tests pin that contract by running each kernel under pools of
+// size 1, 2, and the hardware default and comparing outputs exactly.
+// The scan/compaction primitives themselves are exercised on their edge
+// cases (empty, single element, all zeros, totals past 2^31) against a
+// serial reference.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cloverleaf.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
+#include "viz/filters/clip_sphere.h"
+#include "viz/filters/contour.h"
+#include "viz/filters/isovolume.h"
+#include "viz/filters/threshold.h"
+#include "viz/rendering/bvh.h"
+#include "viz/rendering/external_faces.h"
+#include "viz/rendering/ray_tracer.h"
+
+namespace pviz::vis {
+namespace {
+
+/// Run `f` with the global pool replaced by a pool of `workers` total
+/// participants (1 = fully serial), restoring the previous pool after.
+template <typename F>
+auto withPool(unsigned workers, F&& f) {
+  util::ThreadPool pool(workers);
+  util::ThreadPool* prev = util::ThreadPool::setGlobalForTesting(&pool);
+  auto result = f();
+  util::ThreadPool::setGlobalForTesting(prev);
+  return result;
+}
+
+std::vector<unsigned> poolSizes() {
+  return {1u, 2u, std::max(1u, std::thread::hardware_concurrency())};
+}
+
+void expectIdentical(const TriangleMesh& a, const TriangleMesh& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  ASSERT_EQ(a.connectivity.size(), b.connectivity.size());
+  ASSERT_EQ(a.pointScalars.size(), b.pointScalars.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].x, b.points[i].x);
+    EXPECT_EQ(a.points[i].y, b.points[i].y);
+    EXPECT_EQ(a.points[i].z, b.points[i].z);
+  }
+  EXPECT_EQ(a.connectivity, b.connectivity);
+  EXPECT_EQ(a.pointScalars, b.pointScalars);
+}
+
+void expectIdentical(const TetMesh& a, const TetMesh& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].x, b.points[i].x);
+    EXPECT_EQ(a.points[i].y, b.points[i].y);
+    EXPECT_EQ(a.points[i].z, b.points[i].z);
+  }
+  EXPECT_EQ(a.connectivity, b.connectivity);
+  EXPECT_EQ(a.pointScalars, b.pointScalars);
+}
+
+void expectIdentical(const HexSubset& a, const HexSubset& b) {
+  EXPECT_EQ(a.cellIds, b.cellIds);
+  EXPECT_EQ(a.cellScalars, b.cellScalars);
+}
+
+/// A grid with a custom per-point scalar built from a callable.
+template <typename F>
+UniformGrid fieldGrid(Id3 pointDims, F&& value) {
+  UniformGrid g(pointDims, {0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  Field f = Field::zeros("v", Association::Points, 1, g.numPoints());
+  for (Id p = 0; p < g.numPoints(); ++p) {
+    f.setScalar(p, value(g.pointPosition(p)));
+  }
+  g.addField(std::move(f));
+  return g;
+}
+
+// ---- exclusiveScan edge cases -----------------------------------------
+
+std::int64_t serialScanReference(std::vector<std::int64_t>& counts) {
+  std::int64_t running = 0;
+  for (auto& c : counts) {
+    const std::int64_t v = c;
+    c = running;
+    running += v;
+  }
+  return running;
+}
+
+TEST(ExclusiveScan, EmptyArray) {
+  std::vector<std::int64_t> counts;
+  EXPECT_EQ(util::exclusiveScan(counts), 0);
+  EXPECT_TRUE(counts.empty());
+}
+
+TEST(ExclusiveScan, SingleElement) {
+  std::vector<std::int64_t> counts{7};
+  EXPECT_EQ(util::exclusiveScan(counts), 7);
+  EXPECT_EQ(counts[0], 0);
+}
+
+TEST(ExclusiveScan, AllZeros) {
+  std::vector<std::int64_t> counts(100000, 0);
+  EXPECT_EQ(util::exclusiveScan(counts), 0);
+  for (std::int64_t c : counts) EXPECT_EQ(c, 0);
+}
+
+TEST(ExclusiveScan, TotalsPastTwoToTheThirtyOne) {
+  // 2^20 elements of 2^13 each: total 2^33, and every element past index
+  // 2^18 has an offset over 2^31 — the scan must carry exact 64-bit sums.
+  const std::size_t n = std::size_t{1} << 20;
+  std::vector<std::int64_t> counts(n, 1 << 13);
+  std::vector<std::int64_t> reference = counts;
+  const std::int64_t refTotal = serialScanReference(reference);
+  ASSERT_EQ(refTotal, std::int64_t{1} << 33);
+  const std::int64_t total = util::exclusiveScan(counts);
+  EXPECT_EQ(total, refTotal);
+  EXPECT_EQ(counts, reference);
+}
+
+TEST(ExclusiveScan, MatchesSerialReferenceOnEveryPoolSize) {
+  // Irregular counts long enough to take the three-phase parallel path.
+  std::vector<std::int64_t> input(200001);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::int64_t>((i * 2654435761u) % 7);
+  }
+  std::vector<std::int64_t> reference = input;
+  const std::int64_t refTotal = serialScanReference(reference);
+  for (unsigned workers : poolSizes()) {
+    std::vector<std::int64_t> counts = input;
+    const std::int64_t total =
+        withPool(workers, [&] { return util::exclusiveScan(counts); });
+    EXPECT_EQ(total, refTotal) << "pool size " << workers;
+    EXPECT_EQ(counts, reference) << "pool size " << workers;
+  }
+}
+
+TEST(ParallelSelect, AscendingAndPoolInvariant) {
+  const std::int64_t n = 100000;
+  auto pred = [](std::int64_t i) { return i % 3 == 0 || i % 7 == 0; };
+  std::vector<std::int64_t> reference;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (pred(i)) reference.push_back(i);
+  }
+  for (unsigned workers : poolSizes()) {
+    const auto selected = withPool(
+        workers, [&] { return util::parallelSelect(n, pred, /*grain=*/1024); });
+    EXPECT_EQ(selected, reference) << "pool size " << workers;
+  }
+}
+
+// ---- filters: byte-identical output across pool sizes -----------------
+
+TEST(KernelDeterminism, ContourAcrossPoolSizes) {
+  const UniformGrid g = sim::makeCloverField(16);
+  ContourFilter filter;
+  filter.setIsovalues(
+      ContourFilter::uniformIsovalues(g.field("energy"), 3));
+  const TriangleMesh reference =
+      withPool(1, [&] { return filter.run(g, "energy").surface; });
+  EXPECT_GT(reference.numTriangles(), 0);
+  for (unsigned workers : poolSizes()) {
+    const TriangleMesh mesh =
+        withPool(workers, [&] { return filter.run(g, "energy").surface; });
+    expectIdentical(mesh, reference);
+  }
+}
+
+TEST(KernelDeterminism, ThresholdAcrossPoolSizes) {
+  const UniformGrid g = sim::makeCloverField(16);
+  ThresholdFilter filter;
+  filter.setRange(1.2, 2.2);
+  const HexSubset reference =
+      withPool(1, [&] { return filter.run(g, "energy").kept; });
+  EXPECT_GT(reference.numCells(), 0);
+  for (unsigned workers : poolSizes()) {
+    const HexSubset kept =
+        withPool(workers, [&] { return filter.run(g, "energy").kept; });
+    expectIdentical(kept, reference);
+  }
+}
+
+TEST(KernelDeterminism, ClipSphereAcrossPoolSizes) {
+  const UniformGrid g = sim::makeCloverField(16);
+  ClipSphereFilter filter;
+  filter.setSphere(g.bounds().center(), 0.3);
+  const auto reference =
+      withPool(1, [&] { return filter.run(g, "energy").clipped; });
+  EXPECT_GT(reference.cellsCut, 0);
+  for (unsigned workers : poolSizes()) {
+    const auto clipped =
+        withPool(workers, [&] { return filter.run(g, "energy").clipped; });
+    expectIdentical(clipped.cutPieces, reference.cutPieces);
+    expectIdentical(clipped.wholeCells, reference.wholeCells);
+    EXPECT_EQ(clipped.cellsIn, reference.cellsIn);
+    EXPECT_EQ(clipped.cellsCut, reference.cellsCut);
+    EXPECT_EQ(clipped.cellsOut, reference.cellsOut);
+  }
+}
+
+TEST(KernelDeterminism, IsovolumeAcrossPoolSizes) {
+  const UniformGrid g = sim::makeCloverField(16);
+  IsovolumeFilter filter;
+  filter.setRange(1.3, 2.1);
+  const auto ref = withPool(1, [&] { return filter.run(g, "energy"); });
+  EXPECT_GT(ref.cutPieces.numTets(), 0);
+  for (unsigned workers : poolSizes()) {
+    const auto result = withPool(workers, [&] { return filter.run(g, "energy"); });
+    expectIdentical(result.wholeCells, ref.wholeCells);
+    expectIdentical(result.cutPieces, ref.cutPieces);
+  }
+}
+
+TEST(KernelDeterminism, ExternalFacesAcrossPoolSizes) {
+  const UniformGrid g = sim::makeCloverField(16);
+  const TriangleMesh reference =
+      withPool(1, [&] { return extractExternalFaces(g, "energy").mesh; });
+  EXPECT_GT(reference.numTriangles(), 0);
+  for (unsigned workers : poolSizes()) {
+    const TriangleMesh mesh = withPool(
+        workers, [&] { return extractExternalFaces(g, "energy").mesh; });
+    expectIdentical(mesh, reference);
+  }
+}
+
+TEST(KernelDeterminism, RayTracedImageAcrossPoolSizes) {
+  const UniformGrid g = sim::makeCloverField(16);
+  RayTracer tracer;
+  tracer.setImageSize(48, 48);
+  tracer.setCameraCount(1);
+  auto render = [&] {
+    auto result = tracer.run(g, "energy");
+    return result.images.at(0);
+  };
+  const Image reference = withPool(1, render);
+  for (unsigned workers : poolSizes()) {
+    const Image image = withPool(workers, render);
+    ASSERT_EQ(image.width(), reference.width());
+    ASSERT_EQ(image.height(), reference.height());
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 0; x < image.width(); ++x) {
+        EXPECT_EQ(image.at(x, y).r, reference.at(x, y).r);
+        EXPECT_EQ(image.at(x, y).g, reference.at(x, y).g);
+        EXPECT_EQ(image.at(x, y).b, reference.at(x, y).b);
+        EXPECT_EQ(image.at(x, y).a, reference.at(x, y).a);
+      }
+    }
+  }
+}
+
+// ---- awkward grid shapes ----------------------------------------------
+
+TEST(KernelDeterminism, DegenerateOneByOneByNGrid) {
+  // A 1×1×N column of cells: every row has length 1, which exercises the
+  // first-cell path of the incremental classify on every cell.
+  const UniformGrid g = fieldGrid({2, 2, 65}, [](const Vec3& p) {
+    return p.z - 31.5;
+  });
+  ContourFilter filter;
+  filter.setIsovalues({0.0});
+  const TriangleMesh reference =
+      withPool(1, [&] { return filter.run(g, "v").surface; });
+  EXPECT_GT(reference.numTriangles(), 0);
+  for (unsigned workers : poolSizes()) {
+    const TriangleMesh mesh =
+        withPool(workers, [&] { return filter.run(g, "v").surface; });
+    expectIdentical(mesh, reference);
+  }
+}
+
+TEST(KernelDeterminism, SingleCrossedCell) {
+  // One point above the isovalue in a corner: exactly one cell crosses.
+  UniformGrid g(UniformGrid({9, 9, 9}, {0, 0, 0}, {1, 1, 1}));
+  Field f = Field::zeros("v", Association::Points, 1, g.numPoints());
+  f.setScalar(0, 10.0);
+  g.addField(std::move(f));
+  ContourFilter filter;
+  filter.setIsovalues({5.0});
+  const TriangleMesh reference =
+      withPool(1, [&] { return filter.run(g, "v").surface; });
+  EXPECT_EQ(reference.numTriangles(), 1);
+  for (unsigned workers : poolSizes()) {
+    const TriangleMesh mesh =
+        withPool(workers, [&] { return filter.run(g, "v").surface; });
+    expectIdentical(mesh, reference);
+  }
+}
+
+TEST(KernelDeterminism, ZeroCrossedCells) {
+  const UniformGrid g =
+      fieldGrid({9, 9, 9}, [](const Vec3&) { return 1.0; });
+  ContourFilter filter;
+  filter.setIsovalues({5.0});
+  for (unsigned workers : poolSizes()) {
+    const TriangleMesh mesh =
+        withPool(workers, [&] { return filter.run(g, "v").surface; });
+    EXPECT_EQ(mesh.numTriangles(), 0);
+    EXPECT_TRUE(mesh.points.empty());
+  }
+}
+
+// ---- BVH: parallel build must reproduce the serial tree ---------------
+
+TEST(KernelDeterminism, BvhParallelBuildMatchesSerial) {
+  // 32^3 external faces → 12288 triangles, past the parallel-build
+  // threshold, so the skeleton-split + subtree-task path actually runs
+  // when the pool has more than one participant.
+  const UniformGrid g = sim::makeCloverField(32);
+  const TriangleMesh mesh = extractExternalFaces(g, "energy").mesh;
+  const Bvh serial(mesh, /*maxLeafSize=*/4, /*parallelBuild=*/false);
+  for (unsigned workers : poolSizes()) {
+    util::ThreadPool pool(workers);
+    util::ThreadPool* prev = util::ThreadPool::setGlobalForTesting(&pool);
+    const Bvh parallel(mesh, /*maxLeafSize=*/4, /*parallelBuild=*/true);
+    util::ThreadPool::setGlobalForTesting(prev);
+
+    EXPECT_EQ(parallel.triangleOrder(), serial.triangleOrder())
+        << "pool size " << workers;
+    ASSERT_EQ(parallel.nodes().size(), serial.nodes().size())
+        << "pool size " << workers;
+    for (std::size_t i = 0; i < serial.nodes().size(); ++i) {
+      const Bvh::Node& a = parallel.nodes()[i];
+      const Bvh::Node& b = serial.nodes()[i];
+      EXPECT_EQ(a.left, b.left);
+      EXPECT_EQ(a.right, b.right);
+      EXPECT_EQ(a.first, b.first);
+      EXPECT_EQ(a.count, b.count);
+      EXPECT_EQ(a.box.lo.x, b.box.lo.x);
+      EXPECT_EQ(a.box.lo.y, b.box.lo.y);
+      EXPECT_EQ(a.box.lo.z, b.box.lo.z);
+      EXPECT_EQ(a.box.hi.x, b.box.hi.x);
+      EXPECT_EQ(a.box.hi.y, b.box.hi.y);
+      EXPECT_EQ(a.box.hi.z, b.box.hi.z);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pviz::vis

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Repeatable kernel-benchmark baseline for the viz kernels.
+#
+# Runs bench/micro_kernels with google-benchmark's JSON output and folds
+# the per-kernel medians into BENCH_kernels.json at the repo root:
+#
+#   tools/bench_kernels.sh                 # refresh the "current" section
+#   tools/bench_kernels.sh --set-baseline  # record this run as the baseline
+#   tools/bench_kernels.sh --quick         # single short rep (CI smoke)
+#
+# The baseline and current sections each carry the commit and date they
+# were measured at; "speedup" is baseline/current per kernel.  Compare
+# numbers only when both sections come from the same machine.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+BIN="$BUILD_DIR/bench/micro_kernels"
+OUT="${OUT:-$REPO_ROOT/BENCH_kernels.json}"
+REPETITIONS="${REPETITIONS:-5}"
+SET_BASELINE=0
+QUICK=0
+
+for arg in "$@"; do
+  case "$arg" in
+    --set-baseline) SET_BASELINE=1 ;;
+    --quick) QUICK=1 ;;
+    -h|--help)
+      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "$BIN" ]]; then
+  echo "benchmark binary not found at $BIN — build the repo first" >&2
+  echo "(cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+RAW="$(mktemp /tmp/bench_kernels.XXXXXX.json)"
+trap 'rm -f "$RAW"' EXIT
+
+if [[ "$QUICK" -eq 1 ]]; then
+  "$BIN" --benchmark_min_time=0.05 \
+         --benchmark_format=json \
+         --benchmark_out="$RAW" --benchmark_out_format=json >/dev/null
+else
+  "$BIN" --benchmark_repetitions="$REPETITIONS" \
+         --benchmark_report_aggregates_only=true \
+         --benchmark_format=json \
+         --benchmark_out="$RAW" --benchmark_out_format=json >/dev/null
+fi
+
+COMMIT="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+RAW="$RAW" OUT="$OUT" COMMIT="$COMMIT" DATE="$DATE" \
+SET_BASELINE="$SET_BASELINE" QUICK="$QUICK" python3 - <<'PY'
+import json, os
+
+raw_path = os.environ["RAW"]
+out_path = os.environ["OUT"]
+quick = os.environ["QUICK"] == "1"
+set_baseline = os.environ["SET_BASELINE"] == "1"
+
+raw = json.load(open(raw_path))
+kernels = {}
+for b in raw["benchmarks"]:
+    name = b["name"]
+    # With repetitions we keep the median aggregate; a quick run has the
+    # plain entries only.
+    if quick:
+        if b.get("run_type") == "iteration":
+            kernels[name] = round(b["real_time"] / 1e6, 6)
+    elif name.endswith("_median"):
+        kernels[name[: -len("_median")]] = round(b["real_time"] / 1e6, 6)
+
+section = {
+    "commit": os.environ["COMMIT"],
+    "date": os.environ["DATE"],
+    "time_unit": "ms",
+    "kernels": kernels,
+}
+
+doc = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+
+ctx = raw.get("context", {})
+doc["host"] = {
+    "num_cpus": ctx.get("num_cpus"),
+    "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+    "library_build_type": ctx.get("library_build_type"),
+}
+
+if set_baseline or "baseline" not in doc:
+    doc["baseline"] = section
+doc["current"] = section if not set_baseline else doc.get("current", section)
+
+base = doc["baseline"]["kernels"]
+cur = doc["current"]["kernels"]
+doc["speedup"] = {
+    k: round(base[k] / cur[k], 3) for k in sorted(base) if k in cur and cur[k] > 0
+}
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for k in sorted(cur):
+    s = doc["speedup"].get(k)
+    note = f"  speedup {s:.2f}x" if s else ""
+    print(f"  {k:28s} {cur[k]:10.3f} ms{note}")
+PY

@@ -1,9 +1,9 @@
 // powerviz_client — command-line client for a running powerviz_serve.
 //
 //   powerviz_client --port 7077 classify --algorithm contour --size 128
-//   powerviz_client --port 7077 study --algorithms contour,slice \
+//   powerviz_client --port 7077 study --algorithms contour,slice
 //       --sizes 32,64 --caps 120,80,40
-//   powerviz_client --port 7077 budget --algorithm volume --size 64 \
+//   powerviz_client --port 7077 budget --algorithm volume --size 64
 //       --budget 65
 //   powerviz_client --port 7077 stats
 //   powerviz_client --port 7077 ping
