@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/exec_context.h"
 #include "viz/filters/clip_sphere.h"
 #include "viz/filters/contour.h"
 #include "viz/filters/isovolume.h"
@@ -107,6 +108,14 @@ std::pair<double, double> fieldBand(const vis::Field& field, double loFrac,
 vis::KernelProfile runAlgorithm(Algorithm algorithm,
                                 const vis::UniformGrid& grid,
                                 const AlgorithmParams& params) {
+  util::ExecutionContext ctx;
+  return runAlgorithm(ctx, algorithm, grid, params);
+}
+
+vis::KernelProfile runAlgorithm(util::ExecutionContext& ctx,
+                                Algorithm algorithm,
+                                const vis::UniformGrid& grid,
+                                const AlgorithmParams& params) {
   const vis::Field& energy = grid.field("energy");
   vis::KernelProfile profile;
   int launches = 0;
@@ -116,7 +125,7 @@ vis::KernelProfile runAlgorithm(Algorithm algorithm,
       vis::ContourFilter filter;
       filter.setIsovalues(vis::ContourFilter::uniformIsovalues(
           energy, params.isovalueCount));
-      profile = filter.run(grid, "energy").profile;
+      profile = filter.run(ctx, grid, "energy").profile;
       launches = 3 * params.isovalueCount;
       break;
     }
@@ -125,7 +134,7 @@ vis::KernelProfile runAlgorithm(Algorithm algorithm,
       const auto [lo, hi] = fieldBand(energy, params.thresholdLoFraction,
                                       params.thresholdHiFraction);
       filter.setRange(lo, hi);
-      profile = filter.run(grid, "energy").profile;
+      profile = filter.run(ctx, grid, "energy").profile;
       launches = 3;
       break;
     }
@@ -134,7 +143,7 @@ vis::KernelProfile runAlgorithm(Algorithm algorithm,
       const vis::Bounds box = grid.bounds();
       filter.setSphere(box.center(),
                        params.clipRadiusFraction * length(box.extent()));
-      profile = filter.run(grid, "energy").profile;
+      profile = filter.run(ctx, grid, "energy").profile;
       launches = 5;
       break;
     }
@@ -143,13 +152,13 @@ vis::KernelProfile runAlgorithm(Algorithm algorithm,
       const auto [lo, hi] = fieldBand(energy, params.isovolumeLoFraction,
                                       params.isovolumeHiFraction);
       filter.setRange(lo, hi);
-      profile = filter.run(grid, "energy").profile;
+      profile = filter.run(ctx, grid, "energy").profile;
       launches = 9;
       break;
     }
     case Algorithm::Slice: {
       vis::SliceFilter filter;  // default: three axis planes
-      profile = filter.run(grid, "energy").profile;
+      profile = filter.run(ctx, grid, "energy").profile;
       launches = 12;
       break;
     }
@@ -158,7 +167,7 @@ vis::KernelProfile runAlgorithm(Algorithm algorithm,
       filter.setSeedCount(params.seedCount);
       filter.setMaxSteps(params.maxSteps);
       filter.setStepLength(params.stepLength);
-      profile = filter.run(grid, "velocity").profile;
+      profile = filter.run(ctx, grid, "velocity").profile;
       launches = 2;
       break;
     }
@@ -167,7 +176,7 @@ vis::KernelProfile runAlgorithm(Algorithm algorithm,
       const int sampled = params.effectiveSampledCameras();
       tracer.setCameraCount(sampled);
       tracer.setImageSize(params.imageWidth, params.imageHeight);
-      profile = tracer.run(grid, "energy").profile;
+      profile = tracer.run(ctx, grid, "energy").profile;
       // Per-camera trace work extrapolates to the full image database;
       // face gathering and BVH construction happen once per cycle.
       const double scale =
@@ -183,7 +192,7 @@ vis::KernelProfile runAlgorithm(Algorithm algorithm,
       const int sampled = params.effectiveSampledCameras();
       renderer.setCameraCount(sampled);
       renderer.setImageSize(params.imageWidth, params.imageHeight);
-      profile = renderer.run(grid, "energy").profile;
+      profile = renderer.run(ctx, grid, "energy").profile;
       const double scale =
           static_cast<double>(params.cameraCount) / sampled;
       for (auto& phase : profile.phases) {

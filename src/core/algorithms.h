@@ -21,6 +21,10 @@
 #include "viz/dataset/uniform_grid.h"
 #include "viz/worklet/work_profile.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::core {
 
 /// The study's algorithm set, in the paper's Fig. 1 order.
@@ -97,7 +101,15 @@ struct AlgorithmParams {
 };
 
 /// Run `algorithm` on `grid` (expects point fields "energy" and
-/// "velocity") and return the profile of the work that executed.
+/// "velocity") and return the profile of the work that executed.  The
+/// context supplies the thread pool, scratch arena, cancellation token
+/// (polled at phase and chunk boundaries), and phase tracer.
+vis::KernelProfile runAlgorithm(util::ExecutionContext& ctx,
+                                Algorithm algorithm,
+                                const vis::UniformGrid& grid,
+                                const AlgorithmParams& params = {});
+
+/// Compatibility shim: run on a fresh context over the global pool.
 vis::KernelProfile runAlgorithm(Algorithm algorithm,
                                 const vis::UniformGrid& grid,
                                 const AlgorithmParams& params = {});

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/exec_context.h"
+
 namespace pviz::core {
 
 ExecutionSimulator::ExecutionSimulator(arch::MachineDescription machine,
@@ -14,7 +16,8 @@ ExecutionSimulator::ExecutionSimulator(arch::MachineDescription machine,
 }
 
 Measurement ExecutionSimulator::run(const vis::KernelProfile& kernel,
-                                    double capWatts) {
+                                    double capWatts,
+                                    util::CancelToken* cancel) {
   const arch::MachineDescription& m = machine();
   capWatts = std::clamp(capWatts, m.minCapWatts, m.tdpWatts);
 
@@ -32,7 +35,13 @@ Measurement ExecutionSimulator::run(const vis::KernelProfile& kernel,
   double simTime = 0.0;
   double weightedGhz = 0.0;
 
+  // Quanta between cancellation polls inside a phase: a long phase at a
+  // 5 ms quantum polls every ~5 simulated seconds, cheap and responsive.
+  constexpr int kCancelPollQuanta = 1024;
+  int quantaSincePoll = 0;
+
   for (const vis::WorkProfile& phase : kernel.phases) {
+    if (cancel != nullptr) cancel->throwIfCancelled();
     const power::PowerCurve curve = [&](double fGhz) {
       return model_.phasePower(phase, fGhz);
     };
@@ -44,6 +53,10 @@ Measurement ExecutionSimulator::run(const vis::KernelProfile& kernel,
     double remaining = 1.0;  // fraction of the phase left
 
     while (remaining > 1e-12) {
+      if (cancel != nullptr && ++quantaSincePoll >= kCancelPollQuanta) {
+        quantaSincePoll = 0;
+        cancel->throwIfCancelled();
+      }
       const double fGhz = options_.idealGovernor
                               ? governor.solveFrequency(curve, cap)
                               : governor.stepToward(curve, cap);

@@ -20,6 +20,10 @@
 #include "power/power_meter.h"
 #include "power/rapl.h"
 
+namespace pviz::util {
+class CancelToken;
+}  // namespace pviz::util
+
 namespace pviz::core {
 
 /// Per-phase slice of a measurement.
@@ -61,7 +65,11 @@ class ExecutionSimulator {
       SimulatorOptions options = {});
 
   /// Run `kernel` under `capWatts` (clamped to the machine's RAPL range).
-  Measurement run(const vis::KernelProfile& kernel, double capWatts);
+  /// A non-null `cancel` token is polled at every phase boundary and
+  /// periodically inside the governor-quantum loop; cancellation throws
+  /// util::CancelledError and discards the partial measurement.
+  Measurement run(const vis::KernelProfile& kernel, double capWatts,
+                  util::CancelToken* cancel = nullptr);
 
   const arch::CostModel& costModel() const { return model_; }
   const arch::MachineDescription& machine() const { return model_.machine(); }

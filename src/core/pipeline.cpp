@@ -1,8 +1,16 @@
 #include "core/pipeline.h"
 
+#include "util/exec_context.h"
+
 namespace pviz::core {
 
 PipelineReport runInSituPipeline(const PipelineConfig& config) {
+  util::ExecutionContext ctx;
+  return runInSituPipeline(ctx, config);
+}
+
+PipelineReport runInSituPipeline(util::ExecutionContext& ctx,
+                                 const PipelineConfig& config) {
   PVIZ_REQUIRE(config.cycles >= 1, "pipeline needs at least one cycle");
   PVIZ_REQUIRE(!config.algorithms.empty(),
                "pipeline needs at least one algorithm");
@@ -14,6 +22,7 @@ PipelineReport runInSituPipeline(const PipelineConfig& config) {
   double vizSecondsTotal = 0.0;
 
   for (int cycle = 0; cycle < config.cycles; ++cycle) {
+    ctx.cancel().throwIfCancelled();  // per-cycle cancellation point
     CycleReport cr;
     cr.cycle = cycle;
 
@@ -21,17 +30,19 @@ PipelineReport runInSituPipeline(const PipelineConfig& config) {
     clover.run(config.simStepsPerCycle);
     const vis::KernelProfile simProfile =
         scaleKernelWork(clover.takeProfile(), config.workScale);
-    const Measurement simRun = simulator.run(simProfile, config.simCapWatts);
+    const Measurement simRun =
+        simulator.run(simProfile, config.simCapWatts, &ctx.cancel());
     cr.simSeconds = simRun.seconds;
     cr.simWatts = simRun.averageWatts;
 
     // --- Visualization phase under the visualization cap. ----------------
     const vis::UniformGrid dataset = clover.exportForViz();
     for (Algorithm algorithm : config.algorithms) {
-      const vis::KernelProfile vizProfile = scaleKernelWork(
-          runAlgorithm(algorithm, dataset, config.params), config.workScale);
+      const vis::KernelProfile vizProfile =
+          scaleKernelWork(runAlgorithm(ctx, algorithm, dataset, config.params),
+                          config.workScale);
       const Measurement vizRun =
-          simulator.run(vizProfile, config.vizCapWatts);
+          simulator.run(vizProfile, config.vizCapWatts, &ctx.cancel());
       cr.vizSeconds += vizRun.seconds;
       cr.vizWatts += vizRun.averageWatts * vizRun.seconds;
       report.totalEnergyJoules += vizRun.energyJoules;

@@ -52,6 +52,12 @@ struct PipelineReport {
 
 /// Run the coupled pipeline: `simStepsPerCycle` hydro steps, then each
 /// configured algorithm on the exported dataset, `cycles` times.
+/// One execution context (pool + arena) is shared across every cycle,
+/// so visualization scratch is reused rather than reallocated per cycle.
+PipelineReport runInSituPipeline(util::ExecutionContext& ctx,
+                                 const PipelineConfig& config);
+
+/// Compatibility shim: run on a fresh context over the global pool.
 PipelineReport runInSituPipeline(const PipelineConfig& config);
 
 }  // namespace pviz::core

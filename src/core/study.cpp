@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "sim/cloverleaf.h"
+#include "util/exec_context.h"
 #include "util/log.h"
 
 namespace pviz::core {
@@ -51,6 +52,13 @@ const vis::UniformGrid& Study::dataset(vis::Id size) {
 
 const vis::KernelProfile& Study::characterize(Algorithm algorithm,
                                               vis::Id size) {
+  util::ExecutionContext ctx;
+  return characterize(ctx, algorithm, size);
+}
+
+const vis::KernelProfile& Study::characterize(util::ExecutionContext& ctx,
+                                              Algorithm algorithm,
+                                              vis::Id size) {
   const ProfileKey key{static_cast<int>(algorithm), size};
 
   // Claim the key or join a characterization already in flight.
@@ -85,7 +93,7 @@ const vis::KernelProfile& Study::characterize(Algorithm algorithm,
     if (!fromDisk) {
       PVIZ_LOG_INFO("characterizing " << algorithmName(algorithm) << " at "
                                       << size << "^3");
-      profile = runAlgorithm(algorithm, dataset(size), config_.params);
+      profile = runAlgorithm(ctx, algorithm, dataset(size), config_.params);
       if (!config_.cachePath.empty()) {
         std::lock_guard diskLock(diskCacheMutex_);
         auto disk = loadProfileCache(config_.cachePath);
@@ -109,23 +117,49 @@ const vis::KernelProfile& Study::characterize(Algorithm algorithm,
 
 Measurement Study::measure(Algorithm algorithm, vis::Id size,
                            double capWatts) {
-  return measure(algorithm, size, capWatts, config_.cycles);
+  util::ExecutionContext ctx;
+  return measure(ctx, algorithm, size, capWatts, config_.cycles);
+}
+
+Measurement Study::measure(util::ExecutionContext& ctx, Algorithm algorithm,
+                           vis::Id size, double capWatts) {
+  return measure(ctx, algorithm, size, capWatts, config_.cycles);
 }
 
 Measurement Study::measure(Algorithm algorithm, vis::Id size, double capWatts,
                            int cycles) {
+  util::ExecutionContext ctx;
+  return measure(ctx, algorithm, size, capWatts, cycles);
+}
+
+Measurement Study::measure(util::ExecutionContext& ctx, Algorithm algorithm,
+                           vis::Id size, double capWatts, int cycles) {
   PVIZ_REQUIRE(cycles >= 1, "measure needs at least one cycle");
-  const vis::KernelProfile& once = characterize(algorithm, size);
+  const vis::KernelProfile& once = characterize(ctx, algorithm, size);
   vis::KernelProfile scaled = scaleKernelWork(once, config_.workScale);
   if (cycles > 1) scaled = repeatKernel(scaled, cycles);
-  return simulator_.run(scaled, capWatts);
+  return simulator_.run(scaled, capWatts, &ctx.cancel());
 }
 
 std::vector<ConfigRecord> Study::capSweep(Algorithm algorithm, vis::Id size) {
-  return capSweep(algorithm, size, config_.capsWatts, config_.cycles);
+  util::ExecutionContext ctx;
+  return capSweep(ctx, algorithm, size, config_.capsWatts, config_.cycles);
+}
+
+std::vector<ConfigRecord> Study::capSweep(util::ExecutionContext& ctx,
+                                          Algorithm algorithm, vis::Id size) {
+  return capSweep(ctx, algorithm, size, config_.capsWatts, config_.cycles);
 }
 
 std::vector<ConfigRecord> Study::capSweep(Algorithm algorithm, vis::Id size,
+                                          const std::vector<double>& capsWatts,
+                                          int cycles) {
+  util::ExecutionContext ctx;
+  return capSweep(ctx, algorithm, size, capsWatts, cycles);
+}
+
+std::vector<ConfigRecord> Study::capSweep(util::ExecutionContext& ctx,
+                                          Algorithm algorithm, vis::Id size,
                                           const std::vector<double>& capsWatts,
                                           int cycles) {
   PVIZ_REQUIRE(!capsWatts.empty(), "cap sweep needs at least one cap");
@@ -138,7 +172,7 @@ std::vector<ConfigRecord> Study::capSweep(Algorithm algorithm, vis::Id size,
     record.algorithm = algorithm;
     record.size = size;
     record.capWatts = cap;
-    record.measurement = measure(algorithm, size, cap, cycles);
+    record.measurement = measure(ctx, algorithm, size, cap, cycles);
     if (i == 0) baseline = record.measurement;
     record.ratios =
         computeRatios(baseline, capsWatts.front(), record.measurement, cap);
@@ -148,23 +182,38 @@ std::vector<ConfigRecord> Study::capSweep(Algorithm algorithm, vis::Id size,
 }
 
 std::vector<ConfigRecord> Study::runPhase1() {
-  return capSweep(Algorithm::Contour, 128);
+  util::ExecutionContext ctx;
+  return runPhase1(ctx);
+}
+
+std::vector<ConfigRecord> Study::runPhase1(util::ExecutionContext& ctx) {
+  return capSweep(ctx, Algorithm::Contour, 128);
 }
 
 std::vector<ConfigRecord> Study::runPhase2() {
+  util::ExecutionContext ctx;
+  return runPhase2(ctx);
+}
+
+std::vector<ConfigRecord> Study::runPhase2(util::ExecutionContext& ctx) {
   std::vector<ConfigRecord> all;
   for (Algorithm algorithm : allAlgorithms()) {
-    auto sweep = capSweep(algorithm, 128);
+    auto sweep = capSweep(ctx, algorithm, 128);
     all.insert(all.end(), sweep.begin(), sweep.end());
   }
   return all;
 }
 
 std::vector<ConfigRecord> Study::runPhase3() {
+  util::ExecutionContext ctx;
+  return runPhase3(ctx);
+}
+
+std::vector<ConfigRecord> Study::runPhase3(util::ExecutionContext& ctx) {
   std::vector<ConfigRecord> all;
   for (vis::Id size : config_.sizes) {
     for (Algorithm algorithm : allAlgorithms()) {
-      auto sweep = capSweep(algorithm, size);
+      auto sweep = capSweep(ctx, algorithm, size);
       all.insert(all.end(), sweep.begin(), sweep.end());
     }
   }

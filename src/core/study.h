@@ -22,6 +22,10 @@
 #include "core/execution_sim.h"
 #include "core/metrics.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::core {
 
 struct StudyConfig {
@@ -64,28 +68,46 @@ class Study {
 
   /// Characterize (run for real) `algorithm` on the `size`^3 dataset;
   /// memoized.  The returned profile covers a single visualization cycle.
+  /// If the context's token cancels mid-kernel the characterization
+  /// throws util::CancelledError and leaves the memo and disk caches
+  /// untouched (a later uncancelled call re-runs from scratch).
+  const vis::KernelProfile& characterize(util::ExecutionContext& ctx,
+                                         Algorithm algorithm, vis::Id size);
   const vis::KernelProfile& characterize(Algorithm algorithm, vis::Id size);
 
   /// Evaluate one configuration (characterize + model under the cap,
   /// repeated for the configured cycle count).
+  Measurement measure(util::ExecutionContext& ctx, Algorithm algorithm,
+                      vis::Id size, double capWatts);
   Measurement measure(Algorithm algorithm, vis::Id size, double capWatts);
   /// Same, overriding the configured cycle count (the service layer
   /// evaluates per-request cycle counts against one shared Study).
+  Measurement measure(util::ExecutionContext& ctx, Algorithm algorithm,
+                      vis::Id size, double capWatts, int cycles);
   Measurement measure(Algorithm algorithm, vis::Id size, double capWatts,
                       int cycles);
 
   /// All caps for one (algorithm, size); ratios are against caps[0].
+  std::vector<ConfigRecord> capSweep(util::ExecutionContext& ctx,
+                                     Algorithm algorithm, vis::Id size);
   std::vector<ConfigRecord> capSweep(Algorithm algorithm, vis::Id size);
   /// Same, overriding the configured cap list and cycle count.
+  std::vector<ConfigRecord> capSweep(util::ExecutionContext& ctx,
+                                     Algorithm algorithm, vis::Id size,
+                                     const std::vector<double>& capsWatts,
+                                     int cycles);
   std::vector<ConfigRecord> capSweep(Algorithm algorithm, vis::Id size,
                                      const std::vector<double>& capsWatts,
                                      int cycles);
 
   /// Phase 1: contour at 128^3 across all caps (9 tests).
+  std::vector<ConfigRecord> runPhase1(util::ExecutionContext& ctx);
   std::vector<ConfigRecord> runPhase1();
   /// Phase 2: all algorithms at 128^3 across all caps (72 tests).
+  std::vector<ConfigRecord> runPhase2(util::ExecutionContext& ctx);
   std::vector<ConfigRecord> runPhase2();
   /// Phase 3: the full matrix (288 tests at full scope).
+  std::vector<ConfigRecord> runPhase3(util::ExecutionContext& ctx);
   std::vector<ConfigRecord> runPhase3();
 
   /// The dataset used for characterization at `size` (memoized).

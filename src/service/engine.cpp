@@ -7,6 +7,7 @@
 #include "core/execution_sim.h"
 #include "sim/cloverleaf.h"
 #include "util/error.h"
+#include "util/exec_context.h"
 #include "util/log.h"
 
 namespace pviz::service {
@@ -32,6 +33,12 @@ Request ServiceEngine::normalize(const Request& request) const {
 }
 
 ServiceEngine::Outcome ServiceEngine::handle(const Request& rawRequest) {
+  util::ExecutionContext ctx;
+  return handle(ctx, rawRequest);
+}
+
+ServiceEngine::Outcome ServiceEngine::handle(util::ExecutionContext& ctx,
+                                             const Request& rawRequest) {
   PVIZ_REQUIRE(rawRequest.op != Op::Stats,
                "stats requests are answered by the server, not the engine");
   const Request request = normalize(rawRequest);
@@ -42,12 +49,15 @@ ServiceEngine::Outcome ServiceEngine::handle(const Request& rawRequest) {
       return Outcome{Json::parse(*hit), true};
     }
   }
-  Json result = execute(request);
+  // A cancelled execute() throws past the put, so the cache only ever
+  // holds results of runs that finished.
+  Json result = execute(ctx, request);
   if (!key.empty()) cache_.put(key, result.dump());
   return Outcome{std::move(result), false};
 }
 
-Json ServiceEngine::execute(const Request& request) {
+Json ServiceEngine::execute(util::ExecutionContext& ctx,
+                            const Request& request) {
   switch (request.op) {
     case Op::Ping: {
       if (request.delayMs > 0.0) {
@@ -55,6 +65,7 @@ Json ServiceEngine::execute(const Request& request) {
             std::min(request.delayMs, config_.maxPingDelayMs);
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(delayMs));
+        ctx.cancel().throwIfCancelled();  // delay may outlive the budget
       }
       Json out = Json::object();
       out.set("pong", true);
@@ -64,13 +75,13 @@ Json ServiceEngine::execute(const Request& request) {
     case Op::Characterize: {
       // The raw single-cycle profile, before work-scale calibration —
       // what a client needs to run its own advisor locally.
-      return profileToJson(study_.characterize(request.algorithm,
+      return profileToJson(study_.characterize(ctx, request.algorithm,
                                                request.size));
     }
 
     case Op::Classify: {
       const vis::KernelProfile kernel = core::scaleKernelWork(
-          study_.characterize(request.algorithm, request.size),
+          study_.characterize(ctx, request.algorithm, request.size),
           config_.study.workScale);
       const core::Classification cls =
           advisor_.classify(kernel, request.capsWatts);
@@ -82,7 +93,7 @@ Json ServiceEngine::execute(const Request& request) {
 
     case Op::Budget: {
       const vis::KernelProfile vizKernel = core::scaleKernelWork(
-          study_.characterize(request.algorithm, request.size),
+          study_.characterize(ctx, request.algorithm, request.size),
           config_.study.workScale);
       const vis::KernelProfile& simKernel =
           simProfile(request.size, request.simSteps);
@@ -98,7 +109,7 @@ Json ServiceEngine::execute(const Request& request) {
     }
 
     case Op::Study:
-      return runStudySlice(request);
+      return runStudySlice(ctx, request);
 
     case Op::Stats:
       break;
@@ -106,13 +117,14 @@ Json ServiceEngine::execute(const Request& request) {
   throw Error("unhandled op");
 }
 
-Json ServiceEngine::runStudySlice(const Request& request) {
+Json ServiceEngine::runStudySlice(util::ExecutionContext& ctx,
+                                  const Request& request) {
   Json records = Json::array();
   std::size_t count = 0;
   for (vis::Id size : request.sizes) {
     for (core::Algorithm algorithm : request.algorithms) {
       for (core::ConfigRecord& record :
-           study_.capSweep(algorithm, size, request.capsWatts,
+           study_.capSweep(ctx, algorithm, size, request.capsWatts,
                            request.cycles)) {
         records.push(recordToJson(record));
         ++count;

@@ -23,6 +23,10 @@
 #include "service/protocol.h"
 #include "service/result_cache.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::service {
 
 struct EngineConfig {
@@ -47,7 +51,13 @@ class ServiceEngine {
 
   /// Execute one request (never `stats` — the server answers that from
   /// its metrics).  Throws pviz::Error for malformed parameters; the
-  /// server maps that to an `error` response.
+  /// server maps that to an `error` response.  The context carries the
+  /// request's cancellation token: expiry mid-kernel aborts with
+  /// util::CancelledError, and a cancelled request never reaches the
+  /// result cache (the put happens only after execution completes).
+  Outcome handle(util::ExecutionContext& ctx, const Request& request);
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Outcome handle(const Request& request);
 
   /// Fill engine defaults into a request (caps, sizes, cycles, steps).
@@ -57,8 +67,9 @@ class ServiceEngine {
   const EngineConfig& config() const { return config_; }
 
  private:
-  Json execute(const Request& request);  ///< uncached path
-  Json runStudySlice(const Request& request);
+  /// Uncached path.
+  Json execute(util::ExecutionContext& ctx, const Request& request);
+  Json runStudySlice(util::ExecutionContext& ctx, const Request& request);
   const vis::KernelProfile& simProfile(vis::Id size, int steps);
 
   EngineConfig config_;

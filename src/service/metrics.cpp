@@ -27,6 +27,11 @@ void ServiceMetrics::recordTimeout() {
   ++timeouts_;
 }
 
+void ServiceMetrics::recordCancelled() {
+  std::lock_guard lock(mutex_);
+  ++cancelled_;
+}
+
 void ServiceMetrics::recordRejectedFrame() {
   std::lock_guard lock(mutex_);
   ++rejectedFrames_;
@@ -70,6 +75,7 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   snap.overloaded = overloaded_;
   snap.badRequests = badRequests_;
   snap.timeouts = timeouts_;
+  snap.cancelled = cancelled_;
   snap.rejectedFrames = rejectedFrames_;
   snap.shedConnections = shedConnections_;
   snap.queueDepth = queueDepth_;
@@ -107,6 +113,7 @@ Json ServiceMetrics::toJson(const Snapshot& snapshot,
   out.set("overloaded", static_cast<double>(snapshot.overloaded));
   out.set("bad_requests", static_cast<double>(snapshot.badRequests));
   out.set("timeouts", static_cast<double>(snapshot.timeouts));
+  out.set("cancelled", static_cast<double>(snapshot.cancelled));
   out.set("rejected_frames", static_cast<double>(snapshot.rejectedFrames));
   out.set("shed_connections", static_cast<double>(snapshot.shedConnections));
   out.set("queue_depth", static_cast<double>(snapshot.queueDepth));

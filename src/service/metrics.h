@@ -37,6 +37,8 @@ class ServiceMetrics {
     std::uint64_t badRequests = 0;      ///< unparseable frames
     std::uint64_t timeouts = 0;         ///< deadline violations (idle,
                                         ///< stalled frame, request budget)
+    std::uint64_t cancelled = 0;        ///< kernels stopped mid-run by the
+                                        ///< request's cancellation token
     std::uint64_t rejectedFrames = 0;   ///< frames over the size bound
     std::uint64_t shedConnections = 0;  ///< accept-time connection shedding
     std::size_t queueDepth = 0;
@@ -54,6 +56,9 @@ class ServiceMetrics {
   /// One deadline violation: connection idle too long, a started frame
   /// that stalled, or a request whose wall-clock budget expired.
   void recordTimeout();
+  /// One request whose kernel was stopped mid-run by its cancellation
+  /// token (deadline expiry after dispatch, not while queued).
+  void recordCancelled();
   /// One frame dropped for exceeding the size bound.
   void recordRejectedFrame();
   /// One connection shed at accept time (over the connection bound).
@@ -84,6 +89,7 @@ class ServiceMetrics {
   std::uint64_t overloaded_ = 0;
   std::uint64_t badRequests_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::uint64_t rejectedFrames_ = 0;
   std::uint64_t shedConnections_ = 0;
   std::size_t queueDepth_ = 0;

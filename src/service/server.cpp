@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "util/error.h"
+#include "util/exec_context.h"
 #include "util/log.h"
 
 namespace pviz::service {
@@ -257,6 +258,10 @@ bool Server::tryEnqueue(Task task) {
 }
 
 void Server::workerLoop() {
+  // One long-lived context per worker: the scratch arena warms up over
+  // the worker's lifetime and is reused across requests; the cancel
+  // token is reset and re-armed per request in process().
+  util::ExecutionContext ctx;
   for (;;) {
     Task task;
     {
@@ -270,16 +275,15 @@ void Server::workerLoop() {
       queue_.pop_front();
       metrics_.recordQueueDepth(queue_.size());
     }
-    process(task);
+    process(task, ctx);
   }
 }
 
-void Server::process(Task& task) {
-  // Request budget, checked at dispatch: engine work is not preemptible,
-  // so the enforceable deadline is "still worth starting".  A request
-  // that sat in the queue past its budget gets an `error` reply instead
-  // of stale work — under overload this sheds exactly the requests whose
-  // clients have likely given up waiting.
+void Server::process(Task& task, util::ExecutionContext& ctx) {
+  // Request budget, checked at dispatch: a request that sat in the queue
+  // past its budget gets an `error` reply instead of stale work — under
+  // overload this sheds exactly the requests whose clients have likely
+  // given up waiting.
   if (config_.requestTimeoutMs > 0 &&
       millisSince(task.enqueued) > config_.requestTimeoutMs) {
     metrics_.recordTimeout();
@@ -289,7 +293,18 @@ void Server::process(Task& task) {
     return;
   }
 
+  // A request dispatched in time carries its remaining budget into the
+  // engine: the kernel polls the deadline at phase and chunk boundaries
+  // and aborts mid-run if it expires (the `cancelled` counter below).
+  ctx.beginRun();
+  ctx.cancel().reset();
+  if (config_.requestTimeoutMs > 0) {
+    ctx.cancel().setDeadline(
+        task.enqueued + std::chrono::milliseconds(config_.requestTimeoutMs));
+  }
+
   Response response;
+  bool cancelled = false;
   try {
     const Request request =
         requestFromJson(Json::parse(task.line, config_.maxJsonDepth));
@@ -299,10 +314,14 @@ void Server::process(Task& task) {
       if (request.op == Op::Stats) {
         response.result = statsJson();
       } else {
-        ServiceEngine::Outcome outcome = engine_.handle(request);
+        ServiceEngine::Outcome outcome = engine_.handle(ctx, request);
         response.result = std::move(outcome.result);
         response.cached = outcome.cached;
       }
+    } catch (const util::CancelledError& e) {
+      cancelled = true;
+      response.status = "error";
+      response.error = e.what();
     } catch (const std::exception& e) {
       response.status = "error";
       response.error = e.what();
@@ -310,6 +329,7 @@ void Server::process(Task& task) {
     response.elapsedMs = millisSince(task.enqueued);
     metrics_.recordRequest(request.op, response.elapsedMs, response.cached,
                            !response.ok());
+    if (cancelled) metrics_.recordCancelled();
   } catch (const std::exception& e) {
     // The frame itself did not parse to a request.
     metrics_.recordBadRequest();

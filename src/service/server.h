@@ -20,8 +20,13 @@
 // deadline that cuts off slow-loris writers; the JSON parser refuses
 // nesting deeper than maxJsonDepth; workers drop requests whose
 // wall-clock budget expired while queued (`error` reply, `timeouts`
-// counter) rather than doing stale work.  All violations are counted in
-// the `stats` payload (timeouts / rejected_frames / shed_connections).
+// counter) rather than doing stale work.  A request that was dispatched
+// in time carries its remaining budget into the engine as a cancellation
+// deadline: the kernel polls it at phase and chunk boundaries and stops
+// mid-run when it expires (`error` reply, `cancelled` counter), leaving
+// the result and characterization caches untouched.  All violations are
+// counted in the `stats` payload (timeouts / cancelled / rejected_frames
+// / shed_connections).
 //
 // Shutdown is drain-and-stop: stop() (the SIGINT path in
 // powerviz_serve) stops accepting connections and reading new requests,
@@ -116,7 +121,9 @@ class Server {
 
   /// False when the queue is full (the caller answers `overloaded`).
   bool tryEnqueue(Task task);
-  void process(Task& task);
+  /// `ctx` is the worker's long-lived execution context: its arena is
+  /// reused across requests, its cancel token reset per request.
+  void process(Task& task, util::ExecutionContext& ctx);
   void writeLine(Connection& conn, const std::string& line);
   void respondOverloaded(Connection& conn, const std::string& line);
   /// One `status` reply (error/overloaded) with best-effort id/op echo

@@ -1,7 +1,15 @@
-// Convenience wrappers over the global ThreadPool: index-based
-// parallelFor, parallelReduce, a parallel three-phase exclusive scan,
-// and deterministic compaction/gather patterns used by filters that
-// emit variable-sized output.
+// Parallel loop, scan, and compaction primitives used by the kernels:
+// index-based parallelFor, parallelReduce, a parallel three-phase
+// exclusive scan, and deterministic compaction/gather patterns used by
+// filters that emit variable-sized output.
+//
+// Every primitive has two forms.  The ExecutionContext form is the real
+// one: it runs on the context's pool and polls the context's CancelToken
+// at chunk boundaries, so a cancelled run unwinds at the next chunk edge
+// (the pool captures the CancelledError, drains the remaining chunks,
+// and rethrows in the caller).  The context-free form is a compatibility
+// shim over the process-global pool with no cancellation; it exists for
+// leaf utilities and tests that have no context to thread.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/exec_context.h"
 #include "util/thread_pool.h"
 
 namespace pviz::util {
@@ -20,66 +29,66 @@ inline constexpr std::int64_t kDefaultGrain = 1024;
 /// load-balance on every pool size we run.
 inline constexpr std::int64_t kScanGrain = 1 << 14;
 
-/// Run `f(i)` for every i in [begin, end) on the global pool.
-template <typename Func>
-void parallelFor(std::int64_t begin, std::int64_t end, Func&& f,
-                 std::int64_t grain = kDefaultGrain) {
-  ThreadPool::global().parallelFor(
-      begin, end, grain, [&f](std::int64_t b, std::int64_t e) {
-        for (std::int64_t i = b; i < e; ++i) f(i);
-      });
+namespace detail {
+
+/// Chunk-boundary cancellation point: nullptr means "not cancellable".
+inline void pollCancel(CancelToken* cancel) {
+  if (cancel != nullptr) cancel->throwIfCancelled();
 }
 
-/// Run `f(chunkBegin, chunkEnd)` over [begin, end) on the global pool.
 template <typename Func>
-void parallelForChunks(std::int64_t begin, std::int64_t end, Func&& f,
-                       std::int64_t grain = kDefaultGrain) {
-  ThreadPool::global().parallelFor(begin, end, grain, std::forward<Func>(f));
+void parallelForOn(ThreadPool& pool, CancelToken* cancel, std::int64_t begin,
+                   std::int64_t end, Func&& f, std::int64_t grain) {
+  pool.parallelFor(begin, end, grain,
+                   [&f, cancel](std::int64_t b, std::int64_t e) {
+                     pollCancel(cancel);
+                     for (std::int64_t i = b; i < e; ++i) f(i);
+                   });
 }
 
-/// Map-reduce over [begin, end): `identity` seeds each chunk, `map(acc, i)`
-/// folds an index into a chunk accumulator, and `combine(a, b)` merges
-/// chunk results.  Partials are indexed by chunk (the pool hands out
-/// grain-aligned chunks from `begin`) and combined in chunk order, so
-/// identical inputs reduce in the same order on every run regardless of
-/// thread scheduling — floating-point reductions are bit-reproducible,
-/// which the Rng header's determinism contract depends on.
+template <typename Func>
+void parallelForChunksOn(ThreadPool& pool, CancelToken* cancel,
+                         std::int64_t begin, std::int64_t end, Func&& f,
+                         std::int64_t grain) {
+  pool.parallelFor(begin, end, grain,
+                   [&f, cancel](std::int64_t b, std::int64_t e) {
+                     pollCancel(cancel);
+                     f(b, e);
+                   });
+}
+
 template <typename T, typename Map, typename Combine>
-T parallelReduce(std::int64_t begin, std::int64_t end, T identity, Map&& map,
-                 Combine&& combine, std::int64_t grain = kDefaultGrain) {
+T parallelReduceOn(ThreadPool& pool, CancelToken* cancel, std::int64_t begin,
+                   std::int64_t end, T identity, Map&& map, Combine&& combine,
+                   std::int64_t grain) {
   if (begin >= end) return identity;
   PVIZ_REQUIRE(grain > 0, "parallelReduce grain must be positive");
   const std::size_t chunkCount =
       static_cast<std::size_t>((end - begin + grain - 1) / grain);
   std::vector<T> partials(chunkCount, identity);
-  ThreadPool::global().parallelFor(
-      begin, end, grain, [&](std::int64_t b, std::int64_t e) {
-        T acc = identity;
-        for (std::int64_t i = b; i < e; ++i) acc = map(std::move(acc), i);
-        partials[static_cast<std::size_t>((b - begin) / grain)] =
-            std::move(acc);
-      });
+  pool.parallelFor(begin, end, grain,
+                   [&, cancel](std::int64_t b, std::int64_t e) {
+                     pollCancel(cancel);
+                     T acc = identity;
+                     for (std::int64_t i = b; i < e; ++i) {
+                       acc = map(std::move(acc), i);
+                     }
+                     partials[static_cast<std::size_t>((b - begin) / grain)] =
+                         std::move(acc);
+                   });
   T total = std::move(identity);
   for (auto& p : partials) total = combine(std::move(total), std::move(p));
   return total;
 }
 
-/// Exclusive prefix sum of `counts`; returns the grand total.  Used by the
-/// two-pass "count then fill" pattern every variable-output filter follows.
-///
-/// Arrays past one chunk run as a three-phase tree scan on the global
-/// pool (per-chunk sums → serial scan of the sums → parallel per-chunk
-/// fix-up); smaller inputs — or a single-thread pool, where the extra
-/// passes only cost bandwidth — take a single serial sweep.  Both paths
-/// are exact integer arithmetic, so the result is identical everywhere.
-inline std::int64_t exclusiveScan(std::vector<std::int64_t>& counts) {
-  const auto n = static_cast<std::int64_t>(counts.size());
-  ThreadPool& pool = ThreadPool::global();
+inline std::int64_t exclusiveScanOn(ThreadPool& pool, CancelToken* cancel,
+                                    std::int64_t* counts, std::int64_t n) {
   if (n <= 2 * kScanGrain || pool.concurrency() == 1) {
+    pollCancel(cancel);
     std::int64_t running = 0;
-    for (auto& c : counts) {
-      const std::int64_t v = c;
-      c = running;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t v = counts[i];
+      counts[i] = running;
       running += v;
     }
     return running;
@@ -89,13 +98,13 @@ inline std::int64_t exclusiveScan(std::vector<std::int64_t>& counts) {
   const std::size_t chunkCount =
       static_cast<std::size_t>((n + kScanGrain - 1) / kScanGrain);
   std::vector<std::int64_t> chunkSums(chunkCount, 0);
-  pool.parallelFor(0, n, kScanGrain, [&](std::int64_t b, std::int64_t e) {
-    std::int64_t sum = 0;
-    for (std::int64_t i = b; i < e; ++i) {
-      sum += counts[static_cast<std::size_t>(i)];
-    }
-    chunkSums[static_cast<std::size_t>(b / kScanGrain)] = sum;
-  });
+  pool.parallelFor(0, n, kScanGrain,
+                   [&, cancel](std::int64_t b, std::int64_t e) {
+                     pollCancel(cancel);
+                     std::int64_t sum = 0;
+                     for (std::int64_t i = b; i < e; ++i) sum += counts[i];
+                     chunkSums[static_cast<std::size_t>(b / kScanGrain)] = sum;
+                   });
 
   // Phase 2: serial exclusive scan of the (few) chunk sums.
   std::int64_t running = 0;
@@ -106,28 +115,29 @@ inline std::int64_t exclusiveScan(std::vector<std::int64_t>& counts) {
   }
 
   // Phase 3: per-chunk fix-up re-scans each chunk seeded by its offset.
-  pool.parallelFor(0, n, kScanGrain, [&](std::int64_t b, std::int64_t e) {
-    std::int64_t acc = chunkSums[static_cast<std::size_t>(b / kScanGrain)];
-    for (std::int64_t i = b; i < e; ++i) {
-      const std::int64_t v = counts[static_cast<std::size_t>(i)];
-      counts[static_cast<std::size_t>(i)] = acc;
-      acc += v;
-    }
-  });
+  pool.parallelFor(0, n, kScanGrain,
+                   [&, cancel](std::int64_t b, std::int64_t e) {
+                     pollCancel(cancel);
+                     std::int64_t acc =
+                         chunkSums[static_cast<std::size_t>(b / kScanGrain)];
+                     for (std::int64_t i = b; i < e; ++i) {
+                       const std::int64_t v = counts[i];
+                       counts[i] = acc;
+                       acc += v;
+                     }
+                   });
   return running;
 }
 
-/// Stream-compact the indices in [0, n) where `pred(i)` holds, in
-/// ascending order.  Runs as count → chunk scan → fill on the global
-/// pool; the output is identical for every pool size and grain because
-/// chunks are fixed ranges written at scanned offsets.
 template <typename Pred>
-std::vector<std::int64_t> parallelSelect(std::int64_t n, Pred&& pred,
-                                         std::int64_t grain = kScanGrain) {
+std::vector<std::int64_t> parallelSelectOn(ThreadPool& pool,
+                                           CancelToken* cancel, std::int64_t n,
+                                           Pred&& pred, std::int64_t grain) {
   PVIZ_REQUIRE(grain > 0, "parallelSelect grain must be positive");
   std::vector<std::int64_t> out;
   if (n <= 0) return out;
-  if (n <= grain || ThreadPool::global().concurrency() == 1) {
+  if (n <= grain || pool.concurrency() == 1) {
+    pollCancel(cancel);
     for (std::int64_t i = 0; i < n; ++i) {
       if (pred(i)) out.push_back(i);
     }
@@ -136,23 +146,115 @@ std::vector<std::int64_t> parallelSelect(std::int64_t n, Pred&& pred,
   const std::size_t chunkCount =
       static_cast<std::size_t>((n + grain - 1) / grain);
   std::vector<std::int64_t> chunkCounts(chunkCount + 1, 0);
-  ThreadPool::global().parallelFor(
-      0, n, grain, [&](std::int64_t b, std::int64_t e) {
-        std::int64_t count = 0;
-        for (std::int64_t i = b; i < e; ++i) count += pred(i) ? 1 : 0;
-        chunkCounts[static_cast<std::size_t>(b / grain)] = count;
-      });
-  const std::int64_t total = exclusiveScan(chunkCounts);
+  pool.parallelFor(0, n, grain, [&, cancel](std::int64_t b, std::int64_t e) {
+    pollCancel(cancel);
+    std::int64_t count = 0;
+    for (std::int64_t i = b; i < e; ++i) count += pred(i) ? 1 : 0;
+    chunkCounts[static_cast<std::size_t>(b / grain)] = count;
+  });
+  const std::int64_t total =
+      exclusiveScanOn(pool, cancel, chunkCounts.data(),
+                      static_cast<std::int64_t>(chunkCounts.size()));
   out.resize(static_cast<std::size_t>(total));
-  ThreadPool::global().parallelFor(
-      0, n, grain, [&](std::int64_t b, std::int64_t e) {
-        auto at = static_cast<std::size_t>(
-            chunkCounts[static_cast<std::size_t>(b / grain)]);
-        for (std::int64_t i = b; i < e; ++i) {
-          if (pred(i)) out[at++] = i;
-        }
-      });
+  pool.parallelFor(0, n, grain, [&, cancel](std::int64_t b, std::int64_t e) {
+    pollCancel(cancel);
+    auto at = static_cast<std::size_t>(
+        chunkCounts[static_cast<std::size_t>(b / grain)]);
+    for (std::int64_t i = b; i < e; ++i) {
+      if (pred(i)) out[at++] = i;
+    }
+  });
   return out;
+}
+
+template <typename T, typename ChunkBody, typename Merge>
+T parallelGatherChunksOn(ThreadPool& pool, CancelToken* cancel,
+                         std::int64_t begin, std::int64_t end,
+                         ChunkBody&& body, Merge&& merge, std::int64_t grain) {
+  T result;
+  if (begin >= end) return result;
+  PVIZ_REQUIRE(grain > 0, "parallelGatherChunks grain must be positive");
+  const std::size_t chunkCount =
+      static_cast<std::size_t>((end - begin + grain - 1) / grain);
+  std::vector<T> partials(chunkCount);
+  pool.parallelFor(begin, end, grain,
+                   [&, cancel](std::int64_t b, std::int64_t e) {
+                     pollCancel(cancel);
+                     body(partials[static_cast<std::size_t>((b - begin) / grain)],
+                          b, e);
+                   });
+  for (auto& p : partials) merge(result, std::move(p));
+  return result;
+}
+
+}  // namespace detail
+
+// ---- context-taking forms (pool + chunk-boundary cancellation) ---------
+
+/// Run `f(i)` for every i in [begin, end) on the context's pool.
+template <typename Func>
+void parallelFor(ExecutionContext& ctx, std::int64_t begin, std::int64_t end,
+                 Func&& f, std::int64_t grain = kDefaultGrain) {
+  detail::parallelForOn(ctx.pool(), &ctx.cancel(), begin, end,
+                        std::forward<Func>(f), grain);
+}
+
+/// Run `f(chunkBegin, chunkEnd)` over [begin, end) on the context's pool.
+template <typename Func>
+void parallelForChunks(ExecutionContext& ctx, std::int64_t begin,
+                       std::int64_t end, Func&& f,
+                       std::int64_t grain = kDefaultGrain) {
+  detail::parallelForChunksOn(ctx.pool(), &ctx.cancel(), begin, end,
+                              std::forward<Func>(f), grain);
+}
+
+/// Map-reduce over [begin, end): `identity` seeds each chunk, `map(acc, i)`
+/// folds an index into a chunk accumulator, and `combine(a, b)` merges
+/// chunk results.  Partials are indexed by chunk (the pool hands out
+/// grain-aligned chunks from `begin`) and combined in chunk order, so
+/// identical inputs reduce in the same order on every run regardless of
+/// thread scheduling — floating-point reductions are bit-reproducible,
+/// which the Rng header's determinism contract depends on.
+template <typename T, typename Map, typename Combine>
+T parallelReduce(ExecutionContext& ctx, std::int64_t begin, std::int64_t end,
+                 T identity, Map&& map, Combine&& combine,
+                 std::int64_t grain = kDefaultGrain) {
+  return detail::parallelReduceOn(ctx.pool(), &ctx.cancel(), begin, end,
+                                  std::move(identity), std::forward<Map>(map),
+                                  std::forward<Combine>(combine), grain);
+}
+
+/// Exclusive prefix sum of `counts[0, n)`; returns the grand total.  Used
+/// by the two-pass "count then fill" pattern every variable-output filter
+/// follows.  The pointer form exists so arena-backed scratch arrays scan
+/// in place.
+///
+/// Arrays past one chunk run as a three-phase tree scan (per-chunk sums →
+/// serial scan of the sums → parallel per-chunk fix-up); smaller inputs —
+/// or a single-thread pool, where the extra passes only cost bandwidth —
+/// take a single serial sweep.  Both paths are exact integer arithmetic,
+/// so the result is identical everywhere.
+inline std::int64_t exclusiveScan(ExecutionContext& ctx, std::int64_t* counts,
+                                  std::int64_t n) {
+  return detail::exclusiveScanOn(ctx.pool(), &ctx.cancel(), counts, n);
+}
+
+inline std::int64_t exclusiveScan(ExecutionContext& ctx,
+                                  std::vector<std::int64_t>& counts) {
+  return exclusiveScan(ctx, counts.data(),
+                       static_cast<std::int64_t>(counts.size()));
+}
+
+/// Stream-compact the indices in [0, n) where `pred(i)` holds, in
+/// ascending order.  Runs as count → chunk scan → fill; the output is
+/// identical for every pool size and grain because chunks are fixed
+/// ranges written at scanned offsets.
+template <typename Pred>
+std::vector<std::int64_t> parallelSelect(ExecutionContext& ctx, std::int64_t n,
+                                         Pred&& pred,
+                                         std::int64_t grain = kScanGrain) {
+  return detail::parallelSelectOn(ctx.pool(), &ctx.cancel(), n,
+                                  std::forward<Pred>(pred), grain);
 }
 
 /// Chunked map-gather for variable-sized output: `body(local, b, e)`
@@ -161,20 +263,56 @@ std::vector<std::int64_t> parallelSelect(std::int64_t n, Pred&& pred,
 /// order** — unlike a completion-order mutex gather, the concatenated
 /// output is byte-identical on every pool size and schedule.
 template <typename T, typename ChunkBody, typename Merge>
+T parallelGatherChunks(ExecutionContext& ctx, std::int64_t begin,
+                       std::int64_t end, ChunkBody&& body, Merge&& merge,
+                       std::int64_t grain = kDefaultGrain) {
+  return detail::parallelGatherChunksOn<T>(
+      ctx.pool(), &ctx.cancel(), begin, end, std::forward<ChunkBody>(body),
+      std::forward<Merge>(merge), grain);
+}
+
+// ---- compatibility shims (global pool, no cancellation) ----------------
+
+template <typename Func>
+void parallelFor(std::int64_t begin, std::int64_t end, Func&& f,
+                 std::int64_t grain = kDefaultGrain) {
+  detail::parallelForOn(ThreadPool::global(), nullptr, begin, end,
+                        std::forward<Func>(f), grain);
+}
+
+template <typename Func>
+void parallelForChunks(std::int64_t begin, std::int64_t end, Func&& f,
+                       std::int64_t grain = kDefaultGrain) {
+  detail::parallelForChunksOn(ThreadPool::global(), nullptr, begin, end,
+                              std::forward<Func>(f), grain);
+}
+
+template <typename T, typename Map, typename Combine>
+T parallelReduce(std::int64_t begin, std::int64_t end, T identity, Map&& map,
+                 Combine&& combine, std::int64_t grain = kDefaultGrain) {
+  return detail::parallelReduceOn(ThreadPool::global(), nullptr, begin, end,
+                                  std::move(identity), std::forward<Map>(map),
+                                  std::forward<Combine>(combine), grain);
+}
+
+inline std::int64_t exclusiveScan(std::vector<std::int64_t>& counts) {
+  return detail::exclusiveScanOn(ThreadPool::global(), nullptr, counts.data(),
+                                 static_cast<std::int64_t>(counts.size()));
+}
+
+template <typename Pred>
+std::vector<std::int64_t> parallelSelect(std::int64_t n, Pred&& pred,
+                                         std::int64_t grain = kScanGrain) {
+  return detail::parallelSelectOn(ThreadPool::global(), nullptr, n,
+                                  std::forward<Pred>(pred), grain);
+}
+
+template <typename T, typename ChunkBody, typename Merge>
 T parallelGatherChunks(std::int64_t begin, std::int64_t end, ChunkBody&& body,
                        Merge&& merge, std::int64_t grain = kDefaultGrain) {
-  T result;
-  if (begin >= end) return result;
-  PVIZ_REQUIRE(grain > 0, "parallelGatherChunks grain must be positive");
-  const std::size_t chunkCount =
-      static_cast<std::size_t>((end - begin + grain - 1) / grain);
-  std::vector<T> partials(chunkCount);
-  ThreadPool::global().parallelFor(
-      begin, end, grain, [&](std::int64_t b, std::int64_t e) {
-        body(partials[static_cast<std::size_t>((b - begin) / grain)], b, e);
-      });
-  for (auto& p : partials) merge(result, std::move(p));
-  return result;
+  return detail::parallelGatherChunksOn<T>(
+      ThreadPool::global(), nullptr, begin, end, std::forward<ChunkBody>(body),
+      std::forward<Merge>(merge), grain);
 }
 
 }  // namespace pviz::util

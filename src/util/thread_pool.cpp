@@ -5,7 +5,6 @@
 namespace pviz::util {
 
 thread_local bool ThreadPool::insideWorker_ = false;
-std::atomic<ThreadPool*> ThreadPool::globalOverride_{nullptr};
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) {
@@ -29,15 +28,8 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::global() {
-  if (ThreadPool* override = globalOverride_.load(std::memory_order_acquire)) {
-    return *override;
-  }
   static ThreadPool pool;
   return pool;
-}
-
-ThreadPool* ThreadPool::setGlobalForTesting(ThreadPool* pool) {
-  return globalOverride_.exchange(pool, std::memory_order_acq_rel);
 }
 
 void ThreadPool::workerLoop() {

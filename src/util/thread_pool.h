@@ -65,13 +65,12 @@ class ThreadPool {
         });
   }
 
-  /// The process-wide pool used by pviz::util::parallelFor and friends.
+  /// The process-wide pool behind the compatibility shims (the
+  /// context-free parallelFor overloads and ExecutionContext's default
+  /// constructor).  New code should run on an ExecutionContext over an
+  /// explicit pool instead; tests pin pool sizes by constructing
+  /// `ThreadPool pool(n); ExecutionContext ctx(pool);`.
   static ThreadPool& global();
-
-  /// Test hook: redirect global() to `pool` (nullptr restores the real
-  /// process-wide pool).  Returns the previous override so tests can
-  /// nest/restore.  Intended for single-threaded test drivers only.
-  static ThreadPool* setGlobalForTesting(ThreadPool* pool);
 
  private:
   using ChunkInvoker = void (*)(void*, std::int64_t, std::int64_t);
@@ -101,7 +100,6 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr firstError_;  // guarded by mutex_
   static thread_local bool insideWorker_;
-  static std::atomic<ThreadPool*> globalOverride_;
 };
 
 }  // namespace pviz::util

@@ -1,5 +1,8 @@
 #include "viz/filters/clip_common.h"
 
+#include <optional>
+
+#include "util/exec_context.h"
 #include "util/parallel.h"
 
 namespace pviz::vis {
@@ -124,6 +127,14 @@ void clipTetrahedron(const Vec3 pos[4], const double clip[4],
 ClipResult clipUniformGrid(const UniformGrid& grid,
                            const std::vector<double>& clipScalar,
                            const std::vector<double>& carried) {
+  util::ExecutionContext ctx;
+  return clipUniformGrid(ctx, grid, clipScalar, carried);
+}
+
+ClipResult clipUniformGrid(util::ExecutionContext& ctx,
+                           const UniformGrid& grid,
+                           std::span<const double> clipScalar,
+                           std::span<const double> carried) {
   PVIZ_REQUIRE(static_cast<Id>(clipScalar.size()) == grid.numPoints(),
                "clip scalar must be a per-point array");
   PVIZ_REQUIRE(static_cast<Id>(carried.size()) == grid.numPoints(),
@@ -139,9 +150,12 @@ ClipResult clipUniformGrid(const UniformGrid& grid,
 
   // Pass 1: classify cells (0 = out, 1 = in, 2 = cut), swept as i-rows
   // with incremental index stepping.
-  std::vector<std::uint8_t> state(static_cast<std::size_t>(numCells));
+  util::ScratchVector<std::uint8_t> state(ctx.arena(),
+                                          static_cast<std::size_t>(numCells));
+  std::optional<util::ExecutionContext::PhaseScope> phase;
+  phase.emplace(ctx, "classify");
   util::parallelForChunks(
-      0, rows,
+      ctx, 0, rows,
       [&](Id rowBegin, Id rowEnd) {
         for (Id row = rowBegin; row < rowEnd; ++row) {
           Id cell = row * rowLen;
@@ -164,11 +178,11 @@ ClipResult clipUniformGrid(const UniformGrid& grid,
   // Compacted whole-kept and cut lists replace the full-grid re-sweep;
   // both are in ascending cell order.
   const std::vector<std::int64_t> wholeList = util::parallelSelect(
-      numCells, [&](std::int64_t cell) {
+      ctx, numCells, [&](std::int64_t cell) {
         return state[static_cast<std::size_t>(cell)] == 1;
       });
   const std::vector<std::int64_t> cutList = util::parallelSelect(
-      numCells, [&](std::int64_t cell) {
+      ctx, numCells, [&](std::int64_t cell) {
         return state[static_cast<std::size_t>(cell)] == 2;
       });
   result.cellsIn = static_cast<std::int64_t>(wholeList.size());
@@ -176,9 +190,10 @@ ClipResult clipUniformGrid(const UniformGrid& grid,
   result.cellsOut = numCells - result.cellsIn - result.cellsCut;
 
   // Pass 2a: whole kept cells — direct scatter to compacted slots.
+  phase.emplace(ctx, "compact");
   result.wholeCells.cellIds.resize(wholeList.size());
   result.wholeCells.cellScalars.resize(wholeList.size());
-  util::parallelFor(0, static_cast<Id>(wholeList.size()), [&](Id n) {
+  util::parallelFor(ctx, 0, static_cast<Id>(wholeList.size()), [&](Id n) {
     const Id cell = wholeList[static_cast<std::size_t>(n)];
     Id pts[8];
     grid.cellPointIds(grid.cellIjk(cell), pts);
@@ -192,8 +207,9 @@ ClipResult clipUniformGrid(const UniformGrid& grid,
 
   // Pass 2b: cut cells — clip per chunk of the compacted list, splice in
   // chunk order (deterministic output for every pool size).
+  phase.emplace(ctx, "subdivide");
   result.cutPieces = util::parallelGatherChunks<TetMesh>(
-      0, static_cast<Id>(cutList.size()),
+      ctx, 0, static_cast<Id>(cutList.size()),
       [&](TetMesh& local, Id chunkBegin, Id chunkEnd) {
         for (Id n = chunkBegin; n < chunkEnd; ++n) {
           const Id cell = cutList[static_cast<std::size_t>(n)];
@@ -234,10 +250,16 @@ ClipResult clipUniformGrid(const UniformGrid& grid,
 
 TetMesh clipTetMesh(const TetMesh& mesh,
                     const std::vector<double>& clipScalar) {
+  util::ExecutionContext ctx;
+  return clipTetMesh(ctx, mesh, clipScalar);
+}
+
+TetMesh clipTetMesh(util::ExecutionContext& ctx, const TetMesh& mesh,
+                    std::span<const double> clipScalar) {
   PVIZ_REQUIRE(static_cast<Id>(clipScalar.size()) == mesh.numPoints(),
                "clip scalar must match mesh point count");
   return util::parallelGatherChunks<TetMesh>(
-      0, mesh.numTets(),
+      ctx, 0, mesh.numTets(),
       [&](TetMesh& local, Id chunkBegin, Id chunkEnd) {
         for (Id t = chunkBegin; t < chunkEnd; ++t) {
           Vec3 pos[4];

@@ -14,11 +14,16 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "viz/dataset/explicit_mesh.h"
 #include "viz/dataset/uniform_grid.h"
 #include "viz/worklet/work_profile.h"
+
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
 
 namespace pviz::vis {
 
@@ -35,13 +40,23 @@ struct ClipResult {
 /// Clip `grid` by the per-point scalar `clipScalar` (size numPoints,
 /// keep >= 0).  `carried` (size numPoints) is interpolated onto clip
 /// vertices and stored as the output scalar (typically the visualized
-/// field).
+/// field).  Spans let callers pass arena-backed scratch arrays.
+ClipResult clipUniformGrid(util::ExecutionContext& ctx,
+                           const UniformGrid& grid,
+                           std::span<const double> clipScalar,
+                           std::span<const double> carried);
+
+/// Compatibility shim: run on a fresh context over the global pool.
 ClipResult clipUniformGrid(const UniformGrid& grid,
                            const std::vector<double>& clipScalar,
                            const std::vector<double>& carried);
 
 /// Clip an existing tet mesh by a per-point clip scalar (keep >= 0).
 /// Carried scalars on the input mesh are interpolated onto cut vertices.
+TetMesh clipTetMesh(util::ExecutionContext& ctx, const TetMesh& mesh,
+                    std::span<const double> clipScalar);
+
+/// Compatibility shim: run on a fresh context over the global pool.
 TetMesh clipTetMesh(const TetMesh& mesh,
                     const std::vector<double>& clipScalar);
 

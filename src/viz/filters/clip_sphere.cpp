@@ -1,13 +1,22 @@
 #include "viz/filters/clip_sphere.h"
 
 #include <cmath>
+#include <optional>
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 
 namespace pviz::vis {
 
 ClipSphereFilter::Result ClipSphereFilter::run(
     const UniformGrid& grid, const std::string& fieldName) const {
+  util::ExecutionContext ctx;
+  return run(ctx, grid, fieldName);
+}
+
+ClipSphereFilter::Result ClipSphereFilter::run(
+    util::ExecutionContext& ctx, const UniformGrid& grid,
+    const std::string& fieldName) const {
   const Field& field = grid.field(fieldName);
   PVIZ_REQUIRE(field.association() == Association::Points,
                "spherical clip carries a point field");
@@ -15,14 +24,20 @@ ClipSphereFilter::Result ClipSphereFilter::run(
   const Id numPoints = grid.numPoints();
 
   // Signed distance from the sphere: positive outside (kept).
-  std::vector<double> distance(static_cast<std::size_t>(numPoints));
-  util::parallelFor(0, numPoints, [&](Id p) {
-    distance[static_cast<std::size_t>(p)] =
-        length(grid.pointPosition(p) - center_) - radius_;
-  });
+  util::ScratchVector<double> distance(ctx.arena(),
+                                       static_cast<std::size_t>(numPoints));
+  {
+    auto distPhase = ctx.phase("distance-field");
+    util::parallelFor(ctx, 0, numPoints, [&](Id p) {
+      distance[static_cast<std::size_t>(p)] =
+          length(grid.pointPosition(p) - center_) - radius_;
+    });
+  }
 
   Result result;
-  result.clipped = clipUniformGrid(grid, distance, field.data());
+  result.clipped = clipUniformGrid(
+      ctx, grid, std::span<const double>(distance.data(), distance.size()),
+      field.data());
 
   // --- Workload characterization. ---------------------------------------
   result.profile.kernel = "spherical-clip";

@@ -28,6 +28,10 @@ class ClipSphereFilter {
   double radius() const { return radius_; }
 
   /// Clip `grid`, carrying point scalar `fieldName` onto the output.
+  Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
+             const std::string& fieldName) const;
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

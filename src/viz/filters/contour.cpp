@@ -1,7 +1,9 @@
 #include "viz/filters/contour.h"
 
 #include <cmath>
+#include <optional>
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 #include "viz/filters/mc_tables.h"
 
@@ -48,6 +50,13 @@ EdgeVertex interpolateEdge(const Vec3 cornerPos[8], int edge,
 
 ContourFilter::Result ContourFilter::run(const UniformGrid& grid,
                                          const std::string& fieldName) const {
+  util::ExecutionContext ctx;
+  return run(ctx, grid, fieldName);
+}
+
+ContourFilter::Result ContourFilter::run(util::ExecutionContext& ctx,
+                                         const UniformGrid& grid,
+                                         const std::string& fieldName) const {
   const Field& field = grid.field(fieldName);
   PVIZ_REQUIRE(field.association() == Association::Points,
                "contour requires a point field");
@@ -78,21 +87,24 @@ ContourFilter::Result ContourFilter::run(const UniformGrid& grid,
   // it lets the output arrays be allocated exactly once at their final
   // size instead of growing (realloc + copy) per pass.
   struct Pass {
-    std::vector<std::uint8_t> caseOf;
-    std::vector<std::int64_t> offsets;
+    util::ScratchVector<std::uint8_t> caseOf;
+    util::ScratchVector<std::int64_t> offsets;
     std::vector<std::int64_t> active;
     std::int64_t triangles = 0;
   };
   std::vector<Pass> passData(isovalues_.size());
-  std::vector<std::uint8_t> above(static_cast<std::size_t>(numPoints));
+  util::ScratchVector<std::uint8_t> above(ctx.arena(),
+                                          static_cast<std::size_t>(numPoints));
   std::int64_t totalTriangles = 0;
+  std::optional<util::ExecutionContext::PhaseScope> phase;
 
   for (std::size_t pi = 0; pi < isovalues_.size(); ++pi) {
     const double isovalue = isovalues_[pi];
     Pass& pass = passData[pi];
-    pass.caseOf.resize(static_cast<std::size_t>(numCells));
-    pass.offsets.resize(static_cast<std::size_t>(numCells) + 1);
+    pass.caseOf.acquire(ctx.arena(), static_cast<std::size_t>(numCells));
+    pass.offsets.acquire(ctx.arena(), static_cast<std::size_t>(numCells) + 1);
 
+    phase.emplace(ctx, "mc-classify");
     // --- Pass 1: classify — compare each point once, then assemble the
     // MC case per cell from the cached above/below bytes, caching the
     // case index and the triangle count.  Cells are swept as i-rows with
@@ -100,12 +112,12 @@ ContourFilter::Result ContourFilter::run(const UniformGrid& grid,
     // the case is stepped from its predecessor — the shared face's four
     // corners (bits 1,2,5,6) become bits 0,3,4,7, so only the four new
     // corners are loaded per cell.
-    util::parallelFor(0, numPoints, [&](Id p) {
+    util::parallelFor(ctx, 0, numPoints, [&](Id p) {
       above[static_cast<std::size_t>(p)] =
           values[static_cast<std::size_t>(p)] >= isovalue ? 1 : 0;
     });
     util::parallelForChunks(
-        0, rows,
+        ctx, 0, rows,
         [&](Id rowBegin, Id rowEnd) {
           for (Id row = rowBegin; row < rowEnd; ++row) {
             Id cell = row * rowLen;
@@ -137,17 +149,20 @@ ContourFilter::Result ContourFilter::run(const UniformGrid& grid,
         },
         rowGrain);
 
+    phase.emplace(ctx, "mc-scan");
     // Compacted active-cell list: the generate pass visits only crossed
     // cells.
-    pass.active = util::parallelSelect(numCells, [&](std::int64_t cell) {
+    pass.active = util::parallelSelect(ctx, numCells, [&](std::int64_t cell) {
       return pass.offsets[static_cast<std::size_t>(cell)] > 0;
     });
     totalCrossed += static_cast<std::int64_t>(pass.active.size());
 
     pass.offsets[static_cast<std::size_t>(numCells)] = 0;
-    pass.triangles = util::exclusiveScan(pass.offsets);
+    pass.triangles = util::exclusiveScan(ctx, pass.offsets.data(),
+                                         numCells + 1);
     totalTriangles += pass.triangles;
   }
+  phase.reset();
 
   // --- Pass 2: generate — interpolate and write triangles for the
   // crossed cells only, re-reading the cached case index instead of
@@ -159,14 +174,15 @@ ContourFilter::Result ContourFilter::run(const UniformGrid& grid,
   surface.pointScalars.resize(static_cast<std::size_t>(totalTriangles) * 3);
   surface.connectivity.resize(static_cast<std::size_t>(totalTriangles) * 3);
 
+  phase.emplace(ctx, "mc-generate");
   std::size_t passBase = 0;
   for (std::size_t pi = 0; pi < isovalues_.size(); ++pi) {
     const double isovalue = isovalues_[pi];
     const Pass& pass = passData[pi];
-    const std::vector<std::int64_t>& offsets = pass.offsets;
-    const std::vector<std::uint8_t>& caseOf = pass.caseOf;
+    const std::int64_t* offsets = pass.offsets.data();
+    const std::uint8_t* caseOf = pass.caseOf.data();
 
-    util::parallelFor(0, static_cast<Id>(pass.active.size()), [&](Id n) {
+    util::parallelFor(ctx, 0, static_cast<Id>(pass.active.size()), [&](Id n) {
       const Id cell = pass.active[static_cast<std::size_t>(n)];
       const std::int64_t first = offsets[static_cast<std::size_t>(cell)];
       const std::int64_t count =
@@ -219,6 +235,7 @@ ContourFilter::Result ContourFilter::run(const UniformGrid& grid,
     });
     passBase += static_cast<std::size_t>(pass.triangles) * 3;
   }
+  phase.reset();
 
   // --- Workload characterization (real counts from this run). -----------
   const double passes = static_cast<double>(isovalues_.size());

@@ -17,6 +17,10 @@
 #include "viz/dataset/uniform_grid.h"
 #include "viz/worklet/work_profile.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::vis {
 
 class ContourFilter {
@@ -37,7 +41,13 @@ class ContourFilter {
   /// `field` (excluding the extremes, which generate no geometry).
   static std::vector<double> uniformIsovalues(const Field& field, int count);
 
-  /// Extract the isosurface of point scalar `fieldName`.
+  /// Extract the isosurface of point scalar `fieldName`.  Runs on the
+  /// context's pool with arena-backed scratch; cancellable at phase and
+  /// chunk boundaries.
+  Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
+             const std::string& fieldName) const;
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

@@ -1,11 +1,19 @@
 #include "viz/filters/gradient.h"
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 
 namespace pviz::vis {
 
 GradientFilter::Result GradientFilter::run(
     const UniformGrid& grid, const std::string& fieldName) const {
+  util::ExecutionContext ctx;
+  return run(ctx, grid, fieldName);
+}
+
+GradientFilter::Result GradientFilter::run(
+    util::ExecutionContext& ctx, const UniformGrid& grid,
+    const std::string& fieldName) const {
   const Field& field = grid.field(fieldName);
   PVIZ_REQUIRE(field.association() == Association::Points,
                "gradient requires a point field");
@@ -31,7 +39,8 @@ GradientFilter::Result GradientFilter::run(
     return (hi - lo) / (2.0 * spacing);                  // central
   };
 
-  util::parallelFor(0, grid.numPoints(), [&](Id p) {
+  auto stencilPhase = ctx.phase("central-differences");
+  util::parallelFor(ctx, 0, grid.numPoints(), [&](Id p) {
     const Id3 ijk = grid.pointIjk(p);
     const Id i = ijk.i, j = ijk.j, k = ijk.k;
     const double mid = at(i, j, k);

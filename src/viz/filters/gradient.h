@@ -12,6 +12,10 @@
 #include "viz/dataset/uniform_grid.h"
 #include "viz/worklet/work_profile.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::vis {
 
 class GradientFilter {
@@ -22,6 +26,10 @@ class GradientFilter {
   };
 
   /// Central differences in the interior, one-sided at the boundary.
+  Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
+             const std::string& fieldName) const;
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 };
 

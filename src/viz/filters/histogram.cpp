@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 
 namespace pviz::vis {
@@ -28,6 +29,12 @@ double Histogram::quantile(double q) const {
 }
 
 HistogramFilter::Result HistogramFilter::run(const Field& field) const {
+  util::ExecutionContext ctx;
+  return run(ctx, field);
+}
+
+HistogramFilter::Result HistogramFilter::run(util::ExecutionContext& ctx,
+                                             const Field& field) const {
   Result result;
   Histogram& h = result.histogram;
   const auto [lo, hi] = field.range();
@@ -39,8 +46,9 @@ HistogramFilter::Result HistogramFilter::run(const Field& field) const {
   const std::vector<double>& data = field.data();
   const auto stride = static_cast<std::size_t>(field.components());
 
+  auto binningPhase = ctx.phase("binning");
   std::mutex mergeMutex;
-  util::parallelForChunks(0, field.count(), [&](Id begin, Id end) {
+  util::parallelForChunks(ctx, 0, field.count(), [&](Id begin, Id end) {
     std::vector<std::int64_t> local(static_cast<std::size_t>(bins_), 0);
     for (Id i = begin; i < end; ++i) {
       const double v = data[static_cast<std::size_t>(i) * stride];

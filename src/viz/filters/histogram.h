@@ -7,6 +7,10 @@
 #include "viz/dataset/field.h"
 #include "viz/worklet/work_profile.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::vis {
 
 struct Histogram {
@@ -44,6 +48,9 @@ class HistogramFilter {
   int binCount() const { return bins_; }
 
   /// Histogram of the field's first component over its full range.
+  Result run(util::ExecutionContext& ctx, const Field& field) const;
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Result run(const Field& field) const;
 
  private:

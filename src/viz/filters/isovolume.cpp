@@ -1,11 +1,19 @@
 #include "viz/filters/isovolume.h"
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 
 namespace pviz::vis {
 
 IsovolumeFilter::Result IsovolumeFilter::run(
     const UniformGrid& grid, const std::string& fieldName) const {
+  util::ExecutionContext ctx;
+  return run(ctx, grid, fieldName);
+}
+
+IsovolumeFilter::Result IsovolumeFilter::run(
+    util::ExecutionContext& ctx, const UniformGrid& grid,
+    const std::string& fieldName) const {
   const Field& field = grid.field(fieldName);
   PVIZ_REQUIRE(field.association() == Association::Points,
                "isovolume requires a point field");
@@ -15,17 +23,23 @@ IsovolumeFilter::Result IsovolumeFilter::run(
   const std::vector<double>& f = field.data();
 
   // Stage 1: keep f >= lo.
-  std::vector<double> stage1(static_cast<std::size_t>(numPoints));
-  util::parallelFor(0, numPoints, [&](Id p) {
-    stage1[static_cast<std::size_t>(p)] =
-        f[static_cast<std::size_t>(p)] - lo_;
-  });
-  ClipResult low = clipUniformGrid(grid, stage1, f);
+  util::ScratchVector<double> stage1(ctx.arena(),
+                                     static_cast<std::size_t>(numPoints));
+  {
+    auto rangePhase = ctx.phase("range-fields");
+    util::parallelFor(ctx, 0, numPoints, [&](Id p) {
+      stage1[static_cast<std::size_t>(p)] =
+          f[static_cast<std::size_t>(p)] - lo_;
+    });
+  }
+  ClipResult low = clipUniformGrid(
+      ctx, grid, std::span<const double>(stage1.data(), stage1.size()), f);
 
   // Stage 2a: re-examine the whole cells kept by stage 1 against hi.
   // Build the f <= hi clip scalar once.
-  std::vector<double> stage2(static_cast<std::size_t>(numPoints));
-  util::parallelFor(0, numPoints, [&](Id p) {
+  util::ScratchVector<double> stage2(ctx.arena(),
+                                     static_cast<std::size_t>(numPoints));
+  util::parallelFor(ctx, 0, numPoints, [&](Id p) {
     stage2[static_cast<std::size_t>(p)] =
         hi_ - f[static_cast<std::size_t>(p)];
   });
@@ -39,8 +53,8 @@ IsovolumeFilter::Result IsovolumeFilter::run(
   {
     TetMesh boundary;
     std::vector<Id>& keptIds = low.wholeCells.cellIds;
-    std::vector<std::uint8_t> cellState(keptIds.size());
-    util::parallelFor(0, static_cast<Id>(keptIds.size()), [&](Id n) {
+    util::ScratchVector<std::uint8_t> cellState(ctx.arena(), keptIds.size());
+    util::parallelFor(ctx, 0, static_cast<Id>(keptIds.size()), [&](Id n) {
       Id pts[8];
       grid.cellPointIds(grid.cellIjk(keptIds[static_cast<std::size_t>(n)]),
                         pts);
@@ -54,12 +68,12 @@ IsovolumeFilter::Result IsovolumeFilter::run(
 
     // Cells still whole after the hi recheck, compacted in order.
     const std::vector<std::int64_t> wholeSel = util::parallelSelect(
-        static_cast<std::int64_t>(keptIds.size()), [&](std::int64_t n) {
+        ctx, static_cast<std::int64_t>(keptIds.size()), [&](std::int64_t n) {
           return cellState[static_cast<std::size_t>(n)] == 1;
         });
     result.wholeCells.cellIds.resize(wholeSel.size());
     result.wholeCells.cellScalars.resize(wholeSel.size());
-    util::parallelFor(0, static_cast<Id>(wholeSel.size()), [&](Id w) {
+    util::parallelFor(ctx, 0, static_cast<Id>(wholeSel.size()), [&](Id w) {
       const auto n = static_cast<std::size_t>(wholeSel[static_cast<std::size_t>(w)]);
       result.wholeCells.cellIds[static_cast<std::size_t>(w)] = keptIds[n];
       result.wholeCells.cellScalars[static_cast<std::size_t>(w)] =
@@ -69,7 +83,7 @@ IsovolumeFilter::Result IsovolumeFilter::run(
     // Straddling cells take the tet path, in ascending order (serial:
     // the straddling set is a thin shell of the kept region).
     const std::vector<std::int64_t> straddleSel = util::parallelSelect(
-        static_cast<std::int64_t>(keptIds.size()), [&](std::int64_t n) {
+        ctx, static_cast<std::int64_t>(keptIds.size()), [&](std::int64_t n) {
           return cellState[static_cast<std::size_t>(n)] == 2;
         });
     for (const std::int64_t sn : straddleSel) {
@@ -106,12 +120,15 @@ IsovolumeFilter::Result IsovolumeFilter::run(
 
     // Stage 2b: re-clip the tet pieces from stage 1 against hi.  Their
     // carried scalar IS the field, so the clip scalar is hi - scalar.
-    std::vector<double> tetClip(low.cutPieces.pointScalars.size());
-    util::parallelFor(0, static_cast<Id>(tetClip.size()), [&](Id i) {
+    util::ScratchVector<double> tetClip(ctx.arena(),
+                                        low.cutPieces.pointScalars.size());
+    util::parallelFor(ctx, 0, static_cast<Id>(tetClip.size()), [&](Id i) {
       tetClip[static_cast<std::size_t>(i)] =
           hi_ - low.cutPieces.pointScalars[static_cast<std::size_t>(i)];
     });
-    TetMesh clippedLow = clipTetMesh(low.cutPieces, tetClip);
+    TetMesh clippedLow = clipTetMesh(
+        ctx, low.cutPieces,
+        std::span<const double>(tetClip.data(), tetClip.size()));
 
     // Merge boundary pieces.
     result.cutPieces = std::move(clippedLow);

@@ -36,6 +36,10 @@ class IsovolumeFilter {
   double rangeLo() const { return lo_; }
   double rangeHi() const { return hi_; }
 
+  Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
+             const std::string& fieldName) const;
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -11,6 +13,13 @@ namespace pviz::vis {
 
 ParticleAdvectionFilter::Result ParticleAdvectionFilter::run(
     const UniformGrid& grid, const std::string& fieldName) const {
+  util::ExecutionContext ctx;
+  return run(ctx, grid, fieldName);
+}
+
+ParticleAdvectionFilter::Result ParticleAdvectionFilter::run(
+    util::ExecutionContext& ctx, const UniformGrid& grid,
+    const std::string& fieldName) const {
   const Field& field = grid.field(fieldName);
   PVIZ_REQUIRE(field.association() == Association::Points,
                "advection requires a point vector field");
@@ -37,8 +46,10 @@ ParticleAdvectionFilter::Result ParticleAdvectionFilter::run(
   std::mutex mergeMutex;
   std::vector<std::pair<Id, PolylineSet>> partials;  // (firstSeed, lines)
 
+  std::optional<util::ExecutionContext::PhaseScope> phase;
+  phase.emplace(ctx, "rk4-advect");
   util::parallelForChunks(
-      0, seeds_,
+      ctx, 0, seeds_,
       [&](Id chunkBegin, Id chunkEnd) {
         PolylineSet local;
         std::int64_t localSteps = 0;
@@ -71,6 +82,7 @@ ParticleAdvectionFilter::Result ParticleAdvectionFilter::run(
       },
       /*grain=*/16);
 
+  phase.emplace(ctx, "assemble-lines");
   std::sort(partials.begin(), partials.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (auto& [first, local] : partials) {
@@ -87,6 +99,7 @@ ParticleAdvectionFilter::Result ParticleAdvectionFilter::run(
   }
   result.totalSteps = totalSteps.load();
   result.terminated = terminated.load();
+  phase.reset();
 
   // --- Workload characterization.  RK4 is arithmetic-dense: four
   // trilinear vector samples plus the combination per step, with the

@@ -15,6 +15,10 @@
 #include "viz/dataset/uniform_grid.h"
 #include "viz/worklet/work_profile.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::vis {
 
 class ParticleAdvectionFilter {
@@ -45,6 +49,10 @@ class ParticleAdvectionFilter {
   double stepLength() const { return stepLength_; }
 
   /// Advect through point vector field `fieldName` (3 components).
+  Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
+             const std::string& fieldName) const;
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

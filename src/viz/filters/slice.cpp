@@ -1,11 +1,19 @@
 #include "viz/filters/slice.h"
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 #include "viz/filters/contour.h"
 
 namespace pviz::vis {
 
 SliceFilter::Result SliceFilter::run(const UniformGrid& grid,
+                                     const std::string& fieldName) const {
+  util::ExecutionContext ctx;
+  return run(ctx, grid, fieldName);
+}
+
+SliceFilter::Result SliceFilter::run(util::ExecutionContext& ctx,
+                                     const UniformGrid& grid,
                                      const std::string& fieldName) const {
   const Field& field = grid.field(fieldName);
   PVIZ_REQUIRE(field.association() == Association::Points,
@@ -34,18 +42,22 @@ SliceFilter::Result SliceFilter::run(const UniformGrid& grid,
     Field distance = Field::zeros("slice-distance", Association::Points, 1,
                                   numPoints);
     std::vector<double>& d = distance.data();
-    util::parallelFor(0, numPoints, [&](Id p) {
-      d[static_cast<std::size_t>(p)] =
-          dot(grid.pointPosition(p) - plane.origin, n);
-    });
+    {
+      auto distPhase = ctx.phase("signed-distance");
+      util::parallelFor(ctx, 0, numPoints, [&](Id p) {
+        d[static_cast<std::size_t>(p)] =
+            dot(grid.pointPosition(p) - plane.origin, n);
+      });
+    }
     work.addField(std::move(distance));
 
     ContourFilter contour;
     contour.setIsovalues({0.0});
-    ContourFilter::Result cut = contour.run(work, "slice-distance");
+    ContourFilter::Result cut = contour.run(ctx, work, "slice-distance");
 
     // Color the cut surface by the data field (sample at each vertex).
-    util::parallelFor(0, cut.surface.numPoints(), [&](Id p) {
+    auto colorPhase = ctx.phase("color");
+    util::parallelFor(ctx, 0, cut.surface.numPoints(), [&](Id p) {
       double v = 0.0;
       grid.sampleScalar(field, cut.surface.points[static_cast<std::size_t>(p)],
                         v);

@@ -14,6 +14,10 @@
 #include "viz/dataset/uniform_grid.h"
 #include "viz/worklet/work_profile.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::vis {
 
 struct Plane {
@@ -34,6 +38,10 @@ class SliceFilter {
   const std::vector<Plane>& planes() const { return planes_; }
 
   /// Slice `grid`, coloring the output by point scalar `fieldName`.
+  Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
+             const std::string& fieldName) const;
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

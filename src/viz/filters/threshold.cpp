@@ -1,11 +1,21 @@
 #include "viz/filters/threshold.h"
 
+#include <optional>
+
+#include "util/exec_context.h"
 #include "util/parallel.h"
 
 namespace pviz::vis {
 
 ThresholdFilter::Result ThresholdFilter::run(
     const UniformGrid& grid, const std::string& fieldName) const {
+  util::ExecutionContext ctx;
+  return run(ctx, grid, fieldName);
+}
+
+ThresholdFilter::Result ThresholdFilter::run(
+    util::ExecutionContext& ctx, const UniformGrid& grid,
+    const std::string& fieldName) const {
   const Field& field = grid.field(fieldName);
   PVIZ_REQUIRE(field.components() == 1, "threshold requires a scalar field");
   const Id numCells = grid.numCells();
@@ -14,8 +24,12 @@ ThresholdFilter::Result ThresholdFilter::run(
 
   // Pass 1: per-cell value + keep flag, swept as i-rows with incremental
   // index stepping; pass 2 then touches only the kept cells.
-  std::vector<std::uint8_t> keep(static_cast<std::size_t>(numCells));
-  std::vector<double> cellValue(static_cast<std::size_t>(numCells));
+  util::ScratchVector<std::uint8_t> keep(ctx.arena(),
+                                         static_cast<std::size_t>(numCells));
+  util::ScratchVector<double> cellValue(ctx.arena(),
+                                        static_cast<std::size_t>(numCells));
+  std::optional<util::ExecutionContext::PhaseScope> phase;
+  phase.emplace(ctx, "select");
   if (pointAssoc) {
     const Id rows = grid.numCellRows();
     const Id rowLen = grid.cellDims().i;
@@ -23,7 +37,7 @@ ThresholdFilter::Result ThresholdFilter::run(
     const Id rowGrain =
         std::max<Id>(1, util::kDefaultGrain / std::max<Id>(Id{1}, rowLen));
     util::parallelForChunks(
-        0, rows,
+        ctx, 0, rows,
         [&](Id rowBegin, Id rowEnd) {
           for (Id row = rowBegin; row < rowEnd; ++row) {
             Id cell = row * rowLen;
@@ -42,7 +56,7 @@ ThresholdFilter::Result ThresholdFilter::run(
         },
         rowGrain);
   } else {
-    util::parallelFor(0, numCells, [&](Id cell) {
+    util::parallelFor(ctx, 0, numCells, [&](Id cell) {
       const double v = values[static_cast<std::size_t>(cell)];
       cellValue[static_cast<std::size_t>(cell)] = v;
       keep[static_cast<std::size_t>(cell)] = (v >= lo_ && v <= hi_) ? 1 : 0;
@@ -50,21 +64,24 @@ ThresholdFilter::Result ThresholdFilter::run(
   }
 
   // Compacted kept-cell list IS the output id array.
+  phase.emplace(ctx, "scan");
   const std::vector<std::int64_t> kept = util::parallelSelect(
-      numCells, [&](std::int64_t cell) {
+      ctx, numCells, [&](std::int64_t cell) {
         return keep[static_cast<std::size_t>(cell)] != 0;
       });
   const auto numKept = static_cast<std::int64_t>(kept.size());
 
+  phase.emplace(ctx, "compact");
   Result result;
   result.kept.cellIds.resize(static_cast<std::size_t>(numKept));
   result.kept.cellScalars.resize(static_cast<std::size_t>(numKept));
-  util::parallelFor(0, numKept, [&](Id n) {
+  util::parallelFor(ctx, 0, numKept, [&](Id n) {
     const Id cell = kept[static_cast<std::size_t>(n)];
     result.kept.cellIds[static_cast<std::size_t>(n)] = cell;
     result.kept.cellScalars[static_cast<std::size_t>(n)] =
         cellValue[static_cast<std::size_t>(cell)];
   });
+  phase.reset();
 
   // --- Workload characterization: loads/stores dominate (the paper notes
   // threshold's low IPC comes from being dominated by data movement).

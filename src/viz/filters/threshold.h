@@ -11,6 +11,10 @@
 #include "viz/dataset/uniform_grid.h"
 #include "viz/worklet/work_profile.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::vis {
 
 class ThresholdFilter {
@@ -30,6 +34,10 @@ class ThresholdFilter {
 
   /// Select cells of `grid` whose `fieldName` value falls in [lo, hi].
   /// Point fields are averaged over the cell's eight corners first.
+  Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
+             const std::string& fieldName) const;
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/exec_context.h"
 #include "util/parallel.h"
 
 namespace pviz::vis {
@@ -44,28 +45,41 @@ struct Bvh::BuildData {
 
 Bvh::Bvh(const TriangleMesh& mesh, int maxLeafSize, bool parallelBuild)
     : mesh_(mesh) {
+  util::ExecutionContext ctx;
+  build(ctx, maxLeafSize, parallelBuild);
+}
+
+Bvh::Bvh(util::ExecutionContext& ctx, const TriangleMesh& mesh,
+         int maxLeafSize, bool parallelBuild)
+    : mesh_(mesh) {
+  build(ctx, maxLeafSize, parallelBuild);
+}
+
+void Bvh::build(util::ExecutionContext& ctx, int maxLeafSize,
+                bool parallelBuild) {
   PVIZ_REQUIRE(maxLeafSize >= 1, "BVH leaf size must be >= 1");
-  const Id n = mesh.numTriangles();
+  const Id n = mesh_.numTriangles();
   order_.resize(static_cast<std::size_t>(n));
   BuildData bd;
   bd.maxLeafSize = maxLeafSize;
   bd.triBounds.resize(static_cast<std::size_t>(n));
   bd.items.resize(static_cast<std::size_t>(n));
-  util::parallelFor(0, n, [&](Id t) {
-    const Bounds b = triangleBounds(mesh, t);
+  util::parallelFor(ctx, 0, n, [&](Id t) {
+    const Bounds b = triangleBounds(mesh_, t);
     bd.triBounds[static_cast<std::size_t>(t)] = b;
     bd.items[static_cast<std::size_t>(t)] = {b.center(), t};
   });
   if (n == 0) return;
   nodes_.reserve(static_cast<std::size_t>(2 * n));
 
-  const unsigned conc = util::ThreadPool::global().concurrency();
+  // Concurrency comes from the context's pool — no hidden singleton read.
+  const unsigned conc = ctx.pool().concurrency();
   if (parallelBuild && conc > 1 && n >= kMinParallelTris) {
-    buildParallel(bd, conc);
+    buildParallel(ctx, bd, conc);
   } else {
     buildInto(nodes_, 0, n, bd);
   }
-  util::parallelFor(0, n, [&](Id t) {
+  util::parallelFor(ctx, 0, n, [&](Id t) {
     order_[static_cast<std::size_t>(t)] =
         bd.items[static_cast<std::size_t>(t)].tri;
   });
@@ -124,7 +138,8 @@ std::int32_t Bvh::buildInto(std::vector<Node>& out, std::int64_t begin,
   return nodeIndex;
 }
 
-void Bvh::buildParallel(BuildData& bd, unsigned concurrency) {
+void Bvh::buildParallel(util::ExecutionContext& ctx, BuildData& bd,
+                        unsigned concurrency) {
   // Phase 1 (serial): split the top of the tree until there are enough
   // independent subtree tasks to feed the pool.  The skeleton performs
   // exactly the same leaf tests, axis picks, and nth_element partitions
@@ -208,7 +223,7 @@ void Bvh::buildParallel(BuildData& bd, unsigned concurrency) {
   // Tasks own disjoint item ranges, so the in-place nth_element
   // partitions never overlap.
   util::parallelFor(
-      0, static_cast<std::int64_t>(tasks.size()),
+      ctx, 0, static_cast<std::int64_t>(tasks.size()),
       [&](std::int64_t t) {
         Subtree& task = tasks[static_cast<std::size_t>(t)];
         task.nodes.reserve(static_cast<std::size_t>(2 * (task.end - task.begin)));

@@ -15,6 +15,10 @@
 #include "viz/rendering/camera.h"
 #include "viz/types.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::vis {
 
 struct TriangleHit {
@@ -40,10 +44,14 @@ class Bvh {
   };
 
   /// Build over `mesh` (which must outlive the BVH).  Construction runs
-  /// the centroid/bounds pass and the top-level splits on the global
+  /// the centroid/bounds pass and the top-level splits on the context's
   /// pool; `parallelBuild = false` forces the serial reference path,
   /// which produces a bit-identical node array (the determinism suite
   /// checks this).
+  Bvh(util::ExecutionContext& ctx, const TriangleMesh& mesh,
+      int maxLeafSize = 4, bool parallelBuild = true);
+
+  /// Compatibility shim: build on a fresh context over the global pool.
   explicit Bvh(const TriangleMesh& mesh, int maxLeafSize = 4,
                bool parallelBuild = true);
 
@@ -63,9 +71,12 @@ class Bvh {
  private:
   struct BuildData;  // cached per-triangle bounds/centroids (bvh.cpp)
 
+  void build(util::ExecutionContext& ctx, int maxLeafSize,
+             bool parallelBuild);
   std::int32_t buildInto(std::vector<Node>& out, std::int64_t begin,
                          std::int64_t end, BuildData& bd);
-  void buildParallel(BuildData& bd, unsigned concurrency);
+  void buildParallel(util::ExecutionContext& ctx, BuildData& bd,
+                     unsigned concurrency);
   bool intersectTriangle(const Ray& ray, Id tri, TriangleHit& best) const;
 
   const TriangleMesh& mesh_;

@@ -1,7 +1,9 @@
 #include "viz/rendering/external_faces.h"
 
 #include <bit>
+#include <optional>
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 
 namespace pviz::vis {
@@ -23,6 +25,13 @@ constexpr int kFaceCorners[6][4] = {
 
 ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
                                          const std::string& fieldName) {
+  util::ExecutionContext ctx;
+  return extractExternalFaces(ctx, grid, fieldName);
+}
+
+ExternalFacesResult extractExternalFaces(util::ExecutionContext& ctx,
+                                         const UniformGrid& grid,
+                                         const std::string& fieldName) {
   const Field& field = grid.field(fieldName);
   PVIZ_REQUIRE(field.association() == Association::Points,
                "external faces carries a point field");
@@ -36,11 +45,18 @@ ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
 
   // Pass 1: classify — a 6-bit external-face mask per cell.  The j/k
   // face bits are constant along a row, so the sweep computes them once
-  // per row and only the ±i bits vary with the cell.
-  std::vector<std::uint8_t> faceMask(static_cast<std::size_t>(numCells));
-  std::vector<std::int64_t> offsets(static_cast<std::size_t>(numCells) + 1, 0);
+  // per row and only the ±i bits vary with the cell.  Arena memory is
+  // uninitialized, so the sentinel slot the scan needs must be zeroed
+  // explicitly (every other slot is written by the sweep).
+  util::ScratchVector<std::uint8_t> faceMask(
+      ctx.arena(), static_cast<std::size_t>(numCells));
+  util::ScratchVector<std::int64_t> offsets(
+      ctx.arena(), static_cast<std::size_t>(numCells) + 1);
+  offsets[static_cast<std::size_t>(numCells)] = 0;
+  std::optional<util::ExecutionContext::PhaseScope> phase;
+  phase.emplace(ctx, "face-classify");
   util::parallelForChunks(
-      0, rows,
+      ctx, 0, rows,
       [&](Id rowBegin, Id rowEnd) {
         for (Id row = rowBegin; row < rowEnd; ++row) {
           const Id3 r = grid.cellRowIjk(row);
@@ -63,12 +79,15 @@ ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
       rowGrain);
 
   // Compacted boundary-cell list: interior cells never reach pass 2.
+  phase.emplace(ctx, "face-scan");
   const std::vector<std::int64_t> active = util::parallelSelect(
-      numCells, [&](std::int64_t cell) {
+      ctx, numCells, [&](std::int64_t cell) {
         return faceMask[static_cast<std::size_t>(cell)] != 0;
       });
 
-  const std::int64_t numFaces = util::exclusiveScan(offsets);
+  const std::int64_t numFaces =
+      util::exclusiveScan(ctx, offsets.data(),
+                          static_cast<std::int64_t>(numCells) + 1);
 
   ExternalFacesResult result;
   result.cellsScanned = numCells;
@@ -80,7 +99,8 @@ ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
 
   // Pass 2: emit 4 corner vertices + 2 triangles per external face,
   // driven by the cached face mask (no neighbor re-tests).
-  util::parallelFor(0, static_cast<Id>(active.size()), [&](Id n) {
+  phase.emplace(ctx, "face-generate");
+  util::parallelFor(ctx, 0, static_cast<Id>(active.size()), [&](Id n) {
     const Id cell = active[static_cast<std::size_t>(n)];
     std::int64_t at = offsets[static_cast<std::size_t>(cell)];
     const std::uint8_t mask = faceMask[static_cast<std::size_t>(cell)];
@@ -113,6 +133,7 @@ ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
       ++at;
     }
   });
+  phase.reset();
 
   return result;
 }

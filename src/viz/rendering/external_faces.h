@@ -14,6 +14,10 @@
 #include "viz/dataset/explicit_mesh.h"
 #include "viz/dataset/uniform_grid.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::vis {
 
 struct ExternalFacesResult {
@@ -24,6 +28,11 @@ struct ExternalFacesResult {
 
 /// Extract and triangulate the external faces of `grid`, carrying point
 /// scalar `fieldName` onto the output vertices.
+ExternalFacesResult extractExternalFaces(util::ExecutionContext& ctx,
+                                         const UniformGrid& grid,
+                                         const std::string& fieldName);
+
+/// Compatibility shim: run on a fresh context over the global pool.
 ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
                                          const std::string& fieldName);
 

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <optional>
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 #include "viz/rendering/external_faces.h"
 
@@ -10,17 +12,28 @@ namespace pviz::vis {
 
 RayTracer::Result RayTracer::run(const UniformGrid& grid,
                                  const std::string& fieldName) const {
+  util::ExecutionContext ctx;
+  return run(ctx, grid, fieldName);
+}
+
+RayTracer::Result RayTracer::run(util::ExecutionContext& ctx,
+                                 const UniformGrid& grid,
+                                 const std::string& fieldName) const {
   Result result;
   result.profile.kernel = "ray-tracing";
   result.profile.elements = grid.numCells();
 
   // --- Step 1: gather triangles / find external faces (data intensive).
-  ExternalFacesResult faces = extractExternalFaces(grid, fieldName);
+  std::optional<util::ExecutionContext::PhaseScope> phase;
+  phase.emplace(ctx, "gather-external-faces");
+  ExternalFacesResult faces = extractExternalFaces(ctx, grid, fieldName);
   const TriangleMesh& mesh = faces.mesh;
   result.trianglesRendered = mesh.numTriangles();
 
   // --- Step 2: build the spatial acceleration structure.
-  Bvh bvh(mesh);
+  phase.emplace(ctx, "bvh-build");
+  Bvh bvh(ctx, mesh);
+  phase.emplace(ctx, "trace");
 
   // --- Step 3: trace rays from the orbiting cameras.
   const auto [scalarLo, scalarHi] = grid.field(fieldName).range();
@@ -33,10 +46,11 @@ RayTracer::Result RayTracer::run(const UniformGrid& grid,
   std::atomic<std::int64_t> trisTested{0};
 
   for (int cam = 0; cam < cameraCount_; ++cam) {
+    ctx.cancel().throwIfCancelled();  // per-camera cancellation point
     Image image(width_, height_);
     const Camera& camera = cameras[static_cast<std::size_t>(cam)];
     util::parallelForChunks(
-        0, static_cast<Id>(width_) * height_,
+        ctx, 0, static_cast<Id>(width_) * height_,
         [&](Id chunkBegin, Id chunkEnd) {
           TraversalStats stats;
           std::int64_t localHits = 0;
@@ -85,6 +99,7 @@ RayTracer::Result RayTracer::run(const UniformGrid& grid,
       result.images.push_back(std::move(image));
     }
   }
+  phase.reset();
   result.raysTraced =
       static_cast<std::int64_t>(width_) * height_ * cameraCount_;
   result.raysHit = raysHit.load();

@@ -3,12 +3,20 @@
 #include <atomic>
 #include <cmath>
 
+#include "util/exec_context.h"
 #include "util/parallel.h"
 #include "viz/rendering/camera.h"
 
 namespace pviz::vis {
 
 VolumeRenderer::Result VolumeRenderer::run(const UniformGrid& grid,
+                                           const std::string& fieldName) const {
+  util::ExecutionContext ctx;
+  return run(ctx, grid, fieldName);
+}
+
+VolumeRenderer::Result VolumeRenderer::run(util::ExecutionContext& ctx,
+                                           const UniformGrid& grid,
                                            const std::string& fieldName) const {
   const Field& field = grid.field(fieldName);
   PVIZ_REQUIRE(field.association() == Association::Points,
@@ -28,11 +36,13 @@ VolumeRenderer::Result VolumeRenderer::run(const UniformGrid& grid,
 
   std::atomic<std::int64_t> samplesTaken{0};
 
+  auto marchPhase = ctx.phase("ray-march");
   for (int cam = 0; cam < cameraCount_; ++cam) {
+    ctx.cancel().throwIfCancelled();  // per-camera cancellation point
     Image image(width_, height_);
     const Camera& camera = cameras[static_cast<std::size_t>(cam)];
     util::parallelForChunks(
-        0, static_cast<Id>(width_) * height_,
+        ctx, 0, static_cast<Id>(width_) * height_,
         [&](Id chunkBegin, Id chunkEnd) {
           std::int64_t localSamples = 0;
           for (Id pixel = chunkBegin; pixel < chunkEnd; ++pixel) {

@@ -21,6 +21,10 @@
 #include "viz/rendering/image.h"
 #include "viz/worklet/work_profile.h"
 
+namespace pviz::util {
+class ExecutionContext;
+}  // namespace pviz::util
+
 namespace pviz::vis {
 
 class VolumeRenderer {
@@ -53,6 +57,10 @@ class VolumeRenderer {
   int height() const { return height_; }
   int cameraCount() const { return cameraCount_; }
 
+  Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
+             const std::string& fieldName) const;
+
+  /// Compatibility shim: run on a fresh context over the global pool.
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

@@ -1,0 +1,321 @@
+// ExecutionContext: scratch arena pooling, cooperative cancellation at
+// phase and chunk boundaries, phase tracing, and cache hygiene when a
+// run is cancelled mid-kernel.
+//
+// The cancellation sweeps use CancelToken::cancelAfterPolls(n) over a
+// one-worker pool: polls happen in a deterministic order, so iterating n
+// upward cancels the kernel at every successive phase/chunk boundary
+// exactly once.  After each cancelled run the arena must report zero
+// bytes in use (the ScratchVector unwind released everything) and the
+// memo/result caches must be untouched; the first uncancelled run must
+// produce output bit-identical to a run on a fresh context.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "core/study.h"
+#include "service/engine.h"
+#include "service/metrics.h"
+#include "sim/cloverleaf.h"
+#include "util/exec_context.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
+#include "viz/filters/contour.h"
+#include "viz/rendering/ray_tracer.h"
+
+namespace pviz {
+namespace {
+
+using util::CancelledError;
+using util::CancelToken;
+using util::ExecutionContext;
+using util::ScratchArena;
+using util::ScratchVector;
+using util::ThreadPool;
+
+// ---- ScratchArena -------------------------------------------------------
+
+TEST(ScratchArena, SizeClassesArePowersOfTwoWithFloor) {
+  EXPECT_EQ(ScratchArena::sizeClass(1), 4096u);
+  EXPECT_EQ(ScratchArena::sizeClass(4096), 4096u);
+  EXPECT_EQ(ScratchArena::sizeClass(4097), 8192u);
+  EXPECT_EQ(ScratchArena::sizeClass(10000), 16384u);
+  EXPECT_EQ(ScratchArena::sizeClass(1 << 20), std::size_t{1} << 20);
+}
+
+TEST(ScratchArena, ReleaseThenAcquireReusesTheBlock) {
+  ScratchArena arena;
+  void* first = arena.acquire(10000);
+  ASSERT_NE(first, nullptr);
+  arena.release(first);
+
+  ScratchArena::Stats afterRelease = arena.stats();
+  EXPECT_EQ(afterRelease.bytesInUse, 0u);
+  EXPECT_EQ(afterRelease.blocksPooled, 1u);
+
+  // Same size class (16 KiB): must come back from the pool.
+  void* second = arena.acquire(12000);
+  EXPECT_EQ(second, first);
+  ScratchArena::Stats afterReuse = arena.stats();
+  EXPECT_EQ(afterReuse.acquires, 2u);
+  EXPECT_EQ(afterReuse.reuseHits, 1u);
+  arena.release(second);
+
+  arena.trim();
+  EXPECT_EQ(arena.stats().blocksPooled, 0u);
+}
+
+TEST(ScratchArena, ScratchVectorReleasesOnDestruction) {
+  ScratchArena arena;
+  {
+    ScratchVector<std::int64_t> v(arena, 1000);
+    v.fill(7);
+    EXPECT_EQ(v.size(), 1000u);
+    EXPECT_EQ(v[999], 7);
+    EXPECT_GT(arena.stats().bytesInUse, 0u);
+  }
+  EXPECT_EQ(arena.stats().bytesInUse, 0u);
+  EXPECT_EQ(arena.stats().blocksPooled, 1u);
+}
+
+// ---- CancelToken --------------------------------------------------------
+
+TEST(CancelToken, ExplicitCancelAndReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.poll());
+  token.cancel();
+  EXPECT_TRUE(token.poll());
+  EXPECT_THROW(token.throwIfCancelled(), CancelledError);
+  token.reset();
+  EXPECT_FALSE(token.poll());
+  EXPECT_NO_THROW(token.throwIfCancelled());
+}
+
+TEST(CancelToken, ExpiredDeadlineTripsWithDeadlineMessage) {
+  CancelToken token;
+  token.setBudgetMs(0.0);  // deadline = now: already due
+  try {
+    token.throwIfCancelled();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST(CancelToken, CancelAfterPollsCountsBoundaries) {
+  CancelToken token;
+  token.cancelAfterPolls(2);
+  EXPECT_FALSE(token.poll());
+  EXPECT_FALSE(token.poll());
+  EXPECT_TRUE(token.poll());  // the (n+1)-th poll trips
+}
+
+TEST(CancelToken, ChunkLoopStopsOnCancellation) {
+  ThreadPool pool(2);
+  ExecutionContext ctx(pool);
+  ctx.cancel().cancelAfterPolls(1);  // survive one chunk, die at another
+  std::atomic<std::int64_t> visited{0};
+  // The chunk whose poll trips never runs its body, so even in the worst
+  // schedule at least one chunk's iterations are missing from the total.
+  EXPECT_THROW(util::parallelForChunks(
+                   ctx, 0, 10 * util::kDefaultGrain,
+                   [&](std::int64_t b, std::int64_t e) {
+                     visited.fetch_add(e - b, std::memory_order_relaxed);
+                   }),
+               CancelledError);
+  EXPECT_LT(visited.load(), 10 * util::kDefaultGrain);
+}
+
+// ---- PhaseTracer --------------------------------------------------------
+
+TEST(PhaseTracer, RecordsPhasesAndSerializes) {
+  ThreadPool pool(1);
+  ExecutionContext ctx(pool);
+  {
+    auto scope = ctx.phase("alpha");
+  }
+  {
+    auto scope = ctx.phase("beta");
+  }
+  ASSERT_EQ(ctx.tracer().phases().size(), 2u);
+  EXPECT_EQ(ctx.tracer().phases()[0].name, "alpha");
+  EXPECT_FALSE(ctx.tracer().phases()[0].cancelled);
+  EXPECT_EQ(ctx.tracer().phases()[0].poolConcurrency, pool.concurrency());
+  const std::string json = ctx.tracer().toJson();
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("total_ms"), std::string::npos);
+
+  ctx.beginRun();
+  EXPECT_TRUE(ctx.tracer().phases().empty());
+}
+
+TEST(PhaseTracer, CancelledPhaseIsMarked) {
+  ThreadPool pool(1);
+  ExecutionContext ctx(pool);
+  try {
+    auto scope = ctx.phase("doomed");
+    ctx.cancel().cancel();
+    ctx.checkCancelled();
+  } catch (const CancelledError&) {
+  }
+  ASSERT_EQ(ctx.tracer().phases().size(), 1u);
+  EXPECT_TRUE(ctx.tracer().phases()[0].cancelled);
+}
+
+// ---- kernel cancellation sweeps ----------------------------------------
+
+// Runs `attempt` with the token tripping at the n-th poll for n = 0, 1,
+// 2, ... until a run completes, asserting after every cancelled attempt
+// that the arena has no bytes checked out.  Returns the number of
+// cancelled attempts (== the kernel's poll count).
+template <typename Attempt>
+int sweepCancellationBoundaries(ExecutionContext& ctx, Attempt&& attempt) {
+  constexpr int kMaxBoundaries = 100000;
+  for (int n = 0; n < kMaxBoundaries; ++n) {
+    ctx.beginRun();
+    ctx.cancel().reset();
+    ctx.cancel().cancelAfterPolls(n);
+    try {
+      attempt();
+      ctx.cancel().reset();
+      return n;
+    } catch (const CancelledError&) {
+      EXPECT_EQ(ctx.arena().stats().bytesInUse, 0u)
+          << "scratch leaked after cancelling at boundary " << n;
+    }
+  }
+  ADD_FAILURE() << "kernel never completed";
+  return kMaxBoundaries;
+}
+
+TEST(KernelCancellation, ContourCancelsCleanlyAtEveryBoundary) {
+  const vis::UniformGrid g = sim::makeCloverField(12);
+  vis::ContourFilter filter;
+  filter.setIsovalues(
+      vis::ContourFilter::uniformIsovalues(g.field("energy"), 2));
+
+  // Reference mesh from a fresh, never-cancelled context.
+  ThreadPool refPool(1);
+  ExecutionContext refCtx(refPool);
+  const vis::TriangleMesh reference = filter.run(refCtx, g, "energy").surface;
+  ASSERT_GT(reference.numTriangles(), 0);
+
+  ThreadPool pool(1);
+  ExecutionContext ctx(pool);
+  vis::TriangleMesh mesh;
+  const int boundaries = sweepCancellationBoundaries(
+      ctx, [&] { mesh = filter.run(ctx, g, "energy").surface; });
+  EXPECT_GT(boundaries, 0) << "expected at least one cancellation point";
+
+  // The uncancelled run on the (warm, previously cancelled) context must
+  // be bit-identical to the fresh-context run.
+  ASSERT_EQ(mesh.points.size(), reference.points.size());
+  for (std::size_t i = 0; i < mesh.points.size(); ++i) {
+    EXPECT_EQ(mesh.points[i].x, reference.points[i].x);
+    EXPECT_EQ(mesh.points[i].y, reference.points[i].y);
+    EXPECT_EQ(mesh.points[i].z, reference.points[i].z);
+  }
+  EXPECT_EQ(mesh.connectivity, reference.connectivity);
+  EXPECT_EQ(mesh.pointScalars, reference.pointScalars);
+}
+
+TEST(KernelCancellation, RayTraceCancelsCleanlyAtEveryBoundary) {
+  const vis::UniformGrid g = sim::makeCloverField(8);
+  vis::RayTracer tracer;
+  tracer.setImageSize(16, 16);
+  tracer.setCameraCount(2);
+
+  ThreadPool refPool(1);
+  ExecutionContext refCtx(refPool);
+  const vis::Image reference = tracer.run(refCtx, g, "energy").images.at(0);
+
+  ThreadPool pool(1);
+  ExecutionContext ctx(pool);
+  vis::Image image(1, 1);
+  const int boundaries = sweepCancellationBoundaries(
+      ctx, [&] { image = tracer.run(ctx, g, "energy").images.at(0); });
+  EXPECT_GT(boundaries, 0);
+
+  ASSERT_EQ(image.width(), reference.width());
+  ASSERT_EQ(image.height(), reference.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      EXPECT_EQ(image.at(x, y).r, reference.at(x, y).r);
+      EXPECT_EQ(image.at(x, y).g, reference.at(x, y).g);
+      EXPECT_EQ(image.at(x, y).b, reference.at(x, y).b);
+      EXPECT_EQ(image.at(x, y).a, reference.at(x, y).a);
+    }
+  }
+}
+
+// ---- cache hygiene ------------------------------------------------------
+
+TEST(CancellationCacheHygiene, StudyMemoAndDiskCacheStayClean) {
+  const std::string cachePath =
+      ::testing::TempDir() + "pviz_cancel_cache_test.txt";
+  std::remove(cachePath.c_str());
+
+  core::StudyConfig config;
+  config.cycles = 1;
+  config.cachePath = cachePath;
+  core::Study study(config);
+
+  ThreadPool pool(1);
+  ExecutionContext ctx(pool);
+  ctx.cancel().cancelAfterPolls(0);  // die at the first boundary
+  EXPECT_THROW(study.characterize(ctx, core::Algorithm::Contour, 8),
+               CancelledError);
+
+  // The cancelled run must not have written the disk cache...
+  EXPECT_TRUE(core::loadProfileCache(cachePath).empty());
+
+  // ...nor poisoned the in-memory memo: a clean run re-characterizes and
+  // succeeds (a stale in-flight claim would deadlock, a cached partial
+  // profile would return garbage).
+  ctx.cancel().reset();
+  const vis::KernelProfile& profile =
+      study.characterize(ctx, core::Algorithm::Contour, 8);
+  EXPECT_FALSE(profile.phases.empty());
+  EXPECT_EQ(core::loadProfileCache(cachePath).size(), 1u);
+  std::remove(cachePath.c_str());
+}
+
+TEST(CancellationCacheHygiene, EngineResultCacheStaysClean) {
+  service::EngineConfig config;
+  config.study.cycles = 1;
+  service::ServiceEngine engine(config);
+
+  service::Request request;
+  request.op = service::Op::Characterize;
+  request.algorithm = core::Algorithm::Contour;
+  request.size = 8;
+
+  ThreadPool pool(1);
+  ExecutionContext ctx(pool);
+  ctx.cancel().cancelAfterPolls(0);
+  EXPECT_THROW(engine.handle(ctx, request), CancelledError);
+
+  // The cancelled request must not have inserted a result: the retry is
+  // a cache miss that computes, and only then does a repeat hit.
+  ctx.cancel().reset();
+  EXPECT_FALSE(engine.handle(ctx, request).cached);
+  EXPECT_TRUE(engine.handle(ctx, request).cached);
+}
+
+TEST(ServiceMetrics, CancelledCounterSurfacesInStats) {
+  service::ServiceMetrics metrics;
+  metrics.recordCancelled();
+  metrics.recordCancelled();
+  const service::ServiceMetrics::Snapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.cancelled, 2u);
+  const service::Json json =
+      service::ServiceMetrics::toJson(snap, service::ResultCache::Stats{});
+  const service::Json* cancelled = json.find("cancelled");
+  ASSERT_NE(cancelled, nullptr);
+  EXPECT_EQ(cancelled->asNumber(), 2.0);
+}
+
+}  // namespace
+}  // namespace pviz

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/cloverleaf.h"
+#include "util/exec_context.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
 #include "viz/filters/clip_sphere.h"
@@ -28,15 +29,14 @@
 namespace pviz::vis {
 namespace {
 
-/// Run `f` with the global pool replaced by a pool of `workers` total
-/// participants (1 = fully serial), restoring the previous pool after.
+/// Run `f(ctx)` on an execution context over an explicit pool of
+/// `workers` total participants (1 = fully serial).  No global state is
+/// touched: the context pins the pool for everything `f` runs.
 template <typename F>
 auto withPool(unsigned workers, F&& f) {
   util::ThreadPool pool(workers);
-  util::ThreadPool* prev = util::ThreadPool::setGlobalForTesting(&pool);
-  auto result = f();
-  util::ThreadPool::setGlobalForTesting(prev);
-  return result;
+  util::ExecutionContext ctx(pool);
+  return f(ctx);
 }
 
 std::vector<unsigned> poolSizes() {
@@ -137,8 +137,9 @@ TEST(ExclusiveScan, MatchesSerialReferenceOnEveryPoolSize) {
   const std::int64_t refTotal = serialScanReference(reference);
   for (unsigned workers : poolSizes()) {
     std::vector<std::int64_t> counts = input;
-    const std::int64_t total =
-        withPool(workers, [&] { return util::exclusiveScan(counts); });
+    const std::int64_t total = withPool(workers, [&](util::ExecutionContext& ctx) {
+      return util::exclusiveScan(ctx, counts);
+    });
     EXPECT_EQ(total, refTotal) << "pool size " << workers;
     EXPECT_EQ(counts, reference) << "pool size " << workers;
   }
@@ -152,8 +153,9 @@ TEST(ParallelSelect, AscendingAndPoolInvariant) {
     if (pred(i)) reference.push_back(i);
   }
   for (unsigned workers : poolSizes()) {
-    const auto selected = withPool(
-        workers, [&] { return util::parallelSelect(n, pred, /*grain=*/1024); });
+    const auto selected = withPool(workers, [&](util::ExecutionContext& ctx) {
+      return util::parallelSelect(ctx, n, pred, /*grain=*/1024);
+    });
     EXPECT_EQ(selected, reference) << "pool size " << workers;
   }
 }
@@ -166,11 +168,11 @@ TEST(KernelDeterminism, ContourAcrossPoolSizes) {
   filter.setIsovalues(
       ContourFilter::uniformIsovalues(g.field("energy"), 3));
   const TriangleMesh reference =
-      withPool(1, [&] { return filter.run(g, "energy").surface; });
+      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").surface; });
   EXPECT_GT(reference.numTriangles(), 0);
   for (unsigned workers : poolSizes()) {
     const TriangleMesh mesh =
-        withPool(workers, [&] { return filter.run(g, "energy").surface; });
+        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").surface; });
     expectIdentical(mesh, reference);
   }
 }
@@ -180,11 +182,11 @@ TEST(KernelDeterminism, ThresholdAcrossPoolSizes) {
   ThresholdFilter filter;
   filter.setRange(1.2, 2.2);
   const HexSubset reference =
-      withPool(1, [&] { return filter.run(g, "energy").kept; });
+      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").kept; });
   EXPECT_GT(reference.numCells(), 0);
   for (unsigned workers : poolSizes()) {
     const HexSubset kept =
-        withPool(workers, [&] { return filter.run(g, "energy").kept; });
+        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").kept; });
     expectIdentical(kept, reference);
   }
 }
@@ -194,11 +196,11 @@ TEST(KernelDeterminism, ClipSphereAcrossPoolSizes) {
   ClipSphereFilter filter;
   filter.setSphere(g.bounds().center(), 0.3);
   const auto reference =
-      withPool(1, [&] { return filter.run(g, "energy").clipped; });
+      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").clipped; });
   EXPECT_GT(reference.cellsCut, 0);
   for (unsigned workers : poolSizes()) {
     const auto clipped =
-        withPool(workers, [&] { return filter.run(g, "energy").clipped; });
+        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").clipped; });
     expectIdentical(clipped.cutPieces, reference.cutPieces);
     expectIdentical(clipped.wholeCells, reference.wholeCells);
     EXPECT_EQ(clipped.cellsIn, reference.cellsIn);
@@ -211,10 +213,10 @@ TEST(KernelDeterminism, IsovolumeAcrossPoolSizes) {
   const UniformGrid g = sim::makeCloverField(16);
   IsovolumeFilter filter;
   filter.setRange(1.3, 2.1);
-  const auto ref = withPool(1, [&] { return filter.run(g, "energy"); });
+  const auto ref = withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy"); });
   EXPECT_GT(ref.cutPieces.numTets(), 0);
   for (unsigned workers : poolSizes()) {
-    const auto result = withPool(workers, [&] { return filter.run(g, "energy"); });
+    const auto result = withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy"); });
     expectIdentical(result.wholeCells, ref.wholeCells);
     expectIdentical(result.cutPieces, ref.cutPieces);
   }
@@ -223,11 +225,12 @@ TEST(KernelDeterminism, IsovolumeAcrossPoolSizes) {
 TEST(KernelDeterminism, ExternalFacesAcrossPoolSizes) {
   const UniformGrid g = sim::makeCloverField(16);
   const TriangleMesh reference =
-      withPool(1, [&] { return extractExternalFaces(g, "energy").mesh; });
+      withPool(1, [&](util::ExecutionContext& ctx) { return extractExternalFaces(ctx, g, "energy").mesh; });
   EXPECT_GT(reference.numTriangles(), 0);
   for (unsigned workers : poolSizes()) {
-    const TriangleMesh mesh = withPool(
-        workers, [&] { return extractExternalFaces(g, "energy").mesh; });
+    const TriangleMesh mesh = withPool(workers, [&](util::ExecutionContext& ctx) {
+      return extractExternalFaces(ctx, g, "energy").mesh;
+    });
     expectIdentical(mesh, reference);
   }
 }
@@ -237,8 +240,8 @@ TEST(KernelDeterminism, RayTracedImageAcrossPoolSizes) {
   RayTracer tracer;
   tracer.setImageSize(48, 48);
   tracer.setCameraCount(1);
-  auto render = [&] {
-    auto result = tracer.run(g, "energy");
+  auto render = [&](util::ExecutionContext& ctx) {
+    auto result = tracer.run(ctx, g, "energy");
     return result.images.at(0);
   };
   const Image reference = withPool(1, render);
@@ -268,11 +271,11 @@ TEST(KernelDeterminism, DegenerateOneByOneByNGrid) {
   ContourFilter filter;
   filter.setIsovalues({0.0});
   const TriangleMesh reference =
-      withPool(1, [&] { return filter.run(g, "v").surface; });
+      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
   EXPECT_GT(reference.numTriangles(), 0);
   for (unsigned workers : poolSizes()) {
     const TriangleMesh mesh =
-        withPool(workers, [&] { return filter.run(g, "v").surface; });
+        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
     expectIdentical(mesh, reference);
   }
 }
@@ -286,11 +289,11 @@ TEST(KernelDeterminism, SingleCrossedCell) {
   ContourFilter filter;
   filter.setIsovalues({5.0});
   const TriangleMesh reference =
-      withPool(1, [&] { return filter.run(g, "v").surface; });
+      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
   EXPECT_EQ(reference.numTriangles(), 1);
   for (unsigned workers : poolSizes()) {
     const TriangleMesh mesh =
-        withPool(workers, [&] { return filter.run(g, "v").surface; });
+        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
     expectIdentical(mesh, reference);
   }
 }
@@ -302,7 +305,7 @@ TEST(KernelDeterminism, ZeroCrossedCells) {
   filter.setIsovalues({5.0});
   for (unsigned workers : poolSizes()) {
     const TriangleMesh mesh =
-        withPool(workers, [&] { return filter.run(g, "v").surface; });
+        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
     EXPECT_EQ(mesh.numTriangles(), 0);
     EXPECT_TRUE(mesh.points.empty());
   }
@@ -319,9 +322,8 @@ TEST(KernelDeterminism, BvhParallelBuildMatchesSerial) {
   const Bvh serial(mesh, /*maxLeafSize=*/4, /*parallelBuild=*/false);
   for (unsigned workers : poolSizes()) {
     util::ThreadPool pool(workers);
-    util::ThreadPool* prev = util::ThreadPool::setGlobalForTesting(&pool);
-    const Bvh parallel(mesh, /*maxLeafSize=*/4, /*parallelBuild=*/true);
-    util::ThreadPool::setGlobalForTesting(prev);
+    util::ExecutionContext ctx(pool);
+    const Bvh parallel(ctx, mesh, /*maxLeafSize=*/4, /*parallelBuild=*/true);
 
     EXPECT_EQ(parallel.triangleOrder(), serial.triangleOrder())
         << "pool size " << workers;

@@ -12,6 +12,7 @@
 
 #include "core/report.h"
 #include "core/study.h"
+#include "util/exec_context.h"
 #include "util/log.h"
 #include "util/options.h"
 #include "util/table.h"
@@ -35,6 +36,8 @@ options:
   --cycles N            visualization cycles per configuration (default 10)
   --full-render         trace all 50 cameras instead of sampling 8
   --csv PATH            write every record as CSV
+  --trace PATH          write the per-phase execution trace (wall time,
+                        arena occupancy, pool concurrency) as JSON
   --cache PATH          characterization cache file (default:
                         pviz_profile_cache.txt; "none" disables)
   --quiet               suppress progress logging
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
   std::vector<core::Algorithm> algorithms = core::allAlgorithms();
   int phase = 0;
   std::string csvPath;
+  std::string tracePath;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -73,6 +77,7 @@ int main(int argc, char** argv) {
       else if (arg == "--cycles") config.cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
       else if (arg == "--full-render") config.params.sampledCameraCount = 0;
       else if (arg == "--csv") csvPath = next();
+      else if (arg == "--trace") tracePath = next();
       else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
       else if (arg == "--cache") {
         const std::string path = next();
@@ -111,10 +116,14 @@ int main(int argc, char** argv) {
   }
 
   core::Study study(config);
+  // One context for the whole run: every characterization shares the
+  // thread pool and scratch arena, so later sweeps reuse the buffers the
+  // first one allocated; the tracer accumulates every kernel phase.
+  util::ExecutionContext ctx;
   std::vector<core::ConfigRecord> records;
   for (vis::Id size : config.sizes) {
     for (core::Algorithm algorithm : algorithms) {
-      auto sweep = study.capSweep(algorithm, size);
+      auto sweep = study.capSweep(ctx, algorithm, size);
       records.insert(records.end(), sweep.begin(), sweep.end());
     }
   }
@@ -150,6 +159,16 @@ int main(int argc, char** argv) {
     }
     core::writeStudyCsv(records, out);
     std::cout << "wrote " << csvPath << '\n';
+  }
+
+  if (!tracePath.empty()) {
+    std::ofstream out(tracePath);
+    if (!out.good()) {
+      std::cerr << "cannot write " << tracePath << '\n';
+      return 1;
+    }
+    out << ctx.tracer().toJson() << '\n';
+    std::cout << "wrote " << tracePath << '\n';
   }
   return 0;
 }
