@@ -363,6 +363,48 @@ int main(int argc, char** argv) {
               << "x speedup from the result cache\n";
   }
 
+  // The server's own latency view: per-op p50/p95/p99 from the stats
+  // reply's telemetry histograms.  These are queue-to-response-written
+  // times measured server-side, so they exclude client and socket time
+  // — the gap against the client-side table above is the wire tax.
+  {
+    try {
+      service::ServiceClient::Limits limits;
+      limits.recvTimeoutMs = 5000;
+      service::ServiceClient statsClient(host, port, limits);
+      service::Request statsRequest;
+      statsRequest.op = service::Op::Stats;
+      const service::Response resp = statsClient.request(statsRequest);
+      if (resp.ok()) {
+        if (const service::Json* uptime = resp.result.find("uptime_ms")) {
+          std::cout << "\nserver-side latency (uptime "
+                    << util::formatFixed(uptime->asNumber() / 1000.0, 1)
+                    << " s):\n";
+        }
+        util::TextTable serverTable;
+        serverTable.setHeader({"Op", "Requests", "p50(ms)", "p95(ms)",
+                               "p99(ms)"});
+        if (const service::Json* ops = resp.result.find("ops")) {
+          for (const auto& [opName, opStats] : ops->asObject()) {
+            const service::Json* requests = opStats.find("requests");
+            if (requests == nullptr || requests->asInt() == 0) continue;
+            auto pct = [&opStats](const char* key) {
+              const service::Json* v = opStats.find(key);
+              return util::formatFixed(v != nullptr ? v->asNumber() : 0.0,
+                                       2);
+            };
+            serverTable.addRow({opName, std::to_string(requests->asInt()),
+                                pct("p50_latency_ms"), pct("p95_latency_ms"),
+                                pct("p99_latency_ms")});
+          }
+        }
+        serverTable.print(std::cout);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "server-side stats fetch failed: " << e.what() << '\n';
+    }
+  }
+
   bool chaosOk = true;
   if (chaos) {
     // The server's own view of the attack: after the run it must still

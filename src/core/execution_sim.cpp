@@ -34,6 +34,8 @@ Measurement ExecutionSimulator::run(const vis::KernelProfile& kernel,
   Measurement out;
   double simTime = 0.0;
   double weightedGhz = 0.0;
+  double totalJoules = 0.0;
+  telemetry::PowerSampler sampler(options_.meterIntervalSeconds);
 
   // Quanta between cancellation polls inside a phase: a long phase at a
   // 5 ms quantum polls every ~5 simulated seconds, cheap and responsive.
@@ -42,6 +44,7 @@ Measurement ExecutionSimulator::run(const vis::KernelProfile& kernel,
 
   for (const vis::WorkProfile& phase : kernel.phases) {
     if (cancel != nullptr) cancel->throwIfCancelled();
+    sampler.beginPhase(phase.name);
     const power::PowerCurve curve = [&](double fGhz) {
       return model_.phasePower(phase, fGhz);
     };
@@ -69,7 +72,9 @@ Measurement ExecutionSimulator::run(const vis::KernelProfile& kernel,
       rapl.depositEnergy(cost.powerWatts * dt);
       rapl.tickFrequencyCounters(dt, fGhz, m.baseGhz);
       simTime += dt;
+      totalJoules += cost.powerWatts * dt;
       meter.advanceTo(simTime);
+      sampler.advanceTo(simTime, totalJoules);
 
       pm.seconds += dt;
       phaseEnergy += cost.powerWatts * dt;
@@ -95,6 +100,7 @@ Measurement ExecutionSimulator::run(const vis::KernelProfile& kernel,
   out.meteredWatts = meter.stats().count() > 0 ? meter.stats().mean()
                                                : out.averageWatts;
   out.powerTrace = meter.samples();
+  out.timeline = sampler.finish();
 
   double instructions = 0.0;
   double misses = 0.0;

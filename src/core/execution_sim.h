@@ -19,6 +19,7 @@
 #include "power/msr.h"
 #include "power/power_meter.h"
 #include "power/rapl.h"
+#include "telemetry/power_sampler.h"
 
 namespace pviz::util {
 class CancelToken;
@@ -49,6 +50,10 @@ struct Measurement {
   double elementsPerSecond = 0.0;  ///< Moreland–Oldfield rate
   std::vector<PhaseMeasurement> phases;
   std::vector<power::PowerMeter::Sample> powerTrace;
+  /// Power/energy timeline on the meter cadence (telemetry::PowerSampler):
+  /// per-sample watts, cumulative joules, and the active phase.  The last
+  /// sample's joules equals energyJoules exactly.
+  std::vector<telemetry::PowerSample> timeline;
 };
 
 struct SimulatorOptions {

@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <ostream>
+#include <sstream>
 
 #include "util/table.h"
 
@@ -27,6 +28,38 @@ void writeStudyCsv(const std::vector<ConfigRecord>& records,
                   util::formatFixed(m.elementsPerSecond, 2),
                   util::formatFixed(m.energyJoules, 4)});
   }
+}
+
+std::string powerTimelineJson(const std::vector<ConfigRecord>& records) {
+  std::ostringstream os;
+  os.precision(10);
+  os << "{\"records\":[";
+  bool firstRecord = true;
+  for (const ConfigRecord& r : records) {
+    if (!firstRecord) os << ',';
+    firstRecord = false;
+    os << "{\"algorithm\":\"" << algorithmName(r.algorithm)
+       << "\",\"size\":" << r.size << ",\"cap_watts\":" << r.capWatts
+       << ",\"seconds\":" << r.measurement.seconds
+       << ",\"energy_joules\":" << r.measurement.energyJoules
+       << ",\"samples\":[";
+    bool firstSample = true;
+    for (const telemetry::PowerSample& s : r.measurement.timeline) {
+      if (!firstSample) os << ',';
+      firstSample = false;
+      os << "{\"t_s\":" << s.timeSeconds << ",\"watts\":" << s.watts
+         << ",\"joules\":" << s.joules << ",\"phase\":\"";
+      // Phase names are kernel identifiers; escape the framing chars.
+      for (char c : s.phase) {
+        if (c == '"' || c == '\\') os << '\\';
+        os << c;
+      }
+      os << "\"}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 EnergyMetrics energyMetrics(const Measurement& m) {

@@ -15,6 +15,14 @@ namespace pviz::core {
 void writeStudyCsv(const std::vector<ConfigRecord>& records,
                    std::ostream& os);
 
+/// Render every record's power/energy timeline (Measurement::timeline)
+/// as one JSON document — the paper's power-over-time figures from a
+/// single file:
+/// {"records":[{"algorithm":...,"size":...,"cap_watts":...,
+///   "seconds":...,"energy_joules":...,
+///   "samples":[{"t_s":...,"watts":...,"joules":...,"phase":...}]}]}
+std::string powerTimelineJson(const std::vector<ConfigRecord>& records);
+
 /// Energy-delay metrics for a measurement (the energy view the paper's
 /// power-saving argument implies: a power-opportunity algorithm at a
 /// low cap finishes almost as fast while using much less energy).

@@ -138,6 +138,7 @@ Measurement Study::measure(util::ExecutionContext& ctx, Algorithm algorithm,
   const vis::KernelProfile& once = characterize(ctx, algorithm, size);
   vis::KernelProfile scaled = scaleKernelWork(once, config_.workScale);
   if (cycles > 1) scaled = repeatKernel(scaled, cycles);
+  auto scope = ctx.phase("simulate/" + algorithmName(algorithm));
   return simulator_.run(scaled, capWatts, &ctx.cancel());
 }
 

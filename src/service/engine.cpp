@@ -39,8 +39,9 @@ ServiceEngine::Outcome ServiceEngine::handle(const Request& rawRequest) {
 
 ServiceEngine::Outcome ServiceEngine::handle(util::ExecutionContext& ctx,
                                              const Request& rawRequest) {
-  PVIZ_REQUIRE(rawRequest.op != Op::Stats,
-               "stats requests are answered by the server, not the engine");
+  PVIZ_REQUIRE(rawRequest.op != Op::Stats && rawRequest.op != Op::Metrics,
+               "stats/metrics requests are answered by the server, not the "
+               "engine");
   const Request request = normalize(rawRequest);
   const std::string key = canonicalCacheKey(request);
 
@@ -112,6 +113,7 @@ Json ServiceEngine::execute(util::ExecutionContext& ctx,
       return runStudySlice(ctx, request);
 
     case Op::Stats:
+    case Op::Metrics:
       break;
   }
   throw Error("unhandled op");

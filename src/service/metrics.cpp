@@ -1,87 +1,120 @@
 #include "service/metrics.h"
 
+#include <algorithm>
+
+#include "telemetry/prometheus.h"
+
 namespace pviz::service {
+
+ServiceMetrics::ServiceMetrics() : start_(std::chrono::steady_clock::now()) {
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const telemetry::Labels labels = {{"op", opToken(static_cast<Op>(i))}};
+    OpInstruments& inst = perOp_[i];
+    inst.requests = &registry_.counter("pviz_requests_total", labels,
+                                       "Completed requests per operation");
+    inst.errors = &registry_.counter("pviz_request_errors_total", labels,
+                                     "Requests answered with status=error");
+    inst.cacheHits =
+        &registry_.counter("pviz_request_cache_hits_total", labels,
+                           "Requests served from the result cache");
+    inst.latencyMs = &registry_.histogram(
+        "pviz_request_latency_ms", labels,
+        "Request service latency in milliseconds");
+  }
+  overloaded_ = &registry_.counter("pviz_overloaded_total", {},
+                                   "Admission-control rejections");
+  badRequests_ = &registry_.counter("pviz_bad_requests_total", {},
+                                    "Frames that did not parse to a request");
+  timeouts_ = &registry_.counter("pviz_timeouts_total", {},
+                                 "Connection/request deadline violations");
+  cancelled_ = &registry_.counter("pviz_cancelled_total", {},
+                                  "Kernels stopped mid-run by cancellation");
+  rejectedFrames_ = &registry_.counter(
+      "pviz_rejected_frames_total", {}, "Frames over the size bound");
+  shedConnections_ = &registry_.counter(
+      "pviz_shed_connections_total", {}, "Connections shed at accept time");
+  connectionsAccepted_ = &registry_.counter(
+      "pviz_connections_accepted_total", {}, "Connections accepted");
+  connectionsActive_ = &registry_.gauge("pviz_connections_active", {},
+                                        "Currently open connections");
+  queueDepth_ =
+      &registry_.gauge("pviz_queue_depth", {}, "Request queue depth");
+  maxQueueDepth_ = &registry_.gauge("pviz_queue_depth_max", {},
+                                    "Request queue depth high-water mark");
+  uptimeMs_ = &registry_.gauge("pviz_uptime_ms", {},
+                               "Milliseconds since server start");
+  cacheHitsG_ = &registry_.gauge("pviz_result_cache_hits", {},
+                                 "Result cache hits");
+  cacheMissesG_ = &registry_.gauge("pviz_result_cache_misses", {},
+                                   "Result cache misses");
+  cacheInsertionsG_ = &registry_.gauge("pviz_result_cache_insertions", {},
+                                       "Result cache insertions");
+  cacheEvictionsG_ = &registry_.gauge("pviz_result_cache_evictions", {},
+                                      "Result cache evictions");
+  cacheEntriesG_ = &registry_.gauge("pviz_result_cache_entries", {},
+                                    "Result cache live entries");
+  cacheBytesG_ = &registry_.gauge("pviz_result_cache_bytes", {},
+                                  "Result cache resident bytes");
+}
 
 void ServiceMetrics::recordRequest(Op op, double latencyMs, bool cached,
                                    bool error) {
-  std::lock_guard lock(mutex_);
-  OpCounters& c = perOp_[static_cast<std::size_t>(op)];
-  ++c.requests;
-  if (error) ++c.errors;
-  if (cached) ++c.cacheHits;
-  c.latencyMs.add(latencyMs);
+  OpInstruments& inst = perOp_[static_cast<std::size_t>(op)];
+  inst.requests->inc();
+  if (error) inst.errors->inc();
+  if (cached) inst.cacheHits->inc();
+  inst.latencyMs->record(latencyMs);
 }
 
-void ServiceMetrics::recordOverloaded() {
-  std::lock_guard lock(mutex_);
-  ++overloaded_;
-}
-
-void ServiceMetrics::recordBadRequest() {
-  std::lock_guard lock(mutex_);
-  ++badRequests_;
-}
-
-void ServiceMetrics::recordTimeout() {
-  std::lock_guard lock(mutex_);
-  ++timeouts_;
-}
-
-void ServiceMetrics::recordCancelled() {
-  std::lock_guard lock(mutex_);
-  ++cancelled_;
-}
-
-void ServiceMetrics::recordRejectedFrame() {
-  std::lock_guard lock(mutex_);
-  ++rejectedFrames_;
-}
-
-void ServiceMetrics::recordShedConnection() {
-  std::lock_guard lock(mutex_);
-  ++shedConnections_;
-}
+void ServiceMetrics::recordOverloaded() { overloaded_->inc(); }
+void ServiceMetrics::recordBadRequest() { badRequests_->inc(); }
+void ServiceMetrics::recordTimeout() { timeouts_->inc(); }
+void ServiceMetrics::recordCancelled() { cancelled_->inc(); }
+void ServiceMetrics::recordRejectedFrame() { rejectedFrames_->inc(); }
+void ServiceMetrics::recordShedConnection() { shedConnections_->inc(); }
 
 void ServiceMetrics::connectionOpened() {
-  std::lock_guard lock(mutex_);
-  ++connectionsAccepted_;
-  ++connectionsActive_;
+  connectionsAccepted_->inc();
+  connectionsActive_->add(1.0);
 }
 
-void ServiceMetrics::connectionClosed() {
-  std::lock_guard lock(mutex_);
-  if (connectionsActive_ > 0) --connectionsActive_;
-}
+void ServiceMetrics::connectionClosed() { connectionsActive_->add(-1.0); }
 
 void ServiceMetrics::recordQueueDepth(std::size_t depth) {
-  std::lock_guard lock(mutex_);
-  queueDepth_ = depth;
-  maxQueueDepth_ = std::max(maxQueueDepth_, depth);
+  queueDepth_->set(static_cast<double>(depth));
+  maxQueueDepth_->ratchetMax(static_cast<double>(depth));
 }
 
 ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
-  std::lock_guard lock(mutex_);
   Snapshot snap;
-  for (std::size_t i = 0; i < perOp_.size(); ++i) {
-    const OpCounters& c = perOp_[i];
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const OpInstruments& inst = perOp_[i];
     OpSnapshot& s = snap.perOp[i];
-    s.requests = c.requests;
-    s.errors = c.errors;
-    s.cacheHits = c.cacheHits;
-    s.meanLatencyMs = c.latencyMs.mean();
-    s.maxLatencyMs = c.latencyMs.max();
-    snap.totalRequests += c.requests;
+    s.requests = inst.requests->value();
+    s.errors = inst.errors->value();
+    s.cacheHits = inst.cacheHits->value();
+    const telemetry::Histogram::Snapshot lat = inst.latencyMs->snapshot();
+    s.meanLatencyMs = lat.mean();
+    s.maxLatencyMs = lat.maxValue;
+    s.p50LatencyMs = lat.percentile(0.50);
+    s.p95LatencyMs = lat.percentile(0.95);
+    s.p99LatencyMs = lat.percentile(0.99);
+    snap.totalRequests += s.requests;
   }
-  snap.overloaded = overloaded_;
-  snap.badRequests = badRequests_;
-  snap.timeouts = timeouts_;
-  snap.cancelled = cancelled_;
-  snap.rejectedFrames = rejectedFrames_;
-  snap.shedConnections = shedConnections_;
-  snap.queueDepth = queueDepth_;
-  snap.maxQueueDepth = maxQueueDepth_;
-  snap.connectionsAccepted = connectionsAccepted_;
-  snap.connectionsActive = connectionsActive_;
+  snap.overloaded = overloaded_->value();
+  snap.badRequests = badRequests_->value();
+  snap.timeouts = timeouts_->value();
+  snap.cancelled = cancelled_->value();
+  snap.rejectedFrames = rejectedFrames_->value();
+  snap.shedConnections = shedConnections_->value();
+  snap.queueDepth = static_cast<std::size_t>(queueDepth_->value());
+  snap.maxQueueDepth = static_cast<std::size_t>(maxQueueDepth_->value());
+  snap.connectionsAccepted = connectionsAccepted_->value();
+  snap.connectionsActive =
+      static_cast<std::size_t>(std::max(connectionsActive_->value(), 0.0));
+  snap.uptimeMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
   return snap;
 }
 
@@ -97,6 +130,9 @@ Json ServiceMetrics::toJson(const Snapshot& snapshot,
     op.set("cache_hits", static_cast<double>(s.cacheHits));
     op.set("mean_latency_ms", s.meanLatencyMs);
     op.set("max_latency_ms", s.maxLatencyMs);
+    op.set("p50_latency_ms", s.p50LatencyMs);
+    op.set("p95_latency_ms", s.p95LatencyMs);
+    op.set("p99_latency_ms", s.p99LatencyMs);
     ops.set(opToken(static_cast<Op>(i)), std::move(op));
   }
 
@@ -109,6 +145,7 @@ Json ServiceMetrics::toJson(const Snapshot& snapshot,
   cacheJson.set("bytes", static_cast<double>(cache.bytes));
 
   Json out = Json::object();
+  out.set("uptime_ms", snapshot.uptimeMs);
   out.set("total_requests", static_cast<double>(snapshot.totalRequests));
   out.set("overloaded", static_cast<double>(snapshot.overloaded));
   out.set("bad_requests", static_cast<double>(snapshot.badRequests));
@@ -125,6 +162,19 @@ Json ServiceMetrics::toJson(const Snapshot& snapshot,
   out.set("ops", std::move(ops));
   out.set("cache", std::move(cacheJson));
   return out;
+}
+
+std::string ServiceMetrics::prometheusText(const ResultCache::Stats& cache) {
+  uptimeMs_->set(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+  cacheHitsG_->set(static_cast<double>(cache.hits));
+  cacheMissesG_->set(static_cast<double>(cache.misses));
+  cacheInsertionsG_->set(static_cast<double>(cache.insertions));
+  cacheEvictionsG_->set(static_cast<double>(cache.evictions));
+  cacheEntriesG_->set(static_cast<double>(cache.entries));
+  cacheBytesG_->set(static_cast<double>(cache.bytes));
+  return telemetry::renderPrometheus(registry_);
 }
 
 }  // namespace pviz::service

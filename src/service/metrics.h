@@ -1,37 +1,50 @@
 // Per-request observability for the service layer.
 //
-// Counters are grouped per operation (requests, errors, cache hits,
-// latency distribution) plus server-wide gauges (queue depth, admission
-// rejections, connections).  A snapshot is taken under the same mutex
-// that guards the latency accumulators, so the in-band `stats` response
-// is internally consistent; the hot-path record calls take that mutex
-// once per request, which is noise next to a socket round trip.
+// Built on telemetry::MetricRegistry: per-operation counters (requests,
+// errors, cache hits) and a log-scale latency histogram per op, plus
+// server-wide counters and gauges (queue depth, admission rejections,
+// connections).  The hot path — recordRequest and friends — is now
+// lock-free sharded atomics instead of the old mutex-guarded
+// RunningStats accumulators; merging happens on snapshot (the in-band
+// `stats` reply) or scrape (the `metrics` op, Prometheus text format).
+//
+// Each ServiceMetrics owns its own registry so concurrent servers in a
+// test process never share counters; the process-wide
+// telemetry::MetricRegistry::global() stays free for tools.
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "service/json.h"
 #include "service/protocol.h"
 #include "service/result_cache.h"
-#include "util/stats.h"
+#include "telemetry/metric_registry.h"
 
 namespace pviz::service {
 
 class ServiceMetrics {
  public:
+  /// Number of wire operations (indexed by Op).
+  static constexpr std::size_t kOpCount = 7;
+
+  ServiceMetrics();
+
   struct OpSnapshot {
     std::uint64_t requests = 0;
     std::uint64_t errors = 0;
     std::uint64_t cacheHits = 0;
     double meanLatencyMs = 0.0;
     double maxLatencyMs = 0.0;
+    double p50LatencyMs = 0.0;
+    double p95LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
   };
 
   struct Snapshot {
-    std::array<OpSnapshot, 6> perOp;  ///< indexed by Op
+    std::array<OpSnapshot, kOpCount> perOp;  ///< indexed by Op
     std::uint64_t totalRequests = 0;
     std::uint64_t overloaded = 0;       ///< admission-control rejections
     std::uint64_t badRequests = 0;      ///< unparseable frames
@@ -45,6 +58,7 @@ class ServiceMetrics {
     std::size_t maxQueueDepth = 0;
     std::uint64_t connectionsAccepted = 0;
     std::size_t connectionsActive = 0;
+    double uptimeMs = 0.0;  ///< wall time since the metrics were created
   };
 
   /// One completed request (any status but "overloaded").
@@ -76,26 +90,41 @@ class ServiceMetrics {
   static Json toJson(const Snapshot& snapshot,
                      const ResultCache::Stats& cache);
 
+  /// The `metrics` op payload: the full registry in Prometheus text
+  /// exposition format, with the result-cache and uptime gauges
+  /// refreshed from `cache` at scrape time.
+  std::string prometheusText(const ResultCache::Stats& cache);
+
+  telemetry::MetricRegistry& registry() { return registry_; }
+
  private:
-  struct OpCounters {
-    std::uint64_t requests = 0;
-    std::uint64_t errors = 0;
-    std::uint64_t cacheHits = 0;
-    util::RunningStats latencyMs;
+  struct OpInstruments {
+    telemetry::Counter* requests = nullptr;
+    telemetry::Counter* errors = nullptr;
+    telemetry::Counter* cacheHits = nullptr;
+    telemetry::Histogram* latencyMs = nullptr;
   };
 
-  mutable std::mutex mutex_;
-  std::array<OpCounters, 6> perOp_;
-  std::uint64_t overloaded_ = 0;
-  std::uint64_t badRequests_ = 0;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t cancelled_ = 0;
-  std::uint64_t rejectedFrames_ = 0;
-  std::uint64_t shedConnections_ = 0;
-  std::size_t queueDepth_ = 0;
-  std::size_t maxQueueDepth_ = 0;
-  std::uint64_t connectionsAccepted_ = 0;
-  std::size_t connectionsActive_ = 0;
+  telemetry::MetricRegistry registry_;
+  std::array<OpInstruments, kOpCount> perOp_;
+  telemetry::Counter* overloaded_;
+  telemetry::Counter* badRequests_;
+  telemetry::Counter* timeouts_;
+  telemetry::Counter* cancelled_;
+  telemetry::Counter* rejectedFrames_;
+  telemetry::Counter* shedConnections_;
+  telemetry::Counter* connectionsAccepted_;
+  telemetry::Gauge* connectionsActive_;
+  telemetry::Gauge* queueDepth_;
+  telemetry::Gauge* maxQueueDepth_;
+  telemetry::Gauge* uptimeMs_;
+  telemetry::Gauge* cacheHitsG_;
+  telemetry::Gauge* cacheMissesG_;
+  telemetry::Gauge* cacheInsertionsG_;
+  telemetry::Gauge* cacheEvictionsG_;
+  telemetry::Gauge* cacheEntriesG_;
+  telemetry::Gauge* cacheBytesG_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace pviz::service

@@ -38,28 +38,32 @@ const char* opToken(Op op) {
     case Op::Classify: return "classify";
     case Op::Budget: return "budget";
     case Op::Stats: return "stats";
+    case Op::Metrics: return "metrics";
   }
   return "?";
 }
 
 Op parseOpToken(const std::string& token) {
   for (Op op : {Op::Ping, Op::Characterize, Op::Study, Op::Classify,
-                Op::Budget, Op::Stats}) {
+                Op::Budget, Op::Stats, Op::Metrics}) {
     if (token == opToken(op)) return op;
   }
-  throw Error("unknown op '" + token +
-              "' (expected ping characterize study classify budget stats)");
+  throw Error(
+      "unknown op '" + token +
+      "' (expected ping characterize study classify budget stats metrics)");
 }
 
 Json toJson(const Request& request) {
   Json out = Json::object();
   out.set("op", opToken(request.op));
   if (!request.id.empty()) out.set("id", request.id);
+  if (request.trace) out.set("trace", true);
   switch (request.op) {
     case Op::Ping:
       if (request.delayMs > 0.0) out.set("delay_ms", request.delayMs);
       break;
     case Op::Stats:
+    case Op::Metrics:
       break;
     case Op::Characterize:
       out.set("algorithm", core::algorithmToken(request.algorithm));
@@ -103,6 +107,9 @@ Request requestFromJson(const Json& json) {
   Request request;
   request.op = parseOpToken(requiredField(json, "op").asString());
   request.id = stringField(json, "id", "");
+  if (const Json* trace = json.find("trace")) {
+    request.trace = trace->asBool();
+  }
 
   if (request.op == Op::Ping) {
     request.delayMs = numberField(json, "delay_ms", 0.0);
@@ -110,7 +117,7 @@ Request requestFromJson(const Json& json) {
                  "delay_ms must be in [0, 60000]");
     return request;
   }
-  if (request.op == Op::Stats) return request;
+  if (request.op == Op::Stats || request.op == Op::Metrics) return request;
 
   if (const Json* caps = json.find("caps")) {
     for (const Json& c : caps->asArray()) {
@@ -164,6 +171,7 @@ Json toJson(const Response& response) {
   } else {
     out.set("error", response.error);
   }
+  if (!response.trace.isNull()) out.set("trace", response.trace);
   return out;
 }
 
@@ -182,6 +190,7 @@ Response responseFromJson(const Json& json) {
   } else {
     response.error = stringField(json, "error", "");
   }
+  if (const Json* trace = json.find("trace")) response.trace = *trace;
   return response;
 }
 
@@ -315,7 +324,10 @@ core::BudgetPlan budgetPlanFromJson(const Json& json) {
 }
 
 std::string canonicalCacheKey(const Request& request) {
-  if (request.op == Op::Ping || request.op == Op::Stats) return "";
+  if (request.op == Op::Ping || request.op == Op::Stats ||
+      request.op == Op::Metrics) {
+    return "";
+  }
   std::ostringstream key;
   key.precision(17);
   key << opToken(request.op);
@@ -351,6 +363,7 @@ std::string canonicalCacheKey(const Request& request) {
     }
     case Op::Ping:
     case Op::Stats:
+    case Op::Metrics:
       break;
   }
   return key.str();

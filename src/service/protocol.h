@@ -16,6 +16,8 @@
 //   classify      power-opportunity vs power-sensitive for one kernel
 //   budget        PowerAdvisor cap split for a sim+viz power budget
 //   stats         server counters: queue, cache, latency per op
+//   metrics       telemetry registry snapshot in Prometheus text
+//                 exposition format (result: {"exposition": "..."})
 //
 // Request fields (unknown fields are ignored; snake_case on the wire):
 //   {"op":"classify","id":"42","algorithm":"contour","size":64,
@@ -41,7 +43,7 @@
 
 namespace pviz::service {
 
-enum class Op { Ping, Characterize, Study, Classify, Budget, Stats };
+enum class Op { Ping, Characterize, Study, Classify, Budget, Stats, Metrics };
 
 /// Wire token for an operation ("ping", "characterize", ...).
 const char* opToken(Op op);
@@ -69,6 +71,11 @@ struct Request {
 
   // Ping.
   double delayMs = 0.0;  ///< artificial service time, for load tests
+
+  /// Request a Chrome-trace span dump of this request's execution in the
+  /// response's `trace` field.  Valid on any op; not part of the cache
+  /// key (tracing a request must not fork the result cache).
+  bool trace = false;
 };
 
 Json toJson(const Request& request);
@@ -84,6 +91,7 @@ struct Response {
   double elapsedMs = 0.0;
   std::string error;  ///< set when status != "ok"
   Json result;        ///< op-specific payload when status == "ok"
+  Json trace;         ///< Chrome trace object when the request asked for it
 
   bool ok() const { return status == "ok"; }
 };
@@ -109,7 +117,7 @@ core::BudgetPlan budgetPlanFromJson(const Json& json);
 
 /// Deterministic cache key for a *normalized* request (defaults already
 /// applied by the engine).  Empty for operations that are never cached
-/// (ping, stats).
+/// (ping, stats, metrics).
 std::string canonicalCacheKey(const Request& request);
 
 }  // namespace pviz::service

@@ -11,9 +11,11 @@
 #include <chrono>
 #include <cstring>
 
+#include "telemetry/trace_sink.h"
 #include "util/error.h"
 #include "util/exec_context.h"
 #include "util/log.h"
+#include "util/thread_id.h"
 
 namespace pviz::service {
 
@@ -115,6 +117,10 @@ void Server::stop() {
 
 Json Server::statsJson() const {
   return ServiceMetrics::toJson(metrics_.snapshot(), engine_.cache().stats());
+}
+
+std::string Server::prometheusText() {
+  return metrics_.prometheusText(engine_.cache().stats());
 }
 
 void Server::acceptLoop() {
@@ -298,11 +304,13 @@ void Server::process(Task& task, util::ExecutionContext& ctx) {
   // and aborts mid-run if it expires (the `cancelled` counter below).
   ctx.beginRun();
   ctx.cancel().reset();
+  ctx.setTraceId(nextTraceId_.fetch_add(1, std::memory_order_relaxed));
   if (config_.requestTimeoutMs > 0) {
     ctx.cancel().setDeadline(
         task.enqueued + std::chrono::milliseconds(config_.requestTimeoutMs));
   }
 
+  const std::uint64_t requestStartUs = telemetry::traceNowUs();
   Response response;
   bool cancelled = false;
   try {
@@ -313,6 +321,11 @@ void Server::process(Task& task, util::ExecutionContext& ctx) {
     try {
       if (request.op == Op::Stats) {
         response.result = statsJson();
+      } else if (request.op == Op::Metrics) {
+        Json result = Json::object();
+        result.set("exposition",
+                   metrics_.prometheusText(engine_.cache().stats()));
+        response.result = std::move(result);
       } else {
         ServiceEngine::Outcome outcome = engine_.handle(ctx, request);
         response.result = std::move(outcome.result);
@@ -330,6 +343,28 @@ void Server::process(Task& task, util::ExecutionContext& ctx) {
     metrics_.recordRequest(request.op, response.elapsedMs, response.cached,
                            !response.ok());
     if (cancelled) metrics_.recordCancelled();
+
+    if (request.trace) {
+      // Span dump for this request: every kernel phase the run recorded
+      // (none survive from earlier requests — beginRun cleared the
+      // tracer, so a cancelled run leaves no orphan spans either) plus
+      // one request-level span wrapping the whole dispatch.
+      telemetry::TraceSink sink;
+      sink.addPhases(ctx.tracer(), ctx.traceId());
+      telemetry::TraceSpan span;
+      span.name = std::string("request/") + opToken(request.op);
+      span.category = "service";
+      span.traceId = ctx.traceId();
+      span.threadId = util::threadIndex();
+      span.startUs = requestStartUs;
+      span.durationUs = telemetry::traceNowUs() - requestStartUs;
+      span.args.emplace_back("op", opToken(request.op));
+      span.args.emplace_back("status", response.status);
+      span.args.emplace_back("cache_hit", response.cached ? "true" : "false");
+      if (cancelled) span.args.emplace_back("cancelled", "true");
+      sink.add(std::move(span));
+      response.trace = Json::parse(sink.toChromeJson());
+    }
   } catch (const std::exception& e) {
     // The frame itself did not parse to a request.
     metrics_.recordBadRequest();

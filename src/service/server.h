@@ -37,6 +37,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <list>
 #include <memory>
@@ -99,6 +100,9 @@ class Server {
   /// The `stats` payload (metrics snapshot + cache counters).
   Json statsJson() const;
 
+  /// The `metrics` payload: Prometheus text exposition of the registry.
+  std::string prometheusText();
+
  private:
   struct Connection {
     explicit Connection(int fileDescriptor) : fd(fileDescriptor) {}
@@ -150,6 +154,11 @@ class Server {
   std::mutex queueMutex_;
   std::condition_variable queueCv_;
   std::deque<Task> queue_;
+
+  /// Trace-id generator: one id per processed request, stamped on the
+  /// worker's ExecutionContext so phase spans correlate with the
+  /// request-level span in the response's `trace` dump.
+  std::atomic<std::uint64_t> nextTraceId_{1};
 };
 
 }  // namespace pviz::service

@@ -1,0 +1,226 @@
+// Process-wide metric registry: named counters, gauges, and fixed-bucket
+// log-scale histograms.
+//
+// This is the paper's measurement discipline applied to the serving
+// system itself: every run, request, and queue transition is recorded
+// into always-on instruments cheap enough to leave enabled (the in-situ
+// survey's "low-overhead, always-on telemetry" requirement).  Recording
+// is lock-free: counters and histograms are sharded — each thread writes
+// its own cache-line-padded shard selected by util::threadIndex(), so
+// the hot path is one or two relaxed fetch_adds with no contention.
+// Shards are merged on snapshot, which is the cold path (a `metrics`
+// scrape or a `stats` reply).
+//
+// Histograms use fixed log2-spaced buckets (first upper bound 0.001
+// units, doubling per bucket, 40 finite buckets + overflow), covering
+// 1 µs to ~6 days when the unit is milliseconds.  The observed-value sum
+// is accumulated in fixed-point micro-units so that merging shards is
+// exact integer arithmetic — a snapshot of the same recorded multiset is
+// bit-identical regardless of which threads recorded which values, which
+// the determinism tests rely on.  Percentiles (p50/p95/p99) are derived
+// from the merged buckets by linear interpolation within the bucket.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and
+// validates names against the Prometheus data model; it is meant to be
+// done once at startup (the service layer registers everything in the
+// ServiceMetrics constructor).  Registering the same (name, labels)
+// again returns the existing instrument.  Returned references are stable
+// for the registry's lifetime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_id.h"
+
+namespace pviz::telemetry {
+
+/// Label set attached to a metric series, e.g. {{"op", "study"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Shards per instrument.  Power of two; 16 covers the thread counts the
+/// server runs (workers + readers) with little false sharing.
+inline constexpr std::size_t kShardCount = 16;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    shard().value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricRegistry;
+  Counter() = default;
+
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard& shard() noexcept {
+    return shards_[util::threadIndex() & (kShardCount - 1)];
+  }
+  std::array<Shard, kShardCount> shards_;
+};
+
+/// Last-write-wins level (queue depth, connections active, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Monotone ratchet: keep the maximum of the current value and `v`
+  /// (high-water marks such as peak queue depth).
+  void ratchetMax(double v) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < v && !value_.compare_exchange_weak(
+                              current, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket log-scale distribution of non-negative values.
+class Histogram {
+ public:
+  /// Finite buckets; values past the last bound land in the overflow
+  /// bucket (index kBucketCount).
+  static constexpr int kBucketCount = 40;
+  /// Upper bound of bucket 0; each later bucket doubles it.
+  static constexpr double kFirstUpperBound = 1e-3;
+
+  /// Upper bound of bucket `i` (i in [0, kBucketCount)).
+  static double bucketUpperBound(int i) noexcept;
+  /// The bucket a value lands in (negative/NaN values count as 0).
+  static int bucketIndex(double value) noexcept;
+
+  void record(double value) noexcept {
+    Shard& s = shard();
+    s.buckets[static_cast<std::size_t>(bucketIndex(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sumMicro.fetch_add(toMicroUnits(value), std::memory_order_relaxed);
+    // Ratchet the per-shard max (doubles stored as bits; non-negative
+    // doubles order the same as their bit patterns).
+    const std::uint64_t bits = toOrderedBits(value);
+    std::uint64_t current = s.maxBits.load(std::memory_order_relaxed);
+    while (current < bits && !s.maxBits.compare_exchange_weak(
+                                 current, bits, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Merged view of every shard.  Count, per-bucket counts, sum and max
+  /// are all exact and order-independent, so snapshots of the same
+  /// recorded multiset are identical no matter which threads recorded.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;       ///< micro-unit fixed point, hence exact
+    double maxValue = 0.0;  ///< largest recorded value
+    std::array<std::uint64_t, kBucketCount + 1> buckets{};  ///< per bucket
+
+    double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+    /// Linear-interpolated percentile, q in [0, 1]; 0 when empty.
+    double percentile(double q) const;
+  };
+
+  Snapshot snapshot() const;
+
+ private:
+  friend class MetricRegistry;
+  Histogram() = default;
+
+  static std::uint64_t toMicroUnits(double value) noexcept;
+  static std::uint64_t toOrderedBits(double value) noexcept;
+  static double fromOrderedBits(std::uint64_t bits) noexcept;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBucketCount + 1> buckets{};
+    std::atomic<std::uint64_t> sumMicro{0};
+    std::atomic<std::uint64_t> maxBits{0};
+  };
+  Shard& shard() noexcept {
+    return shards_[util::threadIndex() & (kShardCount - 1)];
+  }
+  std::array<Shard, kShardCount> shards_;
+};
+
+/// The registry: name → instrument, Prometheus-validated.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry (tools and kernels that have no service
+  /// context).  The server uses its own instance so concurrent servers
+  /// in one test process do not share counters.
+  static MetricRegistry& global();
+
+  /// Register-or-fetch.  Throws pviz::Error on an invalid name/label or
+  /// when the same (name, labels) was registered as a different kind.
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       const std::string& help = "");
+
+  enum class Kind { Counter, Gauge, Histogram };
+
+  /// One series in a snapshot, ordered by (name, serialized labels).
+  struct Series {
+    std::string name;
+    Labels labels;
+    std::string help;
+    Kind kind = Kind::Counter;
+    double value = 0.0;        ///< counter / gauge reading
+    Histogram::Snapshot hist;  ///< histogram reading
+  };
+
+  std::vector<Series> snapshot() const;
+
+ private:
+  struct Entry {
+    Kind kind = Kind::Counter;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(const std::string& name, const Labels& labels,
+               const std::string& help, Kind kind);
+
+  mutable std::mutex mutex_;  ///< registration and enumeration only
+  std::map<std::pair<std::string, std::string>, Entry> metrics_;
+};
+
+}  // namespace pviz::telemetry

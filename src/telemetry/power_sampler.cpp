@@ -1,0 +1,51 @@
+#include "telemetry/power_sampler.h"
+
+#include "util/error.h"
+
+namespace pviz::telemetry {
+
+PowerSampler::PowerSampler(double intervalSeconds)
+    : interval_(intervalSeconds), nextBoundary_(intervalSeconds) {
+  PVIZ_REQUIRE(intervalSeconds > 0.0, "sample interval must be positive");
+}
+
+void PowerSampler::emit(double timeSeconds, double joules) {
+  PowerSample s;
+  s.timeSeconds = timeSeconds;
+  s.joules = joules;
+  const double dt = timeSeconds - emittedTime_;
+  s.watts = dt > 0.0 ? (joules - emittedJoules_) / dt : 0.0;
+  s.phase = phase_;
+  samples_.push_back(std::move(s));
+  emittedTime_ = timeSeconds;
+  emittedJoules_ = joules;
+}
+
+void PowerSampler::advanceTo(double timeSeconds, double cumulativeJoules) {
+  if (timeSeconds <= lastTime_) {
+    lastJoules_ = cumulativeJoules;
+    return;
+  }
+  const double stepSeconds = timeSeconds - lastTime_;
+  const double stepJoules = cumulativeJoules - lastJoules_;
+  while (nextBoundary_ <= timeSeconds) {
+    const double frac = (nextBoundary_ - lastTime_) / stepSeconds;
+    emit(nextBoundary_, lastJoules_ + stepJoules * frac);
+    // Each boundary is interval * k, not an accumulated sum: repeated
+    // += would drift over thousands of samples and could leave a
+    // spurious near-zero trailing interval for finish() to flush.
+    ++boundaryCount_;
+    nextBoundary_ = interval_ * static_cast<double>(boundaryCount_ + 1);
+  }
+  lastTime_ = timeSeconds;
+  lastJoules_ = cumulativeJoules;
+}
+
+std::vector<PowerSample> PowerSampler::finish() {
+  if (lastTime_ > emittedTime_ || samples_.empty()) {
+    emit(lastTime_, lastJoules_);
+  }
+  return std::move(samples_);
+}
+
+}  // namespace pviz::telemetry

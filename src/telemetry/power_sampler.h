@@ -1,0 +1,65 @@
+// Background power/energy timeline sampler on the paper's 100 ms cadence.
+//
+// The study's headline numbers are end-of-run aggregates; the paper's
+// power-over-time figures need the trajectory.  A PowerSampler rides
+// inside the execution simulator's governor-quantum loop: the simulator
+// reports each quantum's simulated time and cumulative energy, and the
+// sampler emits one sample per fixed interval (default 0.1 s, the
+// paper's RAPL polling cadence) by linear interpolation across quantum
+// boundaries.  finish() flushes the trailing partial interval so the
+// timeline's final cumulative joules equals the run's total energy
+// exactly — the timeline integrates back to the cost model's answer.
+//
+// Single-threaded by design: the quantum loop is serial, and each run
+// owns its sampler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pviz::telemetry {
+
+/// One point on the power/energy timeline.
+struct PowerSample {
+  double timeSeconds = 0.0;  ///< simulated time at the sample boundary
+  double watts = 0.0;        ///< mean power over the elapsed interval
+  double joules = 0.0;       ///< cumulative energy at the boundary
+  std::string phase;         ///< kernel phase active at the boundary
+};
+
+class PowerSampler {
+ public:
+  explicit PowerSampler(double intervalSeconds = 0.1);
+
+  /// Mark the phase subsequent samples fall in.
+  void beginPhase(std::string name) { phase_ = std::move(name); }
+
+  /// Advance simulated time to `timeSeconds` with cumulative energy
+  /// `cumulativeJoules`; emits every interval boundary crossed, with
+  /// energy linearly interpolated inside the step.  Time must be
+  /// non-decreasing across calls.
+  void advanceTo(double timeSeconds, double cumulativeJoules);
+
+  /// Flush the trailing partial interval (if any) as a final sample and
+  /// return the timeline.  The last sample's `joules` equals the final
+  /// cumulative energy passed to advanceTo().
+  std::vector<PowerSample> finish();
+
+  double intervalSeconds() const { return interval_; }
+
+ private:
+  void emit(double timeSeconds, double joules);
+
+  double interval_;
+  double lastTime_ = 0.0;
+  double lastJoules_ = 0.0;
+  double emittedTime_ = 0.0;    ///< time of the last emitted sample
+  double emittedJoules_ = 0.0;  ///< cumulative joules at that sample
+  std::uint64_t boundaryCount_ = 0;  ///< boundaries emitted so far
+  double nextBoundary_;              ///< interval * (boundaryCount_ + 1)
+  std::string phase_;
+  std::vector<PowerSample> samples_;
+};
+
+}  // namespace pviz::telemetry

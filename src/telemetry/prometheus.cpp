@@ -1,0 +1,383 @@
+#include "telemetry/prometheus.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace pviz::telemetry {
+
+namespace {
+
+// ---- rendering ----------------------------------------------------------
+
+std::string escapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string formatValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// `{a="x",b="y"}` — or empty when there are no labels and no extra pair.
+std::string labelBlock(const Labels& labels, const char* extraKey = nullptr,
+                       const std::string& extraValue = "") {
+  if (labels.empty() && extraKey == nullptr) return "";
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << key << "=\"" << escapeLabelValue(value) << '"';
+  }
+  if (extraKey != nullptr) {
+    if (!first) os << ',';
+    os << extraKey << "=\"" << extraValue << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
+const char* kindToken(MetricRegistry::Kind kind) {
+  switch (kind) {
+    case MetricRegistry::Kind::Counter: return "counter";
+    case MetricRegistry::Kind::Gauge: return "gauge";
+    case MetricRegistry::Kind::Histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// ---- linting ------------------------------------------------------------
+
+bool validMetricNameToken(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// Parse one non-comment sample line; returns false with *error set on a
+/// structural problem.
+bool parseSample(const std::string& line, int lineNo, Sample* out,
+                 std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    *error = "line " + std::to_string(lineNo) + ": " + msg;
+    return false;
+  };
+  std::size_t i = 0;
+  while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])) &&
+         line[i] != '{') {
+    ++i;
+  }
+  out->name = line.substr(0, i);
+  if (!validMetricNameToken(out->name)) {
+    return fail("invalid metric name '" + out->name + "'");
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;  // consume '{'
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = line.find('=', i);
+      if (eq == std::string::npos) return fail("label without '='");
+      std::string key = line.substr(i, eq - i);
+      i = eq + 1;
+      if (i >= line.size() || line[i] != '"') {
+        return fail("label value must be quoted");
+      }
+      ++i;
+      std::string value;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          ++i;
+          switch (line[i]) {
+            case 'n': value += '\n'; break;
+            case '\\': value += '\\'; break;
+            case '"': value += '"'; break;
+            default: return fail("bad escape in label value");
+          }
+        } else {
+          value += line[i];
+        }
+        ++i;
+      }
+      if (i >= line.size()) return fail("unterminated label value");
+      ++i;  // closing quote
+      out->labels.emplace_back(std::move(key), std::move(value));
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      return fail("unterminated label block");
+    }
+    ++i;
+  }
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  if (i >= line.size()) return fail("sample line has no value");
+  const std::string token = line.substr(i, line.find(' ', i) - i);
+  if (token == "+Inf") {
+    out->value = std::numeric_limits<double>::infinity();
+  } else if (token == "-Inf") {
+    out->value = -std::numeric_limits<double>::infinity();
+  } else if (token == "NaN") {
+    out->value = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    try {
+      std::size_t used = 0;
+      out->value = std::stod(token, &used);
+      if (used != token.size()) return fail("trailing junk after value");
+    } catch (const std::exception&) {
+      return fail("unparseable value '" + token + "'");
+    }
+  }
+  return true;
+}
+
+/// The label block minus any `le` pair — the series identity inside a
+/// histogram family.
+std::string seriesKeyWithoutLe(const Sample& s) {
+  std::ostringstream os;
+  for (const auto& [key, value] : s.labels) {
+    if (key == "le") continue;
+    os << key << '\x1f' << value << '\x1e';
+  }
+  return os.str();
+}
+
+struct HistogramSeries {
+  std::vector<std::pair<double, double>> buckets;  ///< (le, cumulative)
+  bool haveSum = false;
+  bool haveCount = false;
+  double count = 0.0;
+};
+
+}  // namespace
+
+std::string renderPrometheus(
+    const std::vector<MetricRegistry::Series>& series) {
+  std::ostringstream os;
+  std::string lastHeader;
+  for (const MetricRegistry::Series& s : series) {
+    if (s.name != lastHeader) {
+      lastHeader = s.name;
+      if (!s.help.empty()) {
+        os << "# HELP " << s.name << ' ' << escapeHelp(s.help) << '\n';
+      }
+      os << "# TYPE " << s.name << ' ' << kindToken(s.kind) << '\n';
+    }
+    if (s.kind != MetricRegistry::Kind::Histogram) {
+      os << s.name << labelBlock(s.labels) << ' ' << formatValue(s.value)
+         << '\n';
+      continue;
+    }
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b <= Histogram::kBucketCount; ++b) {
+      cumulative += s.hist.buckets[static_cast<std::size_t>(b)];
+      const std::string le =
+          b == Histogram::kBucketCount
+              ? "+Inf"
+              : formatValue(Histogram::bucketUpperBound(b));
+      os << s.name << "_bucket" << labelBlock(s.labels, "le", le) << ' '
+         << cumulative << '\n';
+    }
+    os << s.name << "_sum" << labelBlock(s.labels) << ' '
+       << formatValue(s.hist.sum) << '\n';
+    os << s.name << "_count" << labelBlock(s.labels) << ' ' << s.hist.count
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string renderPrometheus(const MetricRegistry& registry) {
+  return renderPrometheus(registry.snapshot());
+}
+
+bool lintPrometheus(const std::string& text, std::string* error) {
+  std::string scratch;
+  if (error == nullptr) error = &scratch;
+  if (text.empty()) {
+    *error = "empty exposition";
+    return false;
+  }
+  if (text.back() != '\n') {
+    *error = "exposition must end with a newline";
+    return false;
+  }
+
+  std::map<std::string, std::string> declaredType;  // family → type token
+  // family → series-key → accumulated histogram pieces
+  std::map<std::string, std::map<std::string, HistogramSeries>> histograms;
+
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, keyword, name;
+      ls >> hash >> keyword >> name;
+      if (keyword != "HELP" && keyword != "TYPE") continue;  // plain comment
+      if (!validMetricNameToken(name)) {
+        *error = "line " + std::to_string(lineNo) + ": " + keyword +
+                 " for invalid metric name '" + name + "'";
+        return false;
+      }
+      if (keyword == "TYPE") {
+        std::string type;
+        ls >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          *error = "line " + std::to_string(lineNo) + ": unknown type '" +
+                   type + "'";
+          return false;
+        }
+        if (!declaredType.emplace(name, type).second) {
+          *error = "line " + std::to_string(lineNo) +
+                   ": duplicate TYPE for '" + name + "'";
+          return false;
+        }
+      }
+      continue;
+    }
+
+    Sample sample;
+    if (!parseSample(line, lineNo, &sample, error)) return false;
+
+    // Attribute histogram component samples to their family.
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string sfx(suffix);
+      if (sample.name.size() <= sfx.size() ||
+          sample.name.compare(sample.name.size() - sfx.size(), sfx.size(),
+                              sfx) != 0) {
+        continue;
+      }
+      const std::string family =
+          sample.name.substr(0, sample.name.size() - sfx.size());
+      auto typeIt = declaredType.find(family);
+      if (typeIt == declaredType.end() || typeIt->second != "histogram") {
+        continue;
+      }
+      HistogramSeries& h = histograms[family][seriesKeyWithoutLe(sample)];
+      if (sfx == "_sum") {
+        h.haveSum = true;
+      } else if (sfx == "_count") {
+        h.haveCount = true;
+        h.count = sample.value;
+      } else {
+        std::string le;
+        for (const auto& [key, value] : sample.labels) {
+          if (key == "le") le = value;
+        }
+        if (le.empty()) {
+          *error = "line " + std::to_string(lineNo) +
+                   ": _bucket sample without an le label";
+          return false;
+        }
+        const double bound =
+            le == "+Inf" ? std::numeric_limits<double>::infinity()
+                         : std::stod(le);
+        h.buckets.emplace_back(bound, sample.value);
+      }
+      break;
+    }
+
+    // Counters must be non-negative.
+    auto typeIt = declaredType.find(sample.name);
+    if (typeIt != declaredType.end() && typeIt->second == "counter" &&
+        !(sample.value >= 0.0)) {
+      *error = "line " + std::to_string(lineNo) + ": counter '" +
+               sample.name + "' has negative value";
+      return false;
+    }
+  }
+
+  for (const auto& [family, byKey] : histograms) {
+    for (const auto& [key, h] : byKey) {
+      (void)key;
+      if (!h.haveSum) {
+        *error = "histogram '" + family + "' is missing _sum";
+        return false;
+      }
+      if (!h.haveCount) {
+        *error = "histogram '" + family + "' is missing _count";
+        return false;
+      }
+      if (h.buckets.empty() || !std::isinf(h.buckets.back().first)) {
+        *error = "histogram '" + family + "' is missing the +Inf bucket";
+        return false;
+      }
+      for (std::size_t i = 1; i < h.buckets.size(); ++i) {
+        if (h.buckets[i].first <= h.buckets[i - 1].first) {
+          *error = "histogram '" + family + "' bucket bounds not increasing";
+          return false;
+        }
+        if (h.buckets[i].second < h.buckets[i - 1].second) {
+          *error = "histogram '" + family +
+                   "' cumulative bucket counts decrease";
+          return false;
+        }
+      }
+      if (h.buckets.back().second != h.count) {
+        *error = "histogram '" + family + "' +Inf bucket (" +
+                 formatValue(h.buckets.back().second) +
+                 ") does not equal _count (" + formatValue(h.count) + ")";
+        return false;
+      }
+    }
+  }
+
+  error->clear();
+  return true;
+}
+
+}  // namespace pviz::telemetry

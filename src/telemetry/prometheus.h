@@ -1,0 +1,31 @@
+// Prometheus text exposition format (version 0.0.4) rendering and a
+// structural linter for it.
+//
+// renderPrometheus() turns a MetricRegistry snapshot into the scrapeable
+// text format: `# HELP` / `# TYPE` headers per metric family, one sample
+// line per series, and for histograms the cumulative `_bucket{le=...}`
+// ladder plus `_sum` and `_count`.  lintPrometheus() re-parses that text
+// and checks the invariants a real Prometheus server enforces (line
+// structure, bucket monotonicity, `+Inf` == `_count`, `_sum`/`_count`
+// presence) — it backs the CI scrape check and powerviz_client --lint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metric_registry.h"
+
+namespace pviz::telemetry {
+
+/// Render a snapshot in Prometheus text exposition format 0.0.4.
+std::string renderPrometheus(const std::vector<MetricRegistry::Series>& series);
+
+/// Convenience: snapshot + render.
+std::string renderPrometheus(const MetricRegistry& registry);
+
+/// Structural check of exposition text.  Returns true when the text is
+/// well-formed; otherwise returns false and, when `error` is non-null,
+/// stores a one-line description of the first problem found.
+bool lintPrometheus(const std::string& text, std::string* error = nullptr);
+
+}  // namespace pviz::telemetry

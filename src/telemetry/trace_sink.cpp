@@ -1,0 +1,110 @@
+#include "telemetry/trace_sink.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "util/exec_context.h"
+
+namespace pviz::telemetry {
+
+namespace {
+
+void appendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::uint64_t traceNowUs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TraceSink::add(TraceSpan span) {
+  std::lock_guard lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+void TraceSink::addPhases(const util::PhaseTracer& tracer,
+                          std::uint64_t traceId,
+                          const std::string& category) {
+  std::lock_guard lock(mutex_);
+  for (const util::PhaseTracer::Phase& phase : tracer.phases()) {
+    TraceSpan span;
+    span.name = phase.name;
+    span.category = category;
+    span.traceId = traceId;
+    span.threadId = phase.threadId;
+    span.startUs = phase.startUs;
+    span.durationUs =
+        static_cast<std::uint64_t>(std::max(phase.millis, 0.0) * 1000.0);
+    span.args.emplace_back("arena_bytes_in_use",
+                           std::to_string(phase.arenaBytesInUse));
+    span.args.emplace_back("pool_concurrency",
+                           std::to_string(phase.poolConcurrency));
+    if (phase.cancelled) span.args.emplace_back("cancelled", "true");
+    spans_.push_back(std::move(span));
+  }
+}
+
+std::vector<TraceSpan> TraceSink::spans() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+std::string TraceSink::toChromeJson() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"X\",\"name\":";
+    appendJsonString(os, span.name);
+    os << ",\"cat\":";
+    appendJsonString(os, span.category.empty() ? "powerviz" : span.category);
+    os << ",\"pid\":1,\"tid\":" << span.threadId << ",\"ts\":" << span.startUs
+       << ",\"dur\":" << span.durationUs << ",\"args\":{\"trace_id\":\""
+       << span.traceId << '"';
+    for (const auto& [key, value] : span.args) {
+      os << ',';
+      appendJsonString(os, key);
+      os << ':';
+      appendJsonString(os, value);
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace pviz::telemetry

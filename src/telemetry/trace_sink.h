@@ -1,0 +1,68 @@
+// Span collector with Chrome trace-event JSON export.
+//
+// A TraceSink accumulates TraceSpans — kernel phases lifted from a
+// PhaseTracer plus request-level spans added by the service layer — and
+// renders them as the Chrome trace-event format ("X" complete events)
+// that Perfetto and chrome://tracing load directly.  Spans carry the
+// request's trace id and the recording thread's dense index
+// (util::threadIndex()), so one service request's phases group onto one
+// timeline track even when its work hopped across pool workers.
+//
+// The sink is mutex-guarded: it sits on the cold path (spans are added
+// at phase/request completion, never inside kernel loops).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pviz::util {
+class PhaseTracer;
+}  // namespace pviz::util
+
+namespace pviz::telemetry {
+
+/// One completed span on the trace timeline.
+struct TraceSpan {
+  std::string name;
+  std::string category;        ///< Chrome "cat" field, e.g. "kernel"
+  std::uint64_t traceId = 0;   ///< request/run correlation id
+  std::uint32_t threadId = 0;  ///< util::threadIndex() of the recorder
+  std::uint64_t startUs = 0;   ///< steady-clock µs
+  std::uint64_t durationUs = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void add(TraceSpan span);
+
+  /// Lift every phase recorded by `tracer` into spans tagged with
+  /// `traceId` under `category`.
+  void addPhases(const util::PhaseTracer& tracer, std::uint64_t traceId,
+                 const std::string& category = "kernel");
+
+  std::vector<TraceSpan> spans() const;
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Chrome trace-event JSON:
+  /// {"displayTimeUnit":"ms","traceEvents":[{"ph":"X",...}, ...]}
+  std::string toChromeJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// The current steady-clock time in microseconds — the time base every
+/// TraceSpan::startUs uses.
+std::uint64_t traceNowUs();
+
+}  // namespace pviz::telemetry

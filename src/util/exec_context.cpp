@@ -84,7 +84,8 @@ std::string PhaseTracer::toJson() const {
       if (c == '"' || c == '\\') os << '\\';
       os << c;
     }
-    os << "\",\"ms\":" << p.millis
+    os << "\",\"ms\":" << p.millis << ",\"start_us\":" << p.startUs
+       << ",\"thread\":" << p.threadId
        << ",\"arena_bytes_in_use\":" << p.arenaBytesInUse
        << ",\"arena_bytes_pooled\":" << p.arenaBytesPooled
        << ",\"pool_concurrency\":" << p.poolConcurrency

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/thread_id.h"
 #include "util/thread_pool.h"
 
 namespace pviz::util {
@@ -271,6 +272,8 @@ class PhaseTracer {
   struct Phase {
     std::string name;
     double millis = 0.0;
+    std::uint64_t startUs = 0;         ///< steady-clock µs at phase start
+    std::uint32_t threadId = 0;        ///< threadIndex() of the recorder
     std::size_t arenaBytesInUse = 0;   ///< checked-out bytes at phase end
     std::size_t arenaBytesPooled = 0;  ///< free-listed bytes at phase end
     unsigned poolConcurrency = 0;      ///< pool width the phase ran at
@@ -311,6 +314,11 @@ class ExecutionContext {
   /// Poll the cancel token; throws CancelledError when due.
   void checkCancelled() { cancel_.throwIfCancelled(); }
 
+  /// Correlation id stamped on telemetry spans recorded under this
+  /// context (one id per service request; 0 = untraced).
+  void setTraceId(std::uint64_t id) noexcept { traceId_ = id; }
+  std::uint64_t traceId() const noexcept { return traceId_; }
+
   /// Start a new run on this context: clears the phase trace.  Pooled
   /// arena blocks are deliberately kept — reuse across runs is the point.
   void beginRun() { tracer_.clear(); }
@@ -337,6 +345,11 @@ class ExecutionContext {
       phase.name = std::move(name_);
       phase.millis =
           std::chrono::duration<double, std::milli>(elapsed).count();
+      phase.startUs = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              start_.time_since_epoch())
+              .count());
+      phase.threadId = threadIndex();
       const ScratchArena::Stats s = ctx_.arena().stats();
       phase.arenaBytesInUse = s.bytesInUse;
       phase.arenaBytesPooled = s.bytesPooled;
@@ -366,6 +379,7 @@ class ExecutionContext {
   ScratchArena arena_;
   CancelToken cancel_;
   PhaseTracer tracer_;
+  std::uint64_t traceId_ = 0;
 };
 
 }  // namespace pviz::util

@@ -1,0 +1,42 @@
+#include "util/fileio.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pviz::util {
+
+void atomicWriteFile(const std::string& path, const std::string& content) {
+  PVIZ_REQUIRE(!path.empty(), "atomicWriteFile: empty path");
+  // Same-directory temporary so the rename cannot cross filesystems; the
+  // pid + serial suffix keeps concurrent writers from colliding.
+  static std::atomic<unsigned> tmpSerial{0};
+  std::ostringstream tmpName;
+  tmpName << path << ".tmp." << ::getpid() << '.'
+          << tmpSerial.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmpPath = tmpName.str();
+  {
+    std::ofstream out(tmpPath, std::ios::trunc | std::ios::binary);
+    PVIZ_REQUIRE(out.good(), "cannot open '" + tmpPath + "' for writing");
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmpPath.c_str());
+      PVIZ_REQUIRE(false, "short write to '" + tmpPath + "'");
+    }
+  }
+  if (std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+    std::remove(tmpPath.c_str());
+    PVIZ_REQUIRE(false, "cannot move '" + tmpPath + "' into place at '" +
+                            path + "'");
+  }
+}
+
+}  // namespace pviz::util

@@ -1,0 +1,20 @@
+// Atomic whole-file writes.
+//
+// atomicWriteFile() writes `content` to a temporary in the destination's
+// directory and renames it into place, so a reader (or a crash mid-way)
+// sees either the old complete file or the new complete file, never a
+// truncated one — the same discipline the profile cache uses.  Throws
+// pviz::Error on any failure; callers that must exit non-zero on a bad
+// write (the CLI tools' --trace/--trace-chrome outputs) just let it
+// propagate.
+#pragma once
+
+#include <string>
+
+namespace pviz::util {
+
+/// Write `content` to `path` atomically (tmp + rename).  Throws
+/// pviz::Error if the write or rename fails; the temporary is removed.
+void atomicWriteFile(const std::string& path, const std::string& content);
+
+}  // namespace pviz::util

@@ -1,14 +1,17 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+
+#include "util/thread_id.h"
 
 namespace pviz::util {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
-std::mutex g_emitMutex;
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -20,16 +23,74 @@ const char* levelName(LogLevel level) {
   }
   return "?";
 }
+
+struct LevelState {
+  std::atomic<int> level;
+  bool fromEnv;  ///< PVIZ_LOG chose the level; tool defaults must not win
+};
+
+LevelState& levelState() {
+  static LevelState state = [] {
+    int level = static_cast<int>(LogLevel::Warn);
+    bool fromEnv = false;
+    if (const char* env = std::getenv("PVIZ_LOG")) {
+      LogLevel parsed;
+      if (parseLogLevel(env, &parsed)) {
+        level = static_cast<int>(parsed);
+        fromEnv = true;
+      }
+    }
+    return LevelState{level, fromEnv};
+  }();
+  return state;
+}
+
+std::mutex g_emitMutex;
+
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+bool parseLogLevel(const std::string& token, LogLevel* out) {
+  std::string lower;
+  lower.reserve(token.size());
+  for (char c : token) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") *out = LogLevel::Debug;
+  else if (lower == "info") *out = LogLevel::Info;
+  else if (lower == "warn" || lower == "warning") *out = LogLevel::Warn;
+  else if (lower == "error") *out = LogLevel::Error;
+  else if (lower == "off" || lower == "none") *out = LogLevel::Off;
+  else return false;
+  return true;
+}
 
-LogLevel logLevel() { return static_cast<LogLevel>(g_level.load()); }
+void setLogLevel(LogLevel level) {
+  levelState().level.store(static_cast<int>(level),
+                           std::memory_order_relaxed);
+}
+
+void setDefaultLogLevel(LogLevel level) {
+  LevelState& s = levelState();
+  if (!s.fromEnv) {
+    s.level.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+}
+
+LogLevel logLevel() {
+  return static_cast<LogLevel>(
+      levelState().level.load(std::memory_order_relaxed));
+}
 
 namespace detail {
 void emitLog(LogLevel level, const std::string& message) {
+  // Steady-clock µs: the same time base trace spans use for `ts`, so a
+  // log line can be matched against the Chrome trace timeline.
+  const auto nowUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
   std::lock_guard lock(g_emitMutex);
-  std::cerr << "[powerviz " << levelName(level) << "] " << message << '\n';
+  std::cerr << "[powerviz " << levelName(level) << " @" << nowUs << "us t"
+            << threadIndex() << "] " << message << '\n';
 }
 }  // namespace detail
 

@@ -1,5 +1,11 @@
 // Leveled logging to stderr.  Quiet by default (Warn); studies raise the
 // level to Info for progress lines.  Not hot-path code: kernels never log.
+//
+// The initial level honours the PVIZ_LOG environment variable
+// (debug|info|warn|error|off, case-insensitive).  Each line carries a
+// monotonic timestamp in steady-clock microseconds — the same time base
+// as telemetry trace spans' `ts` field — plus the emitting thread's
+// dense index, so service logs line up against Chrome traces.
 #pragma once
 
 #include <sstream>
@@ -12,6 +18,15 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 /// Global threshold; messages below it are dropped.
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
+
+/// Set the threshold only when PVIZ_LOG did not already choose one —
+/// what tools use for their baseline verbosity, so the environment
+/// always wins over a tool default.
+void setDefaultLogLevel(LogLevel level);
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns false and leaves `out` untouched on an unknown token.
+bool parseLogLevel(const std::string& token, LogLevel* out);
 
 namespace detail {
 void emitLog(LogLevel level, const std::string& message);

@@ -1,0 +1,25 @@
+// Process-unique small integer per thread.
+//
+// std::thread::id is opaque and hash-only; telemetry wants a dense small
+// integer it can use both as a shard selector (MetricRegistry's
+// per-thread histogram shards) and as the `tid` field of trace spans, so
+// spans from the same thread line up on one Chrome-trace track.  Indices
+// are handed out in first-call order and never reused — at PowerViz's
+// thread counts (pool workers + service readers + request workers) the
+// 32-bit space is inexhaustible in practice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pviz::util {
+
+/// This thread's process-unique index (0, 1, 2, ... in first-use order).
+inline std::uint32_t threadIndex() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace pviz::util

@@ -25,6 +25,7 @@
 #include "service/json.h"
 #include "service/protocol.h"
 #include "service/server.h"
+#include "telemetry/prometheus.h"
 #include "util/error.h"
 
 namespace pviz::service {
@@ -137,6 +138,175 @@ TEST(ServiceServer, StatsRequestReportsCounters) {
   const Json* cache = response.result.find("cache");
   ASSERT_NE(cache, nullptr);
   EXPECT_GE(cache->find("entries")->asInt(), 1);
+
+  server.stop();
+}
+
+TEST(ServiceServer, StatsIncludesUptimeAndLatencyPercentiles) {
+  Server server(testConfig());
+  server.start();
+
+  ServiceClient client("127.0.0.1", server.port());
+  Request ping;
+  ping.op = Op::Ping;
+  for (int i = 0; i < 3; ++i) client.request(ping);
+
+  Request statsRequest;
+  statsRequest.op = Op::Stats;
+  const Response response = client.request(statsRequest);
+  ASSERT_EQ(response.status, "ok");
+
+  const Json* uptime = response.result.find("uptime_ms");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_GT(uptime->asNumber(), 0.0);
+
+  const Json* pingStats = response.result.find("ops")->find("ping");
+  ASSERT_NE(pingStats, nullptr);
+  EXPECT_EQ(pingStats->find("requests")->asInt(), 3);
+  const double p50 = pingStats->find("p50_latency_ms")->asNumber();
+  const double p95 = pingStats->find("p95_latency_ms")->asNumber();
+  const double p99 = pingStats->find("p99_latency_ms")->asNumber();
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, pingStats->find("max_latency_ms")->asNumber() + 1e-9);
+
+  server.stop();
+}
+
+TEST(ServiceServer, MetricsOpReturnsLintCleanExposition) {
+  Server server(testConfig());
+  server.start();
+
+  ServiceClient client("127.0.0.1", server.port());
+  Request ping;
+  ping.op = Op::Ping;
+  client.request(ping);
+  client.request(ping);
+
+  Request metricsRequest;
+  metricsRequest.op = Op::Metrics;
+  const Response response = client.request(metricsRequest);
+  ASSERT_EQ(response.status, "ok");
+  const Json* exposition = response.result.find("exposition");
+  ASSERT_NE(exposition, nullptr);
+  const std::string& text = exposition->asString();
+
+  std::string lintError;
+  EXPECT_TRUE(telemetry::lintPrometheus(text, &lintError)) << lintError;
+
+  // Counters carry the op label; the latency histogram's _count agrees
+  // with the number of requests recorded before this scrape.
+  EXPECT_NE(text.find("# TYPE pviz_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("pviz_requests_total{op=\"ping\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pviz_request_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("pviz_request_latency_ms_count{op=\"ping\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pviz_request_latency_ms_bucket{op=\"ping\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pviz_uptime_ms"), std::string::npos);
+  EXPECT_NE(text.find("pviz_result_cache_entries"), std::string::npos);
+
+  // The server-side helper renders the same registry.
+  std::string direct = server.prometheusText();
+  EXPECT_TRUE(telemetry::lintPrometheus(direct, &lintError)) << lintError;
+
+  server.stop();
+}
+
+TEST(ServiceServer, TracedRequestReturnsChromeSpans) {
+  Server server(testConfig());
+  server.start();
+
+  ServiceClient client("127.0.0.1", server.port());
+  Request request = classifyRequest();
+  request.trace = true;
+  const Response response = client.request(request);
+  ASSERT_EQ(response.status, "ok");
+  ASSERT_FALSE(response.trace.isNull());
+
+  const Json* events = response.trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GE(events->asArray().size(), 2u)
+      << "expected kernel phases plus the request span";
+
+  // Every span carries the same trace id; exactly one request-level
+  // span wraps the dispatch.
+  std::string traceId;
+  int requestSpans = 0;
+  for (const Json& e : events->asArray()) {
+    EXPECT_EQ(e.find("ph")->asString(), "X");
+    const std::string id = e.find("args")->find("trace_id")->asString();
+    if (traceId.empty()) traceId = id;
+    EXPECT_EQ(id, traceId);
+    if (e.find("cat")->asString() == "service") {
+      ++requestSpans;
+      EXPECT_EQ(e.find("name")->asString(), "request/classify");
+      EXPECT_EQ(e.find("args")->find("status")->asString(), "ok");
+    }
+  }
+  EXPECT_EQ(requestSpans, 1);
+  EXPECT_NE(traceId, "");
+
+  // An untraced request gets no trace payload.
+  const Response untraced = client.request(classifyRequest());
+  EXPECT_TRUE(untraced.trace.isNull());
+
+  server.stop();
+}
+
+// Trace-id propagation through a cancelled request: the dump contains
+// the request span (tagged cancelled) and no orphan spans from earlier
+// requests on the same worker context.
+TEST(ServiceServer, CancelledTracedRequestHasNoOrphanSpans) {
+  ServerConfig config = testConfig();
+  config.workers = 1;  // both requests share one worker context
+  config.requestTimeoutMs = 150;
+  Server server(config);
+  server.start();
+
+  ServiceClient client("127.0.0.1", server.port());
+
+  // First: a traced classify that records kernel phases on the worker's
+  // tracer and establishes a trace id.
+  Request warm = classifyRequest();
+  warm.trace = true;
+  const Response warmResponse = client.request(warm);
+  std::string warmTraceId;
+  if (warmResponse.ok() && !warmResponse.trace.isNull()) {
+    const auto& events = warmResponse.trace.find("traceEvents")->asArray();
+    ASSERT_FALSE(events.empty());
+    warmTraceId = events[0].find("args")->find("trace_id")->asString();
+  }
+
+  // Second: a traced ping whose delay outlives the request budget — the
+  // engine's post-delay cancellation poll fires mid-dispatch.
+  Request doomed;
+  doomed.op = Op::Ping;
+  doomed.delayMs = 600;
+  doomed.trace = true;
+  const Response response = client.request(doomed);
+  EXPECT_EQ(response.status, "error");
+  ASSERT_FALSE(response.trace.isNull());
+  EXPECT_GE(server.metrics().snapshot().cancelled, 1u);
+
+  const auto& events = response.trace.find("traceEvents")->asArray();
+  // Exactly the request span: beginRun cleared the previous request's
+  // phases, so nothing from the classify leaks into this dump.
+  ASSERT_EQ(events.size(), 1u);
+  const Json& span = events[0];
+  EXPECT_EQ(span.find("name")->asString(), "request/ping");
+  EXPECT_EQ(span.find("cat")->asString(), "service");
+  EXPECT_EQ(span.find("args")->find("cancelled")->asString(), "true");
+  EXPECT_EQ(span.find("args")->find("status")->asString(), "error");
+  const std::string doomedTraceId =
+      span.find("args")->find("trace_id")->asString();
+  EXPECT_NE(doomedTraceId, "");
+  EXPECT_NE(doomedTraceId, warmTraceId)
+      << "each request gets its own trace id";
 
   server.stop();
 }

@@ -13,7 +13,9 @@
 #include <iostream>
 
 #include "service/client.h"
+#include "telemetry/prometheus.h"
 #include "util/error.h"
+#include "util/fileio.h"
 #include "util/options.h"
 #include "util/table.h"
 
@@ -39,6 +41,16 @@ operations:
         [--cycles N]
   budget --algorithm A --size N --budget W [--sim-steps N]
   stats                     server counters (queue, cache, latency)
+  metrics                   Prometheus text exposition of the telemetry
+                            registry (--metrics is a shortcut)
+
+tracing / telemetry:
+  --metrics                 same as the `metrics` op
+  --lint                    structurally check the exposition output and
+                            exit non-zero if it is malformed
+  --trace                   ask the server for a Chrome-trace span dump
+                            of this request (response `trace` field)
+  --trace-out PATH          write that dump to PATH (Perfetto-loadable)
 
 algorithms: contour threshold clip isovolume slice advection raytracing
 volume (or "all")
@@ -97,6 +109,13 @@ void printSummary(const service::Response& response) {
                 << util::formatRatio(plan.speedupVsUniform) << ")\n";
       break;
     }
+    case service::Op::Metrics:
+      // The exposition text is the payload; print it verbatim so the
+      // output can be piped straight to a Prometheus scrape check.
+      if (const service::Json* text = response.result.find("exposition")) {
+        std::cout << text->asString();
+      }
+      return;
     case service::Op::Characterize:
     case service::Op::Stats:
       std::cout << response.result.dump() << '\n';
@@ -112,6 +131,8 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7077;
   bool rawJson = false;
+  bool lint = false;
+  std::string traceOutPath;
   service::ServiceClient::Limits limits;
   service::Request request;
   bool haveOp = false;
@@ -143,6 +164,16 @@ int main(int argc, char** argv) {
       else if (arg == "--budget") request.budgetWatts = util::parseDouble(next(), "--budget");
       else if (arg == "--sim-steps") request.simSteps = static_cast<int>(util::parseInt(next(), "--sim-steps"));
       else if (arg == "--delay-ms") request.delayMs = util::parseDouble(next(), "--delay-ms");
+      else if (arg == "--metrics") {
+        request.op = service::Op::Metrics;
+        haveOp = true;
+      }
+      else if (arg == "--lint") lint = true;
+      else if (arg == "--trace") request.trace = true;
+      else if (arg == "--trace-out") {
+        request.trace = true;
+        traceOutPath = next();
+      }
       else if (!arg.empty() && arg[0] != '-' && !haveOp) {
         request.op = service::parseOpToken(arg);
         haveOp = true;
@@ -159,6 +190,24 @@ int main(int argc, char** argv) {
 
     service::ServiceClient client(host, port, limits);
     const service::Response response = client.request(request);
+
+    if (response.ok() && lint && request.op == service::Op::Metrics) {
+      const service::Json* text = response.result.find("exposition");
+      std::string error;
+      if (text == nullptr ||
+          !telemetry::lintPrometheus(text->asString(), &error)) {
+        std::cerr << "metrics lint failed: "
+                  << (text == nullptr ? "no exposition in result" : error)
+                  << '\n';
+        return 1;
+      }
+      std::cerr << "metrics lint: ok\n";
+    }
+    if (!traceOutPath.empty() && !response.trace.isNull()) {
+      util::atomicWriteFile(traceOutPath, response.trace.dump() + "\n");
+      std::cerr << "wrote " << traceOutPath << '\n';
+    }
+
     if (rawJson) {
       std::cout << service::toJson(response).dump() << '\n';
       return response.ok() ? 0 : 1;

@@ -62,6 +62,7 @@ options:
   --light             light rendering parameters (few cameras, small
                       images) — fast characterizations for tests/demos
   --quiet             suppress progress logging
+                      (PVIZ_LOG=debug|info|warn|error|off overrides)
   -h, --help          this text
 )";
   std::exit(exitCode);
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
   service::ServerConfig config;
   config.port = 7077;
   config.engine.study.cachePath.clear();
-  util::setLogLevel(util::LogLevel::Info);
+  util::setDefaultLogLevel(util::LogLevel::Info);
 
   try {
     for (int i = 1; i < argc; ++i) {

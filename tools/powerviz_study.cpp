@@ -12,7 +12,9 @@
 
 #include "core/report.h"
 #include "core/study.h"
+#include "telemetry/trace_sink.h"
 #include "util/exec_context.h"
+#include "util/fileio.h"
 #include "util/log.h"
 #include "util/options.h"
 #include "util/table.h"
@@ -38,9 +40,14 @@ options:
   --csv PATH            write every record as CSV
   --trace PATH          write the per-phase execution trace (wall time,
                         arena occupancy, pool concurrency) as JSON
+  --trace-chrome PATH   write the same phases as Chrome trace-event JSON
+                        (open in Perfetto or chrome://tracing)
+  --power-timeline PATH write every record's 100 ms power/energy timeline
+                        (watts, cumulative joules, phase) as JSON
   --cache PATH          characterization cache file (default:
                         pviz_profile_cache.txt; "none" disables)
   --quiet               suppress progress logging
+                        (PVIZ_LOG=debug|info|warn|error|off overrides)
   -h, --help            this text
 )";
   std::exit(exitCode);
@@ -55,12 +62,14 @@ int main(int argc, char** argv) {
   config.params.imageWidth = 512;
   config.params.imageHeight = 512;
   config.cachePath = "pviz_profile_cache.txt";
-  util::setLogLevel(util::LogLevel::Info);
+  util::setDefaultLogLevel(util::LogLevel::Info);
 
   std::vector<core::Algorithm> algorithms = core::allAlgorithms();
   int phase = 0;
   std::string csvPath;
   std::string tracePath;
+  std::string traceChromePath;
+  std::string powerTimelinePath;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -78,6 +87,8 @@ int main(int argc, char** argv) {
       else if (arg == "--full-render") config.params.sampledCameraCount = 0;
       else if (arg == "--csv") csvPath = next();
       else if (arg == "--trace") tracePath = next();
+      else if (arg == "--trace-chrome") traceChromePath = next();
+      else if (arg == "--power-timeline") powerTimelinePath = next();
       else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
       else if (arg == "--cache") {
         const std::string path = next();
@@ -161,14 +172,29 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << csvPath << '\n';
   }
 
-  if (!tracePath.empty()) {
-    std::ofstream out(tracePath);
-    if (!out.good()) {
-      std::cerr << "cannot write " << tracePath << '\n';
-      return 1;
+  // Trace and timeline exports are atomic (temp file + rename, the
+  // profile-cache pattern): a failed write leaves the old file intact
+  // instead of a silently truncated one, and exits non-zero.
+  try {
+    if (!tracePath.empty()) {
+      util::atomicWriteFile(tracePath, ctx.tracer().toJson() + "\n");
+      std::cout << "wrote " << tracePath << '\n';
     }
-    out << ctx.tracer().toJson() << '\n';
-    std::cout << "wrote " << tracePath << '\n';
+    if (!traceChromePath.empty()) {
+      telemetry::TraceSink sink;
+      sink.addPhases(ctx.tracer(), /*traceId=*/1);
+      util::atomicWriteFile(traceChromePath, sink.toChromeJson() + "\n");
+      std::cout << "wrote " << traceChromePath << " (" << sink.size()
+                << " spans)\n";
+    }
+    if (!powerTimelinePath.empty()) {
+      util::atomicWriteFile(powerTimelinePath,
+                            core::powerTimelineJson(records) + "\n");
+      std::cout << "wrote " << powerTimelinePath << '\n';
+    }
+  } catch (const pviz::Error& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
   }
   return 0;
 }
