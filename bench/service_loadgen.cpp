@@ -22,6 +22,13 @@
 // triggers quickly; against an external server the scenarios still run
 // but the counter assertions apply only to what that server reports.
 //
+// --fleet N spawns N powerviz_serve workers (like powerviz_fleet's
+// spawn mode) and spreads the client pool round-robin across them; the
+// summary then reports counts per endpoint.  Failure accounting is
+// per endpoint and keeps error responses, receive timeouts, and lost
+// connections in separate columns — a slow worker and a broken worker
+// are different findings.
+//
 // Environment knobs: PVIZ_LOADGEN_CLIENTS, PVIZ_LOADGEN_REQUESTS
 // (per client), PVIZ_LOADGEN_SIZE override the defaults (8, 40, 16).
 #include <sys/resource.h>
@@ -29,12 +36,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "fleet/spawn.h"
 #include "service/chaos.h"
 #include "service/client.h"
 #include "service/server.h"
@@ -58,8 +67,20 @@ struct ClientResult {
   std::vector<double> statsMs;
   std::vector<double> cachedMs;  ///< heavy requests answered from cache
   std::vector<double> coldMs;    ///< heavy requests computed fresh
+  // Failure kinds, kept separate: an `error`/malformed response, a
+  // receive deadline expiring (slow server), and a dead connection are
+  // different findings and must not pollute each other's counts.
   int errors = 0;
+  int timeouts = 0;
+  int connectionsLost = 0;
   int overloaded = 0;
+  std::size_t endpoint = 0;  ///< index into the endpoint list
+};
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string label;
 };
 
 // --- Chaos agents ---------------------------------------------------------
@@ -171,6 +192,8 @@ int main(int argc, char** argv) {
   int clients = benchutil::envInt("PVIZ_LOADGEN_CLIENTS", 8);
   int requestsPerClient = benchutil::envInt("PVIZ_LOADGEN_REQUESTS", 40);
   bool chaos = false;
+  int fleetWorkers = 0;  // > 0: spawn a worker fleet instead
+  std::string serveBin;
   const vis::Id size =
       static_cast<vis::Id>(benchutil::envInt("PVIZ_LOADGEN_SIZE", 16));
 
@@ -188,18 +211,54 @@ int main(int argc, char** argv) {
     else if (arg == "--clients") clients = static_cast<int>(util::parseInt(next(), "--clients"));
     else if (arg == "--requests") requestsPerClient = static_cast<int>(util::parseInt(next(), "--requests"));
     else if (arg == "--chaos") chaos = true;
+    else if (arg == "--fleet") fleetWorkers = static_cast<int>(util::parseInt(next(), "--fleet"));
+    else if (arg == "--serve-bin") serveBin = next();
   }
 
   benchutil::printBanner(
       "service_loadgen — concurrent study/advisor service load",
       "section VII serving scenario (many in situ clients, one advisor)");
 
-  // In-process server unless pointed at a running one.  Chaos mode
-  // tightens the in-process limits so every fault-injection scenario
-  // trips its defense within the run, not after 30 s of politeness.
+  // In-process server unless pointed at a running one or asked for a
+  // fleet.  Chaos mode tightens the in-process limits so every
+  // fault-injection scenario trips its defense within the run, not
+  // after 30 s of politeness.
   std::unique_ptr<service::Server> server;
+  std::vector<fleet::SpawnedWorker> spawned;
+  std::vector<Endpoint> endpoints;
   std::size_t serverFrameBytes = 1 << 20;  // assumed bound when external
-  if (port < 0) {
+  if (fleetWorkers > 0) {
+    if (serveBin.empty()) {
+      const char* env = std::getenv("POWERVIZ_SERVE");
+      serveBin = env != nullptr ? env : "tools/powerviz_serve";
+    }
+    fleet::SpawnOptions spawnOptions;
+    spawnOptions.serveBin = serveBin;
+    spawnOptions.args = {"--quiet", "--cache", "none", "--light"};
+    for (int w = 0; w < fleetWorkers; ++w) {
+      try {
+        spawned.push_back(fleet::spawnServeWorker(spawnOptions));
+      } catch (const std::exception& e) {
+        std::cerr << "cannot spawn fleet worker from '" << serveBin
+                  << "': " << e.what()
+                  << "\n(--serve-bin PATH or POWERVIZ_SERVE points at the "
+                     "powerviz_serve binary)\n";
+        for (fleet::SpawnedWorker& worker : spawned) {
+          fleet::terminateWorker(worker);
+        }
+        return 2;
+      }
+      Endpoint endpoint;
+      endpoint.port = spawned.back().port;
+      endpoint.label = "w" + std::to_string(w) + ":" +
+                       std::to_string(endpoint.port);
+      endpoints.push_back(endpoint);
+    }
+    host = "127.0.0.1";
+    port = endpoints[0].port;  // chaos agents aim at the first worker
+    std::cout << "fleet mode: " << fleetWorkers
+              << " spawned workers, clients round-robin across them\n";
+  } else if (port < 0) {
     service::ServerConfig config;
     config.port = 0;
     config.workers = 4;
@@ -217,6 +276,13 @@ int main(int argc, char** argv) {
     port = server->port();
     std::cout << "in-process server on port " << port
               << (chaos ? " (chaos limits)" : "") << "\n";
+  }
+  if (endpoints.empty()) {
+    Endpoint endpoint;
+    endpoint.host = host;
+    endpoint.port = port;
+    endpoint.label = host + ":" + std::to_string(port);
+    endpoints.push_back(endpoint);
   }
 
   // The request mix: two classify targets and one budget target, so
@@ -258,8 +324,10 @@ int main(int argc, char** argv) {
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       ClientResult& out = results[static_cast<std::size_t>(c)];
+      out.endpoint = static_cast<std::size_t>(c) % endpoints.size();
+      const Endpoint& target = endpoints[out.endpoint];
       try {
-        service::ServiceClient client(host, port);
+        service::ServiceClient client(target.host, target.port);
         for (int r = 0; r < requestsPerClient; ++r) {
           service::Request request;
           std::vector<double>* bucket = nullptr;
@@ -286,23 +354,34 @@ int main(int argc, char** argv) {
               break;
           }
           const auto start = Clock::now();
-          const service::Response response = client.request(request);
-          const double ms = millisSince(start);
-          if (response.status == "overloaded") {
-            ++out.overloaded;
-            continue;
-          }
-          if (!response.ok()) {
-            ++out.errors;
-            continue;
-          }
-          bucket->push_back(ms);
-          if (request.op != service::Op::Stats) {
-            (response.cached ? out.cachedMs : out.coldMs).push_back(ms);
+          try {
+            const service::Response response = client.request(request);
+            const double ms = millisSince(start);
+            if (response.status == "overloaded") {
+              ++out.overloaded;
+              continue;
+            }
+            if (!response.ok()) {
+              ++out.errors;
+              continue;
+            }
+            bucket->push_back(ms);
+            if (request.op != service::Op::Stats) {
+              (response.cached ? out.cachedMs : out.coldMs).push_back(ms);
+            }
+          } catch (const service::TimeoutError&) {
+            // Slow, not broken: count and keep going on the same
+            // connection (the late reply is skipped by id matching).
+            ++out.timeouts;
           }
         }
+      } catch (const service::ConnectionLostError& e) {
+        std::cerr << "client " << c << " (" << target.label
+                  << "): connection lost: " << e.what() << '\n';
+        ++out.connectionsLost;
       } catch (const std::exception& e) {
-        std::cerr << "client " << c << ": " << e.what() << '\n';
+        std::cerr << "client " << c << " (" << target.label << "): "
+                  << e.what() << '\n';
         ++out.errors;
       }
     });
@@ -312,10 +391,21 @@ int main(int argc, char** argv) {
   for (auto& t : chaosThreads) t.join();
   const double wallSeconds = millisSince(runStart) / 1000.0;
 
-  // Aggregate.
+  // Aggregate — globally for the latency tables, per endpoint for the
+  // failure accounting.
   std::vector<double> classifyMs, budgetMs, statsMs, cachedMs, coldMs;
   int errors = 0;
+  int timeouts = 0;
+  int connectionsLost = 0;
   int overloaded = 0;
+  struct EndpointTotals {
+    std::size_t completed = 0;
+    int errors = 0;
+    int timeouts = 0;
+    int connectionsLost = 0;
+    int overloaded = 0;
+  };
+  std::vector<EndpointTotals> perEndpoint(endpoints.size());
   for (const ClientResult& r : results) {
     classifyMs.insert(classifyMs.end(), r.classifyMs.begin(), r.classifyMs.end());
     budgetMs.insert(budgetMs.end(), r.budgetMs.begin(), r.budgetMs.end());
@@ -323,7 +413,15 @@ int main(int argc, char** argv) {
     cachedMs.insert(cachedMs.end(), r.cachedMs.begin(), r.cachedMs.end());
     coldMs.insert(coldMs.end(), r.coldMs.begin(), r.coldMs.end());
     errors += r.errors;
+    timeouts += r.timeouts;
+    connectionsLost += r.connectionsLost;
     overloaded += r.overloaded;
+    EndpointTotals& t = perEndpoint[r.endpoint];
+    t.completed += r.classifyMs.size() + r.budgetMs.size() + r.statsMs.size();
+    t.errors += r.errors;
+    t.timeouts += r.timeouts;
+    t.connectionsLost += r.connectionsLost;
+    t.overloaded += r.overloaded;
   }
   const std::size_t completed =
       classifyMs.size() + budgetMs.size() + statsMs.size();
@@ -352,7 +450,24 @@ int main(int argc, char** argv) {
             << util::formatFixed(static_cast<double>(completed) / wallSeconds,
                                  0)
             << " req/s across " << clients << " clients), " << errors
-            << " errors, " << overloaded << " overloaded\n";
+            << " errors, " << timeouts << " timeouts, " << connectionsLost
+            << " connections lost, " << overloaded << " overloaded\n";
+
+  if (endpoints.size() > 1) {
+    std::cout << "\nper endpoint:\n";
+    util::TextTable endpointTable;
+    endpointTable.setHeader({"Endpoint", "Completed", "Errors", "Timeouts",
+                             "ConnLost", "Overloaded"});
+    for (std::size_t e = 0; e < endpoints.size(); ++e) {
+      const EndpointTotals& t = perEndpoint[e];
+      endpointTable.addRow({endpoints[e].label, std::to_string(t.completed),
+                            std::to_string(t.errors),
+                            std::to_string(t.timeouts),
+                            std::to_string(t.connectionsLost),
+                            std::to_string(t.overloaded)});
+    }
+    endpointTable.print(std::cout);
+  }
 
   if (!coldMs.empty() && !cachedMs.empty()) {
     const double cold = util::percentile(coldMs, 0.50);
@@ -409,7 +524,7 @@ int main(int argc, char** argv) {
   if (chaos) {
     // The server's own view of the attack: after the run it must still
     // answer stats, and the defense counters must have fired.
-    std::uint64_t timeouts = 0, rejectedFrames = 0;
+    std::uint64_t serverTimeouts = 0, rejectedFrames = 0;
     std::size_t connectionsActive = 0;
     bool statsAlive = false;
     try {
@@ -425,7 +540,7 @@ int main(int argc, char** argv) {
           const service::Json* v = resp.result.find(key);
           return v != nullptr ? static_cast<std::uint64_t>(v->asInt()) : 0;
         };
-        timeouts = counter("timeouts");
+        serverTimeouts = counter("timeouts");
         rejectedFrames = counter("rejected_frames");
         connectionsActive = static_cast<std::size_t>(
             counter("connections_active"));
@@ -444,12 +559,12 @@ int main(int argc, char** argv) {
               << chaosOutcome.garbageRecovered.load()
               << " recovered after garbage\n"
               << "server after chaos: " << (statsAlive ? "alive" : "DEAD")
-              << ", timeouts " << timeouts << ", rejected_frames "
+              << ", timeouts " << serverTimeouts << ", rejected_frames "
               << rejectedFrames << ", connections_active "
               << connectionsActive << ", peak RSS "
               << usage.ru_maxrss / 1024 << " MiB\n";
 
-    chaosOk = statsAlive && timeouts > 0 && rejectedFrames > 0 &&
+    chaosOk = statsAlive && serverTimeouts > 0 && rejectedFrames > 0 &&
               chaosOutcome.garbageRecovered.load() > 0;
     std::cout << (chaosOk ? "CHAOS PASS" : "CHAOS FAIL")
               << ": server survived fault injection with its defenses "
@@ -467,5 +582,8 @@ int main(int argc, char** argv) {
       chaosOk = false;
     }
   }
-  return errors == 0 && chaosOk ? 0 : 1;
+  for (fleet::SpawnedWorker& worker : spawned) {
+    fleet::terminateWorker(worker);
+  }
+  return errors == 0 && connectionsLost == 0 && chaosOk ? 0 : 1;
 }

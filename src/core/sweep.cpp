@@ -1,0 +1,78 @@
+#include "core/sweep.h"
+
+#include "util/error.h"
+
+namespace pviz::core {
+
+std::vector<SweepUnit> decomposeSweep(const std::vector<Algorithm>& algorithms,
+                                      const std::vector<vis::Id>& sizes,
+                                      const std::vector<double>& capsWatts,
+                                      SweepGrain grain) {
+  PVIZ_REQUIRE(!algorithms.empty(), "sweep needs at least one algorithm");
+  PVIZ_REQUIRE(!sizes.empty(), "sweep needs at least one size");
+  PVIZ_REQUIRE(!capsWatts.empty(), "sweep needs at least one cap");
+
+  std::vector<SweepUnit> units;
+  // Slot order mirrors ServiceEngine::runStudySlice: sizes outer,
+  // algorithms middle, caps inner — the merged report reads exactly like
+  // the single-process one.
+  std::size_t slot = 0;
+  for (vis::Id size : sizes) {
+    for (Algorithm algorithm : algorithms) {
+      if (grain == SweepGrain::PerPair) {
+        SweepUnit unit;
+        unit.algorithm = algorithm;
+        unit.size = size;
+        unit.capsWatts = capsWatts;
+        unit.recordCount = capsWatts.size();
+        unit.firstSlot = slot;
+        slot += capsWatts.size();
+        units.push_back(std::move(unit));
+        continue;
+      }
+      for (std::size_t c = 0; c < capsWatts.size(); ++c) {
+        SweepUnit unit;
+        unit.algorithm = algorithm;
+        unit.size = size;
+        if (c == 0) {
+          unit.capsWatts = {capsWatts[0]};
+        } else {
+          // Ratios are against the reference (first) cap of the pair,
+          // so a lone-cap unit must carry the reference along and keep
+          // only its own record.
+          unit.capsWatts = {capsWatts[0], capsWatts[c]};
+        }
+        unit.recordCount = 1;
+        unit.firstSlot = slot++;
+        units.push_back(std::move(unit));
+      }
+    }
+  }
+  return units;
+}
+
+std::size_t sweepRecordCount(const std::vector<Algorithm>& algorithms,
+                             const std::vector<vis::Id>& sizes,
+                             const std::vector<double>& capsWatts) {
+  return algorithms.size() * sizes.size() * capsWatts.size();
+}
+
+std::string pairKey(const SweepUnit& unit) {
+  return algorithmToken(unit.algorithm) + "/" + std::to_string(unit.size);
+}
+
+const char* sweepGrainToken(SweepGrain grain) {
+  switch (grain) {
+    case SweepGrain::PerCap: return "cap";
+    case SweepGrain::PerPair: return "pair";
+  }
+  return "?";
+}
+
+SweepGrain parseSweepGrainToken(const std::string& token) {
+  if (token == "cap") return SweepGrain::PerCap;
+  if (token == "pair") return SweepGrain::PerPair;
+  throw Error("unknown sweep grain '" + token + "' (expected cap or pair)");
+}
+
+}  // namespace pviz::core

@@ -1,0 +1,84 @@
+// Sweep decomposition: the unit of distribution for the sharded study
+// fleet.
+//
+// A full paper sweep is the (dataset size × algorithm × power cap)
+// matrix — 8 algorithms × 9 caps × 4 sizes = 288 configurations.  The
+// fleet coordinator splits that matrix into work units small enough to
+// route, retry, and hedge independently, then reassembles the replies
+// into one report whose record order is *identical* to what the
+// single-process `study` op produces (sizes outer, algorithms middle,
+// caps inner).  Each unit therefore carries a `firstSlot`: the index of
+// its first record in the merged report, fixed at decomposition time so
+// the merge is order-independent — replies can arrive in any order,
+// from any worker, and duplicates (hedges) simply lose the race for
+// their slots.
+//
+// Two grains:
+//   * PerCap  — one unit per (algorithm, size, cap) cell, the paper's
+//     atomic "test".  A non-reference cap cannot be evaluated alone
+//     (its Tratio/Pratio are against the reference cap of the same
+//     pair), so such a unit asks its worker for a two-cap sweep
+//     [reference, cap] and keeps only the final record.  288 units at
+//     full scope: fine-grained failover, at the price of re-evaluating
+//     the reference model point per cell (model-only, the
+//     characterization itself is memoized per worker).
+//   * PerPair — one unit per (algorithm, size) row covering the whole
+//     cap list.  32 units at full scope: coarser failover, no
+//     duplicated model work.
+//
+// Routing locality: units of the same (algorithm, size) share a
+// pairKey(); the coordinator hashes that onto its consistent ring so
+// every cap of a pair lands on the same worker and that worker's
+// characterization (profile) cache stays hot across the whole row.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+
+namespace pviz::core {
+
+enum class SweepGrain {
+  PerCap,   ///< one unit per (algorithm, size, cap) — fine failover
+  PerPair,  ///< one unit per (algorithm, size) — no duplicated model work
+};
+
+/// One distributable slice of the sweep matrix.
+struct SweepUnit {
+  Algorithm algorithm{};
+  vis::Id size = 0;
+  /// Caps this unit's worker must evaluate, reference cap first.  For a
+  /// PerCap unit of a non-reference cap this is {reference, cap}.
+  std::vector<double> capsWatts;
+  /// How many trailing records of the worker reply belong to this unit
+  /// (a PerCap unit keeps 1; a PerPair unit keeps them all).
+  std::size_t recordCount = 0;
+  /// Index of this unit's first record in the merged report.
+  std::size_t firstSlot = 0;
+};
+
+/// Decompose the (sizes × algorithms × caps) matrix into units whose
+/// slots tile [0, sizes*algorithms*caps) in single-process record order.
+/// Throws pviz::Error when any dimension is empty.
+std::vector<SweepUnit> decomposeSweep(const std::vector<Algorithm>& algorithms,
+                                      const std::vector<vis::Id>& sizes,
+                                      const std::vector<double>& capsWatts,
+                                      SweepGrain grain);
+
+/// Total records the merged report must contain.
+std::size_t sweepRecordCount(const std::vector<Algorithm>& algorithms,
+                             const std::vector<vis::Id>& sizes,
+                             const std::vector<double>& capsWatts);
+
+/// The locality key shared by every unit of one (algorithm, size) pair —
+/// what the fleet hashes onto its ring so a pair's caps all route to the
+/// same worker and its profile cache stays hot.
+std::string pairKey(const SweepUnit& unit);
+
+const char* sweepGrainToken(SweepGrain grain);
+/// Parse "cap" | "pair"; throws pviz::Error on anything else.
+SweepGrain parseSweepGrainToken(const std::string& token);
+
+}  // namespace pviz::core

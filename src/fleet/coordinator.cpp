@@ -1,0 +1,501 @@
+#include "fleet/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "telemetry/prometheus.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace pviz::fleet {
+
+using service::ConnectionLostError;
+using service::Json;
+using service::Op;
+using service::Request;
+using service::Response;
+using service::ServiceClient;
+
+namespace {
+
+ServiceClient::Limits probeLimits(const CoordinatorConfig& config) {
+  ServiceClient::Limits limits;
+  limits.recvTimeoutMs = config.heartbeatTimeoutMs;
+  limits.retries = 0;  // a missed beat IS the signal; never mask it
+  return limits;
+}
+
+ServiceClient::Limits dispatchLimits(const CoordinatorConfig& config) {
+  ServiceClient::Limits limits;
+  limits.recvTimeoutMs = config.recvTimeoutMs;
+  limits.retries = config.clientRetries;
+  limits.retryBackoffMs = config.clientBackoffMs;
+  return limits;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorConfig config)
+    : config_(std::move(config)),
+      registry_(config_.missesBeforeDead),
+      ring_(config_.virtualNodes) {
+  PVIZ_REQUIRE(!config_.endpoints.empty(), "fleet needs at least one worker");
+  PVIZ_REQUIRE(config_.heartbeatIntervalMs > 0,
+               "heartbeat interval must be positive");
+  PVIZ_REQUIRE(config_.maxUnitAttempts >= 1,
+               "units need at least one dispatch attempt");
+  for (const FleetEndpoint& endpoint : config_.endpoints) {
+    PVIZ_REQUIRE(!endpoint.name.empty(), "fleet endpoints must be named");
+    PVIZ_REQUIRE(endpoints_.emplace(endpoint.name, endpoint).second,
+                 "duplicate fleet endpoint name '" + endpoint.name + "'");
+  }
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start() {
+  std::size_t usable = 0;
+  for (const auto& [name, endpoint] : endpoints_) {
+    registry_.add(name, endpoint.host, endpoint.port, endpoint.pid);
+    try {
+      ServiceClient client(endpoint.host, endpoint.port,
+                           probeLimits(config_));
+      Request reg;
+      reg.op = Op::Register;
+      reg.worker = name;
+      const Response response = client.request(reg);
+      PVIZ_REQUIRE(response.ok(), "register rejected: " + response.error);
+      ++usable;
+      std::lock_guard lock(mutex_);
+      ring_.add(name);
+    } catch (const Error& e) {
+      PVIZ_LOG_WARN("fleet worker '" << name << "' unreachable at start: "
+                                     << e.what());
+      registry_.markDead(name);
+    }
+  }
+  PVIZ_REQUIRE(usable > 0, "no fleet worker is reachable");
+  {
+    std::lock_guard lock(mutex_);
+    running_ = true;
+  }
+  heartbeatThread_ = std::thread([this] { heartbeatLoop(); });
+}
+
+void Coordinator::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+    if (sweepActive_) failSweepLocked("coordinator stopped");
+  }
+  cv_.notify_all();
+  if (heartbeatThread_.joinable()) heartbeatThread_.join();
+}
+
+void Coordinator::heartbeatLoop() {
+  std::int64_t seq = 0;
+  auto stillRunning = [this] {
+    std::lock_guard lock(mutex_);
+    return running_;
+  };
+  while (stillRunning()) {
+    // Sleep in small slices so stop() is prompt.
+    for (int sleptMs = 0;
+         sleptMs < config_.heartbeatIntervalMs && stillRunning();
+         sleptMs += 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!stillRunning()) return;
+    ++seq;
+    for (const auto& [name, endpoint] : endpoints_) {
+      bool ok = false;
+      try {
+        ServiceClient client(endpoint.host, endpoint.port,
+                             probeLimits(config_));
+        Request beat;
+        beat.op = Op::Heartbeat;
+        beat.seq = seq;
+        const Response response = client.request(beat);
+        ok = response.ok();
+      } catch (const Error&) {
+        ok = false;
+      }
+      const WorkerState state = registry_.recordHeartbeat(name, ok, seq);
+      if (state == WorkerState::Dead) {
+        std::lock_guard lock(mutex_);
+        markWorkerDeadLocked(name);
+      }
+    }
+  }
+}
+
+bool Coordinator::workerUsable(const std::string& worker) const {
+  return registry_.state(worker) != WorkerState::Dead;
+}
+
+Request Coordinator::studyRequest(const UnitState& state, int cycles) const {
+  Request request;
+  request.op = Op::Study;
+  request.algorithms = {state.unit.algorithm};
+  request.sizes = {state.unit.size};
+  request.capsWatts = state.unit.capsWatts;
+  request.cycles = cycles;
+  return request;
+}
+
+Json Coordinator::runSweep(const std::vector<core::Algorithm>& algorithms,
+                           const std::vector<vis::Id>& sizes,
+                           const std::vector<double>& capsWatts, int cycles) {
+  PVIZ_REQUIRE(cycles > 0, "fleet sweeps need an explicit cycle count");
+  const std::vector<core::SweepUnit> plan =
+      core::decomposeSweep(algorithms, sizes, capsWatts, config_.grain);
+  const std::size_t totalRecords =
+      core::sweepRecordCount(algorithms, sizes, capsWatts);
+
+  std::vector<std::string> workers;
+  {
+    std::lock_guard lock(mutex_);
+    PVIZ_REQUIRE(running_, "coordinator is not started");
+    PVIZ_REQUIRE(!sweepActive_, "a sweep is already running");
+    PVIZ_REQUIRE(!ring_.empty(), "no usable fleet worker");
+
+    sweepActive_ = true;
+    sweepCycles_ = cycles;
+    failure_.clear();
+    stats_ = FleetSweepStats{};
+    stats_.units = plan.size();
+    stats_.records = totalRecords;
+    units_.clear();
+    units_.reserve(plan.size());
+    slots_.assign(totalRecords, Json());
+    filled_.assign(totalRecords, 0);
+    filledCount_ = 0;
+    queues_.clear();
+
+    for (const core::SweepUnit& unit : plan) {
+      UnitState state;
+      state.unit = unit;
+      state.pairKey = core::pairKey(unit);
+      state.cacheKey =
+          service::canonicalCacheKey(studyRequest(state, cycles));
+      units_.push_back(std::move(state));
+    }
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+      enqueueLocked(ring_.route(units_[i].pairKey), i);
+    }
+    workers = ring_.nodes();
+  }
+
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(workers.size());
+  for (const std::string& worker : workers) {
+    dispatchers.emplace_back([this, worker] { dispatchLoop(worker); });
+  }
+
+  // The sweep's watchdog: wake periodically to hedge units stuck in
+  // flight past the deadline onto a second worker.
+  {
+    std::unique_lock lock(mutex_);
+    while (sweepActive_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+      if (!sweepActive_ || config_.hedgeAfterMs <= 0) continue;
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < units_.size(); ++i) {
+        UnitState& u = units_[i];
+        if (!u.inFlight || u.done || u.hedged) continue;
+        const auto ageMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - u.startedAt)
+                .count();
+        if (ageMs < config_.hedgeAfterMs) continue;
+        u.hedged = true;
+        ++stats_.hedges;
+        rerouteLocked(i, u.owner);
+      }
+    }
+  }
+  cv_.notify_all();
+  for (std::thread& t : dispatchers) t.join();
+
+  std::lock_guard lock(mutex_);
+  if (!failure_.empty()) {
+    const std::string why = failure_;
+    failure_.clear();
+    throw Error("fleet sweep failed: " + why);
+  }
+  Json records = Json::array();
+  for (Json& slot : slots_) records.push(std::move(slot));
+  Json out = Json::object();
+  out.set("count", static_cast<double>(totalRecords));
+  out.set("records", std::move(records));
+  slots_.clear();
+  filled_.clear();
+  return out;
+}
+
+void Coordinator::enqueueLocked(const std::string& worker, std::size_t index) {
+  queues_[worker].push_back(index);
+  cv_.notify_all();
+}
+
+void Coordinator::rerouteLocked(std::size_t index, const std::string& notTo) {
+  const UnitState& u = units_[index];
+  for (const std::string& candidate :
+       ring_.routeSequence(u.pairKey, ring_.size())) {
+    if (candidate == notTo || !workerUsable(candidate)) continue;
+    ++stats_.reroutes;
+    enqueueLocked(candidate, index);
+    return;
+  }
+  // Nobody else: back to the original owner when it still lives,
+  // otherwise the fleet is out of workers.
+  if (workerUsable(notTo) && ring_.contains(notTo)) {
+    enqueueLocked(notTo, index);
+    return;
+  }
+  failSweepLocked("no usable worker left for unit '" + u.cacheKey + "'");
+}
+
+void Coordinator::markWorkerDeadLocked(const std::string& worker) {
+  if (!ring_.contains(worker)) return;  // already processed
+  registry_.markDead(worker);
+  ring_.remove(worker);
+  ++stats_.workersDead;
+  PVIZ_LOG_WARN("fleet worker '" << worker << "' is dead; rerouting "
+                                 << queues_[worker].size()
+                                 << " queued units");
+  std::deque<std::size_t> orphaned;
+  orphaned.swap(queues_[worker]);
+  for (std::size_t index : orphaned) {
+    if (!units_[index].done) rerouteLocked(index, worker);
+  }
+  cv_.notify_all();
+}
+
+void Coordinator::failSweepLocked(const std::string& why) {
+  if (!sweepActive_) return;
+  failure_ = why;
+  sweepActive_ = false;
+  cv_.notify_all();
+}
+
+void Coordinator::applyReplyLocked(std::size_t index,
+                                   const std::string& worker,
+                                   const Response& response) {
+  UnitState& u = units_[index];
+  u.inFlight = false;
+  if (u.done) {
+    // A hedge (or a retry of a request the worker had in fact answered)
+    // lost the race: the unit's slots are taken, drop the duplicate.
+    ++stats_.duplicates;
+    return;
+  }
+  const Json* records = response.result.find("records");
+  PVIZ_REQUIRE(records != nullptr && records->isArray(),
+               "study reply carries no records array");
+  const Json::Array& all = records->asArray();
+  PVIZ_REQUIRE(all.size() >= u.unit.recordCount,
+               "study reply is short: got " + std::to_string(all.size()) +
+                   " records, unit needs " +
+                   std::to_string(u.unit.recordCount));
+  // A PerCap unit of a non-reference cap asked for [reference, cap] and
+  // keeps only the trailing record(s); PerPair keeps everything.
+  const std::size_t skip = all.size() - u.unit.recordCount;
+  for (std::size_t i = 0; i < u.unit.recordCount; ++i) {
+    const std::size_t slot = u.unit.firstSlot + i;
+    PVIZ_REQUIRE(slot < slots_.size() && filled_[slot] == 0,
+                 "sweep slot tiling is corrupt");
+    slots_[slot] = all[skip + i];
+    filled_[slot] = 1;
+    ++filledCount_;
+  }
+  u.done = true;
+  if (response.cached) ++stats_.cachedReplies;
+  ++stats_.unitsByWorker[worker];
+  if (filledCount_ == slots_.size()) {
+    sweepActive_ = false;
+    cv_.notify_all();
+  }
+}
+
+void Coordinator::dispatchLoop(const std::string& worker) {
+  const FleetEndpoint endpoint = endpoints_.at(worker);
+  std::unique_ptr<ServiceClient> client;
+  try {
+    client = std::make_unique<ServiceClient>(endpoint.host, endpoint.port,
+                                             dispatchLimits(config_));
+  } catch (const Error&) {
+    std::lock_guard lock(mutex_);
+    markWorkerDeadLocked(worker);
+    return;
+  }
+
+  for (;;) {
+    std::size_t index = 0;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] {
+        return !sweepActive_ || !workerUsable(worker) ||
+               !queues_[worker].empty();
+      });
+      if (!sweepActive_) return;
+      if (!workerUsable(worker)) {
+        markWorkerDeadLocked(worker);
+        return;
+      }
+      index = queues_[worker].front();
+      queues_[worker].pop_front();
+      UnitState& u = units_[index];
+      if (u.done) continue;  // a hedge already won this unit
+      u.inFlight = true;
+      u.owner = worker;
+      u.startedAt = std::chrono::steady_clock::now();
+      ++u.attempts;
+      ++stats_.dispatches;
+    }
+
+    const UnitState snapshot = [&] {
+      std::lock_guard lock(mutex_);
+      return units_[index];
+    }();
+
+    try {
+      // Claim first: an overloaded worker declines instead of queueing
+      // the unit blind, and the coordinator reroutes along the ring.
+      Request claim;
+      claim.op = Op::Claim;
+      claim.unit = snapshot.cacheKey;
+      const Response claimed = client->request(claim);
+      const Json* granted =
+          claimed.ok() ? claimed.result.find("granted") : nullptr;
+      if (granted == nullptr || !granted->asBool()) {
+        std::lock_guard lock(mutex_);
+        ++stats_.claimsDeclined;
+        units_[index].inFlight = false;
+        rerouteLocked(index, worker);
+        continue;
+      }
+
+      const Response response =
+          client->request(studyRequest(snapshot, sweepCycles_));
+      if (!response.ok()) {
+        throw Error(response.error.empty() ? "status " + response.status
+                                           : response.error);
+      }
+      std::lock_guard lock(mutex_);
+      applyReplyLocked(index, worker, response);
+    } catch (const ConnectionLostError&) {
+      // The client's own reconnect/backoff schedule is spent: the
+      // worker is gone, not just restarting.
+      std::lock_guard lock(mutex_);
+      units_[index].inFlight = false;
+      markWorkerDeadLocked(worker);
+      if (!units_[index].done) rerouteLocked(index, worker);
+      return;
+    } catch (const Error& e) {
+      std::lock_guard lock(mutex_);
+      UnitState& u = units_[index];
+      u.inFlight = false;
+      if (u.done) continue;  // hedge won while we were failing
+      if (u.attempts >= config_.maxUnitAttempts) {
+        failSweepLocked("unit '" + u.cacheKey + "' failed after " +
+                        std::to_string(u.attempts) +
+                        " attempts: " + e.what());
+        return;
+      }
+      rerouteLocked(index, worker);
+    }
+  }
+}
+
+FleetSweepStats Coordinator::lastSweepStats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::string Coordinator::mergedMetrics() {
+  std::vector<std::pair<std::string, std::string>> expositions;
+  for (const auto& [name, endpoint] : endpoints_) {
+    if (registry_.state(name) == WorkerState::Dead) continue;
+    try {
+      ServiceClient client(endpoint.host, endpoint.port,
+                           probeLimits(config_));
+      Request req;
+      req.op = Op::Metrics;
+      const Response response = client.request(req);
+      if (!response.ok()) continue;
+      const Json* exposition = response.result.find("exposition");
+      if (exposition == nullptr || !exposition->isString()) continue;
+      expositions.emplace_back(name, exposition->asString());
+    } catch (const Error&) {
+      // A worker that dies between the registry check and the scrape is
+      // simply absent from this merge, like any dead worker.
+    }
+  }
+  PVIZ_REQUIRE(!expositions.empty(), "no fleet worker answered the scrape");
+  return telemetry::mergeExpositions(expositions, "worker");
+}
+
+std::vector<std::pair<std::string, Json>> Coordinator::workerStats() {
+  std::vector<std::pair<std::string, Json>> out;
+  for (const auto& [name, endpoint] : endpoints_) {
+    if (registry_.state(name) == WorkerState::Dead) continue;
+    try {
+      ServiceClient client(endpoint.host, endpoint.port,
+                           probeLimits(config_));
+      Request req;
+      req.op = Op::Stats;
+      const Response response = client.request(req);
+      if (response.ok()) out.emplace_back(name, response.result);
+    } catch (const Error&) {
+    }
+  }
+  return out;
+}
+
+Json Coordinator::statsJson() const {
+  Json workers = Json::array();
+  for (const WorkerInfo& info : registry_.snapshot()) {
+    Json w = Json::object();
+    w.set("name", info.name);
+    w.set("host", info.host);
+    w.set("port", info.port);
+    if (info.pid > 0) w.set("pid", static_cast<double>(info.pid));
+    w.set("state", workerStateToken(info.state));
+    w.set("beats_seen", static_cast<double>(info.beatsSeen));
+    w.set("beats_missed", static_cast<double>(info.beatsMissed));
+    w.set("last_seq", static_cast<double>(info.lastSeq));
+    workers.push(std::move(w));
+  }
+
+  FleetSweepStats stats;
+  {
+    std::lock_guard lock(mutex_);
+    stats = stats_;
+  }
+  Json byWorker = Json::object();
+  for (const auto& [name, count] : stats.unitsByWorker) {
+    byWorker.set(name, static_cast<double>(count));
+  }
+  Json sweep = Json::object();
+  sweep.set("grain", core::sweepGrainToken(config_.grain));
+  sweep.set("units", static_cast<double>(stats.units));
+  sweep.set("records", static_cast<double>(stats.records));
+  sweep.set("dispatches", static_cast<double>(stats.dispatches));
+  sweep.set("cached_replies", static_cast<double>(stats.cachedReplies));
+  sweep.set("duplicates", static_cast<double>(stats.duplicates));
+  sweep.set("hedges", static_cast<double>(stats.hedges));
+  sweep.set("reroutes", static_cast<double>(stats.reroutes));
+  sweep.set("claims_declined", static_cast<double>(stats.claimsDeclined));
+  sweep.set("workers_dead", static_cast<double>(stats.workersDead));
+  sweep.set("units_by_worker", std::move(byWorker));
+
+  Json out = Json::object();
+  out.set("workers", std::move(workers));
+  out.set("sweep", std::move(sweep));
+  return out;
+}
+
+}  // namespace pviz::fleet

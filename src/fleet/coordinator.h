@@ -1,0 +1,195 @@
+// The fleet coordinator: sharded studies over a pool of powerviz_serve
+// workers.
+//
+// runSweep() decomposes the (sizes × algorithms × caps) matrix into
+// SweepUnits (core/sweep.h), routes each unit by its (algorithm, size)
+// pairKey over a consistent-hash ring (fleet/hash_ring.h) so a pair's
+// caps stay on one worker and its characterization cache stays hot,
+// then drives one dispatcher thread per worker:
+//
+//   claim → dispatch → merge
+//
+// Claim is an advisory admission handshake (the worker grants while its
+// request queue has room); a declined claim reroutes the unit to the
+// next worker on the ring instead of queueing blind.  Dispatch is the
+// ordinary `study` op over the ndjson protocol through ServiceClient,
+// whose own retry layer absorbs a worker *restart*; a worker that stays
+// dead surfaces as ConnectionLostError, and the coordinator then marks
+// it dead, removes it from the ring, and reroutes everything it still
+// owed.  Liveness is double-checked by a heartbeat thread feeding the
+// WorkerRegistry (K consecutive misses = dead), which catches workers
+// that hang without dropping connections.  Optionally, units in flight
+// longer than `hedgeAfterMs` are hedged: a duplicate dispatch to a
+// different worker, first completion wins.
+//
+// Merging is by slot, not by arrival: every unit carries the index
+// range its records occupy in the single-process record order, fixed at
+// decomposition time, and only the first reply for a unit fills its
+// slots (later replies are counted as duplicates and dropped).  The
+// merged report is therefore *bit-identical* to what one
+// `powerviz_serve` would return for the whole sweep — same JSON, same
+// order — which is what test_fleet asserts.  That identity leans on the
+// kernel-determinism guarantee (PR 3): a characterization is the same
+// numbers no matter which process runs it.
+//
+// mergedMetrics() scrapes every usable worker's `metrics` op and merges
+// the expositions through telemetry::mergeExpositions, labeling each
+// series with its worker name — one fleet-wide scrape that still passes
+// lintPrometheus.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/sweep.h"
+#include "fleet/hash_ring.h"
+#include "fleet/worker_registry.h"
+#include "service/client.h"
+#include "service/protocol.h"
+
+namespace pviz::fleet {
+
+struct FleetEndpoint {
+  std::string name;  ///< fleet identity ("w0", "w1", ...)
+  std::string host = "127.0.0.1";
+  int port = 0;
+  long pid = -1;  ///< when spawned by this process; -1 for attached
+};
+
+struct CoordinatorConfig {
+  std::vector<FleetEndpoint> endpoints;
+  core::SweepGrain grain = core::SweepGrain::PerCap;
+
+  int heartbeatIntervalMs = 250;
+  int heartbeatTimeoutMs = 2000;  ///< recv deadline per beat
+  int missesBeforeDead = 3;       ///< consecutive misses → dead
+
+  /// Hedge a unit in flight longer than this to a second worker
+  /// (0 disables hedging).
+  int hedgeAfterMs = 0;
+  /// Dispatch attempts per unit before the sweep fails.
+  int maxUnitAttempts = 5;
+
+  /// ServiceClient limits for dispatch connections.  Retries absorb a
+  /// worker restart; the recv deadline (0 = none) turns a hung worker
+  /// into a retryable error instead of a stuck dispatcher.
+  int clientRetries = 2;
+  int clientBackoffMs = 50;
+  int recvTimeoutMs = 0;
+
+  int virtualNodes = 128;  ///< ring points per worker
+};
+
+/// Counters from the most recent runSweep().
+struct FleetSweepStats {
+  std::size_t units = 0;
+  std::size_t records = 0;
+  std::size_t dispatches = 0;      ///< study requests sent
+  std::size_t cachedReplies = 0;   ///< answered from a worker result cache
+  std::size_t duplicates = 0;      ///< replies that lost the slot race
+  std::size_t hedges = 0;
+  std::size_t reroutes = 0;        ///< units moved between workers
+  std::size_t claimsDeclined = 0;
+  std::size_t workersDead = 0;     ///< deaths observed during the sweep
+  std::map<std::string, std::size_t> unitsByWorker;  ///< credited winner
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig config);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Register the fleet identity with every endpoint and start the
+  /// heartbeat prober.  Endpoints that cannot be reached are marked
+  /// dead; throws pviz::Error when none are usable.
+  void start();
+  void stop();
+
+  /// Run the full sweep across the fleet; blocks until every slot is
+  /// filled.  Returns {"count": N, "records": [...]} bit-identical to
+  /// the single-process `study` op for the same scope.  Throws
+  /// pviz::Error when a unit exhausts maxUnitAttempts or the whole
+  /// fleet dies.  `cycles` must be positive (every worker must run the
+  /// same cycle count for the reports to be comparable).
+  service::Json runSweep(const std::vector<core::Algorithm>& algorithms,
+                         const std::vector<vis::Id>& sizes,
+                         const std::vector<double>& capsWatts, int cycles);
+
+  /// Counters from the most recent runSweep().
+  FleetSweepStats lastSweepStats() const;
+
+  /// Fleet-wide Prometheus exposition: every usable worker's `metrics`
+  /// scrape merged, each series labeled {worker="..."}.  Dead workers
+  /// are skipped; throws when no worker answers.
+  std::string mergedMetrics();
+
+  /// Per-worker `stats` op replies (skips workers that do not answer).
+  std::vector<std::pair<std::string, service::Json>> workerStats();
+
+  /// Fleet summary: registry snapshot + last sweep counters.
+  service::Json statsJson() const;
+
+  WorkerRegistry& registry() { return registry_; }
+
+ private:
+  struct UnitState {
+    core::SweepUnit unit;
+    std::string cacheKey;   ///< claim token = the unit's result-cache key
+    std::string pairKey;    ///< routing key
+    int attempts = 0;
+    bool hedged = false;
+    bool inFlight = false;
+    bool done = false;
+    std::string owner;  ///< dispatcher currently (or last) carrying it
+    std::chrono::steady_clock::time_point startedAt{};
+  };
+
+  void heartbeatLoop();
+  void dispatchLoop(const std::string& worker);
+
+  /// All *Locked methods require mutex_ held.
+  void markWorkerDeadLocked(const std::string& worker);
+  void rerouteLocked(std::size_t index, const std::string& notTo);
+  void enqueueLocked(const std::string& worker, std::size_t index);
+  void applyReplyLocked(std::size_t index, const std::string& worker,
+                        const service::Response& response);
+  void failSweepLocked(const std::string& why);
+  bool workerUsable(const std::string& worker) const;
+
+  service::Request studyRequest(const UnitState& unit, int cycles) const;
+
+  CoordinatorConfig config_;
+  WorkerRegistry registry_;
+  std::map<std::string, FleetEndpoint> endpoints_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  HashRing ring_;
+  bool running_ = false;
+
+  // Sweep state (valid while sweepActive_).
+  bool sweepActive_ = false;
+  int sweepCycles_ = 0;
+  std::string failure_;
+  std::vector<UnitState> units_;
+  std::vector<service::Json> slots_;
+  std::vector<char> filled_;
+  std::size_t filledCount_ = 0;
+  std::map<std::string, std::deque<std::size_t>> queues_;
+  FleetSweepStats stats_;
+
+  std::thread heartbeatThread_;
+};
+
+}  // namespace pviz::fleet

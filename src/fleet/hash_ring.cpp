@@ -1,0 +1,72 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pviz::fleet {
+
+HashRing::HashRing(int virtualNodes) : virtualNodes_(virtualNodes) {
+  PVIZ_REQUIRE(virtualNodes >= 1, "ring needs at least one virtual node");
+}
+
+std::uint64_t HashRing::hash(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+void HashRing::add(const std::string& node) {
+  if (!nodes_.insert(node).second) return;
+  for (int v = 0; v < virtualNodes_; ++v) {
+    // Collisions across vnode labels are vanishingly rare; if two labels
+    // do collide, last-insert-wins is still deterministic.
+    ring_[hash(node + '#' + std::to_string(v))] = node;
+  }
+}
+
+void HashRing::remove(const std::string& node) {
+  if (nodes_.erase(node) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool HashRing::contains(const std::string& node) const {
+  return nodes_.count(node) != 0;
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  return {nodes_.begin(), nodes_.end()};
+}
+
+const std::string& HashRing::route(const std::string& key) const {
+  PVIZ_REQUIRE(!ring_.empty(), "cannot route on an empty ring");
+  auto it = ring_.lower_bound(hash(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap the circle
+  return it->second;
+}
+
+std::vector<std::string> HashRing::routeSequence(const std::string& key,
+                                                 std::size_t count) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || count == 0) return out;
+  auto it = ring_.lower_bound(hash(key));
+  for (std::size_t seen = 0; seen < ring_.size() && out.size() < count;
+       ++seen, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace pviz::fleet

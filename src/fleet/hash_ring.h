@@ -1,0 +1,62 @@
+// Consistent-hash ring for fleet routing.
+//
+// The coordinator routes every sweep unit by its locality key (the
+// (algorithm, size) pairKey) so all caps of one pair land on the same
+// worker and that worker's characterization cache stays hot.  A
+// consistent ring — each node owns many virtual points on a 64-bit
+// circle, a key routes to the first point at or after its hash — keeps
+// that assignment stable under membership change: when a worker dies and
+// is removed, only the keys it owned move (to their next-clockwise
+// neighbours); every other pair keeps its warm worker.  A plain
+// `hash % N` would reshuffle almost everything on N → N-1.
+//
+// Hashing is FNV-1a 64 (deterministic across processes and runs, no
+// seed), so a given endpoint set always yields the same routing — the
+// fleet tests and the bit-identical-merge guarantee rely on that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pviz::fleet {
+
+class HashRing {
+ public:
+  /// `virtualNodes` points per node; more points = smoother balance at
+  /// the cost of a bigger map.  128 keeps the worst node within a few
+  /// tens of percent of fair share for small fleets.
+  explicit HashRing(int virtualNodes = 128);
+
+  /// Idempotent; re-adding an existing node is a no-op.
+  void add(const std::string& node);
+  /// Idempotent; removing an absent node is a no-op.
+  void remove(const std::string& node);
+  bool contains(const std::string& node) const;
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+  std::vector<std::string> nodes() const;
+
+  /// The node owning `key` — first ring point clockwise of hash(key).
+  /// Throws pviz::Error when the ring is empty.
+  const std::string& route(const std::string& key) const;
+
+  /// The first `count` *distinct* nodes clockwise of hash(key): the
+  /// owner followed by its failover order.  Fewer when the ring is
+  /// smaller than `count`.
+  std::vector<std::string> routeSequence(const std::string& key,
+                                         std::size_t count) const;
+
+  /// FNV-1a 64-bit — the ring's hash, exposed for tests.
+  static std::uint64_t hash(const std::string& text);
+
+ private:
+  int virtualNodes_;
+  std::map<std::uint64_t, std::string> ring_;  ///< point → node
+  std::set<std::string> nodes_;
+};
+
+}  // namespace pviz::fleet

@@ -1,0 +1,117 @@
+#include "fleet/spawn.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pviz::fleet {
+
+namespace {
+
+void reap(SpawnedWorker& worker) {
+  if (worker.pid > 0) {
+    int status = 0;
+    while (::waitpid(static_cast<pid_t>(worker.pid), &status, 0) < 0 &&
+           errno == EINTR) {
+    }
+    worker.pid = -1;
+  }
+  if (worker.stdoutFd >= 0) {
+    ::close(worker.stdoutFd);
+    worker.stdoutFd = -1;
+  }
+}
+
+void signalAndReap(SpawnedWorker& worker, int sig) {
+  if (worker.pid > 0) ::kill(static_cast<pid_t>(worker.pid), sig);
+  reap(worker);
+}
+
+}  // namespace
+
+SpawnedWorker spawnServeWorker(const SpawnOptions& options) {
+  PVIZ_REQUIRE(!options.serveBin.empty(), "spawn needs a serve binary path");
+
+  int pipeFds[2] = {-1, -1};
+  PVIZ_REQUIRE(::pipe(pipeFds) == 0, "cannot create worker stdout pipe");
+
+  const pid_t pid = ::fork();
+  PVIZ_REQUIRE(pid >= 0, "cannot fork worker");
+  if (pid == 0) {
+    // Child: stdout → pipe, then exec the server on an ephemeral port.
+    ::dup2(pipeFds[1], STDOUT_FILENO);
+    ::close(pipeFds[0]);
+    ::close(pipeFds[1]);
+    std::vector<std::string> argvStrings;
+    argvStrings.push_back(options.serveBin);
+    argvStrings.push_back("--port");
+    argvStrings.push_back("0");
+    for (const std::string& a : options.args) argvStrings.push_back(a);
+    std::vector<char*> argv;
+    argv.reserve(argvStrings.size() + 1);
+    for (std::string& a : argvStrings) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(options.serveBin.c_str(), argv.data());
+    _exit(127);  // exec failed
+  }
+
+  ::close(pipeFds[1]);
+  SpawnedWorker worker;
+  worker.pid = pid;
+  worker.stdoutFd = pipeFds[0];
+
+  // Scrape "powerviz_serve listening port=NNNN" from the pipe.
+  std::string banner;
+  for (;;) {
+    const std::size_t nl = banner.find('\n');
+    if (nl != std::string::npos) break;
+    pollfd pfd{worker.stdoutFd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, options.bannerTimeoutMs);
+    if (ready <= 0) {
+      signalAndReap(worker, SIGKILL);
+      throw Error("worker readiness banner timed out after " +
+                  std::to_string(options.bannerTimeoutMs) + " ms");
+    }
+    char chunk[256];
+    const ssize_t n = ::read(worker.stdoutFd, chunk, sizeof chunk);
+    if (n <= 0) {
+      signalAndReap(worker, SIGKILL);
+      throw Error("worker exited before printing its readiness banner (is '" +
+                  options.serveBin + "' a powerviz_serve binary?)");
+    }
+    banner.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  const std::string needle = "listening port=";
+  const std::size_t at = banner.find(needle);
+  if (at == std::string::npos) {
+    signalAndReap(worker, SIGKILL);
+    throw Error("unrecognized worker banner: " +
+                banner.substr(0, banner.find('\n')));
+  }
+  worker.port = std::atoi(banner.c_str() + at + needle.size());
+  if (worker.port <= 0) {
+    signalAndReap(worker, SIGKILL);
+    throw Error("worker banner carries no usable port: " +
+                banner.substr(0, banner.find('\n')));
+  }
+  return worker;
+}
+
+void terminateWorker(SpawnedWorker& worker) {
+  signalAndReap(worker, SIGTERM);
+}
+
+void killWorkerHard(SpawnedWorker& worker) {
+  signalAndReap(worker, SIGKILL);
+}
+
+}  // namespace pviz::fleet

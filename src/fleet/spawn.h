@@ -1,0 +1,49 @@
+// Process-spawning helpers for fleet workers.
+//
+// A fleet worker is just a `powerviz_serve` process on an ephemeral
+// port.  spawnServeWorker() fork/execs the binary with `--port 0`, pipes
+// its stdout, and scrapes the "powerviz_serve listening port=NNNN"
+// readiness banner — the same handshake the end-to-end tests use — so
+// the caller gets back a (pid, port) pair it can register with the
+// coordinator.  terminateWorker() is the graceful path (SIGTERM: the
+// server drains its queue and exits 0); killWorkerHard() is SIGKILL, the
+// chaos/failover path that leaves requests unanswered mid-flight.  Both
+// reap the child, so no zombies accumulate across a test run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pviz::fleet {
+
+struct SpawnOptions {
+  /// Path to the powerviz_serve binary.
+  std::string serveBin;
+  /// Extra argv entries after the implicit `--port 0` (e.g. "--light",
+  /// "--cycles", "2", "--quiet").
+  std::vector<std::string> args;
+  /// How long to wait for the readiness banner before giving up and
+  /// killing the child.
+  int bannerTimeoutMs = 30000;
+};
+
+struct SpawnedWorker {
+  long pid = -1;
+  int port = 0;
+  int stdoutFd = -1;  ///< the banner pipe; held open until termination
+};
+
+/// Fork/exec one worker and wait for its readiness banner.  Throws
+/// pviz::Error (having reaped the child) when the spawn or the banner
+/// fails.
+SpawnedWorker spawnServeWorker(const SpawnOptions& options);
+
+/// SIGTERM, wait for exit, reap, close the pipe.  Safe on an
+/// already-dead or never-spawned worker.
+void terminateWorker(SpawnedWorker& worker);
+
+/// SIGKILL — no drain, in-flight requests die with the process.  Reaps
+/// and closes like terminateWorker.
+void killWorkerHard(SpawnedWorker& worker);
+
+}  // namespace pviz::fleet

@@ -1,0 +1,94 @@
+#include "fleet/worker_registry.h"
+
+#include "util/error.h"
+
+namespace pviz::fleet {
+
+const char* workerStateToken(WorkerState state) {
+  switch (state) {
+    case WorkerState::Alive: return "alive";
+    case WorkerState::Suspect: return "suspect";
+    case WorkerState::Dead: return "dead";
+  }
+  return "?";
+}
+
+WorkerRegistry::WorkerRegistry(int missesBeforeDead)
+    : missesBeforeDead_(missesBeforeDead) {
+  PVIZ_REQUIRE(missesBeforeDead >= 1, "death needs at least one missed beat");
+}
+
+void WorkerRegistry::add(const std::string& name, const std::string& host,
+                         int port, long pid) {
+  PVIZ_REQUIRE(!name.empty(), "worker name must be non-empty");
+  std::lock_guard lock(mutex_);
+  PVIZ_REQUIRE(workers_.count(name) == 0,
+               "worker '" + name + "' is already registered");
+  WorkerInfo info;
+  info.name = name;
+  info.host = host;
+  info.port = port;
+  info.pid = pid;
+  workers_.emplace(name, std::move(info));
+}
+
+WorkerState WorkerRegistry::recordHeartbeat(const std::string& name,
+                                            bool success, std::int64_t seq) {
+  std::lock_guard lock(mutex_);
+  auto it = workers_.find(name);
+  PVIZ_REQUIRE(it != workers_.end(), "unknown worker '" + name + "'");
+  WorkerInfo& w = it->second;
+  if (success) {
+    w.consecutiveMisses = 0;
+    w.state = WorkerState::Alive;  // revival is allowed
+    ++w.beatsSeen;
+    w.lastSeq = seq;
+  } else {
+    ++w.beatsMissed;
+    if (++w.consecutiveMisses >= missesBeforeDead_) {
+      w.state = WorkerState::Dead;
+    } else if (w.state != WorkerState::Dead) {
+      w.state = WorkerState::Suspect;
+    }
+  }
+  return w.state;
+}
+
+void WorkerRegistry::markDead(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto it = workers_.find(name);
+  PVIZ_REQUIRE(it != workers_.end(), "unknown worker '" + name + "'");
+  it->second.state = WorkerState::Dead;
+  it->second.consecutiveMisses = missesBeforeDead_;
+}
+
+WorkerState WorkerRegistry::state(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = workers_.find(name);
+  PVIZ_REQUIRE(it != workers_.end(), "unknown worker '" + name + "'");
+  return it->second.state;
+}
+
+std::vector<std::string> WorkerRegistry::usable() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, info] : workers_) {
+    if (info.state != WorkerState::Dead) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<WorkerInfo> WorkerRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<WorkerInfo> out;
+  out.reserve(workers_.size());
+  for (const auto& [name, info] : workers_) out.push_back(info);
+  return out;
+}
+
+std::size_t WorkerRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return workers_.size();
+}
+
+}  // namespace pviz::fleet

@@ -1,0 +1,74 @@
+// Fleet membership and liveness.
+//
+// The coordinator is the only prober: a heartbeat thread sends each
+// worker a `heartbeat` request on its own short-lived connection and
+// feeds the outcome in here.  The registry is pure bookkeeping — no
+// sockets — so the liveness policy is testable without a fleet.
+//
+// State machine per worker:
+//
+//   Alive --miss--> Suspect --(missesBeforeDead-1 more)--> Dead
+//     ^                |                                    |
+//     +----success-----+------------success-----------------+
+//
+// A single missed beat only makes a worker Suspect (localhost is
+// reliable, but a worker busy with a big study slice can be slow to
+// accept); K *consecutive* misses declare it Dead, at which point the
+// coordinator removes it from the ring and reassigns its queue.  Any
+// later success revives it — useful when an operator restarts a worker
+// on the same port mid-study.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pviz::fleet {
+
+enum class WorkerState { Alive, Suspect, Dead };
+
+const char* workerStateToken(WorkerState state);
+
+struct WorkerInfo {
+  std::string name;
+  std::string host;
+  int port = 0;
+  long pid = -1;  ///< when the fleet spawned it; -1 for attached workers
+  WorkerState state = WorkerState::Alive;
+  int consecutiveMisses = 0;
+  std::int64_t beatsSeen = 0;    ///< successful heartbeats
+  std::int64_t beatsMissed = 0;  ///< lifetime misses (not just consecutive)
+  std::int64_t lastSeq = 0;      ///< last heartbeat sequence acknowledged
+};
+
+class WorkerRegistry {
+ public:
+  explicit WorkerRegistry(int missesBeforeDead = 3);
+
+  void add(const std::string& name, const std::string& host, int port,
+           long pid = -1);
+
+  /// Feed one heartbeat outcome.  `seq` is the sequence the worker
+  /// echoed (ignored on miss).  Returns the state after the update.
+  WorkerState recordHeartbeat(const std::string& name, bool success,
+                              std::int64_t seq = 0);
+
+  /// Immediate death sentence — a dispatch connection died and the
+  /// client's own retries were exhausted, no need to wait for beats.
+  void markDead(const std::string& name);
+
+  WorkerState state(const std::string& name) const;
+  /// Alive + Suspect — workers still worth dispatching to.
+  std::vector<std::string> usable() const;
+  std::vector<WorkerInfo> snapshot() const;
+  std::size_t size() const;
+
+ private:
+  const int missesBeforeDead_;
+  mutable std::mutex mutex_;
+  std::map<std::string, WorkerInfo> workers_;
+};
+
+}  // namespace pviz::fleet

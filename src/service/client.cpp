@@ -8,35 +8,47 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/error.h"
 
 namespace pviz::service {
 
 ServiceClient::ServiceClient(const std::string& host, int port, Limits limits)
-    : limits_(limits) {
+    : host_(host), port_(port), limits_(limits) {
   PVIZ_REQUIRE(limits_.maxFrameBytes >= 64,
                "client frame bound must fit a minimal response");
   PVIZ_REQUIRE(limits_.recvTimeoutMs >= 0,
                "client receive deadline must be >= 0 (0 disables)");
+  PVIZ_REQUIRE(limits_.retries >= 0, "client retries must be >= 0");
+  PVIZ_REQUIRE(limits_.retryBackoffMs >= 0,
+               "client retry backoff must be >= 0");
+  connectWithRetry();
+}
+
+ServiceClient::~ServiceClient() { disconnect(); }
+
+void ServiceClient::connectOnce() {
+  disconnect();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   PVIZ_REQUIRE(fd_ >= 0, "cannot create client socket");
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     ::close(fd_);
     fd_ = -1;
-    throw Error("invalid service address '" + host + "'");
+    throw Error("invalid service address '" + host_ + "'");
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     const std::string why = std::strerror(errno);
     ::close(fd_);
     fd_ = -1;
-    throw Error("cannot connect to " + host + ":" + std::to_string(port) +
-                ": " + why);
+    throw ConnectionLostError("cannot connect to " + host_ + ":" +
+                              std::to_string(port_) + ": " + why);
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -46,19 +58,49 @@ ServiceClient::ServiceClient(const std::string& host, int port, Limits limits)
     tv.tv_usec = (limits_.recvTimeoutMs % 1000) * 1000;
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   }
+  buffer_.clear();
 }
 
-ServiceClient::~ServiceClient() {
+void ServiceClient::connectWithRetry() {
+  int backoffMs = limits_.retryBackoffMs;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      connectOnce();
+      return;
+    } catch (const ConnectionLostError&) {
+      if (attempt >= limits_.retries) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
+      backoffMs *= 2;
+    }
+  }
+}
+
+void ServiceClient::disconnect() {
   if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
 }
 
 Response ServiceClient::request(Request req) {
   if (req.id.empty()) req.id = "c" + std::to_string(nextId_++);
-  writeAll(toJson(req).dump() + "\n");
-  for (;;) {
-    const Response response = responseFromJson(Json::parse(readLine()));
-    if (response.id == req.id || response.id.empty()) return response;
-    // A response to some other request on a shared connection: skip.
+  const std::string frame = toJson(req).dump() + "\n";
+  int backoffMs = limits_.retryBackoffMs;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      writeAll(frame);
+      for (;;) {
+        const Response response = responseFromJson(Json::parse(readLine()));
+        if (response.id == req.id || response.id.empty()) return response;
+        // A response to some other request on a shared connection: skip.
+      }
+    } catch (const ConnectionLostError&) {
+      // The peer vanished mid-request (worker restart, abrupt kill).
+      // Reconnect and resend: the protocol is idempotent, so the worst
+      // case is recomputing — or cache-hitting — the same result.
+      if (attempt >= limits_.retries) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
+      backoffMs *= 2;
+      connectWithRetry();
+    }
   }
 }
 
@@ -73,7 +115,9 @@ void ServiceClient::writeAll(const std::string& frame) {
   while (sent < frame.size()) {
     const ssize_t n =
         ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
-    PVIZ_REQUIRE(n > 0, "service connection closed while writing");
+    if (n <= 0) {
+      throw ConnectionLostError("service connection closed while writing");
+    }
     sent += static_cast<std::size_t>(n);
   }
 }
@@ -94,10 +138,14 @@ std::string ServiceClient::readLine() {
     char chunk[16384];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      throw Error("service read timed out after " +
-                  std::to_string(limits_.recvTimeoutMs) + " ms");
+      // A receive deadline is a *slow* server, not a dead one — never
+      // retried, so a hung worker cannot make the client resend forever.
+      throw TimeoutError("service read timed out after " +
+                         std::to_string(limits_.recvTimeoutMs) + " ms");
     }
-    PVIZ_REQUIRE(n > 0, "service connection closed while reading");
+    if (n <= 0) {
+      throw ConnectionLostError("service connection closed while reading");
+    }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }

@@ -11,14 +11,41 @@
 // than Limits::maxFrameBytes throws instead of accumulating without
 // bound, and an optional receive deadline keeps a hung or slow server
 // from blocking the client forever.
+//
+// Transient-failure handling: with Limits::retries > 0 the client
+// retries a refused connect and reconnects-and-resends a request whose
+// connection died mid-flight (EOF / reset — NOT a receive timeout),
+// with exponential backoff between attempts.  That makes scripted runs
+// and fleet dispatch survive a worker restart.  Resending is safe for
+// this protocol: every operation is idempotent (heavy ones are
+// deterministic and result-cached), so a request the dead server had
+// already executed just becomes a cache hit on the replacement.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
 #include "service/protocol.h"
+#include "util/error.h"
 
 namespace pviz::service {
+
+/// The connection died under a request (refused connect, send failure,
+/// EOF/reset mid-read).  Distinct from Error so callers — and the
+/// client's own retry loop — can tell a dead peer from a protocol or
+/// deadline problem.
+class ConnectionLostError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The per-read receive deadline (Limits::recvTimeoutMs) expired.  A
+/// slow server, not a dead one — never retried by the client, and
+/// callers should count it separately from protocol errors.
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
 
 struct ClientLimits {
   /// Response frame bound.  Study responses are much larger than
@@ -27,13 +54,20 @@ struct ClientLimits {
   std::size_t maxFrameBytes = 256u << 20;
   /// Receive deadline per read, in ms (0 = block indefinitely).
   int recvTimeoutMs = 0;
+  /// Extra attempts after a lost connection (0 = fail fast).  Applies
+  /// to the initial connect and to each request() that hits a
+  /// ConnectionLostError mid-flight.
+  int retries = 0;
+  /// Backoff before the first retry, in ms; doubles per attempt.
+  int retryBackoffMs = 50;
 };
 
 class ServiceClient {
  public:
   using Limits = ClientLimits;
 
-  /// Connect to host:port; throws pviz::Error on failure.
+  /// Connect to host:port; retries per Limits, then throws
+  /// ConnectionLostError on failure.
   ServiceClient(const std::string& host, int port, Limits limits = {});
   ~ServiceClient();
 
@@ -41,7 +75,8 @@ class ServiceClient {
   ServiceClient& operator=(const ServiceClient&) = delete;
 
   /// Send one request and block for its response (matched by id; the
-  /// client stamps an id when the request has none).
+  /// client stamps an id when the request has none).  A connection lost
+  /// mid-request is retried per Limits: reconnect with backoff, resend.
   Response request(Request req);
 
   /// Raw exchange: send `line`, return the next response line verbatim
@@ -51,9 +86,16 @@ class ServiceClient {
   bool connected() const { return fd_ >= 0; }
 
  private:
+  /// One connect attempt; throws ConnectionLostError on failure.
+  void connectOnce();
+  /// Connect with the Limits retry/backoff schedule.
+  void connectWithRetry();
+  void disconnect();
   void writeAll(const std::string& frame);
   std::string readLine();  ///< blocks; throws on EOF/error
 
+  std::string host_;
+  int port_ = 0;
   int fd_ = -1;
   Limits limits_;
   std::string buffer_;

@@ -39,9 +39,12 @@ ServiceEngine::Outcome ServiceEngine::handle(const Request& rawRequest) {
 
 ServiceEngine::Outcome ServiceEngine::handle(util::ExecutionContext& ctx,
                                              const Request& rawRequest) {
-  PVIZ_REQUIRE(rawRequest.op != Op::Stats && rawRequest.op != Op::Metrics,
-               "stats/metrics requests are answered by the server, not the "
-               "engine");
+  PVIZ_REQUIRE(rawRequest.op != Op::Stats && rawRequest.op != Op::Metrics &&
+                   rawRequest.op != Op::Register &&
+                   rawRequest.op != Op::Heartbeat &&
+                   rawRequest.op != Op::Claim,
+               "stats/metrics/fleet requests are answered by the server, not "
+               "the engine");
   const Request request = normalize(rawRequest);
   const std::string key = canonicalCacheKey(request);
 
@@ -114,6 +117,9 @@ Json ServiceEngine::execute(util::ExecutionContext& ctx,
 
     case Op::Stats:
     case Op::Metrics:
+    case Op::Register:
+    case Op::Heartbeat:
+    case Op::Claim:
       break;
   }
   throw Error("unhandled op");

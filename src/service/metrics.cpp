@@ -33,6 +33,11 @@ ServiceMetrics::ServiceMetrics() : start_(std::chrono::steady_clock::now()) {
       "pviz_rejected_frames_total", {}, "Frames over the size bound");
   shedConnections_ = &registry_.counter(
       "pviz_shed_connections_total", {}, "Connections shed at accept time");
+  claimsGranted_ = &registry_.counter(
+      "pviz_claims_granted_total", {}, "Fleet work-unit claims granted");
+  claimsDeclined_ = &registry_.counter(
+      "pviz_claims_declined_total", {},
+      "Fleet work-unit claims declined under load");
   connectionsAccepted_ = &registry_.counter(
       "pviz_connections_accepted_total", {}, "Connections accepted");
   connectionsActive_ = &registry_.gauge("pviz_connections_active", {},
@@ -73,6 +78,10 @@ void ServiceMetrics::recordCancelled() { cancelled_->inc(); }
 void ServiceMetrics::recordRejectedFrame() { rejectedFrames_->inc(); }
 void ServiceMetrics::recordShedConnection() { shedConnections_->inc(); }
 
+void ServiceMetrics::recordClaim(bool granted) {
+  (granted ? claimsGranted_ : claimsDeclined_)->inc();
+}
+
 void ServiceMetrics::connectionOpened() {
   connectionsAccepted_->inc();
   connectionsActive_->add(1.0);
@@ -107,6 +116,8 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   snap.cancelled = cancelled_->value();
   snap.rejectedFrames = rejectedFrames_->value();
   snap.shedConnections = shedConnections_->value();
+  snap.claimsGranted = claimsGranted_->value();
+  snap.claimsDeclined = claimsDeclined_->value();
   snap.queueDepth = static_cast<std::size_t>(queueDepth_->value());
   snap.maxQueueDepth = static_cast<std::size_t>(maxQueueDepth_->value());
   snap.connectionsAccepted = connectionsAccepted_->value();
@@ -153,6 +164,8 @@ Json ServiceMetrics::toJson(const Snapshot& snapshot,
   out.set("cancelled", static_cast<double>(snapshot.cancelled));
   out.set("rejected_frames", static_cast<double>(snapshot.rejectedFrames));
   out.set("shed_connections", static_cast<double>(snapshot.shedConnections));
+  out.set("claims_granted", static_cast<double>(snapshot.claimsGranted));
+  out.set("claims_declined", static_cast<double>(snapshot.claimsDeclined));
   out.set("queue_depth", static_cast<double>(snapshot.queueDepth));
   out.set("max_queue_depth", static_cast<double>(snapshot.maxQueueDepth));
   out.set("connections_accepted",

@@ -28,7 +28,7 @@ namespace pviz::service {
 class ServiceMetrics {
  public:
   /// Number of wire operations (indexed by Op).
-  static constexpr std::size_t kOpCount = 7;
+  static constexpr std::size_t kOpCount = 10;
 
   ServiceMetrics();
 
@@ -54,6 +54,8 @@ class ServiceMetrics {
                                         ///< request's cancellation token
     std::uint64_t rejectedFrames = 0;   ///< frames over the size bound
     std::uint64_t shedConnections = 0;  ///< accept-time connection shedding
+    std::uint64_t claimsGranted = 0;    ///< fleet work-unit claims granted
+    std::uint64_t claimsDeclined = 0;   ///< fleet claims declined (load)
     std::size_t queueDepth = 0;
     std::size_t maxQueueDepth = 0;
     std::uint64_t connectionsAccepted = 0;
@@ -77,6 +79,8 @@ class ServiceMetrics {
   void recordRejectedFrame();
   /// One connection shed at accept time (over the connection bound).
   void recordShedConnection();
+  /// One fleet work-unit claim, granted or declined.
+  void recordClaim(bool granted);
 
   void connectionOpened();
   void connectionClosed();
@@ -113,6 +117,8 @@ class ServiceMetrics {
   telemetry::Counter* cancelled_;
   telemetry::Counter* rejectedFrames_;
   telemetry::Counter* shedConnections_;
+  telemetry::Counter* claimsGranted_;
+  telemetry::Counter* claimsDeclined_;
   telemetry::Counter* connectionsAccepted_;
   telemetry::Gauge* connectionsActive_;
   telemetry::Gauge* queueDepth_;

@@ -39,18 +39,23 @@ const char* opToken(Op op) {
     case Op::Budget: return "budget";
     case Op::Stats: return "stats";
     case Op::Metrics: return "metrics";
+    case Op::Register: return "register";
+    case Op::Heartbeat: return "heartbeat";
+    case Op::Claim: return "claim";
   }
   return "?";
 }
 
 Op parseOpToken(const std::string& token) {
   for (Op op : {Op::Ping, Op::Characterize, Op::Study, Op::Classify,
-                Op::Budget, Op::Stats, Op::Metrics}) {
+                Op::Budget, Op::Stats, Op::Metrics, Op::Register,
+                Op::Heartbeat, Op::Claim}) {
     if (token == opToken(op)) return op;
   }
   throw Error(
       "unknown op '" + token +
-      "' (expected ping characterize study classify budget stats metrics)");
+      "' (expected ping characterize study classify budget stats metrics "
+      "register heartbeat claim)");
 }
 
 Json toJson(const Request& request) {
@@ -64,6 +69,15 @@ Json toJson(const Request& request) {
       break;
     case Op::Stats:
     case Op::Metrics:
+      break;
+    case Op::Register:
+      if (!request.worker.empty()) out.set("worker", request.worker);
+      break;
+    case Op::Heartbeat:
+      if (request.seq != 0) out.set("seq", request.seq);
+      break;
+    case Op::Claim:
+      out.set("unit", request.unit);
       break;
     case Op::Characterize:
       out.set("algorithm", core::algorithmToken(request.algorithm));
@@ -118,6 +132,19 @@ Request requestFromJson(const Json& json) {
     return request;
   }
   if (request.op == Op::Stats || request.op == Op::Metrics) return request;
+  if (request.op == Op::Register) {
+    request.worker = stringField(json, "worker", "");
+    return request;
+  }
+  if (request.op == Op::Heartbeat) {
+    request.seq = static_cast<std::int64_t>(numberField(json, "seq", 0.0));
+    return request;
+  }
+  if (request.op == Op::Claim) {
+    request.unit = requiredField(json, "unit").asString();
+    PVIZ_REQUIRE(!request.unit.empty(), "claim needs a non-empty unit key");
+    return request;
+  }
 
   if (const Json* caps = json.find("caps")) {
     for (const Json& c : caps->asArray()) {
@@ -325,7 +352,8 @@ core::BudgetPlan budgetPlanFromJson(const Json& json) {
 
 std::string canonicalCacheKey(const Request& request) {
   if (request.op == Op::Ping || request.op == Op::Stats ||
-      request.op == Op::Metrics) {
+      request.op == Op::Metrics || request.op == Op::Register ||
+      request.op == Op::Heartbeat || request.op == Op::Claim) {
     return "";
   }
   std::ostringstream key;
@@ -364,6 +392,9 @@ std::string canonicalCacheKey(const Request& request) {
     case Op::Ping:
     case Op::Stats:
     case Op::Metrics:
+    case Op::Register:
+    case Op::Heartbeat:
+    case Op::Claim:
       break;
   }
   return key.str();

@@ -19,6 +19,20 @@
 //   metrics       telemetry registry snapshot in Prometheus text
 //                 exposition format (result: {"exposition": "..."})
 //
+// Fleet operations (coordinator → worker; see src/fleet/):
+//   register      assign this server its fleet identity ("worker":"w2");
+//                 echoed in stats and heartbeat replies so the merged
+//                 fleet metrics can be labeled per worker
+//   heartbeat     cheap liveness + load probe: echoes `seq`, reports
+//                 queue depth / connections / request totals.  The
+//                 coordinator's registry declares a worker dead after K
+//                 consecutive missed heartbeats
+//   claim         admission handshake for one work unit (`unit` carries
+//                 its result-cache key): granted while the request queue
+//                 has room, declined under load so the coordinator can
+//                 reroute to the next worker on the ring instead of
+//                 queueing blind
+//
 // Request fields (unknown fields are ignored; snake_case on the wire):
 //   {"op":"classify","id":"42","algorithm":"contour","size":64,
 //    "caps":[120,80,40],"cycles":10}
@@ -43,7 +57,18 @@
 
 namespace pviz::service {
 
-enum class Op { Ping, Characterize, Study, Classify, Budget, Stats, Metrics };
+enum class Op {
+  Ping,
+  Characterize,
+  Study,
+  Classify,
+  Budget,
+  Stats,
+  Metrics,
+  Register,
+  Heartbeat,
+  Claim,
+};
 
 /// Wire token for an operation ("ping", "characterize", ...).
 const char* opToken(Op op);
@@ -71,6 +96,11 @@ struct Request {
 
   // Ping.
   double delayMs = 0.0;  ///< artificial service time, for load tests
+
+  // Fleet operations.
+  std::string worker;     ///< register: fleet identity to assign
+  std::int64_t seq = 0;   ///< heartbeat: sequence number, echoed back
+  std::string unit;       ///< claim: the work unit's result-cache key
 
   /// Request a Chrome-trace span dump of this request's execution in the
   /// response's `trace` field.  Valid on any op; not part of the cache

@@ -116,11 +116,74 @@ void Server::stop() {
 }
 
 Json Server::statsJson() const {
-  return ServiceMetrics::toJson(metrics_.snapshot(), engine_.cache().stats());
+  Json out =
+      ServiceMetrics::toJson(metrics_.snapshot(), engine_.cache().stats());
+  const std::string id = workerId();
+  if (!id.empty()) out.set("worker", id);
+  return out;
 }
 
 std::string Server::prometheusText() {
   return metrics_.prometheusText(engine_.cache().stats());
+}
+
+std::string Server::workerId() const {
+  std::lock_guard lock(workerIdMutex_);
+  return workerId_;
+}
+
+Json Server::handleFleetOp(const Request& request) {
+  Json out = Json::object();
+  switch (request.op) {
+    case Op::Register: {
+      if (!request.worker.empty()) {
+        std::lock_guard lock(workerIdMutex_);
+        workerId_ = request.worker;
+      }
+      out.set("worker", workerId());
+      out.set("pid", static_cast<double>(::getpid()));
+      out.set("workers", config_.workers);
+      out.set("max_queue_depth", static_cast<double>(config_.maxQueueDepth));
+      return out;
+    }
+    case Op::Heartbeat: {
+      std::size_t depth = 0;
+      {
+        std::lock_guard lock(queueMutex_);
+        depth = queue_.size();
+      }
+      const ServiceMetrics::Snapshot snap = metrics_.snapshot();
+      out.set("worker", workerId());
+      out.set("seq", request.seq);
+      out.set("queue_depth", static_cast<double>(depth));
+      out.set("connections_active",
+              static_cast<double>(activeConnections_.load()));
+      out.set("uptime_ms", snap.uptimeMs);
+      out.set("total_requests", static_cast<double>(snap.totalRequests));
+      return out;
+    }
+    case Op::Claim: {
+      // Admission handshake: grant while the queue has room right now.
+      // The grant is advisory (no reservation is held) — it tells the
+      // coordinator this worker would accept the unit if sent
+      // immediately, so an overloaded worker is skipped instead of
+      // queueing a deep backlog behind it.
+      std::size_t depth = 0;
+      {
+        std::lock_guard lock(queueMutex_);
+        depth = queue_.size();
+      }
+      const bool granted = !stopping_ && depth < config_.maxQueueDepth;
+      metrics_.recordClaim(granted);
+      out.set("granted", granted);
+      out.set("queue_depth", static_cast<double>(depth));
+      out.set("worker", workerId());
+      return out;
+    }
+    default:
+      break;
+  }
+  throw Error("not a fleet op");
 }
 
 void Server::acceptLoop() {
@@ -321,6 +384,9 @@ void Server::process(Task& task, util::ExecutionContext& ctx) {
     try {
       if (request.op == Op::Stats) {
         response.result = statsJson();
+      } else if (request.op == Op::Register || request.op == Op::Heartbeat ||
+                 request.op == Op::Claim) {
+        response.result = handleFleetOp(request);
       } else if (request.op == Op::Metrics) {
         Json result = Json::object();
         result.set("exposition",

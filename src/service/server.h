@@ -103,6 +103,9 @@ class Server {
   /// The `metrics` payload: Prometheus text exposition of the registry.
   std::string prometheusText();
 
+  /// Fleet identity assigned via the `register` op (empty when none).
+  std::string workerId() const;
+
  private:
   struct Connection {
     explicit Connection(int fileDescriptor) : fd(fileDescriptor) {}
@@ -128,6 +131,9 @@ class Server {
   /// `ctx` is the worker's long-lived execution context: its arena is
   /// reused across requests, its cancel token reset per request.
   void process(Task& task, util::ExecutionContext& ctx);
+  /// register / heartbeat / claim — answered from server state, never
+  /// dispatched to the engine.
+  Json handleFleetOp(const Request& request);
   void writeLine(Connection& conn, const std::string& line);
   void respondOverloaded(Connection& conn, const std::string& line);
   /// One `status` reply (error/overloaded) with best-effort id/op echo
@@ -154,6 +160,10 @@ class Server {
   std::mutex queueMutex_;
   std::condition_variable queueCv_;
   std::deque<Task> queue_;
+
+  /// Fleet identity, set by the coordinator's `register` op.
+  mutable std::mutex workerIdMutex_;
+  std::string workerId_;
 
   /// Trace-id generator: one id per processed request, stamped on the
   /// worker's ExecutionContext so phase spans correlate with the

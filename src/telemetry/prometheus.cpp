@@ -1,5 +1,6 @@
 #include "telemetry/prometheus.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cmath>
@@ -7,6 +8,8 @@
 #include <limits>
 #include <map>
 #include <sstream>
+
+#include "util/error.h"
 
 namespace pviz::telemetry {
 
@@ -378,6 +381,182 @@ bool lintPrometheus(const std::string& text, std::string* error) {
 
   error->clear();
   return true;
+}
+
+namespace {
+
+std::string unescapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (std::size_t i = 0; i < help.size(); ++i) {
+    if (help[i] == '\\' && i + 1 < help.size()) {
+      ++i;
+      out += help[i] == 'n' ? '\n' : help[i];
+    } else {
+      out += help[i];
+    }
+  }
+  return out;
+}
+
+MetricRegistry::Kind kindFromToken(const std::string& token) {
+  if (token == "counter") return MetricRegistry::Kind::Counter;
+  if (token == "histogram") return MetricRegistry::Kind::Histogram;
+  return MetricRegistry::Kind::Gauge;  // gauge / untyped / summary
+}
+
+/// Ordering key matching MetricRegistry::snapshot(): serialized labels.
+std::string serializeLabels(const Labels& labels) {
+  std::ostringstream os;
+  for (const auto& [key, value] : labels) {
+    os << key << '\x1f' << value << '\x1e';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<MetricRegistry::Series> parsePrometheus(const std::string& text) {
+  std::vector<MetricRegistry::Series> out;
+  std::map<std::string, std::string> typeByFamily;
+  std::map<std::string, std::string> helpByFamily;
+
+  // Histogram families accumulate across their _bucket/_sum lines and
+  // are emitted as one Series when _count — the renderer's last line
+  // per series — arrives, so output order mirrors the input text.
+  struct PendingHistogram {
+    std::vector<double> cumulative;  ///< ladder order, as rendered
+    double sum = 0.0;
+  };
+  std::map<std::string, PendingHistogram> pending;  // family \x1f key
+
+  std::istringstream in(text);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, keyword, name;
+      ls >> hash >> keyword >> name;
+      if (keyword == "TYPE") {
+        std::string type;
+        ls >> type;
+        typeByFamily[name] = type;
+      } else if (keyword == "HELP") {
+        std::string rest;
+        std::getline(ls, rest);
+        if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+        helpByFamily[name] = unescapeHelp(rest);
+      }
+      continue;
+    }
+
+    Sample sample;
+    std::string error;
+    if (!parseSample(line, lineNo, &sample, &error)) {
+      throw pviz::Error("cannot parse exposition: " + error);
+    }
+
+    // Histogram component?  Only when the family is declared histogram.
+    std::string family;
+    std::string suffix;
+    for (const char* sfx : {"_bucket", "_sum", "_count"}) {
+      const std::string s(sfx);
+      if (sample.name.size() > s.size() &&
+          sample.name.compare(sample.name.size() - s.size(), s.size(), s) ==
+              0) {
+        const std::string f = sample.name.substr(0, sample.name.size() - s.size());
+        auto it = typeByFamily.find(f);
+        if (it != typeByFamily.end() && it->second == "histogram") {
+          family = f;
+          suffix = s;
+        }
+        break;
+      }
+    }
+
+    if (family.empty()) {
+      MetricRegistry::Series series;
+      series.name = sample.name;
+      series.labels = Labels(sample.labels.begin(), sample.labels.end());
+      auto typeIt = typeByFamily.find(sample.name);
+      series.kind = typeIt == typeByFamily.end()
+                        ? MetricRegistry::Kind::Gauge
+                        : kindFromToken(typeIt->second);
+      auto helpIt = helpByFamily.find(sample.name);
+      if (helpIt != helpByFamily.end()) series.help = helpIt->second;
+      series.value = sample.value;
+      out.push_back(std::move(series));
+      continue;
+    }
+
+    PendingHistogram& p = pending[family + '\x1f' + seriesKeyWithoutLe(sample)];
+    if (suffix == "_bucket") {
+      p.cumulative.push_back(sample.value);
+    } else if (suffix == "_sum") {
+      p.sum = sample.value;
+    } else {  // _count closes the series
+      if (p.cumulative.size() !=
+          static_cast<std::size_t>(Histogram::kBucketCount) + 1) {
+        throw pviz::Error("histogram '" + family + "' has " +
+                          std::to_string(p.cumulative.size()) +
+                          " buckets; expected the registry ladder of " +
+                          std::to_string(Histogram::kBucketCount + 1));
+      }
+      MetricRegistry::Series series;
+      series.name = family;
+      for (const auto& [key, value] : sample.labels) {
+        series.labels.emplace_back(key, value);
+      }
+      series.kind = MetricRegistry::Kind::Histogram;
+      auto helpIt = helpByFamily.find(family);
+      if (helpIt != helpByFamily.end()) series.help = helpIt->second;
+      series.hist.count = static_cast<std::uint64_t>(sample.value);
+      series.hist.sum = p.sum;
+      std::uint64_t previous = 0;
+      for (std::size_t b = 0; b < p.cumulative.size(); ++b) {
+        const auto cumulative = static_cast<std::uint64_t>(p.cumulative[b]);
+        if (cumulative < previous) {
+          throw pviz::Error("histogram '" + family +
+                            "' cumulative bucket counts decrease");
+        }
+        series.hist.buckets[b] = cumulative - previous;
+        previous = cumulative;
+      }
+      if (previous != series.hist.count) {
+        throw pviz::Error("histogram '" + family +
+                          "' +Inf bucket does not equal _count");
+      }
+      out.push_back(std::move(series));
+      pending.erase(family + '\x1f' + seriesKeyWithoutLe(sample));
+    }
+  }
+  return out;
+}
+
+std::string mergeExpositions(
+    const std::vector<std::pair<std::string, std::string>>& instances,
+    const std::string& instanceLabel) {
+  std::vector<MetricRegistry::Series> all;
+  for (const auto& [instance, text] : instances) {
+    std::vector<MetricRegistry::Series> parsed = parsePrometheus(text);
+    for (MetricRegistry::Series& series : parsed) {
+      series.labels.emplace_back(instanceLabel, instance);
+      all.push_back(std::move(series));
+    }
+  }
+  // Families must stay contiguous so the renderer emits one TYPE header
+  // per name — the same (name, labels) order a registry snapshot uses.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const MetricRegistry::Series& a,
+                      const MetricRegistry::Series& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return serializeLabels(a.labels) <
+                            serializeLabels(b.labels);
+                   });
+  return renderPrometheus(all);
 }
 
 }  // namespace pviz::telemetry

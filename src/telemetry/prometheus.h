@@ -8,9 +8,20 @@
 // and checks the invariants a real Prometheus server enforces (line
 // structure, bucket monotonicity, `+Inf` == `_count`, `_sum`/`_count`
 // presence) — it backs the CI scrape check and powerviz_client --lint.
+//
+// parsePrometheus() is the renderer's inverse: it turns exposition text
+// back into MetricRegistry::Series — histograms are reconstructed from
+// their full `le` ladder into a Histogram::Snapshot (the one lossy
+// field is the per-histogram max, which the text format does not
+// carry).  mergeExpositions() builds on it: the fleet coordinator
+// scrapes each worker's `metrics` op, tags every series with a
+// `worker` label, and re-renders the union as one fleet-wide
+// exposition, so the merged view flows through the same snapshot/render
+// machinery as a single process.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/metric_registry.h"
@@ -27,5 +38,20 @@ std::string renderPrometheus(const MetricRegistry& registry);
 /// well-formed; otherwise returns false and, when `error` is non-null,
 /// stores a one-line description of the first problem found.
 bool lintPrometheus(const std::string& text, std::string* error = nullptr);
+
+/// Parse exposition text produced by renderPrometheus back into series.
+/// Histogram families must carry the registry's full bucket ladder
+/// (kBucketCount finite bounds + +Inf).  Throws pviz::Error on text the
+/// renderer could not have produced; renderPrometheus(parsePrometheus(t))
+/// reproduces `t` up to HELP/TYPE placement.
+std::vector<MetricRegistry::Series> parsePrometheus(const std::string& text);
+
+/// Merge several (instance name, exposition text) pairs into one
+/// exposition: every series is relabeled with `{instanceLabel="name"}`,
+/// the union is sorted so each family renders under a single TYPE
+/// header, and the result passes lintPrometheus whenever the inputs do.
+std::string mergeExpositions(
+    const std::vector<std::pair<std::string, std::string>>& instances,
+    const std::string& instanceLabel = "worker");
 
 }  // namespace pviz::telemetry

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# Fleet scaling baseline for the sharded study sweep.
+#
+# For each worker count (default 1 2 4) this spawns that many
+# powerviz_serve processes, runs the paper sweep through powerviz_fleet
+# twice against the same pool — cold (empty result caches), then warm
+# (every unit answered from cache) — and folds wall-clock and cache-hit
+# rates into BENCH_fleet.json at the repo root:
+#
+#   tools/bench_fleet.sh            # full 8x9x4 matrix, light rendering
+#   tools/bench_fleet.sh --quick    # tiny scope (CI smoke)
+#
+# Timings are machine-local; refresh the committed numbers on one
+# machine only.  Workers run --light so the baseline measures fleet
+# mechanics (routing, dispatch, merge) at a scale that finishes in
+# about a minute, not raw kernel throughput (BENCH_kernels.json owns
+# that).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+SERVE="$BUILD_DIR/tools/powerviz_serve"
+FLEET="$BUILD_DIR/tools/powerviz_fleet"
+OUT="${OUT:-$REPO_ROOT/BENCH_fleet.json}"
+WORKER_COUNTS="${WORKER_COUNTS:-1 2 4}"
+SCOPE=()
+SCOPE_DESC="full 8x9x4 matrix, cycles 10"
+
+for arg in "$@"; do
+  case "$arg" in
+    --quick)
+      SCOPE=(--sizes 8,12 --caps 120,80,40 --cycles 2)
+      SCOPE_DESC="quick: sizes 8,12 / caps 120,80,40 / cycles 2"
+      ;;
+    -h|--help)
+      sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+for bin in "$SERVE" "$FLEET"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "binary not found at $bin — build the repo first" >&2
+    echo "(cmake -B build -S . && cmake --build build -j)" >&2
+    exit 1
+  fi
+done
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+LOG_DIR="$(mktemp -d /tmp/bench_fleet.XXXXXX)"
+
+# Scrape the readiness banner out of a worker log; echoes the port.
+# (The worker itself is spawned by the caller so its pid lands in PIDS
+# in this shell, not a command-substitution subshell.)
+wait_for_banner() {
+  local log="$1"
+  for _ in $(seq 1 300); do
+    local port
+    port="$(sed -n 's/.*listening port=\([0-9]*\).*/\1/p' "$log" | head -1)"
+    if [[ -n "$port" ]]; then echo "$port"; return 0; fi
+    sleep 0.1
+  done
+  echo "worker never printed its readiness banner (see $log)" >&2
+  return 1
+}
+
+# Run one sweep against an attach list; echoes "wall_ms summary_path".
+run_sweep() {
+  local attach="$1" summary="$2"
+  local start end
+  start="$(date +%s%N)"
+  "$FLEET" --attach "$attach" --quiet --summary-json \
+      "${SCOPE[@]+"${SCOPE[@]}"}" >"$summary"
+  end="$(date +%s%N)"
+  echo "$(( (end - start) / 1000000 ))"
+}
+
+RESULTS="$LOG_DIR/results.txt"
+: >"$RESULTS"
+
+for count in $WORKER_COUNTS; do
+  PIDS=()
+  attach=""
+  for ((w = 0; w < count; ++w)); do
+    log="$LOG_DIR/serve_${count}_${w}.log"
+    "$SERVE" --port 0 --light --cache none --quiet >"$log" 2>&1 &
+    PIDS+=($!)
+    port="$(wait_for_banner "$log")"
+    attach="${attach:+$attach,}127.0.0.1:$port"
+  done
+  echo "== $count worker(s): $attach" >&2
+  cold_ms="$(run_sweep "$attach" "$LOG_DIR/cold_$count.json")"
+  warm_ms="$(run_sweep "$attach" "$LOG_DIR/warm_$count.json")"
+  echo "$count $cold_ms $warm_ms" >>"$RESULTS"
+  cleanup
+done
+PIDS=()
+
+COMMIT="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+RESULTS="$RESULTS" LOG_DIR="$LOG_DIR" OUT="$OUT" COMMIT="$COMMIT" \
+DATE="$DATE" SCOPE_DESC="$SCOPE_DESC" python3 - <<'PY'
+import json, os
+
+log_dir = os.environ["LOG_DIR"]
+doc = {
+    "commit": os.environ["COMMIT"],
+    "date": os.environ["DATE"],
+    "scope": os.environ["SCOPE_DESC"],
+    # Interpret the scaling against this: N worker processes on fewer
+    # than N cores measures fleet overhead (dispatch, duplicated
+    # reference-model points, scheduler contention), not speedup.
+    "host_cpus": os.cpu_count(),
+    "time_unit": "ms",
+    "workers": {},
+}
+
+def hit_rate(sweep):
+    dispatches = sweep["dispatches"]
+    return round(sweep["cached_replies"] / dispatches, 4) if dispatches else 0.0
+
+base_cold = None
+for line in open(os.environ["RESULTS"]):
+    count, cold_ms, warm_ms = line.split()
+    cold = json.load(open(f"{log_dir}/cold_{count}.json"))["sweep"]
+    warm = json.load(open(f"{log_dir}/warm_{count}.json"))["sweep"]
+    entry = {
+        "cold_wall_ms": int(cold_ms),
+        "warm_wall_ms": int(warm_ms),
+        "records": cold["records"],
+        "units": cold["units"],
+        "cold_cache_hit_rate": hit_rate(cold),
+        "warm_cache_hit_rate": hit_rate(warm),
+    }
+    if base_cold is None:
+        base_cold = int(cold_ms)
+    entry["cold_speedup_vs_first"] = round(base_cold / int(cold_ms), 3)
+    doc["workers"][count] = entry
+
+with open(os.environ["OUT"], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {os.environ['OUT']}")
+for count, e in doc["workers"].items():
+    print(f"  {count} worker(s): cold {e['cold_wall_ms']:>7} ms"
+          f"  warm {e['warm_wall_ms']:>6} ms"
+          f"  warm hit rate {e['warm_cache_hit_rate']:.2f}"
+          f"  speedup {e['cold_speedup_vs_first']:.2f}x")
+PY
+
+rm -rf "$LOG_DIR"

@@ -28,10 +28,14 @@ using namespace pviz;
       R"(powerviz_client — query a running powerviz_serve
 
 usage: powerviz_client [--host H] [--port N] [--json] [--timeout-ms N]
-                       OP [op options]
+                       [--retries N] [--retry-backoff-ms N] OP [op options]
 
 `--timeout-ms N` bounds each read from the server (0 = wait forever,
 the default) so a hung server fails the command instead of blocking it.
+`--retries N` retries a refused connect and reconnects-and-resends a
+request whose connection died mid-flight (worker restart), with
+exponential backoff starting at `--retry-backoff-ms` (default 50).
+Receive timeouts are never retried — a slow server is not a dead one.
 
 operations:
   ping [--delay-ms X]       liveness probe
@@ -118,6 +122,9 @@ void printSummary(const service::Response& response) {
       return;
     case service::Op::Characterize:
     case service::Op::Stats:
+    case service::Op::Register:
+    case service::Op::Heartbeat:
+    case service::Op::Claim:
       std::cout << response.result.dump() << '\n';
       break;
   }
@@ -152,6 +159,8 @@ int main(int argc, char** argv) {
       else if (arg == "--port") port = static_cast<int>(util::parseInt(next(), "--port"));
       else if (arg == "--json") rawJson = true;
       else if (arg == "--timeout-ms") limits.recvTimeoutMs = static_cast<int>(util::parseInt(next(), "--timeout-ms"));
+      else if (arg == "--retries") limits.retries = static_cast<int>(util::parseInt(next(), "--retries"));
+      else if (arg == "--retry-backoff-ms") limits.retryBackoffMs = static_cast<int>(util::parseInt(next(), "--retry-backoff-ms"));
       else if (arg == "--algorithm") request.algorithm = core::parseAlgorithmToken(next());
       else if (arg == "--algorithms") request.algorithms = core::parseAlgorithmList(next());
       else if (arg == "--size") request.size = util::parseInt(next(), "--size");

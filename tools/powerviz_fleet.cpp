@@ -1,0 +1,262 @@
+// powerviz_fleet — run the paper sweep sharded across a worker fleet.
+//
+//   powerviz_fleet --workers 4 --serve-bin ./powerviz_serve --light
+//   powerviz_fleet --attach 127.0.0.1:7077,127.0.0.1:7078
+//   powerviz_fleet --workers 4 --serve-bin ./powerviz_serve --light
+//       --kill-one --lint --summary-json
+//
+// Two modes:
+//   spawn (default)  fork --workers N powerviz_serve processes on
+//                    ephemeral ports, run the sweep, terminate them
+//   attach           drive already-running servers (--attach list);
+//                    they are left running afterwards
+//
+// The merged report is bit-identical to what one server would return
+// for the same scope (see src/fleet/coordinator.h).  --kill-one
+// SIGKILLs a spawned worker mid-sweep to demonstrate failover: the
+// sweep still completes, every unit exactly once.
+#include <signal.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "fleet/coordinator.h"
+#include "fleet/spawn.h"
+#include "telemetry/prometheus.h"
+#include "util/error.h"
+#include "util/fileio.h"
+#include "util/log.h"
+#include "util/options.h"
+
+namespace {
+
+using namespace pviz;
+
+[[noreturn]] void usage(int exitCode) {
+  std::cout <<
+      R"(powerviz_fleet — shard a study sweep across powerviz_serve workers
+
+usage: powerviz_fleet [options]
+
+fleet:
+  --workers N          workers to spawn (default 4)
+  --serve-bin PATH     powerviz_serve binary to spawn (default: the
+                       POWERVIZ_SERVE env var, else ./powerviz_serve)
+  --attach LIST        attach to running servers instead of spawning:
+                       comma-separated host:port endpoints
+  --light              spawn workers with --light rendering (fast
+                       characterizations; spawn mode only)
+  --grain cap|pair     work-unit grain: one unit per (algorithm, size,
+                       cap) cell or per (algorithm, size) row
+                       (default cap)
+  --hedge-ms N         duplicate a unit in flight longer than N ms onto
+                       a second worker, first completion wins (0 = off)
+  --retries N          dispatch reconnect attempts per request
+                       (default 2)
+  --timeout-ms N       per-read deadline on dispatch connections
+                       (default 0 = none)
+
+sweep scope (defaults = the paper's full 8×9×4 matrix):
+  --algorithms a,b,...
+  --sizes n,n,...
+  --caps w,w,...
+  --cycles N           visualization cycles (default 10)
+
+failure injection:
+  --kill-one           SIGKILL one spawned worker mid-sweep
+  --kill-after-ms N    delay before the kill (default 500)
+
+output:
+  --report PATH        write the merged study report JSON to PATH
+  --metrics-out PATH   write the merged fleet Prometheus exposition
+  --lint               lint the merged exposition; exit non-zero if it
+                       is malformed
+  --summary-json       print the fleet stats JSON (registry + sweep
+                       counters) to stdout
+  --quiet              suppress progress logging
+)";
+  std::exit(exitCode);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int workers = 4;
+  std::string serveBin;
+  std::string attachList;
+  bool light = false;
+  bool killOne = false;
+  int killAfterMs = 500;
+  bool lint = false;
+  bool summaryJson = false;
+  std::string reportPath;
+  std::string metricsOutPath;
+
+  fleet::CoordinatorConfig config;
+  std::vector<core::Algorithm> algorithms = core::allAlgorithms();
+  core::StudyConfig defaults;
+  std::vector<vis::Id> sizes = defaults.sizes;
+  std::vector<double> caps = defaults.capsWatts;
+  int cycles = defaults.cycles;
+
+  util::setDefaultLogLevel(util::LogLevel::Info);
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << arg << " needs a value\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "-h" || arg == "--help") usage(0);
+      else if (arg == "--workers") workers = static_cast<int>(util::parseInt(next(), "--workers"));
+      else if (arg == "--serve-bin") serveBin = next();
+      else if (arg == "--attach") attachList = next();
+      else if (arg == "--light") light = true;
+      else if (arg == "--grain") config.grain = core::parseSweepGrainToken(next());
+      else if (arg == "--hedge-ms") config.hedgeAfterMs = static_cast<int>(util::parseInt(next(), "--hedge-ms"));
+      else if (arg == "--retries") config.clientRetries = static_cast<int>(util::parseInt(next(), "--retries"));
+      else if (arg == "--timeout-ms") config.recvTimeoutMs = static_cast<int>(util::parseInt(next(), "--timeout-ms"));
+      else if (arg == "--algorithms") algorithms = core::parseAlgorithmList(next());
+      else if (arg == "--sizes") {
+        sizes.clear();
+        for (std::int64_t s : util::parseSizeList(next())) sizes.push_back(s);
+      }
+      else if (arg == "--caps") caps = util::parseCapList(next());
+      else if (arg == "--cycles") cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
+      else if (arg == "--kill-one") killOne = true;
+      else if (arg == "--kill-after-ms") killAfterMs = static_cast<int>(util::parseInt(next(), "--kill-after-ms"));
+      else if (arg == "--report") reportPath = next();
+      else if (arg == "--metrics-out") metricsOutPath = next();
+      else if (arg == "--lint") lint = true;
+      else if (arg == "--summary-json") summaryJson = true;
+      else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
+      else {
+        std::cerr << "unknown option '" << arg << "'\n";
+        usage(2);
+      }
+    }
+
+    std::vector<fleet::SpawnedWorker> spawned;
+    if (attachList.empty()) {
+      // Spawn mode.
+      if (serveBin.empty()) {
+        const char* env = std::getenv("POWERVIZ_SERVE");
+        serveBin = env != nullptr ? env : "./powerviz_serve";
+      }
+      PVIZ_REQUIRE(workers >= 1, "--workers must be >= 1");
+      fleet::SpawnOptions spawnOptions;
+      spawnOptions.serveBin = serveBin;
+      spawnOptions.args = {"--quiet", "--cache", "none"};
+      if (light) spawnOptions.args.push_back("--light");
+      for (int w = 0; w < workers; ++w) {
+        fleet::SpawnedWorker worker = fleet::spawnServeWorker(spawnOptions);
+        PVIZ_LOG_INFO("spawned worker w" << w << " pid=" << worker.pid
+                                         << " port=" << worker.port);
+        fleet::FleetEndpoint endpoint;
+        endpoint.name = "w" + std::to_string(w);
+        endpoint.port = worker.port;
+        endpoint.pid = worker.pid;
+        config.endpoints.push_back(endpoint);
+        spawned.push_back(worker);
+      }
+    } else {
+      // Attach mode.
+      PVIZ_REQUIRE(!killOne, "--kill-one needs spawn mode (we only kill "
+                             "workers this process owns)");
+      std::size_t index = 0;
+      std::size_t start = 0;
+      while (start <= attachList.size()) {
+        std::size_t comma = attachList.find(',', start);
+        if (comma == std::string::npos) comma = attachList.size();
+        const std::string entry = attachList.substr(start, comma - start);
+        start = comma + 1;
+        if (entry.empty()) continue;
+        const std::size_t colon = entry.rfind(':');
+        PVIZ_REQUIRE(colon != std::string::npos,
+                     "--attach entries are host:port, got '" + entry + "'");
+        fleet::FleetEndpoint endpoint;
+        endpoint.name = "w" + std::to_string(index++);
+        endpoint.host = entry.substr(0, colon);
+        endpoint.port = static_cast<int>(
+            util::parseInt(entry.substr(colon + 1), "--attach port"));
+        config.endpoints.push_back(endpoint);
+      }
+      PVIZ_REQUIRE(!config.endpoints.empty(), "--attach list is empty");
+    }
+
+    int exitCode = 0;
+    std::thread killer;
+    auto cleanup = [&] {
+      if (killer.joinable()) killer.join();
+      for (fleet::SpawnedWorker& worker : spawned) {
+        fleet::terminateWorker(worker);
+      }
+    };
+    try {
+      fleet::Coordinator coordinator(config);
+      coordinator.start();
+
+      if (killOne && !spawned.empty()) {
+        killer = std::thread([&] {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(killAfterMs));
+          PVIZ_LOG_WARN("killing worker w0 pid=" << spawned[0].pid
+                                                 << " (--kill-one)");
+          fleet::killWorkerHard(spawned[0]);
+        });
+      }
+
+      const service::Json report =
+          coordinator.runSweep(algorithms, sizes, caps, cycles);
+      if (killer.joinable()) killer.join();
+
+      const fleet::FleetSweepStats stats = coordinator.lastSweepStats();
+      PVIZ_LOG_INFO("sweep complete: "
+                    << stats.records << " records from " << stats.units
+                    << " units (" << stats.dispatches << " dispatches, "
+                    << stats.cachedReplies << " cached, " << stats.reroutes
+                    << " reroutes, " << stats.hedges << " hedges, "
+                    << stats.duplicates << " duplicates, "
+                    << stats.workersDead << " worker deaths)");
+
+      if (!reportPath.empty()) {
+        util::atomicWriteFile(reportPath, report.dump() + "\n");
+        PVIZ_LOG_INFO("wrote " << reportPath);
+      }
+      if (lint || !metricsOutPath.empty()) {
+        const std::string merged = coordinator.mergedMetrics();
+        if (!metricsOutPath.empty()) {
+          util::atomicWriteFile(metricsOutPath, merged);
+          PVIZ_LOG_INFO("wrote " << metricsOutPath);
+        }
+        if (lint) {
+          std::string error;
+          if (!telemetry::lintPrometheus(merged, &error)) {
+            std::cerr << "fleet metrics lint failed: " << error << '\n';
+            exitCode = 1;
+          } else {
+            std::cerr << "fleet metrics lint: ok ("
+                      << config.endpoints.size() << " workers merged)\n";
+          }
+        }
+      }
+      if (summaryJson) {
+        std::cout << coordinator.statsJson().dump() << '\n';
+      }
+      coordinator.stop();
+    } catch (...) {
+      cleanup();
+      throw;
+    }
+    cleanup();
+    return exitCode;
+  } catch (const pviz::Error& e) {
+    std::cerr << "powerviz_fleet: " << e.what() << '\n';
+    return 1;
+  }
+}
