@@ -8,6 +8,7 @@
 
 #include "sim/cloverleaf.h"
 #include "telemetry/metric_registry.h"
+#include "util/backend.h"
 #include "util/exec_context.h"
 #include "viz/filters/clip_sphere.h"
 #include "viz/filters/contour.h"
@@ -151,6 +152,100 @@ void BM_ExternalFacesArenaReuse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.numCells());
 }
 BENCHMARK(BM_ExternalFacesArenaReuse)->Arg(16)->Arg(32);
+
+// --- Backend comparison ---------------------------------------------
+//
+// The same kernel pinned to each execution backend (see DESIGN §11) at
+// the study-scale 128³/256³ tiers.  All backends are bit-identical, so
+// the delta is pure dispatch + code-path cost: `vectorized` runs the
+// filters' SoA row sweeps (auto-vectorized at -O3), `threaded` and
+// `serial` run the scalar incremental paths.  Names land in
+// BENCH_kernels.json as BM_<Kernel>Backend/<backend>/<size> — the
+// per-backend columns the bench table in the README is built from.
+
+void BM_ContourBackend(benchmark::State& state, exec::BackendKind kind) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  vis::ContourFilter filter;
+  filter.setIsovalues(
+      vis::ContourFilter::uniformIsovalues(g.field("energy"), 3));
+  util::ExecutionContext ctx;
+  ctx.setBackend(exec::backendFor(kind));
+  for (auto _ : state) {
+    ctx.beginRun();
+    benchmark::DoNotOptimize(
+        filter.run(ctx, g, "energy").surface.numTriangles());
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells() * 3);
+}
+BENCHMARK_CAPTURE(BM_ContourBackend, serial, exec::BackendKind::Serial)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ContourBackend, threaded, exec::BackendKind::Threaded)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ContourBackend, vectorized,
+                  exec::BackendKind::Vectorized)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_ThresholdBackend(benchmark::State& state, exec::BackendKind kind) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  vis::ThresholdFilter filter;
+  filter.setRange(1.2, 2.2);
+  util::ExecutionContext ctx;
+  ctx.setBackend(exec::backendFor(kind));
+  for (auto _ : state) {
+    ctx.beginRun();
+    benchmark::DoNotOptimize(filter.run(ctx, g, "energy").kept.numCells());
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells());
+}
+BENCHMARK_CAPTURE(BM_ThresholdBackend, serial, exec::BackendKind::Serial)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ThresholdBackend, threaded, exec::BackendKind::Threaded)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ThresholdBackend, vectorized,
+                  exec::BackendKind::Vectorized)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_ExternalFacesBackend(benchmark::State& state,
+                             exec::BackendKind kind) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  util::ExecutionContext ctx;
+  ctx.setBackend(exec::backendFor(kind));
+  for (auto _ : state) {
+    ctx.beginRun();
+    benchmark::DoNotOptimize(
+        vis::extractExternalFaces(ctx, g, "energy").facesFound);
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells());
+}
+BENCHMARK_CAPTURE(BM_ExternalFacesBackend, serial, exec::BackendKind::Serial)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExternalFacesBackend, threaded,
+                  exec::BackendKind::Threaded)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExternalFacesBackend, vectorized,
+                  exec::BackendKind::Vectorized)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_ClipSphereBackend(benchmark::State& state, exec::BackendKind kind) {
+  const vis::UniformGrid& g = grid(state.range(0));
+  vis::ClipSphereFilter filter;
+  filter.setSphere(g.bounds().center(), 0.3);
+  util::ExecutionContext ctx;
+  ctx.setBackend(exec::backendFor(kind));
+  for (auto _ : state) {
+    ctx.beginRun();
+    benchmark::DoNotOptimize(
+        filter.run(ctx, g, "energy").clipped.cutPieces.numTets());
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells());
+}
+BENCHMARK_CAPTURE(BM_ClipSphereBackend, serial, exec::BackendKind::Serial)
+    ->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ClipSphereBackend, threaded, exec::BackendKind::Threaded)
+    ->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ClipSphereBackend, vectorized,
+                  exec::BackendKind::Vectorized)
+    ->Arg(128)->Unit(benchmark::kMillisecond);
 
 void BM_BvhBuild(benchmark::State& state) {
   const vis::TriangleMesh mesh =

@@ -110,6 +110,9 @@ void Coordinator::heartbeatLoop() {
     if (!stillRunning()) return;
     ++seq;
     for (const auto& [name, endpoint] : endpoints_) {
+      // Dead is terminal (registry documents why): don't burn a probe
+      // connection on a worker whose ring slot and dispatcher are gone.
+      if (registry_.state(name) == WorkerState::Dead) continue;
       bool ok = false;
       try {
         ServiceClient client(endpoint.host, endpoint.port,

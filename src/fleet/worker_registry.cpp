@@ -39,8 +39,18 @@ WorkerState WorkerRegistry::recordHeartbeat(const std::string& name,
   PVIZ_REQUIRE(it != workers_.end(), "unknown worker '" + name + "'");
   WorkerInfo& w = it->second;
   if (success) {
+    // Dead is terminal.  The coordinator tears down a Dead worker's ring
+    // slot and dispatcher on the Dead transition; reviving the registry
+    // entry here without rebuilding those would leave the fleet
+    // split-brained — registry says Alive, routing never uses it.  A
+    // restarted worker must re-register as a new member instead.
+    if (w.state == WorkerState::Dead) {
+      ++w.beatsSeen;
+      w.lastSeq = seq;
+      return w.state;
+    }
     w.consecutiveMisses = 0;
-    w.state = WorkerState::Alive;  // revival is allowed
+    w.state = WorkerState::Alive;  // Suspect-level revival only
     ++w.beatsSeen;
     w.lastSeq = seq;
   } else {

@@ -8,15 +8,20 @@
 // State machine per worker:
 //
 //   Alive --miss--> Suspect --(missesBeforeDead-1 more)--> Dead
-//     ^                |                                    |
-//     +----success-----+------------success-----------------+
+//     ^                |
+//     +----success-----+
 //
 // A single missed beat only makes a worker Suspect (localhost is
 // reliable, but a worker busy with a big study slice can be slow to
 // accept); K *consecutive* misses declare it Dead, at which point the
-// coordinator removes it from the ring and reassigns its queue.  Any
-// later success revives it — useful when an operator restarts a worker
-// on the same port mid-study.
+// coordinator removes it from the ring, reassigns its queue, and stops
+// its dispatcher.  Dead is TERMINAL: a later successful beat must not
+// revive the registry entry, because the ring slot and dispatcher are
+// gone — revival here with no ring re-add would leave the fleet
+// split-brained (registry says Alive, routing never uses the worker).
+// An operator restarting a worker mid-study attaches it as a new
+// member; a Suspect worker that answers again recovers to Alive as
+// before.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -25,6 +26,8 @@ ServiceClient::ServiceClient(const std::string& host, int port, Limits limits)
   PVIZ_REQUIRE(limits_.retries >= 0, "client retries must be >= 0");
   PVIZ_REQUIRE(limits_.retryBackoffMs >= 0,
                "client retry backoff must be >= 0");
+  PVIZ_REQUIRE(limits_.maxRetryBackoffMs >= 0,
+               "client retry backoff cap must be >= 0");
   connectWithRetry();
 }
 
@@ -61,8 +64,17 @@ void ServiceClient::connectOnce() {
   buffer_.clear();
 }
 
+int ServiceClient::nextBackoffMs(int backoffMs) const {
+  // Compare against half the cap instead of doubling first so the
+  // arithmetic can never overflow int, whatever the configured values.
+  if (backoffMs >= limits_.maxRetryBackoffMs / 2) {
+    return limits_.maxRetryBackoffMs;
+  }
+  return backoffMs * 2;
+}
+
 void ServiceClient::connectWithRetry() {
-  int backoffMs = limits_.retryBackoffMs;
+  int backoffMs = std::min(limits_.retryBackoffMs, limits_.maxRetryBackoffMs);
   for (int attempt = 0;; ++attempt) {
     try {
       connectOnce();
@@ -70,7 +82,7 @@ void ServiceClient::connectWithRetry() {
     } catch (const ConnectionLostError&) {
       if (attempt >= limits_.retries) throw;
       std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
-      backoffMs *= 2;
+      backoffMs = nextBackoffMs(backoffMs);
     }
   }
 }
@@ -83,9 +95,15 @@ void ServiceClient::disconnect() {
 Response ServiceClient::request(Request req) {
   if (req.id.empty()) req.id = "c" + std::to_string(nextId_++);
   const std::string frame = toJson(req).dump() + "\n";
-  int backoffMs = limits_.retryBackoffMs;
+  int backoffMs = std::min(limits_.retryBackoffMs, limits_.maxRetryBackoffMs);
+  // ONE attempt budget for the whole request.  Each pass makes at most
+  // one connect plus one send/receive, and a failed reconnect burns an
+  // attempt like any other loss — the old code called connectWithRetry()
+  // here, whose own full budget amplified a dead server into
+  // (retries+1)² connect attempts with the backoff restarting per layer.
   for (int attempt = 0;; ++attempt) {
     try {
+      if (!connected()) connectOnce();
       writeAll(frame);
       for (;;) {
         const Response response = responseFromJson(Json::parse(readLine()));
@@ -94,12 +112,13 @@ Response ServiceClient::request(Request req) {
       }
     } catch (const ConnectionLostError&) {
       // The peer vanished mid-request (worker restart, abrupt kill).
-      // Reconnect and resend: the protocol is idempotent, so the worst
-      // case is recomputing — or cache-hitting — the same result.
+      // Back off and resend on a fresh connection: the protocol is
+      // idempotent, so the worst case is recomputing — or cache-hitting
+      // — the same result.
+      disconnect();
       if (attempt >= limits_.retries) throw;
       std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
-      backoffMs *= 2;
-      connectWithRetry();
+      backoffMs = nextBackoffMs(backoffMs);
     }
   }
 }

@@ -54,12 +54,19 @@ struct ClientLimits {
   std::size_t maxFrameBytes = 256u << 20;
   /// Receive deadline per read, in ms (0 = block indefinitely).
   int recvTimeoutMs = 0;
-  /// Extra attempts after a lost connection (0 = fail fast).  Applies
-  /// to the initial connect and to each request() that hits a
-  /// ConnectionLostError mid-flight.
+  /// Extra attempts after a lost connection (0 = fail fast).  ONE
+  /// budget per operation: the constructor's connect gets retries+1
+  /// attempts, and each request() gets retries+1 attempts total with
+  /// any mid-request reconnect counted against the same budget — a
+  /// request can never amplify into (retries+1)² connect attempts.
   int retries = 0;
-  /// Backoff before the first retry, in ms; doubles per attempt.
+  /// Backoff before the first retry, in ms; doubles per attempt up to
+  /// maxRetryBackoffMs.
   int retryBackoffMs = 50;
+  /// Ceiling for the doubled backoff, in ms.  Keeps a large retry
+  /// budget from sleeping for minutes — and the doubling from
+  /// overflowing int at high retry counts.
+  int maxRetryBackoffMs = 2000;
 };
 
 class ServiceClient {
@@ -76,7 +83,8 @@ class ServiceClient {
 
   /// Send one request and block for its response (matched by id; the
   /// client stamps an id when the request has none).  A connection lost
-  /// mid-request is retried per Limits: reconnect with backoff, resend.
+  /// mid-request is retried per Limits: back off, reconnect (one
+  /// attempt, drawn from the request's own budget), resend.
   Response request(Request req);
 
   /// Raw exchange: send `line`, return the next response line verbatim
@@ -88,8 +96,11 @@ class ServiceClient {
  private:
   /// One connect attempt; throws ConnectionLostError on failure.
   void connectOnce();
-  /// Connect with the Limits retry/backoff schedule.
+  /// Connect with the Limits retry/backoff schedule.  Constructor-only:
+  /// request() draws reconnects from its own attempt budget instead.
   void connectWithRetry();
+  /// Double `backoffMs` under the maxRetryBackoffMs cap.
+  int nextBackoffMs(int backoffMs) const;
   void disconnect();
   void writeAll(const std::string& frame);
   std::string readLine();  ///< blocks; throws on EOF/error

@@ -6,6 +6,7 @@
 
 #include "core/execution_sim.h"
 #include "sim/cloverleaf.h"
+#include "util/backend.h"
 #include "util/error.h"
 #include "util/exec_context.h"
 #include "util/log.h"
@@ -16,7 +17,10 @@ ServiceEngine::ServiceEngine(EngineConfig config)
     : config_(std::move(config)),
       study_(config_.study),
       advisor_(config_.study.machine),
-      cache_(config_.cacheEntries, config_.cacheShards) {}
+      cache_(config_.cacheEntries, config_.cacheShards) {
+  // A bad configured backend should fail at boot, not per request.
+  if (!config_.backend.empty()) exec::parseBackendToken(config_.backend);
+}
 
 Request ServiceEngine::normalize(const Request& request) const {
   Request out = request;
@@ -46,6 +50,18 @@ ServiceEngine::Outcome ServiceEngine::handle(util::ExecutionContext& ctx,
                "stats/metrics/fleet requests are answered by the server, not "
                "the engine");
   const Request request = normalize(rawRequest);
+  // Backend precedence: request field > engine config > process default.
+  // Selected before the cache lookup for uniformity, though it cannot
+  // affect the key — backends are bit-identical, so every backend maps
+  // to the same cache entry.
+  if (!request.backend.empty()) {
+    ctx.setBackend(exec::backendFor(exec::parseBackendToken(request.backend)));
+  } else if (!config_.backend.empty()) {
+    ctx.setBackend(
+        exec::backendFor(exec::parseBackendToken(config_.backend)));
+  } else {
+    ctx.setBackend(exec::defaultBackend());
+  }
   const std::string key = canonicalCacheKey(request);
 
   if (!key.empty()) {

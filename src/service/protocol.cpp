@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/backend.h"
 #include "util/error.h"
 
 namespace pviz::service {
@@ -63,6 +64,7 @@ Json toJson(const Request& request) {
   out.set("op", opToken(request.op));
   if (!request.id.empty()) out.set("id", request.id);
   if (request.trace) out.set("trace", true);
+  if (!request.backend.empty()) out.set("backend", request.backend);
   switch (request.op) {
     case Op::Ping:
       if (request.delayMs > 0.0) out.set("delay_ms", request.delayMs);
@@ -123,6 +125,10 @@ Request requestFromJson(const Json& json) {
   request.id = stringField(json, "id", "");
   if (const Json* trace = json.find("trace")) {
     request.trace = trace->asBool();
+  }
+  request.backend = stringField(json, "backend", "");
+  if (!request.backend.empty()) {
+    exec::parseBackendToken(request.backend);  // reject unknown tokens early
   }
 
   if (request.op == Op::Ping) {

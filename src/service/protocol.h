@@ -106,6 +106,13 @@ struct Request {
   /// response's `trace` field.  Valid on any op; not part of the cache
   /// key (tracing a request must not fork the result cache).
   bool trace = false;
+
+  /// Execution backend for this request's kernels:
+  /// "serial"/"threaded"/"vectorized", or empty for the server's
+  /// default.  Valid on any op; not part of the cache key — backends
+  /// are bit-identical by contract, so the same request on a different
+  /// backend must hit the same cache entry.
+  std::string backend;
 };
 
 Json toJson(const Request& request);

@@ -108,10 +108,22 @@ ContourFilter::Result ContourFilter::run(util::ExecutionContext& ctx,
     // --- Pass 1: classify — compare each point once, then assemble the
     // MC case per cell from the cached above/below bytes, caching the
     // case index and the triangle count.  Cells are swept as i-rows with
-    // incremental index stepping (no per-cell ijk decode); within a row
-    // the case is stepped from its predecessor — the shared face's four
-    // corners (bits 1,2,5,6) become bits 0,3,4,7, so only the four new
-    // corners are loaded per cell.
+    // incremental index stepping (no per-cell ijk decode).
+    //
+    // Scalar variant: within a row the case is stepped from its
+    // predecessor — the shared face's four corners (bits 1,2,5,6)
+    // become bits 0,3,4,7, so only four corners are loaded per cell.
+    //
+    // Vectorized variant: the recycling trick carries a loop-to-loop
+    // dependency the compiler cannot vectorize, so instead each corner
+    // becomes one unit-stride byte stream at a fixed offset into the
+    // staged above[] buffer, and the case index is eight shifted ORs of
+    // those streams — eight loads per cell but branch-free, gather-free,
+    // and auto-vectorizable (one SIMD OR tree per lane).  The table
+    // lookup (a gather) moves to its own pass so it cannot inhibit the
+    // case loop.  Both variants compute the same integers, so the
+    // offsets, the active list, and the mesh stay bit-identical.
+    const bool vectorize = ctx.backend().vectorized();
     util::parallelFor(ctx, 0, numPoints, [&](Id p) {
       above[static_cast<std::size_t>(p)] =
           values[static_cast<std::size_t>(p)] >= isovalue ? 1 : 0;
@@ -122,6 +134,36 @@ ContourFilter::Result ContourFilter::run(util::ExecutionContext& ctx,
           for (Id row = rowBegin; row < rowEnd; ++row) {
             Id cell = row * rowLen;
             Id base = grid.cellRowFirstPointId(row);
+            if (vectorize) {
+              const std::uint8_t* abv =
+                  above.data() + static_cast<std::size_t>(base);
+              const std::uint8_t* s0 = abv + corner[0];
+              const std::uint8_t* s1 = abv + corner[1];
+              const std::uint8_t* s2 = abv + corner[2];
+              const std::uint8_t* s3 = abv + corner[3];
+              const std::uint8_t* s4 = abv + corner[4];
+              const std::uint8_t* s5 = abv + corner[5];
+              const std::uint8_t* s6 = abv + corner[6];
+              const std::uint8_t* s7 = abv + corner[7];
+              std::uint8_t* caseRow =
+                  pass.caseOf.data() + static_cast<std::size_t>(cell);
+              // Local trip count: the byte stores through caseRow may
+              // alias the by-reference capture of rowLen as far as the
+              // vectorizer can prove, which blocks the sweep.
+              const Id n = rowLen;
+              for (Id i = 0; i < n; ++i) {
+                caseRow[i] = static_cast<std::uint8_t>(
+                    s0[i] | (s1[i] << 1) | (s2[i] << 2) | (s3[i] << 3) |
+                    (s4[i] << 4) | (s5[i] << 5) | (s6[i] << 6) |
+                    (s7[i] << 7));
+              }
+              std::int64_t* countRow =
+                  pass.offsets.data() + static_cast<std::size_t>(cell);
+              for (Id i = 0; i < n; ++i) {
+                countRow[i] = tables.triangleCount[caseRow[i]];
+              }
+              continue;
+            }
             int caseIndex = 0;
             for (Id i = 0; i < rowLen; ++i, ++cell, ++base) {
               if (i == 0) {

@@ -1,0 +1,172 @@
+// ServiceClient retry-budget regression tests against a fake endpoint
+// (a raw listener, no PowerViz server behind it).
+//
+// The bug pinned here: request()'s ConnectionLostError path used to call
+// connectWithRetry(), which carried its own full `retries` budget with
+// its own backoff schedule — a dead worker could soak up (retries+1)²
+// connect attempts per request, with the backoff restarting per layer
+// and `backoffMs *= 2` overflowing int at high retry counts.  The fix
+// gives each operation ONE attempt budget (at most one connect per
+// attempt) and caps the doubled backoff at maxRetryBackoffMs.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "service/client.h"
+
+namespace pviz::service {
+namespace {
+
+/// Listener that accepts connections and immediately closes them —
+/// every connect succeeds, every request dies with EOF before a
+/// response.  Counts accepts, which is exactly the client's successful
+/// connection-attempt count.
+class SlammingEndpoint {
+ public:
+  SlammingEndpoint() {
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listenFd_, 0);
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    EXPECT_EQ(::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr), 0);
+    socklen_t len = sizeof addr;
+    EXPECT_EQ(::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len), 0);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(listenFd_, 64), 0);
+    acceptThread_ = std::thread([this] {
+      for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) return;  // listener closed: endpoint stopped
+        ++accepts_;
+        ::close(fd);
+      }
+    });
+  }
+
+  ~SlammingEndpoint() { stop(); }
+
+  void stop() {
+    if (listenFd_ >= 0) {
+      ::shutdown(listenFd_, SHUT_RDWR);
+      ::close(listenFd_);
+      listenFd_ = -1;
+    }
+    if (acceptThread_.joinable()) acceptThread_.join();
+  }
+
+  int port() const { return port_; }
+
+  /// Accepts seen so far, after waiting out any connect/accept race.
+  /// Waits until at least `expectedAtLeast` arrive (or 5 s), then a
+  /// beat longer so an over-count — the regression being tested —
+  /// cannot hide in accept-loop lag.
+  int accepts(int expectedAtLeast) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (accepts_.load() < expectedAtLeast &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return accepts_.load();
+  }
+
+ private:
+  int listenFd_ = -1;
+  int port_ = 0;
+  std::atomic<int> accepts_{0};
+  std::thread acceptThread_;
+};
+
+/// A loopback port with nothing listening on it (bound once to reserve
+/// a fresh number, then released): every connect is refused.
+int refusedPort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+ClientLimits fastLimits(int retries) {
+  ClientLimits limits;
+  limits.retries = retries;
+  limits.retryBackoffMs = 1;
+  limits.maxRetryBackoffMs = 4;
+  return limits;
+}
+
+TEST(ClientRetry, RequestSharesOneAttemptBudget) {
+  SlammingEndpoint endpoint;
+  constexpr int kRetries = 3;
+  ServiceClient client("127.0.0.1", endpoint.port(), fastLimits(kRetries));
+  // Constructor connect: exactly one accept.
+  EXPECT_EQ(endpoint.accepts(1), 1);
+
+  Request ping;
+  ping.op = Op::Ping;
+  EXPECT_THROW(client.request(ping), ConnectionLostError);
+
+  // One budget: the first attempt reuses the constructor's connection
+  // and each of the `retries` re-attempts makes exactly one reconnect —
+  // never a nested full retry loop of its own.
+  EXPECT_EQ(endpoint.accepts(1 + kRetries), 1 + kRetries);
+
+  // A second request gets a fresh budget of its own.
+  EXPECT_THROW(client.request(ping), ConnectionLostError);
+  EXPECT_EQ(endpoint.accepts(1 + 2 * kRetries + 1), 1 + 2 * kRetries + 1);
+  endpoint.stop();
+}
+
+TEST(ClientRetry, ZeroRetriesFailsFast) {
+  SlammingEndpoint endpoint;
+  ServiceClient client("127.0.0.1", endpoint.port(), fastLimits(0));
+  Request ping;
+  ping.op = Op::Ping;
+  EXPECT_THROW(client.request(ping), ConnectionLostError);
+  EXPECT_EQ(endpoint.accepts(1), 1);  // the constructor's, nothing more
+  endpoint.stop();
+}
+
+TEST(ClientRetry, RefusedConnectIsBounded) {
+  EXPECT_THROW(
+      ServiceClient("127.0.0.1", refusedPort(), fastLimits(2)),
+      ConnectionLostError);
+}
+
+TEST(ClientRetry, BackoffIsCappedNotOverflowed) {
+  // A pathological backoff start must be clamped to maxRetryBackoffMs
+  // up front — uncapped doubling would sleep for weeks (and overflow
+  // int); the test completing at all proves the cap is applied.
+  ClientLimits limits;
+  limits.retries = 3;
+  limits.retryBackoffMs = 1'500'000'000;
+  limits.maxRetryBackoffMs = 1;
+  EXPECT_THROW(ServiceClient("127.0.0.1", refusedPort(), limits),
+               ConnectionLostError);
+}
+
+}  // namespace
+}  // namespace pviz::service

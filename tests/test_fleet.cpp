@@ -206,17 +206,13 @@ TEST(Sweep, EmptyDimensionsThrow) {
                pviz::Error);
 }
 
-TEST(WorkerRegistry, MissesEscalateAndSuccessRevives) {
+TEST(WorkerRegistry, MissesEscalateAndSuspectRecovers) {
   WorkerRegistry registry(/*missesBeforeDead=*/3);
   registry.add("w0", "127.0.0.1", 7077, 123);
   EXPECT_EQ(registry.state("w0"), WorkerState::Alive);
 
+  // A Suspect worker that answers again recovers to Alive.
   EXPECT_EQ(registry.recordHeartbeat("w0", false), WorkerState::Suspect);
-  EXPECT_EQ(registry.recordHeartbeat("w0", false), WorkerState::Suspect);
-  EXPECT_EQ(registry.recordHeartbeat("w0", false), WorkerState::Dead);
-  EXPECT_EQ(registry.usable().size(), 0u);
-
-  // An operator restarting the worker on the same port revives it.
   EXPECT_EQ(registry.recordHeartbeat("w0", true, 7), WorkerState::Alive);
   ASSERT_EQ(registry.usable().size(), 1u);
 
@@ -234,8 +230,44 @@ TEST(WorkerRegistry, MissesEscalateAndSuccessRevives) {
   const std::vector<WorkerInfo> snapshot = registry.snapshot();
   ASSERT_EQ(snapshot.size(), 1u);
   EXPECT_EQ(snapshot[0].beatsSeen, 3);
-  EXPECT_EQ(snapshot[0].beatsMissed, 6);
+  EXPECT_EQ(snapshot[0].beatsMissed, 4);
   EXPECT_EQ(snapshot[0].lastSeq, 9);
+}
+
+// Regression: a Dead worker must STAY dead.  The coordinator removes a
+// Dead worker's ring slot and stops its dispatcher exactly once, on the
+// Dead transition; the old registry behavior revived the entry to Alive
+// on the next successful beat, leaving registry (Alive, usable) and
+// routing (no ring slot, no dispatcher) permanently split-brained.
+TEST(WorkerRegistry, DeadIsTerminal) {
+  WorkerRegistry registry(/*missesBeforeDead=*/2);
+  registry.add("w0", "127.0.0.1", 7077, 123);
+  registry.add("w1", "127.0.0.1", 7078, 124);
+
+  registry.recordHeartbeat("w0", false);
+  EXPECT_EQ(registry.recordHeartbeat("w0", false), WorkerState::Dead);
+  EXPECT_EQ(registry.usable(), std::vector<std::string>{"w1"});
+
+  // The beat that used to split the brain: success after death.
+  EXPECT_EQ(registry.recordHeartbeat("w0", true, 41), WorkerState::Dead);
+  EXPECT_EQ(registry.state("w0"), WorkerState::Dead);
+  EXPECT_EQ(registry.usable(), std::vector<std::string>{"w1"});
+
+  // Misses after death don't resurrect anything either.
+  EXPECT_EQ(registry.recordHeartbeat("w0", false), WorkerState::Dead);
+
+  // The post-death success is still recorded in the lifetime counters
+  // (it did happen), just not in the state machine.
+  for (const WorkerInfo& info : registry.snapshot()) {
+    if (info.name != "w0") continue;
+    EXPECT_EQ(info.beatsSeen, 1);
+    EXPECT_EQ(info.lastSeq, 41);
+  }
+
+  // markDead (the dispatch-path death sentence) is terminal the same way.
+  registry.markDead("w1");
+  EXPECT_EQ(registry.recordHeartbeat("w1", true, 42), WorkerState::Dead);
+  EXPECT_TRUE(registry.usable().empty());
 }
 
 TEST(Prometheus, ParseInvertsRender) {

@@ -1,20 +1,27 @@
-// Determinism and cross-pool equivalence of the data-parallel kernels.
+// Determinism and cross-execution equivalence of the data-parallel
+// kernels.
 //
 // The two-pass (classify → scan → generate) rewrite of the filters must
-// produce byte-identical meshes and images for every thread-pool size:
-// the compaction lists are in ascending cell order, chunked gathers merge
-// in chunk order, and the exclusive scan is exact integer arithmetic.
-// These tests pin that contract by running each kernel under pools of
-// size 1, 2, and the hardware default and comparing outputs exactly.
+// produce byte-identical meshes and images for every execution
+// configuration — all three exec backends (serial / threaded /
+// vectorized) × thread-pool sizes 1, 2, and the hardware default: the
+// compaction lists are in ascending cell order, chunked gathers merge
+// in chunk order, the exclusive scan is exact integer arithmetic, and
+// the vectorized inner-loop variants preserve integer results and
+// floating-point association exactly.  Every configuration is compared
+// byte-for-byte against the serial backend on a one-thread pool.
 // The scan/compaction primitives themselves are exercised on their edge
 // cases (empty, single element, all zeros, totals past 2^31) against a
 // serial reference.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "sim/cloverleaf.h"
+#include "util/backend.h"
 #include "util/exec_context.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
@@ -30,17 +37,56 @@ namespace pviz::vis {
 namespace {
 
 /// Run `f(ctx)` on an execution context over an explicit pool of
-/// `workers` total participants (1 = fully serial).  No global state is
-/// touched: the context pins the pool for everything `f` runs.
+/// `workers` total participants (1 = fully serial) and an explicit exec
+/// backend.  No global state is touched: the context pins the pool and
+/// backend for everything `f` runs.
 template <typename F>
-auto withPool(unsigned workers, F&& f) {
+auto withExec(unsigned workers, const exec::Backend& backend, F&& f) {
   util::ThreadPool pool(workers);
   util::ExecutionContext ctx(pool);
+  ctx.setBackend(backend);
   return f(ctx);
+}
+
+/// Pool-size-only form on the default (threaded) backend.
+template <typename F>
+auto withPool(unsigned workers, F&& f) {
+  return withExec(workers, exec::threadedBackend(), std::forward<F>(f));
 }
 
 std::vector<unsigned> poolSizes() {
   return {1u, 2u, std::max(1u, std::thread::hardware_concurrency())};
+}
+
+/// One execution configuration the determinism matrix sweeps.
+struct ExecConfig {
+  unsigned workers;
+  const exec::Backend* backend;
+
+  std::string label() const {
+    return std::string(backend->token()) + " backend, pool " +
+           std::to_string(workers);
+  }
+};
+
+/// All backends × pool sizes 1/2/hw.  The reference configuration every
+/// other one must match byte-for-byte is {1, serial}.
+std::vector<ExecConfig> execConfigs() {
+  std::vector<ExecConfig> out;
+  for (unsigned workers : poolSizes()) {
+    for (const exec::Backend* backend :
+         {&exec::serialBackend(), &exec::threadedBackend(),
+          &exec::vectorizedBackend()}) {
+      out.push_back({workers, backend});
+    }
+  }
+  return out;
+}
+
+/// Reference runner: serial backend, one-thread pool.
+template <typename F>
+auto serialReference(F&& f) {
+  return withExec(1, exec::serialBackend(), std::forward<F>(f));
 }
 
 void expectIdentical(const TriangleMesh& a, const TriangleMesh& b) {
@@ -116,18 +162,26 @@ TEST(ExclusiveScan, AllZeros) {
 
 TEST(ExclusiveScan, TotalsPastTwoToTheThirtyOne) {
   // 2^20 elements of 2^13 each: total 2^33, and every element past index
-  // 2^18 has an offset over 2^31 — the scan must carry exact 64-bit sums.
+  // 2^18 has an offset over 2^31 — the scan must carry exact 64-bit sums
+  // on every backend and pool size.
   const std::size_t n = std::size_t{1} << 20;
-  std::vector<std::int64_t> counts(n, 1 << 13);
-  std::vector<std::int64_t> reference = counts;
+  const std::vector<std::int64_t> input(n, 1 << 13);
+  std::vector<std::int64_t> reference = input;
   const std::int64_t refTotal = serialScanReference(reference);
   ASSERT_EQ(refTotal, std::int64_t{1} << 33);
-  const std::int64_t total = util::exclusiveScan(counts);
-  EXPECT_EQ(total, refTotal);
-  EXPECT_EQ(counts, reference);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    std::vector<std::int64_t> counts = input;
+    const std::int64_t total =
+        withExec(cfg.workers, *cfg.backend, [&](util::ExecutionContext& ctx) {
+          return util::exclusiveScan(ctx, counts);
+        });
+    EXPECT_EQ(total, refTotal);
+    EXPECT_EQ(counts, reference);
+  }
 }
 
-TEST(ExclusiveScan, MatchesSerialReferenceOnEveryPoolSize) {
+TEST(ExclusiveScan, MatchesSerialReferenceOnEveryConfig) {
   // Irregular counts long enough to take the three-phase parallel path.
   std::vector<std::int64_t> input(200001);
   for (std::size_t i = 0; i < input.size(); ++i) {
@@ -135,72 +189,101 @@ TEST(ExclusiveScan, MatchesSerialReferenceOnEveryPoolSize) {
   }
   std::vector<std::int64_t> reference = input;
   const std::int64_t refTotal = serialScanReference(reference);
-  for (unsigned workers : poolSizes()) {
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
     std::vector<std::int64_t> counts = input;
-    const std::int64_t total = withPool(workers, [&](util::ExecutionContext& ctx) {
-      return util::exclusiveScan(ctx, counts);
-    });
-    EXPECT_EQ(total, refTotal) << "pool size " << workers;
-    EXPECT_EQ(counts, reference) << "pool size " << workers;
+    const std::int64_t total =
+        withExec(cfg.workers, *cfg.backend, [&](util::ExecutionContext& ctx) {
+          return util::exclusiveScan(ctx, counts);
+        });
+    EXPECT_EQ(total, refTotal);
+    EXPECT_EQ(counts, reference);
   }
 }
 
-TEST(ParallelSelect, AscendingAndPoolInvariant) {
+TEST(ParallelSelect, AscendingAndConfigInvariant) {
   const std::int64_t n = 100000;
   auto pred = [](std::int64_t i) { return i % 3 == 0 || i % 7 == 0; };
   std::vector<std::int64_t> reference;
   for (std::int64_t i = 0; i < n; ++i) {
     if (pred(i)) reference.push_back(i);
   }
-  for (unsigned workers : poolSizes()) {
-    const auto selected = withPool(workers, [&](util::ExecutionContext& ctx) {
-      return util::parallelSelect(ctx, n, pred, /*grain=*/1024);
-    });
-    EXPECT_EQ(selected, reference) << "pool size " << workers;
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    const auto selected =
+        withExec(cfg.workers, *cfg.backend, [&](util::ExecutionContext& ctx) {
+          return util::parallelSelect(ctx, n, pred, /*grain=*/1024);
+        });
+    EXPECT_EQ(selected, reference);
   }
 }
 
-// ---- filters: byte-identical output across pool sizes -----------------
+// ---- filters: byte-identical output across every execution config ----
 
-TEST(KernelDeterminism, ContourAcrossPoolSizes) {
+TEST(KernelDeterminism, ContourAcrossConfigs) {
   const UniformGrid g = sim::makeCloverField(16);
   ContourFilter filter;
   filter.setIsovalues(
       ContourFilter::uniformIsovalues(g.field("energy"), 3));
-  const TriangleMesh reference =
-      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").surface; });
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "energy").surface;
+  };
+  const TriangleMesh reference = serialReference(run);
   EXPECT_GT(reference.numTriangles(), 0);
-  for (unsigned workers : poolSizes()) {
-    const TriangleMesh mesh =
-        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").surface; });
-    expectIdentical(mesh, reference);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run), reference);
   }
 }
 
-TEST(KernelDeterminism, ThresholdAcrossPoolSizes) {
+TEST(KernelDeterminism, ThresholdAcrossConfigs) {
   const UniformGrid g = sim::makeCloverField(16);
   ThresholdFilter filter;
   filter.setRange(1.2, 2.2);
-  const HexSubset reference =
-      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").kept; });
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "energy").kept;
+  };
+  const HexSubset reference = serialReference(run);
   EXPECT_GT(reference.numCells(), 0);
-  for (unsigned workers : poolSizes()) {
-    const HexSubset kept =
-        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").kept; });
-    expectIdentical(kept, reference);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run), reference);
   }
 }
 
-TEST(KernelDeterminism, ClipSphereAcrossPoolSizes) {
+TEST(KernelDeterminism, ThresholdCellFieldAcrossConfigs) {
+  // Cell-associated fields take the flat (non-row-sweep) classify loop.
+  UniformGrid g = sim::makeCloverField(16);
+  Field f = Field::zeros("cellv", Association::Cells, 1, g.numCells());
+  for (Id c = 0; c < g.numCells(); ++c) {
+    f.setScalar(c, static_cast<double>(c % 97) / 97.0);
+  }
+  g.addField(std::move(f));
+  ThresholdFilter filter;
+  filter.setRange(0.25, 0.75);
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "cellv").kept;
+  };
+  const HexSubset reference = serialReference(run);
+  EXPECT_GT(reference.numCells(), 0);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run), reference);
+  }
+}
+
+TEST(KernelDeterminism, ClipSphereAcrossConfigs) {
   const UniformGrid g = sim::makeCloverField(16);
   ClipSphereFilter filter;
   filter.setSphere(g.bounds().center(), 0.3);
-  const auto reference =
-      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").clipped; });
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "energy").clipped;
+  };
+  const auto reference = serialReference(run);
   EXPECT_GT(reference.cellsCut, 0);
-  for (unsigned workers : poolSizes()) {
-    const auto clipped =
-        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy").clipped; });
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    const auto clipped = withExec(cfg.workers, *cfg.backend, run);
     expectIdentical(clipped.cutPieces, reference.cutPieces);
     expectIdentical(clipped.wholeCells, reference.wholeCells);
     EXPECT_EQ(clipped.cellsIn, reference.cellsIn);
@@ -209,33 +292,37 @@ TEST(KernelDeterminism, ClipSphereAcrossPoolSizes) {
   }
 }
 
-TEST(KernelDeterminism, IsovolumeAcrossPoolSizes) {
+TEST(KernelDeterminism, IsovolumeAcrossConfigs) {
   const UniformGrid g = sim::makeCloverField(16);
   IsovolumeFilter filter;
   filter.setRange(1.3, 2.1);
-  const auto ref = withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy"); });
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "energy");
+  };
+  const auto ref = serialReference(run);
   EXPECT_GT(ref.cutPieces.numTets(), 0);
-  for (unsigned workers : poolSizes()) {
-    const auto result = withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "energy"); });
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    const auto result = withExec(cfg.workers, *cfg.backend, run);
     expectIdentical(result.wholeCells, ref.wholeCells);
     expectIdentical(result.cutPieces, ref.cutPieces);
   }
 }
 
-TEST(KernelDeterminism, ExternalFacesAcrossPoolSizes) {
+TEST(KernelDeterminism, ExternalFacesAcrossConfigs) {
   const UniformGrid g = sim::makeCloverField(16);
-  const TriangleMesh reference =
-      withPool(1, [&](util::ExecutionContext& ctx) { return extractExternalFaces(ctx, g, "energy").mesh; });
+  auto run = [&](util::ExecutionContext& ctx) {
+    return extractExternalFaces(ctx, g, "energy").mesh;
+  };
+  const TriangleMesh reference = serialReference(run);
   EXPECT_GT(reference.numTriangles(), 0);
-  for (unsigned workers : poolSizes()) {
-    const TriangleMesh mesh = withPool(workers, [&](util::ExecutionContext& ctx) {
-      return extractExternalFaces(ctx, g, "energy").mesh;
-    });
-    expectIdentical(mesh, reference);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run), reference);
   }
 }
 
-TEST(KernelDeterminism, RayTracedImageAcrossPoolSizes) {
+TEST(KernelDeterminism, RayTracedImageAcrossConfigs) {
   const UniformGrid g = sim::makeCloverField(16);
   RayTracer tracer;
   tracer.setImageSize(48, 48);
@@ -244,9 +331,10 @@ TEST(KernelDeterminism, RayTracedImageAcrossPoolSizes) {
     auto result = tracer.run(ctx, g, "energy");
     return result.images.at(0);
   };
-  const Image reference = withPool(1, render);
-  for (unsigned workers : poolSizes()) {
-    const Image image = withPool(workers, render);
+  const Image reference = serialReference(render);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    const Image image = withExec(cfg.workers, *cfg.backend, render);
     ASSERT_EQ(image.width(), reference.width());
     ASSERT_EQ(image.height(), reference.height());
     for (int y = 0; y < image.height(); ++y) {
@@ -264,19 +352,49 @@ TEST(KernelDeterminism, RayTracedImageAcrossPoolSizes) {
 
 TEST(KernelDeterminism, DegenerateOneByOneByNGrid) {
   // A 1×1×N column of cells: every row has length 1, which exercises the
-  // first-cell path of the incremental classify on every cell.
+  // first-cell path of the incremental classify on every cell — and the
+  // end-cell patch-up of the vectorized row fills, where both row ends
+  // are the same cell.
   const UniformGrid g = fieldGrid({2, 2, 65}, [](const Vec3& p) {
     return p.z - 31.5;
   });
   ContourFilter filter;
   filter.setIsovalues({0.0});
-  const TriangleMesh reference =
-      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "v").surface;
+  };
+  const TriangleMesh reference = serialReference(run);
   EXPECT_GT(reference.numTriangles(), 0);
-  for (unsigned workers : poolSizes()) {
-    const TriangleMesh mesh =
-        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
-    expectIdentical(mesh, reference);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run), reference);
+  }
+}
+
+TEST(KernelDeterminism, DegenerateGridEveryFilterEveryConfig) {
+  // The 1×1×N column through threshold, external faces, and clip — all
+  // the row-swept kernels with vectorized variants, at rowLen == 1.
+  const UniformGrid g = fieldGrid({2, 2, 65}, [](const Vec3& p) {
+    return p.z - 31.5;
+  });
+  ThresholdFilter threshold;
+  threshold.setRange(-20.0, 20.0);
+  ClipSphereFilter clip;
+  clip.setSphere(g.bounds().center(), 10.0);
+  auto run = [&](util::ExecutionContext& ctx) {
+    return std::make_tuple(threshold.run(ctx, g, "v").kept,
+                           extractExternalFaces(ctx, g, "v").mesh,
+                           clip.run(ctx, g, "v").clipped.wholeCells);
+  };
+  const auto reference = serialReference(run);
+  EXPECT_GT(std::get<0>(reference).numCells(), 0);
+  EXPECT_GT(std::get<1>(reference).numTriangles(), 0);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    const auto result = withExec(cfg.workers, *cfg.backend, run);
+    expectIdentical(std::get<0>(result), std::get<0>(reference));
+    expectIdentical(std::get<1>(result), std::get<1>(reference));
+    expectIdentical(std::get<2>(result), std::get<2>(reference));
   }
 }
 
@@ -288,13 +406,14 @@ TEST(KernelDeterminism, SingleCrossedCell) {
   g.addField(std::move(f));
   ContourFilter filter;
   filter.setIsovalues({5.0});
-  const TriangleMesh reference =
-      withPool(1, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "v").surface;
+  };
+  const TriangleMesh reference = serialReference(run);
   EXPECT_EQ(reference.numTriangles(), 1);
-  for (unsigned workers : poolSizes()) {
-    const TriangleMesh mesh =
-        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
-    expectIdentical(mesh, reference);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run), reference);
   }
 }
 
@@ -303,9 +422,12 @@ TEST(KernelDeterminism, ZeroCrossedCells) {
       fieldGrid({9, 9, 9}, [](const Vec3&) { return 1.0; });
   ContourFilter filter;
   filter.setIsovalues({5.0});
-  for (unsigned workers : poolSizes()) {
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
     const TriangleMesh mesh =
-        withPool(workers, [&](util::ExecutionContext& ctx) { return filter.run(ctx, g, "v").surface; });
+        withExec(cfg.workers, *cfg.backend, [&](util::ExecutionContext& ctx) {
+          return filter.run(ctx, g, "v").surface;
+        });
     EXPECT_EQ(mesh.numTriangles(), 0);
     EXPECT_TRUE(mesh.points.empty());
   }

@@ -116,6 +116,7 @@ void expectRequestRoundTrip(const Request& request) {
   EXPECT_DOUBLE_EQ(parsed.budgetWatts, request.budgetWatts);
   EXPECT_EQ(parsed.simSteps, request.simSteps);
   EXPECT_DOUBLE_EQ(parsed.delayMs, request.delayMs);
+  EXPECT_EQ(parsed.backend, request.backend);
 }
 
 TEST(Protocol, PingRoundTrip) {
@@ -172,6 +173,24 @@ TEST(Protocol, BudgetRoundTrip) {
   expectRequestRoundTrip(request);
 }
 
+TEST(Protocol, BackendFieldRoundTrip) {
+  Request request;
+  request.op = Op::Classify;
+  request.algorithm = core::Algorithm::Contour;
+  request.size = 64;
+  request.backend = "vectorized";
+  expectRequestRoundTrip(request);
+  // Empty backend (the default) is omitted from the wire form entirely.
+  Request plain;
+  plain.op = Op::Ping;
+  EXPECT_EQ(toJson(plain).find("backend"), nullptr);
+  // The backend never reaches the cache key: every backend is
+  // bit-identical, so serial and vectorized must share a cache entry.
+  Request other = request;
+  other.backend = "serial";
+  EXPECT_EQ(canonicalCacheKey(request), canonicalCacheKey(other));
+}
+
 TEST(Protocol, MalformedRequestsThrow) {
   // No op.
   EXPECT_THROW(requestFromJson(Json::parse("{}")), Error);
@@ -197,6 +216,10 @@ TEST(Protocol, MalformedRequestsThrow) {
   // Budget without budget_watts.
   EXPECT_THROW(requestFromJson(Json::parse(
                    R"({"op":"budget","algorithm":"contour","size":32})")),
+               Error);
+  // Unknown backend.
+  EXPECT_THROW(requestFromJson(Json::parse(
+                   R"({"op":"ping","backend":"quantum"})")),
                Error);
   // Not an object at all.
   EXPECT_THROW(requestFromJson(Json::parse("[1,2,3]")), Error);

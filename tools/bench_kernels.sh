@@ -66,16 +66,20 @@ quick = os.environ["QUICK"] == "1"
 set_baseline = os.environ["SET_BASELINE"] == "1"
 
 raw = json.load(open(raw_path))
+# Benchmarks report in their declared time_unit (->Unit(...)); normalize
+# everything to milliseconds.
+to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 kernels = {}
 for b in raw["benchmarks"]:
     name = b["name"]
+    ms = b["real_time"] * to_ms[b.get("time_unit", "ns")]
     # With repetitions we keep the median aggregate; a quick run has the
     # plain entries only.
     if quick:
         if b.get("run_type") == "iteration":
-            kernels[name] = round(b["real_time"] / 1e6, 6)
+            kernels[name] = round(ms, 6)
     elif name.endswith("_median"):
-        kernels[name[: -len("_median")]] = round(b["real_time"] / 1e6, 6)
+        kernels[name[: -len("_median")]] = round(ms, 6)
 
 section = {
     "commit": os.environ["COMMIT"],
@@ -105,6 +109,27 @@ cur = doc["current"]["kernels"]
 doc["speedup"] = {
     k: round(base[k] / cur[k], 3) for k in sorted(base) if k in cur and cur[k] > 0
 }
+
+# Per-backend columns: fold BM_<Kernel>Backend/<backend>/<size> rows into
+# one table row per (kernel, size), with the vectorized speedup measured
+# against `threaded` (the default backend; on a 1-core host threaded and
+# serial coincide, so this is the honest scalar baseline).
+backends = {}
+for name, ms in cur.items():
+    parts = name.split("/")
+    if len(parts) == 3 and parts[0].endswith("Backend"):
+        kernel = parts[0][len("BM_") : -len("Backend")]
+        row = backends.setdefault(f"{kernel}/{parts[2]}", {})
+        row[parts[1]] = ms
+for row in backends.values():
+    if row.get("vectorized") and row.get("threaded"):
+        row["vectorized_speedup"] = round(row["threaded"] / row["vectorized"], 3)
+if backends:
+    doc["backends"] = {
+        "time_unit": "ms",
+        "speedup_baseline": "threaded",
+        "kernels": dict(sorted(backends.items())),
+    }
 
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=False)

@@ -55,6 +55,11 @@ tracing / telemetry:
   --trace                   ask the server for a Chrome-trace span dump
                             of this request (response `trace` field)
   --trace-out PATH          write that dump to PATH (Perfetto-loadable)
+  --backend NAME            execution backend for this request on the
+                            server: serial | threaded | vectorized
+                            (default: the server's own default; never
+                            part of the result-cache key — backends are
+                            bit-identical)
 
 algorithms: contour threshold clip isovolume slice advection raytracing
 volume (or "all")
@@ -183,6 +188,7 @@ int main(int argc, char** argv) {
         request.trace = true;
         traceOutPath = next();
       }
+      else if (arg == "--backend") request.backend = next();
       else if (!arg.empty() && arg[0] != '-' && !haveOp) {
         request.op = service::parseOpToken(arg);
         haveOp = true;

@@ -59,6 +59,9 @@ options:
                       default 1024)
   --caps w,w,...      default cap sweep for classify/study requests
   --cycles N          default visualization cycles (default 10)
+  --backend NAME      execution backend for requests that don't name one:
+                      serial | threaded | vectorized (default: the
+                      POWERVIZ_BACKEND environment default, else threaded)
   --light             light rendering parameters (few cameras, small
                       images) — fast characterizations for tests/demos
   --quiet             suppress progress logging
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
       else if (arg == "--result-cache") config.engine.cacheEntries = static_cast<std::size_t>(util::parseInt(next(), "--result-cache"));
       else if (arg == "--caps") config.engine.study.capsWatts = util::parseCapList(next());
       else if (arg == "--cycles") config.engine.study.cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
+      else if (arg == "--backend") config.engine.backend = next();
       else if (arg == "--light") config.engine.study.params = core::AlgorithmParams::lightRendering();
       else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
       else if (arg == "--cache") {

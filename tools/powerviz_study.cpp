@@ -13,6 +13,7 @@
 #include "core/report.h"
 #include "core/study.h"
 #include "telemetry/trace_sink.h"
+#include "util/backend.h"
 #include "util/exec_context.h"
 #include "util/fileio.h"
 #include "util/log.h"
@@ -46,6 +47,9 @@ options:
                         (watts, cumulative joules, phase) as JSON
   --cache PATH          characterization cache file (default:
                         pviz_profile_cache.txt; "none" disables)
+  --backend NAME        execution backend: serial | threaded | vectorized
+                        (default: POWERVIZ_BACKEND, else threaded; all
+                        backends produce bit-identical results)
   --quiet               suppress progress logging
                         (PVIZ_LOG=debug|info|warn|error|off overrides)
   -h, --help            this text
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
   std::vector<core::Algorithm> algorithms = core::allAlgorithms();
   int phase = 0;
   std::string csvPath;
+  std::string backendToken;
   std::string tracePath;
   std::string traceChromePath;
   std::string powerTimelinePath;
@@ -86,6 +91,10 @@ int main(int argc, char** argv) {
       else if (arg == "--cycles") config.cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
       else if (arg == "--full-render") config.params.sampledCameraCount = 0;
       else if (arg == "--csv") csvPath = next();
+      else if (arg == "--backend") {
+        backendToken = next();
+        exec::parseBackendToken(backendToken);  // reject bad names up front
+      }
       else if (arg == "--trace") tracePath = next();
       else if (arg == "--trace-chrome") traceChromePath = next();
       else if (arg == "--power-timeline") powerTimelinePath = next();
@@ -131,6 +140,9 @@ int main(int argc, char** argv) {
   // thread pool and scratch arena, so later sweeps reuse the buffers the
   // first one allocated; the tracer accumulates every kernel phase.
   util::ExecutionContext ctx;
+  if (!backendToken.empty()) {
+    ctx.setBackend(exec::backendFor(exec::parseBackendToken(backendToken)));
+  }
   std::vector<core::ConfigRecord> records;
   for (vis::Id size : config.sizes) {
     for (core::Algorithm algorithm : algorithms) {
