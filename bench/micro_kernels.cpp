@@ -4,9 +4,13 @@
 // BVH-vs-brute-force ablation the DESIGN calls out.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <mutex>
 
 #include "sim/cloverleaf.h"
+#include "util/parallel.h"
 #include "telemetry/metric_registry.h"
 #include "util/backend.h"
 #include "util/exec_context.h"
@@ -48,7 +52,9 @@ void BM_Contour(benchmark::State& state) {
   filter.setIsovalues(
       vis::ContourFilter::uniformIsovalues(g.field("energy"), 3));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.run(g, "energy").surface.numTriangles());
+    util::ExecutionContext cold;  // shim semantics: fresh arena per run
+    benchmark::DoNotOptimize(
+        filter.run(cold, g, "energy").surface.numTriangles());
   }
   state.SetItemsProcessed(state.iterations() * g.numCells() * 3);
 }
@@ -80,7 +86,8 @@ void BM_Threshold(benchmark::State& state) {
   vis::ThresholdFilter filter;
   filter.setRange(1.2, 2.2);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.run(g, "energy").kept.numCells());
+    util::ExecutionContext cold;
+    benchmark::DoNotOptimize(filter.run(cold, g, "energy").kept.numCells());
   }
   state.SetItemsProcessed(state.iterations() * g.numCells());
 }
@@ -91,8 +98,9 @@ void BM_ClipSphere(benchmark::State& state) {
   vis::ClipSphereFilter filter;
   filter.setSphere(g.bounds().center(), 0.3);
   for (auto _ : state) {
+    util::ExecutionContext cold;
     benchmark::DoNotOptimize(
-        filter.run(g, "energy").clipped.cutPieces.numTets());
+        filter.run(cold, g, "energy").clipped.cutPieces.numTets());
   }
   state.SetItemsProcessed(state.iterations() * g.numCells());
 }
@@ -103,7 +111,9 @@ void BM_Isovolume(benchmark::State& state) {
   vis::IsovolumeFilter filter;
   filter.setRange(1.3, 2.1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.run(g, "energy").cutPieces.numTets());
+    util::ExecutionContext cold;
+    benchmark::DoNotOptimize(
+        filter.run(cold, g, "energy").cutPieces.numTets());
   }
   state.SetItemsProcessed(state.iterations() * g.numCells());
 }
@@ -113,7 +123,9 @@ void BM_Slice(benchmark::State& state) {
   const vis::UniformGrid& g = grid(state.range(0));
   vis::SliceFilter filter;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.run(g, "energy").surface.numTriangles());
+    util::ExecutionContext cold;
+    benchmark::DoNotOptimize(
+        filter.run(cold, g, "energy").surface.numTriangles());
   }
   state.SetItemsProcessed(state.iterations() * g.numCells());
 }
@@ -125,16 +137,151 @@ void BM_ParticleAdvection(benchmark::State& state) {
   filter.setSeedCount(state.range(0));
   filter.setMaxSteps(200);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.run(g, "velocity").totalSteps);
+    util::ExecutionContext cold;
+    benchmark::DoNotOptimize(filter.run(cold, g, "velocity").totalSteps);
   }
 }
 BENCHMARK(BM_ParticleAdvection)->Arg(100)->Arg(400);
 
+// --- Flow workload: advection scheduling at scale --------------------
+//
+// An early-termination-heavy field: a thin vortex core traps a small
+// fraction of the seeds for the full integration while the radial
+// outflow ejects everyone else within a couple dozen steps.  That skew
+// is the worst case for static chunking — whichever chunk drew the
+// core serializes the tail — and the case the work-stealing scheduler
+// exists for.  `legacy` is a bench-local replica of the pre-scheduler
+// pipeline (one growing polyline buffer per chunk, merged under a
+// mutex) over the exact same counter-based seeds, so the three columns
+// separate the pipeline effect (legacy vs worksteal) from the schedule
+// effect (static vs worksteal).  Rows land in BENCH_kernels.json as a
+// dedicated `flow` table; on a single-core host the two schedule
+// columns coincide by construction.
+const vis::UniformGrid& vortexTrapGrid() {
+  static const vis::UniformGrid g = [] {
+    vis::UniformGrid grid({33, 33, 33}, {0.0, 0.0, 0.0},
+                          {1.0 / 32.0, 1.0 / 32.0, 1.0 / 32.0});
+    vis::Field f = vis::Field::zeros("velocity", vis::Association::Points, 3,
+                                     grid.numPoints());
+    for (vis::Id p = 0; p < grid.numPoints(); ++p) {
+      const vis::Vec3 d = grid.pointPosition(p) - vis::Vec3{0.5, 0.5, 0.5};
+      const double r = std::sqrt(d.x * d.x + d.y * d.y);
+      if (r < 0.15) {
+        f.setVec3(p, {-d.y * 4.0, d.x * 4.0, 0.0});  // trapped orbit
+      } else {
+        const double s = 3.0 / std::max(r, 1e-9);
+        f.setVec3(p, {d.x * s, d.y * s, 0.0});  // fast radial ejection
+      }
+    }
+    grid.addField(std::move(f));
+    return grid;
+  }();
+  return g;
+}
+
+constexpr vis::Id kFlowMaxSteps = 256;
+constexpr double kFlowStepLength = 0.01;
+constexpr std::uint64_t kFlowRngSeed = 42;
+
+// The pre-scheduler pipeline, verbatim in shape: chunked parallel-for,
+// a growing PolylineSet per chunk, mutex-guarded merge, final stitch.
+// Seeds come from the filter's counter-based generator so every column
+// advects the identical particle set.
+std::int64_t legacyAdvect(util::ExecutionContext& ctx,
+                          const vis::UniformGrid& grid, vis::Id seeds) {
+  const vis::Field& field = grid.field("velocity");
+  const vis::Bounds box = grid.bounds();
+  std::atomic<std::int64_t> totalSteps{0};
+  std::mutex mergeMutex;
+  std::vector<std::pair<vis::Id, vis::PolylineSet>> partials;
+  util::parallelForChunks(
+      ctx, 0, seeds,
+      [&](vis::Id chunkBegin, vis::Id chunkEnd) {
+        vis::PolylineSet local;
+        std::int64_t localSteps = 0;
+        for (vis::Id p = chunkBegin; p < chunkEnd; ++p) {
+          vis::Vec3 x = vis::ParticleAdvectionFilter::seedPosition(
+              box, kFlowRngSeed, p);
+          local.points.push_back(x);
+          local.pointScalars.push_back(0.0);
+          const double h = kFlowStepLength;
+          vis::Id step = 0;
+          for (; step < kFlowMaxSteps; ++step) {
+            vis::Vec3 k1, k2, k3, k4;
+            if (!grid.sampleVector(field, x, k1)) break;
+            if (!grid.sampleVector(field, x + k1 * (h * 0.5), k2)) break;
+            if (!grid.sampleVector(field, x + k2 * (h * 0.5), k3)) break;
+            if (!grid.sampleVector(field, x + k3 * h, k4)) break;
+            x += (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (h / 6.0);
+            if (!box.contains(x)) break;
+            local.points.push_back(x);
+            local.pointScalars.push_back(static_cast<double>(step + 1) * h);
+          }
+          localSteps += step;
+          local.offsets.push_back(static_cast<vis::Id>(local.points.size()));
+        }
+        totalSteps.fetch_add(localSteps, std::memory_order_relaxed);
+        std::lock_guard lock(mergeMutex);
+        partials.emplace_back(chunkBegin, std::move(local));
+      },
+      /*grain=*/16);
+  std::sort(partials.begin(), partials.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  vis::PolylineSet merged;
+  for (auto& [first, local] : partials) {
+    (void)first;
+    const vis::Id base = static_cast<vis::Id>(merged.points.size());
+    merged.points.insert(merged.points.end(), local.points.begin(),
+                         local.points.end());
+    merged.pointScalars.insert(merged.pointScalars.end(),
+                               local.pointScalars.begin(),
+                               local.pointScalars.end());
+    for (std::size_t l = 1; l < local.offsets.size(); ++l) {
+      merged.offsets.push_back(base + local.offsets[l]);
+    }
+  }
+  benchmark::DoNotOptimize(merged.points.data());
+  return totalSteps.load();
+}
+
+enum class FlowColumn { Legacy, StaticChunk, WorkSteal };
+
+void BM_AdvectFlow(benchmark::State& state, FlowColumn column) {
+  const vis::UniformGrid& g = vortexTrapGrid();
+  const vis::Id seeds = state.range(0);
+  vis::ParticleAdvectionFilter filter;
+  filter.setSeedCount(seeds);
+  filter.setMaxSteps(kFlowMaxSteps);
+  filter.setStepLength(kFlowStepLength);
+  filter.setSeedRngSeed(kFlowRngSeed);
+  filter.setSchedule(column == FlowColumn::StaticChunk
+                         ? vis::ParticleAdvectionFilter::Schedule::StaticChunk
+                         : vis::ParticleAdvectionFilter::Schedule::WorkSteal);
+  util::ExecutionContext ctx;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    ctx.beginRun();
+    if (column == FlowColumn::Legacy) {
+      steps += legacyAdvect(ctx, g, seeds);
+    } else {
+      steps += filter.run(ctx, g, "velocity").totalSteps;
+    }
+  }
+  state.SetItemsProcessed(steps);  // items/s == RK4 steps/s
+}
+BENCHMARK_CAPTURE(BM_AdvectFlow, legacy, FlowColumn::Legacy)
+    ->Arg(1000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AdvectFlow, static, FlowColumn::StaticChunk)
+    ->Arg(1000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AdvectFlow, worksteal, FlowColumn::WorkSteal)
+    ->Arg(1000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
 void BM_ExternalFaces(benchmark::State& state) {
   const vis::UniformGrid& g = grid(state.range(0));
   for (auto _ : state) {
+    util::ExecutionContext cold;
     benchmark::DoNotOptimize(
-        vis::extractExternalFaces(g, "energy").facesFound);
+        vis::extractExternalFaces(cold, g, "energy").facesFound);
   }
   state.SetItemsProcessed(state.iterations() * g.numCells());
 }
@@ -248,10 +395,12 @@ BENCHMARK_CAPTURE(BM_ClipSphereBackend, vectorized,
     ->Arg(128)->Unit(benchmark::kMillisecond);
 
 void BM_BvhBuild(benchmark::State& state) {
+  util::ExecutionContext ctx;
   const vis::TriangleMesh mesh =
-      vis::extractExternalFaces(grid(state.range(0)), "energy").mesh;
+      vis::extractExternalFaces(ctx, grid(state.range(0)), "energy").mesh;
   for (auto _ : state) {
-    vis::Bvh bvh(mesh);
+    util::ExecutionContext cold;
+    vis::Bvh bvh(cold, mesh);
     benchmark::DoNotOptimize(bvh.nodeCount());
   }
   state.SetItemsProcessed(state.iterations() * mesh.numTriangles());
@@ -262,9 +411,10 @@ BENCHMARK(BM_BvhBuild)->Arg(16)->Arg(32);
 // a spatial acceleration structure.
 void BM_TraceWithBvh(benchmark::State& state) {
   const vis::UniformGrid& g = grid(16);
+  util::ExecutionContext ctx;
   const vis::TriangleMesh mesh =
-      vis::extractExternalFaces(g, "energy").mesh;
-  const vis::Bvh bvh(mesh);
+      vis::extractExternalFaces(ctx, g, "energy").mesh;
+  const vis::Bvh bvh(ctx, mesh);
   const auto cameras = vis::cameraOrbit(g.bounds(), 1);
   std::int64_t hits = 0;
   for (auto _ : state) {
@@ -281,9 +431,10 @@ BENCHMARK(BM_TraceWithBvh);
 
 void BM_TraceBruteForce(benchmark::State& state) {
   const vis::UniformGrid& g = grid(16);
+  util::ExecutionContext ctx;
   const vis::TriangleMesh mesh =
-      vis::extractExternalFaces(g, "energy").mesh;
-  const vis::Bvh bvh(mesh);
+      vis::extractExternalFaces(ctx, g, "energy").mesh;
+  const vis::Bvh bvh(ctx, mesh);
   const auto cameras = vis::cameraOrbit(g.bounds(), 1);
   std::int64_t hits = 0;
   for (auto _ : state) {
@@ -305,7 +456,8 @@ void BM_VolumeRender(benchmark::State& state) {
   renderer.setImageSize(64, 64);
   renderer.setCameraCount(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(renderer.run(g, "energy").samplesTaken);
+    util::ExecutionContext cold;
+    benchmark::DoNotOptimize(renderer.run(cold, g, "energy").samplesTaken);
   }
 }
 BENCHMARK(BM_VolumeRender);

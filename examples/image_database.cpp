@@ -8,6 +8,7 @@
 #include <string>
 
 #include "sim/cloverleaf.h"
+#include "util/exec_context.h"
 #include "viz/dataset/geometry_conversion.h"
 #include "util/log.h"
 #include "viz/filters/clip_sphere.h"
@@ -30,13 +31,14 @@ using vis::Vec3;
 constexpr int kImage = 400;
 
 // Render a triangle mesh with the scene camera and a cool-to-warm map.
-void renderMesh(const TriangleMesh& mesh, const vis::Bounds& sceneBounds,
-                double scalarLo, double scalarHi, const std::string& path) {
+void renderMesh(util::ExecutionContext& ctx, const TriangleMesh& mesh,
+                const vis::Bounds& sceneBounds, double scalarLo,
+                double scalarHi, const std::string& path) {
   if (mesh.numTriangles() == 0) {
     PVIZ_LOG_WARN("no geometry for " << path);
     return;
   }
-  const vis::Bvh bvh(mesh);
+  const vis::Bvh bvh(ctx, mesh);
   const auto cameras = vis::cameraOrbit(sceneBounds, 8);
   const vis::Camera& camera = cameras[1];
   const vis::ColorTable colors = vis::ColorTable::coolToWarm();
@@ -88,63 +90,74 @@ int main(int argc, char** argv) {
   const vis::UniformGrid g = sim::makeCloverField(cells);
   const vis::Bounds bounds = g.bounds();
   const auto [lo, hi] = g.field("energy").range();
+  // One context for all eight kernels: the scratch arena warmed by the
+  // first filter serves the rest.
+  util::ExecutionContext ctx;
 
   {  // (a) contour
+    ctx.beginRun();
     vis::ContourFilter filter;
     filter.setIsovalues(
         vis::ContourFilter::uniformIsovalues(g.field("energy"), 3));
-    renderMesh(filter.run(g, "energy").surface, bounds, lo, hi,
+    renderMesh(ctx, filter.run(ctx, g, "energy").surface, bounds, lo, hi,
                "fig1a_contour.ppm");
   }
   {  // (b) threshold
+    ctx.beginRun();
     vis::ThresholdFilter filter;
     filter.setRange(lo + 0.55 * (hi - lo), hi);
-    renderMesh(hexSubsetToTriangles(g, filter.run(g, "energy").kept), bounds, lo, hi,
+    renderMesh(ctx, hexSubsetToTriangles(g, filter.run(ctx, g, "energy").kept), bounds, lo, hi,
                "fig1b_threshold.ppm");
   }
   {  // (c) spherical clip
+    ctx.beginRun();
     vis::ClipSphereFilter filter;
     filter.setSphere(bounds.center(), 0.3 * length(bounds.extent()));
-    const auto result = filter.run(g, "energy");
+    const auto result = filter.run(ctx, g, "energy");
     TriangleMesh mesh = hexSubsetToTriangles(g, result.clipped.wholeCells);
     mesh.append(tetMeshToTriangles(result.clipped.cutPieces));
-    renderMesh(mesh, bounds, lo, hi, "fig1c_spherical_clip.ppm");
+    renderMesh(ctx, mesh, bounds, lo, hi, "fig1c_spherical_clip.ppm");
   }
   {  // (d) isovolume
+    ctx.beginRun();
     vis::IsovolumeFilter filter;
     filter.setRange(lo + 0.4 * (hi - lo), lo + 0.8 * (hi - lo));
-    const auto result = filter.run(g, "energy");
+    const auto result = filter.run(ctx, g, "energy");
     TriangleMesh mesh = hexSubsetToTriangles(g, result.wholeCells);
     mesh.append(tetMeshToTriangles(result.cutPieces));
-    renderMesh(mesh, bounds, lo, hi, "fig1d_isovolume.ppm");
+    renderMesh(ctx, mesh, bounds, lo, hi, "fig1d_isovolume.ppm");
   }
   {  // (e) slice
+    ctx.beginRun();
     vis::SliceFilter filter;
-    renderMesh(filter.run(g, "energy").surface, bounds, lo, hi,
+    renderMesh(ctx, filter.run(ctx, g, "energy").surface, bounds, lo, hi,
                "fig1e_slice.ppm");
   }
   {  // (f) particle advection
+    ctx.beginRun();
     vis::ParticleAdvectionFilter filter;
     filter.setSeedCount(300);
     filter.setMaxSteps(400);
     filter.setStepLength(0.004);
-    const auto result = filter.run(g, "velocity");
-    renderMesh(polylinesToTriangles(result.streamlines, 0.004), bounds, 0.0,
+    const auto result = filter.run(ctx, g, "velocity");
+    renderMesh(ctx, polylinesToTriangles(result.streamlines, 0.004), bounds, 0.0,
                400 * 0.004, "fig1f_particle_advection.ppm");
   }
   {  // (g) ray tracing
+    ctx.beginRun();
     vis::RayTracer tracer;
     tracer.setImageSize(kImage, kImage);
     tracer.setCameraCount(2);
     tracer.setKeepFirstImageOnly(true);
-    tracer.run(g, "energy").images.front().writePpm("fig1g_ray_tracing.ppm");
+    tracer.run(ctx, g, "energy").images.front().writePpm("fig1g_ray_tracing.ppm");
     std::cout << "wrote fig1g_ray_tracing.ppm\n";
   }
   {  // (h) volume rendering
+    ctx.beginRun();
     vis::VolumeRenderer renderer;
     renderer.setImageSize(kImage, kImage);
     renderer.setCameraCount(2);
-    renderer.run(g, "energy").images.front().writePpm(
+    renderer.run(ctx, g, "energy").images.front().writePpm(
         "fig1h_volume_rendering.ppm");
     std::cout << "wrote fig1h_volume_rendering.ppm\n";
   }

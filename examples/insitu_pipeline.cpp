@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/pipeline.h"
+#include "util/exec_context.h"
 #include "util/table.h"
 
 int main() {
@@ -36,10 +37,12 @@ int main() {
   util::TextTable table;
   table.setHeader({"Scenario", "Total(s)", "Viz share", "Avg power(W)",
                    "Energy(kJ)"});
+  util::ExecutionContext ctx;
   for (const Scenario& scenario : scenarios) {
     config.simCapWatts = scenario.simCap;
     config.vizCapWatts = scenario.vizCap;
-    const core::PipelineReport report = core::runInSituPipeline(config);
+    ctx.beginRun();
+    const core::PipelineReport report = core::runInSituPipeline(ctx, config);
     table.addRow({scenario.name,
                   util::formatFixed(report.totalSeconds, 2),
                   util::formatFixed(report.vizFraction * 100, 1) + "%",

@@ -11,6 +11,7 @@
 
 #include "core/execution_sim.h"
 #include "sim/cloverleaf.h"
+#include "util/exec_context.h"
 #include "util/table.h"
 #include "viz/filters/contour.h"
 
@@ -24,7 +25,8 @@ int main() {
   vis::ContourFilter contour;
   contour.setIsovalues(
       vis::ContourFilter::uniformIsovalues(dataset.field("energy"), 10));
-  const vis::ContourFilter::Result result = contour.run(dataset, "energy");
+  util::ExecutionContext ctx;
+  const vis::ContourFilter::Result result = contour.run(ctx, dataset, "energy");
   std::cout << "contour produced " << result.surface.numTriangles()
             << " triangles over 10 isovalues\n\n";
 

@@ -167,7 +167,21 @@ vis::KernelProfile runAlgorithm(util::ExecutionContext& ctx,
       filter.setSeedCount(params.seedCount);
       filter.setMaxSteps(params.maxSteps);
       filter.setStepLength(params.stepLength);
-      profile = filter.run(ctx, grid, "velocity").profile;
+      filter.setSchedule(
+          vis::ParticleAdvectionFilter::parseSchedule(params.advectionSchedule));
+      const auto mode =
+          vis::ParticleAdvectionFilter::parseMode(params.advectionMode);
+      if (mode == vis::ParticleAdvectionFilter::Mode::Pathline) {
+        // Unsteady tracing between two pipeline time steps.  The
+        // pipeline attaches the previous cycle's velocity as
+        // "velocity_prev"; a grid without one (first cycle, or a
+        // standalone dataset) degenerates to a steady window.
+        const std::string& begin =
+            grid.hasField("velocity_prev") ? "velocity_prev" : "velocity";
+        profile = filter.run(ctx, grid, begin, "velocity").profile;
+      } else {
+        profile = filter.run(ctx, grid, "velocity").profile;
+      }
       launches = 2;
       break;
     }

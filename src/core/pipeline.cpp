@@ -1,6 +1,9 @@
 #include "core/pipeline.h"
 
+#include <utility>
+
 #include "util/exec_context.h"
+#include "viz/dataset/field.h"
 
 namespace pviz::core {
 
@@ -20,6 +23,7 @@ PipelineReport runInSituPipeline(util::ExecutionContext& ctx,
 
   PipelineReport report;
   double vizSecondsTotal = 0.0;
+  std::vector<double> previousVelocity;  // last cycle's velocity samples
 
   for (int cycle = 0; cycle < config.cycles; ++cycle) {
     ctx.cancel().throwIfCancelled();  // per-cycle cancellation point
@@ -36,7 +40,19 @@ PipelineReport runInSituPipeline(util::ExecutionContext& ctx,
     cr.simWatts = simRun.averageWatts;
 
     // --- Visualization phase under the visualization cap. ----------------
-    const vis::UniformGrid dataset = clover.exportForViz();
+    vis::UniformGrid dataset = clover.exportForViz();
+    if (config.params.advectionMode == "pathline") {
+      // Pathline advection traces the unsteady flow across one cycle:
+      // attach the previous cycle's velocity so the filter interpolates
+      // velocity_prev → velocity in integration time.  Cycle 0 has no
+      // predecessor and degenerates to a steady window (the filter
+      // falls back to velocity → velocity).
+      if (!previousVelocity.empty()) {
+        dataset.addField(vis::Field("velocity_prev", vis::Association::Points,
+                                    3, previousVelocity));
+      }
+      previousVelocity = dataset.field("velocity").data();
+    }
     for (Algorithm algorithm : config.algorithms) {
       const vis::KernelProfile vizProfile =
           scaleKernelWork(runAlgorithm(ctx, algorithm, dataset, config.params),

@@ -8,6 +8,8 @@
 // the simulation the headroom (see power_advisor.h).
 #pragma once
 
+#include "util/compat.h"
+
 #include <vector>
 
 #include "core/algorithms.h"
@@ -58,6 +60,7 @@ PipelineReport runInSituPipeline(util::ExecutionContext& ctx,
                                  const PipelineConfig& config);
 
 /// Compatibility shim: run on a fresh context over the global pool.
+PVIZ_CONTEXT_SHIM
 PipelineReport runInSituPipeline(const PipelineConfig& config);
 
 }  // namespace pviz::core

@@ -21,7 +21,7 @@ std::string cacheKey(Algorithm algorithm, vis::Id size,
   // Whitespace-free (the cache format is token-separated).
   os << "alg" << static_cast<int>(algorithm) << '|' << size << '|' << p.isovalueCount
      << '|' << p.seedCount << '|' << p.maxSteps << '|' << p.cameraCount
-     << '|' << p.imageWidth << 'x' << p.imageHeight;
+     << '|' << p.imageWidth << 'x' << p.imageHeight << '|' << p.advectionMode;
   return os.str();
 }
 
@@ -113,6 +113,37 @@ const vis::KernelProfile& Study::characterize(util::ExecutionContext& ctx,
   inFlight_.erase(key);
   profileReady_.notify_all();
   return inserted->second;
+}
+
+vis::KernelProfile Study::characterizeWith(util::ExecutionContext& ctx,
+                                           Algorithm algorithm, vis::Id size,
+                                           const AlgorithmParams& params) {
+  // No in-memory memo (it is keyed on the configured params), but the
+  // disk cache applies: its key covers every overridable parameter, so
+  // an override never collides with a configured-params entry.  The
+  // advection schedule is deliberately absent from the key — schedules
+  // are bit-identical, so every schedule maps to the same entry.
+  const std::string diskKey = cacheKey(algorithm, size, params);
+  if (!config_.cachePath.empty()) {
+    std::lock_guard diskLock(diskCacheMutex_);
+    auto disk = loadProfileCache(config_.cachePath);
+    auto hit = disk.find(diskKey);
+    if (hit != disk.end()) {
+      PVIZ_LOG_INFO("profile cache hit: " << diskKey);
+      return hit->second;
+    }
+  }
+  PVIZ_LOG_INFO("characterizing " << algorithmName(algorithm) << " at "
+                                  << size << "^3 (request overrides)");
+  vis::KernelProfile profile =
+      runAlgorithm(ctx, algorithm, dataset(size), params);
+  if (!config_.cachePath.empty()) {
+    std::lock_guard diskLock(diskCacheMutex_);
+    auto disk = loadProfileCache(config_.cachePath);
+    disk[diskKey] = profile;
+    saveProfileCache(config_.cachePath, disk);
+  }
+  return profile;
 }
 
 Measurement Study::measure(Algorithm algorithm, vis::Id size,

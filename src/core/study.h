@@ -75,6 +75,16 @@ class Study {
                                          Algorithm algorithm, vis::Id size);
   const vis::KernelProfile& characterize(Algorithm algorithm, vis::Id size);
 
+  /// Characterize with request-supplied parameter overrides (the service
+  /// layer's per-request advection knobs).  Shares the memoized dataset
+  /// and the on-disk profile cache (whose key covers the overridden
+  /// parameters), but NOT the in-memory memo — that map is keyed on
+  /// (algorithm, size) under the configured params only.  Returns by
+  /// value.
+  vis::KernelProfile characterizeWith(util::ExecutionContext& ctx,
+                                      Algorithm algorithm, vis::Id size,
+                                      const AlgorithmParams& params);
+
   /// Evaluate one configuration (characterize + model under the cap,
   /// repeated for the configured cycle count).
   Measurement measure(util::ExecutionContext& ctx, Algorithm algorithm,

@@ -76,6 +76,27 @@ ServiceEngine::Outcome ServiceEngine::handle(util::ExecutionContext& ctx,
   return Outcome{std::move(result), false};
 }
 
+vis::KernelProfile ServiceEngine::profileFor(util::ExecutionContext& ctx,
+                                             const Request& request) {
+  const bool hasOverrides = request.advectSeeds > 0 ||
+                            request.advectSteps > 0 ||
+                            !request.advectMode.empty() ||
+                            !request.advectSchedule.empty();
+  if (!hasOverrides) {
+    return study_.characterize(ctx, request.algorithm, request.size);
+  }
+  PVIZ_REQUIRE(request.algorithm == core::Algorithm::ParticleAdvection,
+               "advect_* overrides are only valid with algorithm=advection");
+  core::AlgorithmParams params = config_.study.params;
+  if (request.advectSeeds > 0) params.seedCount = request.advectSeeds;
+  if (request.advectSteps > 0) params.maxSteps = request.advectSteps;
+  if (!request.advectMode.empty()) params.advectionMode = request.advectMode;
+  if (!request.advectSchedule.empty()) {
+    params.advectionSchedule = request.advectSchedule;
+  }
+  return study_.characterizeWith(ctx, request.algorithm, request.size, params);
+}
+
 Json ServiceEngine::execute(util::ExecutionContext& ctx,
                             const Request& request) {
   switch (request.op) {
@@ -95,14 +116,12 @@ Json ServiceEngine::execute(util::ExecutionContext& ctx,
     case Op::Characterize: {
       // The raw single-cycle profile, before work-scale calibration —
       // what a client needs to run its own advisor locally.
-      return profileToJson(study_.characterize(ctx, request.algorithm,
-                                               request.size));
+      return profileToJson(profileFor(ctx, request));
     }
 
     case Op::Classify: {
       const vis::KernelProfile kernel = core::scaleKernelWork(
-          study_.characterize(ctx, request.algorithm, request.size),
-          config_.study.workScale);
+          profileFor(ctx, request), config_.study.workScale);
       const core::Classification cls =
           advisor_.classify(kernel, request.capsWatts);
       Json out = classificationToJson(cls);
@@ -113,8 +132,7 @@ Json ServiceEngine::execute(util::ExecutionContext& ctx,
 
     case Op::Budget: {
       const vis::KernelProfile vizKernel = core::scaleKernelWork(
-          study_.characterize(ctx, request.algorithm, request.size),
-          config_.study.workScale);
+          profileFor(ctx, request), config_.study.workScale);
       const vis::KernelProfile& simKernel =
           simProfile(request.size, request.simSteps);
       const core::BudgetPlan plan =

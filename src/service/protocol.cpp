@@ -4,6 +4,7 @@
 
 #include "util/backend.h"
 #include "util/error.h"
+#include "viz/filters/particle_advection.h"
 
 namespace pviz::service {
 
@@ -82,9 +83,6 @@ Json toJson(const Request& request) {
       out.set("unit", request.unit);
       break;
     case Op::Characterize:
-      out.set("algorithm", core::algorithmToken(request.algorithm));
-      out.set("size", request.size);
-      break;
     case Op::Classify:
     case Op::Budget:
       out.set("algorithm", core::algorithmToken(request.algorithm));
@@ -92,6 +90,14 @@ Json toJson(const Request& request) {
       if (request.op == Op::Budget) {
         out.set("budget_watts", request.budgetWatts);
         if (request.simSteps > 0) out.set("sim_steps", request.simSteps);
+      }
+      if (request.advectSeeds > 0) out.set("advect_seeds", request.advectSeeds);
+      if (request.advectSteps > 0) out.set("advect_steps", request.advectSteps);
+      if (!request.advectMode.empty()) {
+        out.set("advect_mode", request.advectMode);
+      }
+      if (!request.advectSchedule.empty()) {
+        out.set("advect_schedule", request.advectSchedule);
       }
       break;
     case Op::Study: {
@@ -188,6 +194,20 @@ Request requestFromJson(const Json& json) {
     PVIZ_REQUIRE(request.budgetWatts > 0.0, "budget_watts must be positive");
     request.simSteps = static_cast<int>(numberField(json, "sim_steps", 0.0));
     PVIZ_REQUIRE(request.simSteps >= 0, "sim_steps must be non-negative");
+  }
+  request.advectSeeds =
+      static_cast<vis::Id>(numberField(json, "advect_seeds", 0.0));
+  PVIZ_REQUIRE(request.advectSeeds >= 0, "advect_seeds must be non-negative");
+  request.advectSteps =
+      static_cast<vis::Id>(numberField(json, "advect_steps", 0.0));
+  PVIZ_REQUIRE(request.advectSteps >= 0, "advect_steps must be non-negative");
+  request.advectMode = stringField(json, "advect_mode", "");
+  if (!request.advectMode.empty()) {
+    vis::ParticleAdvectionFilter::parseMode(request.advectMode);
+  }
+  request.advectSchedule = stringField(json, "advect_schedule", "");
+  if (!request.advectSchedule.empty()) {
+    vis::ParticleAdvectionFilter::parseSchedule(request.advectSchedule);
   }
   return request;
 }
@@ -369,20 +389,32 @@ std::string canonicalCacheKey(const Request& request) {
     key << "|caps=";
     for (double c : request.capsWatts) key << c << ',';
   };
+  // Advection overrides fork the result (seed count, step count and
+  // mode all change the profile), so they fork the key.  The schedule
+  // is absent for the same reason `backend` is: bit-identical results
+  // must share one entry.
+  auto appendAdvect = [&] {
+    if (request.advectSeeds > 0) key << "|aseeds=" << request.advectSeeds;
+    if (request.advectSteps > 0) key << "|asteps=" << request.advectSteps;
+    if (!request.advectMode.empty()) key << "|amode=" << request.advectMode;
+  };
   switch (request.op) {
     case Op::Characterize:
       key << "|alg=" << core::algorithmToken(request.algorithm)
           << "|size=" << request.size;
+      appendAdvect();
       break;
     case Op::Classify:
       key << "|alg=" << core::algorithmToken(request.algorithm)
           << "|size=" << request.size;
       appendCaps();
+      appendAdvect();
       break;
     case Op::Budget:
       key << "|alg=" << core::algorithmToken(request.algorithm)
           << "|size=" << request.size << "|budget=" << request.budgetWatts
           << "|steps=" << request.simSteps;
+      appendAdvect();
       break;
     case Op::Study: {
       key << "|algs=";

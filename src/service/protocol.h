@@ -113,6 +113,16 @@ struct Request {
   /// are bit-identical by contract, so the same request on a different
   /// backend must hit the same cache entry.
   std::string backend;
+
+  // Particle advection overrides, valid on the single-kernel ops
+  // (characterize / classify / budget) when algorithm == advection.
+  // Zero / empty = server-configured defaults.  Seeds, steps and mode
+  // change the profile and are part of the cache key; the schedule is
+  // excluded like `backend` — schedules are bit-identical by contract.
+  vis::Id advectSeeds = 0;      ///< seed count (flow workload scale)
+  vis::Id advectSteps = 0;      ///< max RK4 steps (integration length)
+  std::string advectMode;       ///< "streamline" | "pathline"
+  std::string advectSchedule;   ///< "worksteal" | "static"
 };
 
 Json toJson(const Request& request);

@@ -1,0 +1,20 @@
+// Compatibility-shim marker for the context-free kernel entry points.
+//
+// Every filter/renderer keeps a context-free `run(grid, ...)` overload
+// that builds a fresh ExecutionContext over the process-global pool per
+// call — convenient in tests, wasteful anywhere perf matters (a cold
+// scratch arena every run).  Consumers that have finished migrating to
+// the ctx-first overloads define POWERVIZ_STRICT_CONTEXT to turn any
+// remaining shim call into a deprecation warning; the bench, example
+// and tool targets build with the define plus
+// -Werror=deprecated-declarations, so a new shim caller in those trees
+// fails CI at compile time instead of slipping through review.
+#pragma once
+
+#if defined(POWERVIZ_STRICT_CONTEXT)
+#define PVIZ_CONTEXT_SHIM                                             \
+  [[deprecated("context-free shim: pass a util::ExecutionContext "    \
+               "(built with POWERVIZ_STRICT_CONTEXT)")]]
+#else
+#define PVIZ_CONTEXT_SHIM
+#endif

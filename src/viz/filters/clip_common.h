@@ -13,6 +13,8 @@
 // Convention: points with clip scalar >= 0 are KEPT.
 #pragma once
 
+#include "util/compat.h"
+
 #include <functional>
 #include <span>
 #include <vector>
@@ -47,6 +49,7 @@ ClipResult clipUniformGrid(util::ExecutionContext& ctx,
                            std::span<const double> carried);
 
 /// Compatibility shim: run on a fresh context over the global pool.
+PVIZ_CONTEXT_SHIM
 ClipResult clipUniformGrid(const UniformGrid& grid,
                            const std::vector<double>& clipScalar,
                            const std::vector<double>& carried);
@@ -57,6 +60,7 @@ TetMesh clipTetMesh(util::ExecutionContext& ctx, const TetMesh& mesh,
                     std::span<const double> clipScalar);
 
 /// Compatibility shim: run on a fresh context over the global pool.
+PVIZ_CONTEXT_SHIM
 TetMesh clipTetMesh(const TetMesh& mesh,
                     const std::vector<double>& clipScalar);
 

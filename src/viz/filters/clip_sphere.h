@@ -5,6 +5,8 @@
 // are subdivided and only the outside part is kept.
 #pragma once
 
+#include "util/compat.h"
+
 #include <string>
 
 #include "viz/filters/clip_common.h"
@@ -32,6 +34,7 @@ class ClipSphereFilter {
              const std::string& fieldName) const;
 
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

@@ -10,6 +10,8 @@
 // writes triangles with no synchronization.
 #pragma once
 
+#include "util/compat.h"
+
 #include <string>
 #include <vector>
 
@@ -48,6 +50,7 @@ class ContourFilter {
              const std::string& fieldName) const;
 
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

@@ -7,6 +7,8 @@
 // the power advisor classifies as a power opportunity.
 #pragma once
 
+#include "util/compat.h"
+
 #include <string>
 
 #include "viz/dataset/uniform_grid.h"
@@ -30,6 +32,7 @@ class GradientFilter {
              const std::string& fieldName) const;
 
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 };
 

@@ -2,6 +2,8 @@
 // quantile-based isovalue selection visualization tools build on it.
 #pragma once
 
+#include "util/compat.h"
+
 #include <vector>
 
 #include "viz/dataset/field.h"
@@ -51,6 +53,7 @@ class HistogramFilter {
   Result run(util::ExecutionContext& ctx, const Field& field) const;
 
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const Field& field) const;
 
  private:

@@ -7,6 +7,8 @@
 // tet pieces produced by the first).
 #pragma once
 
+#include "util/compat.h"
+
 #include <string>
 
 #include "viz/filters/clip_common.h"
@@ -40,6 +42,7 @@ class IsovolumeFilter {
              const std::string& fieldName) const;
 
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

@@ -1,16 +1,46 @@
-// Particle advection — trace massless particles through a steady vector
-// field with fourth-order Runge–Kutta, emitting streamlines.
+// Particle advection — trace massless particles through a vector field
+// with fourth-order Runge–Kutta, emitting polylines.
 //
 // Per the paper: particles are seeded throughout the dataset and advected
-// a fixed number of steps through a single time step of the flow;
-// particles leaving the bounding box terminate.  Seed count, step length
-// and step count are held constant regardless of dataset size (the
-// paper's Phase 3 choice, which is what makes this algorithm's IPC
-// insensitive to dataset size).
+// a fixed number of steps; particles leaving the bounding box terminate.
+// Seed count, step length and step count are held constant regardless of
+// dataset size (the paper's Phase 3 choice, which is what makes this
+// algorithm's IPC insensitive to dataset size).
+//
+// Two tracing modes:
+//   * streamline — steady flow: one vector field, integration time is a
+//     pure parameter;
+//   * pathline — unsteady flow across two pipeline time steps: the
+//     velocity at integration time t ∈ [0, 1] is the linear blend of the
+//     `begin` and `end` fields at each RK4 stage, and a particle
+//     completes when it crosses t = 1.
+//
+// Two schedules over the same per-particle math (outputs bit-identical
+// by construction — the schedule only decides who integrates which
+// particle when):
+//   * work-steal (default) — particles advance in batches of bounded
+//     RK4 rounds through util::parallelWorkSteal; terminated lanes are
+//     compacted out between rounds so batches stay dense, and idle
+//     workers steal half-batches from busy ones.  This is the schedule
+//     that survives early-termination-heavy seed sets, where static
+//     chunking leaves the slowest chunk running alone.
+//   * static-chunk — one contiguous particle span per worker, each
+//     particle integrated to completion; the PR 3–7 era schedule, kept
+//     as the comparison baseline for the flow benchmarks.
+//
+// Particle state lives in SoA pools and trajectories in chunked segment
+// lists, both on the ExecutionContext ScratchArena; the final
+// PolylineSet is written by a single exact-size gather.  Seeding is
+// counter-based (seed i's position depends only on (rngSeed, i)), so
+// million-seed setup parallelizes instead of walking one RNG serially.
 #pragma once
 
+#include "util/compat.h"
+
+#include <cstdint>
 #include <string>
 
+#include "util/work_steal.h"
 #include "viz/dataset/explicit_mesh.h"
 #include "viz/dataset/uniform_grid.h"
 #include "viz/worklet/work_profile.h"
@@ -23,10 +53,15 @@ namespace pviz::vis {
 
 class ParticleAdvectionFilter {
  public:
+  enum class Mode { Streamline, Pathline };
+  enum class Schedule { WorkSteal, StaticChunk };
+
   struct Result {
-    PolylineSet streamlines;
-    std::int64_t totalSteps = 0;   ///< RK4 steps actually taken
-    std::int64_t terminated = 0;   ///< particles that left the domain
+    PolylineSet streamlines;      ///< traced lines (pathlines too)
+    std::int64_t totalSteps = 0;  ///< RK4 steps actually taken
+    std::int64_t terminated = 0;  ///< particles that left the domain
+    std::int64_t completed = 0;   ///< pathline particles that reached t = 1
+    util::WorkStealStats schedulerStats;  ///< timing-dependent; not output
     KernelProfile profile;
   };
 
@@ -43,23 +78,58 @@ class ParticleAdvectionFilter {
     stepLength_ = h;
   }
   void setSeedRngSeed(std::uint64_t s) { rngSeed_ = s; }
+  void setSchedule(Schedule s) { schedule_ = s; }
+  /// Particles per steal batch (work-steal schedule only).
+  void setBatchSize(Id particles) {
+    PVIZ_REQUIRE(particles >= 1, "batch must hold at least one particle");
+    batchSize_ = particles;
+  }
+  /// RK4 steps per round before terminated lanes are compacted out
+  /// (work-steal schedule only).
+  void setRoundSteps(Id steps) {
+    PVIZ_REQUIRE(steps >= 1, "need at least one step per round");
+    roundSteps_ = steps;
+  }
 
   Id seedCount() const { return seeds_; }
   Id maxSteps() const { return maxSteps_; }
   double stepLength() const { return stepLength_; }
+  Schedule schedule() const { return schedule_; }
 
-  /// Advect through point vector field `fieldName` (3 components).
+  /// Streamline advection through point vector field `fieldName`
+  /// (3 components).
   Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
              const std::string& fieldName) const;
 
+  /// Pathline advection across one time window: `beginField` is the
+  /// velocity at t = 0, `endField` at t = 1 (both point vector fields on
+  /// `grid`); stage velocities blend linearly in integration time.
+  Result run(util::ExecutionContext& ctx, const UniformGrid& grid,
+             const std::string& beginField, const std::string& endField) const;
+
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
+
+  /// Counter-based seed placement: seed `index`'s position depends only
+  /// on (box, rngSeed, index), never on other seeds.  Exposed so tests
+  /// and benchmarks can reason about individual seeds without
+  /// materializing the pool.
+  static Vec3 seedPosition(const Bounds& box, std::uint64_t rngSeed, Id index);
+
+  static Mode parseMode(const std::string& token);
+  static Schedule parseSchedule(const std::string& token);
+  static const char* modeToken(Mode mode);
+  static const char* scheduleToken(Schedule schedule);
 
  private:
   Id seeds_ = 1000;
   Id maxSteps_ = 1000;
   double stepLength_ = 0.001;
   std::uint64_t rngSeed_ = 42;
+  Schedule schedule_ = Schedule::WorkSteal;
+  Id batchSize_ = 256;
+  Id roundSteps_ = 64;
 };
 
 }  // namespace pviz::vis

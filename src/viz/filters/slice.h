@@ -7,6 +7,8 @@
 // center; the three resulting surfaces are combined.
 #pragma once
 
+#include "util/compat.h"
+
 #include <string>
 #include <vector>
 
@@ -42,6 +44,7 @@ class SliceFilter {
              const std::string& fieldName) const;
 
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

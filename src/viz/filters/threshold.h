@@ -5,6 +5,8 @@
 // range, and copy qualifying cells to the output.
 #pragma once
 
+#include "util/compat.h"
+
 #include <string>
 
 #include "viz/dataset/explicit_mesh.h"
@@ -38,6 +40,7 @@ class ThresholdFilter {
              const std::string& fieldName) const;
 
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

@@ -8,6 +8,8 @@
 // the trace phase with real counts.
 #pragma once
 
+#include "util/compat.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -52,6 +54,7 @@ class Bvh {
       int maxLeafSize = 4, bool parallelBuild = true);
 
   /// Compatibility shim: build on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   explicit Bvh(const TriangleMesh& mesh, int maxLeafSize = 4,
                bool parallelBuild = true);
 

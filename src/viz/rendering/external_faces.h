@@ -9,6 +9,8 @@
 // counts grow 4X when cells grow 8X.
 #pragma once
 
+#include "util/compat.h"
+
 #include <string>
 
 #include "viz/dataset/explicit_mesh.h"
@@ -33,6 +35,7 @@ ExternalFacesResult extractExternalFaces(util::ExecutionContext& ctx,
                                          const std::string& fieldName);
 
 /// Compatibility shim: run on a fresh context over the global pool.
+PVIZ_CONTEXT_SHIM
 ExternalFacesResult extractExternalFaces(const UniformGrid& grid,
                                          const std::string& fieldName);
 

@@ -11,6 +11,8 @@
 // is why ray tracing lands in the power-opportunity class.
 #pragma once
 
+#include "util/compat.h"
+
 #include <string>
 #include <vector>
 
@@ -57,6 +59,7 @@ class RayTracer {
              const std::string& fieldName) const;
 
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

@@ -13,6 +13,8 @@
 // measured IPC *falls* as the dataset grows (paper Fig. 5).
 #pragma once
 
+#include "util/compat.h"
+
 #include <string>
 #include <vector>
 
@@ -61,6 +63,7 @@ class VolumeRenderer {
              const std::string& fieldName) const;
 
   /// Compatibility shim: run on a fresh context over the global pool.
+  PVIZ_CONTEXT_SHIM
   Result run(const UniformGrid& grid, const std::string& fieldName) const;
 
  private:

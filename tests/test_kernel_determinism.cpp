@@ -28,6 +28,7 @@
 #include "viz/filters/clip_sphere.h"
 #include "viz/filters/contour.h"
 #include "viz/filters/isovolume.h"
+#include "viz/filters/particle_advection.h"
 #include "viz/filters/threshold.h"
 #include "viz/rendering/bvh.h"
 #include "viz/rendering/external_faces.h"
@@ -116,6 +117,17 @@ void expectIdentical(const TetMesh& a, const TetMesh& b) {
 void expectIdentical(const HexSubset& a, const HexSubset& b) {
   EXPECT_EQ(a.cellIds, b.cellIds);
   EXPECT_EQ(a.cellScalars, b.cellScalars);
+}
+
+void expectIdentical(const PolylineSet& a, const PolylineSet& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  ASSERT_EQ(a.offsets, b.offsets);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].x, b.points[i].x);
+    EXPECT_EQ(a.points[i].y, b.points[i].y);
+    EXPECT_EQ(a.points[i].z, b.points[i].z);
+  }
+  EXPECT_EQ(a.pointScalars, b.pointScalars);
 }
 
 /// A grid with a custom per-point scalar built from a callable.
@@ -434,6 +446,144 @@ TEST(KernelDeterminism, ZeroCrossedCells) {
 }
 
 // ---- BVH: parallel build must reproduce the serial tree ---------------
+
+/// A grid with a custom per-point velocity built from a callable.
+template <typename F>
+UniformGrid velocityGrid(Id3 pointDims, F&& velocity) {
+  UniformGrid g(pointDims, {0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  Field f = Field::zeros("velocity", Association::Points, 3, g.numPoints());
+  for (Id p = 0; p < g.numPoints(); ++p) {
+    f.setVec3(p, velocity(g.pointPosition(p)));
+  }
+  g.addField(std::move(f));
+  return g;
+}
+
+TEST(KernelDeterminism, AdvectionStreamlineAcrossConfigs) {
+  // The work-stealing schedule must be a pure scheduling choice: every
+  // backend × pool size — and therefore every steal interleaving —
+  // byte-identical to the serial reference.
+  const UniformGrid g = sim::makeCloverField(16);
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(300);
+  filter.setMaxSteps(150);
+  filter.setStepLength(0.01);
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "velocity").streamlines;
+  };
+  const PolylineSet reference = serialReference(run);
+  EXPECT_GT(reference.numLines(), 0);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run), reference);
+  }
+}
+
+TEST(KernelDeterminism, AdvectionScheduleAndBatchInvariant) {
+  // Static chunking, work stealing, and any batch/round granularity
+  // must agree bit-for-bit: the per-particle integration is shared, the
+  // knobs only re-cut who runs what.
+  const UniformGrid g = sim::makeCloverField(16);
+  auto run = [&](ParticleAdvectionFilter::Schedule schedule, Id batch,
+                 Id roundSteps) {
+    return withPool(3, [&](util::ExecutionContext& ctx) {
+      ParticleAdvectionFilter filter;
+      filter.setSeedCount(257);
+      filter.setMaxSteps(90);
+      filter.setStepLength(0.01);
+      filter.setSchedule(schedule);
+      filter.setBatchSize(batch);
+      filter.setRoundSteps(roundSteps);
+      return filter.run(ctx, g, "velocity").streamlines;
+    });
+  };
+  const PolylineSet reference =
+      run(ParticleAdvectionFilter::Schedule::WorkSteal, 256, 64);
+  EXPECT_GT(reference.numLines(), 0);
+  expectIdentical(run(ParticleAdvectionFilter::Schedule::StaticChunk, 256, 64),
+                  reference);
+  expectIdentical(run(ParticleAdvectionFilter::Schedule::WorkSteal, 7, 5),
+                  reference);
+  expectIdentical(run(ParticleAdvectionFilter::Schedule::WorkSteal, 1, 1),
+                  reference);
+}
+
+TEST(KernelDeterminism, AdvectionPathlineAcrossConfigs) {
+  // Pathlines sample two time steps per stage; the second field is a
+  // genuinely different flow so the blend actually varies in time.
+  UniformGrid g = sim::makeCloverField(16);
+  Field next = Field::zeros("velocity_next", Association::Points, 3,
+                            g.numPoints());
+  const Field& now = g.field("velocity");
+  for (Id p = 0; p < g.numPoints(); ++p) {
+    const Vec3 v = now.vec3(p);
+    next.setVec3(p, {-v.y, v.x, v.z * 0.5});
+  }
+  g.addField(std::move(next));
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(200);
+  filter.setMaxSteps(120);
+  filter.setStepLength(0.02);  // 50 steps span the t ∈ [0,1] window
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "velocity", "velocity_next").streamlines;
+  };
+  const PolylineSet reference = serialReference(run);
+  EXPECT_GT(reference.numLines(), 0);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run), reference);
+  }
+}
+
+TEST(KernelDeterminism, AdvectionDegenerateColumnGrid) {
+  // A 1×1×N column: particles ride a +z flow down a single-cell-wide
+  // domain, so nearly every trilinear sample sits on cell boundaries
+  // and most particles run off the far end at different step counts —
+  // maximal compaction churn.
+  const UniformGrid g = velocityGrid({2, 2, 65}, [](const Vec3& p) {
+    return Vec3{0.0, 0.0, 1.0 + 0.1 * p.z};
+  });
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(100);
+  filter.setMaxSteps(400);
+  filter.setStepLength(0.1);
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "velocity").streamlines;
+  };
+  const PolylineSet reference = serialReference(run);
+  EXPECT_GT(reference.numLines(), 0);
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run), reference);
+  }
+}
+
+TEST(KernelDeterminism, AdvectionZeroMagnitudeField) {
+  // A zero field advances nothing: every particle survives all steps in
+  // place.  Exercises the no-termination path (no compaction ever
+  // fires) and pins the exact expected geometry.
+  const UniformGrid g =
+      velocityGrid({5, 5, 5}, [](const Vec3&) { return Vec3{}; });
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(40);
+  filter.setMaxSteps(30);
+  filter.setStepLength(0.01);
+  auto run = [&](util::ExecutionContext& ctx) {
+    return filter.run(ctx, g, "velocity");
+  };
+  const ParticleAdvectionFilter::Result reference = serialReference(run);
+  EXPECT_EQ(reference.terminated, 0);
+  EXPECT_EQ(reference.totalSteps, 40 * 30);
+  ASSERT_EQ(reference.streamlines.numLines(), 40);
+  for (Id line = 0; line < 40; ++line) {
+    ASSERT_EQ(reference.streamlines.lineSize(line), 31);
+  }
+  for (const ExecConfig& cfg : execConfigs()) {
+    SCOPED_TRACE(cfg.label());
+    expectIdentical(withExec(cfg.workers, *cfg.backend, run).streamlines,
+                    reference.streamlines);
+  }
+}
 
 TEST(KernelDeterminism, BvhParallelBuildMatchesSerial) {
   // 32^3 external faces → 12288 triangles, past the parallel-build

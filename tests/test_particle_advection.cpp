@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "util/exec_context.h"
 #include "viz/filters/particle_advection.h"
 
 namespace pviz::vis {
@@ -177,6 +178,127 @@ TEST(ParticleAdvection, ProfileCountsTrackSteps) {
   const auto& advect = result.profile.phases.front();
   EXPECT_DOUBLE_EQ(advect.flops,
                    static_cast<double>(result.totalSteps) * (4 * 158 + 56));
+}
+
+TEST(ParticleAdvection, StaticScheduleMatchesWorkSteal) {
+  const UniformGrid g = rotationFlow(10);
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(50);
+  filter.setMaxSteps(60);
+  const auto worksteal = filter.run(g, "velocity");
+  filter.setSchedule(ParticleAdvectionFilter::Schedule::StaticChunk);
+  const auto stat = filter.run(g, "velocity");
+  EXPECT_EQ(worksteal.totalSteps, stat.totalSteps);
+  EXPECT_EQ(worksteal.terminated, stat.terminated);
+  ASSERT_EQ(worksteal.streamlines.points.size(), stat.streamlines.points.size());
+  EXPECT_EQ(worksteal.streamlines.offsets, stat.streamlines.offsets);
+  for (std::size_t i = 0; i < worksteal.streamlines.points.size(); ++i) {
+    EXPECT_EQ(worksteal.streamlines.points[i], stat.streamlines.points[i]);
+  }
+}
+
+TEST(ParticleAdvection, PathlineIdenticalFieldsMatchStreamline) {
+  // With both window endpoints equal, the blend is the steady field at
+  // every stage — pathlines must retrace the streamlines, up to the
+  // t = 1 completion cutoff (avoided here: maxSteps*h < 1).  The match
+  // is within rounding, not bitwise: the blend v0*(1-tt) + v1*tt with
+  // v0 == v1 perturbs the last bit for tt > 0.
+  UniformGrid g = rotationFlow(10);
+  g.addField(Field("velocity2", Association::Points, 3,
+                   g.field("velocity").data()));
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(30);
+  filter.setMaxSteps(40);
+  filter.setStepLength(0.01);  // 40 steps cover t ∈ [0, 0.4]
+  util::ExecutionContext ctx;
+  const auto stream = filter.run(ctx, g, "velocity");
+  const auto path = filter.run(ctx, g, "velocity", "velocity2");
+  EXPECT_EQ(path.completed, 0);
+  ASSERT_EQ(path.streamlines.points.size(), stream.streamlines.points.size());
+  EXPECT_EQ(path.streamlines.offsets, stream.streamlines.offsets);
+  for (std::size_t i = 0; i < stream.streamlines.points.size(); ++i) {
+    EXPECT_NEAR(path.streamlines.points[i].x, stream.streamlines.points[i].x,
+                1e-9);
+    EXPECT_NEAR(path.streamlines.points[i].y, stream.streamlines.points[i].y,
+                1e-9);
+    EXPECT_NEAR(path.streamlines.points[i].z, stream.streamlines.points[i].z,
+                1e-9);
+  }
+}
+
+TEST(ParticleAdvection, PathlineCompletesAtWindowEnd) {
+  // Zero flow both ends: nothing terminates, so every particle crosses
+  // t = 1 after exactly ceil(1/h) steps and stops there.
+  UniformGrid g = constantFlow(6, {0, 0, 0});
+  g.addField(Field("velocity2", Association::Points, 3,
+                   g.field("velocity").data()));
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(15);
+  filter.setMaxSteps(500);
+  filter.setStepLength(0.04);  // 25 steps to t = 1
+  util::ExecutionContext ctx;
+  const auto result = filter.run(ctx, g, "velocity", "velocity2");
+  EXPECT_EQ(result.completed, 15);
+  EXPECT_EQ(result.terminated, 0);
+  EXPECT_EQ(result.totalSteps, 15 * 25);
+  for (Id l = 0; l < result.streamlines.numLines(); ++l) {
+    EXPECT_EQ(result.streamlines.lineSize(l), 26);
+  }
+}
+
+TEST(ParticleAdvection, PathlineBlendsTheTwoFields) {
+  // Constant v0 at t=0, constant v1 at t=1: the blended velocity at the
+  // RK4 stages differs from either endpoint, so the pathline must leave
+  // the straight streamline track of both.
+  UniformGrid g = constantFlow(8, {0.3, 0.0, 0.0});
+  Field f1 = Field::zeros("velocity2", Association::Points, 3, g.numPoints());
+  for (Id p = 0; p < g.numPoints(); ++p) f1.setVec3(p, {0.0, 0.3, 0.0});
+  g.addField(std::move(f1));
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(5);
+  filter.setMaxSteps(100);
+  filter.setStepLength(0.02);
+  util::ExecutionContext ctx;
+  const auto result = filter.run(ctx, g, "velocity", "velocity2");
+  // Early in the window velocity ≈ (0.3, 0, 0); late ≈ (0, 0.3, 0).
+  // Each surviving line must therefore bend: displacement in both x
+  // and y for any particle that integrated most of the window.
+  bool sawBend = false;
+  for (Id l = 0; l < result.streamlines.numLines(); ++l) {
+    if (result.streamlines.lineSize(l) < 40) continue;
+    const auto first =
+        static_cast<std::size_t>(result.streamlines.offsets[l]);
+    const auto last = static_cast<std::size_t>(
+        result.streamlines.offsets[l + 1] - 1);
+    const Vec3 d = result.streamlines.points[last] -
+                   result.streamlines.points[first];
+    EXPECT_GT(d.x, 0.0);
+    EXPECT_GT(d.y, 0.0);
+    sawBend = true;
+  }
+  EXPECT_TRUE(sawBend);
+}
+
+TEST(ParticleAdvection, CounterBasedSeedingIsPerIndex) {
+  const Bounds box{{0, 0, 0}, {1, 2, 3}};
+  const Vec3 a = ParticleAdvectionFilter::seedPosition(box, 42, 7);
+  // Same (seed, index) → same position; different index or seed → moved.
+  EXPECT_EQ(a, ParticleAdvectionFilter::seedPosition(box, 42, 7));
+  EXPECT_NE(a, ParticleAdvectionFilter::seedPosition(box, 42, 8));
+  EXPECT_NE(a, ParticleAdvectionFilter::seedPosition(box, 43, 7));
+  EXPECT_TRUE(box.contains(a));
+}
+
+TEST(ParticleAdvection, ParsesModeAndScheduleTokens) {
+  using Filter = ParticleAdvectionFilter;
+  EXPECT_EQ(Filter::parseMode("streamline"), Filter::Mode::Streamline);
+  EXPECT_EQ(Filter::parseMode("pathline"), Filter::Mode::Pathline);
+  EXPECT_EQ(Filter::parseSchedule("worksteal"), Filter::Schedule::WorkSteal);
+  EXPECT_EQ(Filter::parseSchedule("static"), Filter::Schedule::StaticChunk);
+  EXPECT_STREQ(Filter::modeToken(Filter::Mode::Pathline), "pathline");
+  EXPECT_STREQ(Filter::scheduleToken(Filter::Schedule::StaticChunk), "static");
+  EXPECT_THROW(Filter::parseMode("spiral"), Error);
+  EXPECT_THROW(Filter::parseSchedule("greedy"), Error);
 }
 
 }  // namespace

@@ -117,6 +117,10 @@ void expectRequestRoundTrip(const Request& request) {
   EXPECT_EQ(parsed.simSteps, request.simSteps);
   EXPECT_DOUBLE_EQ(parsed.delayMs, request.delayMs);
   EXPECT_EQ(parsed.backend, request.backend);
+  EXPECT_EQ(parsed.advectSeeds, request.advectSeeds);
+  EXPECT_EQ(parsed.advectSteps, request.advectSteps);
+  EXPECT_EQ(parsed.advectMode, request.advectMode);
+  EXPECT_EQ(parsed.advectSchedule, request.advectSchedule);
 }
 
 TEST(Protocol, PingRoundTrip) {
@@ -189,6 +193,59 @@ TEST(Protocol, BackendFieldRoundTrip) {
   Request other = request;
   other.backend = "serial";
   EXPECT_EQ(canonicalCacheKey(request), canonicalCacheKey(other));
+}
+
+TEST(Protocol, AdvectOverridesRoundTrip) {
+  Request request;
+  request.op = Op::Characterize;
+  request.algorithm = core::Algorithm::ParticleAdvection;
+  request.size = 64;
+  request.advectSeeds = 5000;
+  request.advectSteps = 250;
+  request.advectMode = "pathline";
+  request.advectSchedule = "static";
+  expectRequestRoundTrip(request);
+  // Unset overrides (the defaults) stay off the wire entirely.
+  Request plain;
+  plain.op = Op::Characterize;
+  plain.algorithm = core::Algorithm::ParticleAdvection;
+  plain.size = 64;
+  const Json wire = toJson(plain);
+  EXPECT_EQ(wire.find("advect_seeds"), nullptr);
+  EXPECT_EQ(wire.find("advect_mode"), nullptr);
+  // Invalid tokens are rejected at parse, before the engine sees them.
+  EXPECT_THROW(
+      requestFromJson(Json::parse(
+          R"({"op":"characterize","algorithm":"advection","size":64,)"
+          R"("advect_mode":"sideways"})")),
+      Error);
+  EXPECT_THROW(
+      requestFromJson(Json::parse(
+          R"({"op":"characterize","algorithm":"advection","size":64,)"
+          R"("advect_schedule":"greedy"})")),
+      Error);
+}
+
+TEST(Protocol, CacheKeyCoversAdvectOverridesButNotSchedule) {
+  Request a;
+  a.op = Op::Characterize;
+  a.algorithm = core::Algorithm::ParticleAdvection;
+  a.size = 64;
+  Request b = a;
+  // Seeds, steps and mode change the result: the key must fork.
+  b.advectSeeds = 5000;
+  EXPECT_NE(canonicalCacheKey(a), canonicalCacheKey(b));
+  b = a;
+  b.advectSteps = 50;
+  EXPECT_NE(canonicalCacheKey(a), canonicalCacheKey(b));
+  b = a;
+  b.advectMode = "pathline";
+  EXPECT_NE(canonicalCacheKey(a), canonicalCacheKey(b));
+  // The schedule is bit-identical by contract — like the backend, it
+  // must share the cache entry.
+  b = a;
+  b.advectSchedule = "static";
+  EXPECT_EQ(canonicalCacheKey(a), canonicalCacheKey(b));
 }
 
 TEST(Protocol, MalformedRequestsThrow) {

@@ -70,6 +70,7 @@ raw = json.load(open(raw_path))
 # everything to milliseconds.
 to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 kernels = {}
+rates = {}  # items_per_second, for the throughput-style rows (flow)
 for b in raw["benchmarks"]:
     name = b["name"]
     ms = b["real_time"] * to_ms[b.get("time_unit", "ns")]
@@ -78,8 +79,12 @@ for b in raw["benchmarks"]:
     if quick:
         if b.get("run_type") == "iteration":
             kernels[name] = round(ms, 6)
+            if "items_per_second" in b:
+                rates[name] = b["items_per_second"]
     elif name.endswith("_median"):
         kernels[name[: -len("_median")]] = round(ms, 6)
+        if "items_per_second" in b:
+            rates[name[: -len("_median")]] = b["items_per_second"]
 
 section = {
     "commit": os.environ["COMMIT"],
@@ -129,6 +134,36 @@ if backends:
         "time_unit": "ms",
         "speedup_baseline": "threaded",
         "kernels": dict(sorted(backends.items())),
+    }
+
+# Flow table: BM_AdvectFlow/<column>/<particles> rows fold into one row
+# per particle count — the legacy/static/worksteal milliseconds, the
+# work-steal RK4 step rate, the schedule speedup (static over worksteal)
+# and the pipeline speedup (legacy over worksteal).  On a single-core
+# host the two schedule columns coincide by construction; the schedule
+# speedup only separates from 1.0 with workers to steal between.
+flow = {}
+for name, ms in cur.items():
+    parts = name.split("/")
+    if len(parts) == 3 and parts[0] == "BM_AdvectFlow":
+        row = flow.setdefault(int(parts[2]), {})
+        row[f"{parts[1]}_ms"] = ms
+        rate = rates.get(name)
+        if rate is not None:
+            row[f"{parts[1]}_steps_per_sec"] = round(rate)
+for row in flow.values():
+    if row.get("worksteal_ms"):
+        if row.get("static_ms"):
+            row["worksteal_vs_static"] = round(
+                row["static_ms"] / row["worksteal_ms"], 3)
+        if row.get("legacy_ms"):
+            row["pipeline_speedup"] = round(
+                row["legacy_ms"] / row["worksteal_ms"], 3)
+if flow:
+    doc["flow"] = {
+        "time_unit": "ms",
+        "field": "vortex-trap (early-termination-heavy)",
+        "particles": {str(k): flow[k] for k in sorted(flow)},
     }
 
 with open(out_path, "w") as f:

@@ -44,6 +44,13 @@ operations:
   study [--algorithms a,b,...] [--sizes n,n,...] [--caps w,w,...]
         [--cycles N]
   budget --algorithm A --size N --budget W [--sim-steps N]
+
+advection overrides (single-kernel ops with --algorithm advection):
+  --advect-seeds N          particle count (default: server config)
+  --advect-steps N          max integration steps
+  --advect-mode M           streamline | pathline
+  --advect-schedule S       worksteal | static (bit-identical output;
+                            never part of the result-cache key)
   stats                     server counters (queue, cache, latency)
   metrics                   Prometheus text exposition of the telemetry
                             registry (--metrics is a shortcut)
@@ -189,6 +196,10 @@ int main(int argc, char** argv) {
         traceOutPath = next();
       }
       else if (arg == "--backend") request.backend = next();
+      else if (arg == "--advect-seeds") request.advectSeeds = util::parseInt(next(), "--advect-seeds");
+      else if (arg == "--advect-steps") request.advectSteps = util::parseInt(next(), "--advect-steps");
+      else if (arg == "--advect-mode") request.advectMode = next();
+      else if (arg == "--advect-schedule") request.advectSchedule = next();
       else if (!arg.empty() && arg[0] != '-' && !haveOp) {
         request.op = service::parseOpToken(arg);
         haveOp = true;

@@ -17,6 +17,7 @@
 #include "util/exec_context.h"
 #include "util/fileio.h"
 #include "util/log.h"
+#include "viz/filters/particle_advection.h"
 #include "util/options.h"
 #include "util/table.h"
 
@@ -50,6 +51,10 @@ options:
   --backend NAME        execution backend: serial | threaded | vectorized
                         (default: POWERVIZ_BACKEND, else threaded; all
                         backends produce bit-identical results)
+  --advect-seeds N      advection particle count (default 1000)
+  --advect-steps N      advection max integration steps (default 1000)
+  --advect-mode M       streamline | pathline
+  --advect-schedule S   worksteal | static (bit-identical output)
   --quiet               suppress progress logging
                         (PVIZ_LOG=debug|info|warn|error|off overrides)
   -h, --help            this text
@@ -111,6 +116,17 @@ int main(int argc, char** argv) {
         config.capsWatts = util::parseCapList(next());
       } else if (arg == "--algorithms") {
         algorithms = core::parseAlgorithmList(next());
+      } else if (arg == "--advect-seeds") {
+        config.params.seedCount = util::parseInt(next(), "--advect-seeds");
+      } else if (arg == "--advect-steps") {
+        config.params.maxSteps = util::parseInt(next(), "--advect-steps");
+      } else if (arg == "--advect-mode") {
+        config.params.advectionMode = next();
+        vis::ParticleAdvectionFilter::parseMode(config.params.advectionMode);
+      } else if (arg == "--advect-schedule") {
+        config.params.advectionSchedule = next();
+        vis::ParticleAdvectionFilter::parseSchedule(
+            config.params.advectionSchedule);
       } else {
         std::cerr << "unknown option '" << arg << "'\n";
         usage(2);
