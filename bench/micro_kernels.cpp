@@ -9,6 +9,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "core/algorithms.h"
 #include "sim/cloverleaf.h"
 #include "util/parallel.h"
 #include "telemetry/metric_registry.h"
@@ -80,6 +81,38 @@ void BM_ContourArenaReuse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.numCells() * 3);
 }
 BENCHMARK(BM_ContourArenaReuse)->Arg(16)->Arg(32);
+
+// Multi-block decomposition cost at paper sizes: the full algorithm-layer
+// path (partition → ghost exchange → per-block contour → gather) through
+// core::runAlgorithm.  Rows land in BENCH_kernels.json as
+// BM_ContourBlocks/<blocks>/<size> and fold into the `blocks` table;
+// blocks=1 is the undecomposed reference the overhead column divides by.
+// Outputs are bit-identical across rows (the golden multi-block suite
+// pins that), so this isolates the pure decomposition overhead.
+void BM_ContourBlocks(benchmark::State& state) {
+  const vis::UniformGrid& g = grid(state.range(1));
+  core::AlgorithmParams params;
+  params.blockCount = state.range(0);
+  params.ghostLayers = 1;
+  util::ExecutionContext ctx;
+  for (auto _ : state) {
+    ctx.beginRun();
+    const vis::KernelProfile profile =
+        core::runAlgorithm(ctx, core::Algorithm::Contour, g, params);
+    benchmark::DoNotOptimize(profile.phases.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.numCells());
+}
+BENCHMARK(BM_ContourBlocks)
+    ->Args({1, 128})
+    ->Args({2, 128})
+    ->Args({4, 128})
+    ->Args({8, 128})
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({4, 256})
+    ->Args({8, 256})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Threshold(benchmark::State& state) {
   const vis::UniformGrid& g = grid(state.range(0));

@@ -1,10 +1,13 @@
 #include "core/algorithms.h"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "util/exec_context.h"
+#include "viz/dataset/multi_block.h"
 #include "viz/filters/clip_sphere.h"
 #include "viz/filters/contour.h"
+#include "viz/filters/domain.h"
 #include "viz/filters/isovolume.h"
 #include "viz/filters/particle_advection.h"
 #include "viz/filters/slice.h"
@@ -103,56 +106,92 @@ std::pair<double, double> fieldBand(const vis::Field& field, double loFrac,
   return {lo + loFrac * span, lo + hiFrac * span};
 }
 
-}  // namespace
-
-vis::KernelProfile runAlgorithm(Algorithm algorithm,
-                                const vis::UniformGrid& grid,
-                                const AlgorithmParams& params) {
-  util::ExecutionContext ctx;
-  return runAlgorithm(ctx, algorithm, grid, params);
+vis::Id envId(const char* name, vis::Id fallback, vis::Id lo, vis::Id hi) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  PVIZ_REQUIRE(end != text && *end == '\0',
+               std::string(name) + " must be an integer, got '" + text + "'");
+  PVIZ_REQUIRE(value >= lo && value <= hi,
+               std::string(name) + " out of range [" + std::to_string(lo) +
+                   ", " + std::to_string(hi) + "]");
+  return static_cast<vis::Id>(value);
 }
 
-vis::KernelProfile runAlgorithm(util::ExecutionContext& ctx,
-                                Algorithm algorithm,
-                                const vis::UniformGrid& grid,
-                                const AlgorithmParams& params) {
+// Configured filters, shared by the single-grid and per-block paths so
+// both run literally the same filter objects.  Range-derived settings
+// (isovalues, bands, clip sphere) always come from the GLOBAL grid —
+// that is part of the block-count-invariance contract.
+vis::ContourFilter contourFor(const vis::Field& energy,
+                              const AlgorithmParams& params) {
+  vis::ContourFilter filter;
+  filter.setIsovalues(
+      vis::ContourFilter::uniformIsovalues(energy, params.isovalueCount));
+  return filter;
+}
+
+vis::ThresholdFilter thresholdFor(const vis::Field& energy,
+                                  const AlgorithmParams& params) {
+  vis::ThresholdFilter filter;
+  const auto [lo, hi] = fieldBand(energy, params.thresholdLoFraction,
+                                  params.thresholdHiFraction);
+  filter.setRange(lo, hi);
+  return filter;
+}
+
+vis::ClipSphereFilter clipFor(const vis::UniformGrid& grid,
+                              const AlgorithmParams& params) {
+  vis::ClipSphereFilter filter;
+  const vis::Bounds box = grid.bounds();
+  filter.setSphere(box.center(),
+                   params.clipRadiusFraction * length(box.extent()));
+  return filter;
+}
+
+vis::IsovolumeFilter isovolumeFor(const vis::Field& energy,
+                                  const AlgorithmParams& params) {
+  vis::IsovolumeFilter filter;
+  const auto [lo, hi] = fieldBand(energy, params.isovolumeLoFraction,
+                                  params.isovolumeHiFraction);
+  filter.setRange(lo, hi);
+  return filter;
+}
+
+vis::ParticleAdvectionFilter advectionFor(const AlgorithmParams& params) {
+  vis::ParticleAdvectionFilter filter;
+  filter.setSeedCount(params.seedCount);
+  filter.setMaxSteps(params.maxSteps);
+  filter.setStepLength(params.stepLength);
+  filter.setSchedule(
+      vis::ParticleAdvectionFilter::parseSchedule(params.advectionSchedule));
+  return filter;
+}
+
+vis::KernelProfile runOnGrid(util::ExecutionContext& ctx, Algorithm algorithm,
+                             const vis::UniformGrid& grid,
+                             const AlgorithmParams& params, int& launches) {
   const vis::Field& energy = grid.field("energy");
   vis::KernelProfile profile;
-  int launches = 0;
 
   switch (algorithm) {
     case Algorithm::Contour: {
-      vis::ContourFilter filter;
-      filter.setIsovalues(vis::ContourFilter::uniformIsovalues(
-          energy, params.isovalueCount));
-      profile = filter.run(ctx, grid, "energy").profile;
+      profile = contourFor(energy, params).run(ctx, grid, "energy").profile;
       launches = 3 * params.isovalueCount;
       break;
     }
     case Algorithm::Threshold: {
-      vis::ThresholdFilter filter;
-      const auto [lo, hi] = fieldBand(energy, params.thresholdLoFraction,
-                                      params.thresholdHiFraction);
-      filter.setRange(lo, hi);
-      profile = filter.run(ctx, grid, "energy").profile;
+      profile = thresholdFor(energy, params).run(ctx, grid, "energy").profile;
       launches = 3;
       break;
     }
     case Algorithm::SphericalClip: {
-      vis::ClipSphereFilter filter;
-      const vis::Bounds box = grid.bounds();
-      filter.setSphere(box.center(),
-                       params.clipRadiusFraction * length(box.extent()));
-      profile = filter.run(ctx, grid, "energy").profile;
+      profile = clipFor(grid, params).run(ctx, grid, "energy").profile;
       launches = 5;
       break;
     }
     case Algorithm::Isovolume: {
-      vis::IsovolumeFilter filter;
-      const auto [lo, hi] = fieldBand(energy, params.isovolumeLoFraction,
-                                      params.isovolumeHiFraction);
-      filter.setRange(lo, hi);
-      profile = filter.run(ctx, grid, "energy").profile;
+      profile = isovolumeFor(energy, params).run(ctx, grid, "energy").profile;
       launches = 9;
       break;
     }
@@ -163,12 +202,7 @@ vis::KernelProfile runAlgorithm(util::ExecutionContext& ctx,
       break;
     }
     case Algorithm::ParticleAdvection: {
-      vis::ParticleAdvectionFilter filter;
-      filter.setSeedCount(params.seedCount);
-      filter.setMaxSteps(params.maxSteps);
-      filter.setStepLength(params.stepLength);
-      filter.setSchedule(
-          vis::ParticleAdvectionFilter::parseSchedule(params.advectionSchedule));
+      vis::ParticleAdvectionFilter filter = advectionFor(params);
       const auto mode =
           vis::ParticleAdvectionFilter::parseMode(params.advectionMode);
       if (mode == vis::ParticleAdvectionFilter::Mode::Pathline) {
@@ -215,6 +249,95 @@ vis::KernelProfile runAlgorithm(util::ExecutionContext& ctx,
       launches = params.cameraCount;
       break;
     }
+  }
+  return profile;
+}
+
+vis::KernelProfile runOnDomain(util::ExecutionContext& ctx,
+                               Algorithm algorithm,
+                               vis::MultiBlockGrid& domain,
+                               const vis::UniformGrid& grid,
+                               const AlgorithmParams& params, int& launches) {
+  const vis::Field& energy = grid.field("energy");
+  switch (algorithm) {
+    case Algorithm::Contour:
+      launches = 3 * params.isovalueCount;
+      return vis::runContour(ctx, domain, contourFor(energy, params), "energy")
+          .profile;
+    case Algorithm::Threshold:
+      launches = 3;
+      return vis::runThreshold(ctx, domain, thresholdFor(energy, params),
+                               "energy")
+          .profile;
+    case Algorithm::SphericalClip:
+      launches = 5;
+      return vis::runClipSphere(ctx, domain, clipFor(grid, params), "energy")
+          .profile;
+    case Algorithm::Isovolume:
+      launches = 9;
+      return vis::runIsovolume(ctx, domain, isovolumeFor(energy, params),
+                               "energy")
+          .profile;
+    case Algorithm::Slice: {
+      launches = 12;
+      vis::SliceFilter filter;  // default: three axis planes
+      return vis::runSlice(ctx, domain, filter, "energy").profile;
+    }
+    default: {
+      // Globally-traversing algorithms (advection crosses seams,
+      // rendering walks the whole mesh): gather the owned views back
+      // into the bitwise-identical global grid and run unchanged.
+      vis::UniformGrid stitched;
+      {
+        auto stitchScope = ctx.phase("block-stitch");
+        stitched = domain.stitchGlobal(ctx);
+      }
+      vis::KernelProfile profile =
+          runOnGrid(ctx, algorithm, stitched, params, launches);
+      profile.phases.push_back(
+          vis::blockStitchPhase(domain.lastStitch().bytes));
+      return profile;
+    }
+  }
+}
+
+}  // namespace
+
+vis::Id defaultBlockCount() {
+  static const vis::Id value = envId("POWERVIZ_BLOCKS", 1, 1, 4096);
+  return value;
+}
+
+vis::Id defaultGhostLayers() {
+  static const vis::Id value = envId("POWERVIZ_GHOST", 1, 1, 8);
+  return value;
+}
+
+vis::KernelProfile runAlgorithm(Algorithm algorithm,
+                                const vis::UniformGrid& grid,
+                                const AlgorithmParams& params) {
+  util::ExecutionContext ctx;
+  return runAlgorithm(ctx, algorithm, grid, params);
+}
+
+vis::KernelProfile runAlgorithm(util::ExecutionContext& ctx,
+                                Algorithm algorithm,
+                                const vis::UniformGrid& grid,
+                                const AlgorithmParams& params) {
+  vis::KernelProfile profile;
+  int launches = 0;
+
+  if (params.blockCount > 1) {
+    vis::MultiBlockGrid domain = vis::MultiBlockGrid::partition(
+        grid, params.blockCount, params.ghostLayers);
+    {
+      auto exchangeScope = ctx.phase("ghost-exchange");
+      domain.exchangeGhosts(ctx);
+    }
+    profile = runOnDomain(ctx, algorithm, domain, grid, params, launches);
+    profile.phases.push_back(vis::ghostExchangePhase(domain.lastExchange()));
+  } else {
+    profile = runOnGrid(ctx, algorithm, grid, params, launches);
   }
 
   profile.phases.push_back(frameworkOverheadPhase(launches));

@@ -57,6 +57,13 @@ Algorithm parseAlgorithmToken(const std::string& token);
 /// selects all eight.  Throws pviz::Error on an unknown name.
 std::vector<Algorithm> parseAlgorithmList(const std::string& csv);
 
+/// Process-default multi-block decomposition, read once from
+/// POWERVIZ_BLOCKS / POWERVIZ_GHOST (1 block, 1 ghost layer when
+/// unset).  Mirrors the POWERVIZ_BACKEND precedence: an explicit
+/// request/CLI value always overrides the environment.
+vis::Id defaultBlockCount();
+vis::Id defaultGhostLayers();
+
 struct AlgorithmParams {
   // Contour.
   int isovalueCount = 10;
@@ -89,6 +96,15 @@ struct AlgorithmParams {
   /// work is identical, so the extrapolation is exact up to view
   /// variation).  0 = trace all cameraCount cameras.
   int sampledCameraCount = 8;
+  /// Multi-block decomposition: >1 partitions the dataset into k-slabs
+  /// with ghost-zone exchange and runs the cell-local filters per block
+  /// (globally-traversing algorithms run on the stitched grid).  Every
+  /// output is bit-identical to the single-block run; the profile gains
+  /// ghost-exchange / block-stitch phases.
+  vis::Id blockCount = defaultBlockCount();
+  /// Ghost cell planes per block side (>= 1; a block's top point plane
+  /// travels through the exchange).
+  vis::Id ghostLayers = defaultGhostLayers();
 
   int effectiveSampledCameras() const {
     if (sampledCameraCount <= 0 || sampledCameraCount > cameraCount) {

@@ -22,6 +22,10 @@ std::string cacheKey(Algorithm algorithm, vis::Id size,
   os << "alg" << static_cast<int>(algorithm) << '|' << size << '|' << p.isovalueCount
      << '|' << p.seedCount << '|' << p.maxSteps << '|' << p.cameraCount
      << '|' << p.imageWidth << 'x' << p.imageHeight << '|' << p.advectionMode;
+  // Decomposition changes the profile (ghost-exchange / block-stitch
+  // phases), so it is part of the key; the execution backend is not
+  // (outputs and profiles are backend-invariant).
+  os << "|b" << p.blockCount << "g" << p.ghostLayers;
   return os.str();
 }
 
@@ -167,6 +171,23 @@ Measurement Study::measure(util::ExecutionContext& ctx, Algorithm algorithm,
                            vis::Id size, double capWatts, int cycles) {
   PVIZ_REQUIRE(cycles >= 1, "measure needs at least one cycle");
   const vis::KernelProfile& once = characterize(ctx, algorithm, size);
+  return modelProfile(ctx, algorithm, once, capWatts, cycles);
+}
+
+Measurement Study::measureWith(util::ExecutionContext& ctx,
+                               Algorithm algorithm, vis::Id size,
+                               double capWatts, int cycles,
+                               const AlgorithmParams& params) {
+  PVIZ_REQUIRE(cycles >= 1, "measure needs at least one cycle");
+  const vis::KernelProfile once =
+      characterizeWith(ctx, algorithm, size, params);
+  return modelProfile(ctx, algorithm, once, capWatts, cycles);
+}
+
+Measurement Study::modelProfile(util::ExecutionContext& ctx,
+                                Algorithm algorithm,
+                                const vis::KernelProfile& once,
+                                double capWatts, int cycles) {
   vis::KernelProfile scaled = scaleKernelWork(once, config_.workScale);
   if (cycles > 1) scaled = repeatKernel(scaled, cycles);
   auto scope = ctx.phase("simulate/" + algorithmName(algorithm));
@@ -205,6 +226,35 @@ std::vector<ConfigRecord> Study::capSweep(util::ExecutionContext& ctx,
     record.size = size;
     record.capWatts = cap;
     record.measurement = measure(ctx, algorithm, size, cap, cycles);
+    if (i == 0) baseline = record.measurement;
+    record.ratios =
+        computeRatios(baseline, capsWatts.front(), record.measurement, cap);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<ConfigRecord> Study::capSweepWith(
+    util::ExecutionContext& ctx, Algorithm algorithm, vis::Id size,
+    const std::vector<double>& capsWatts, int cycles,
+    const AlgorithmParams& params) {
+  PVIZ_REQUIRE(!capsWatts.empty(), "cap sweep needs at least one cap");
+  PVIZ_REQUIRE(cycles >= 1, "measure needs at least one cycle");
+  // Characterize once; the per-cap loop only touches the package model
+  // (characterizeWith has no in-memory memo, so calling measureWith per
+  // cap would re-run the kernel for every cap).
+  const vis::KernelProfile once =
+      characterizeWith(ctx, algorithm, size, params);
+  std::vector<ConfigRecord> records;
+  records.reserve(capsWatts.size());
+  Measurement baseline;
+  for (std::size_t i = 0; i < capsWatts.size(); ++i) {
+    const double cap = capsWatts[i];
+    ConfigRecord record;
+    record.algorithm = algorithm;
+    record.size = size;
+    record.capWatts = cap;
+    record.measurement = modelProfile(ctx, algorithm, once, cap, cycles);
     if (i == 0) baseline = record.measurement;
     record.ratios =
         computeRatios(baseline, capsWatts.front(), record.measurement, cap);

@@ -97,6 +97,12 @@ class Study {
   Measurement measure(Algorithm algorithm, vis::Id size, double capWatts,
                       int cycles);
 
+  /// Measure with request-supplied parameter overrides (see
+  /// characterizeWith — shares the disk cache, not the in-memory memo).
+  Measurement measureWith(util::ExecutionContext& ctx, Algorithm algorithm,
+                          vis::Id size, double capWatts, int cycles,
+                          const AlgorithmParams& params);
+
   /// All caps for one (algorithm, size); ratios are against caps[0].
   std::vector<ConfigRecord> capSweep(util::ExecutionContext& ctx,
                                      Algorithm algorithm, vis::Id size);
@@ -109,6 +115,16 @@ class Study {
   std::vector<ConfigRecord> capSweep(Algorithm algorithm, vis::Id size,
                                      const std::vector<double>& capsWatts,
                                      int cycles);
+  /// Cap sweep with request-supplied parameter overrides.  The kernel
+  /// characterizes ONCE under `params` (characterizeWith), then every
+  /// cap is evaluated on the package model — a request with nine caps
+  /// costs one kernel run, exactly like the memoized configured-params
+  /// path.
+  std::vector<ConfigRecord> capSweepWith(util::ExecutionContext& ctx,
+                                         Algorithm algorithm, vis::Id size,
+                                         const std::vector<double>& capsWatts,
+                                         int cycles,
+                                         const AlgorithmParams& params);
 
   /// Phase 1: contour at 128^3 across all caps (9 tests).
   std::vector<ConfigRecord> runPhase1(util::ExecutionContext& ctx);
@@ -127,6 +143,13 @@ class Study {
 
  private:
   using ProfileKey = std::pair<int, vis::Id>;
+
+  /// Model one characterized cycle profile under a cap: work-scale,
+  /// repeat for `cycles`, simulate.  The shared tail of measure and
+  /// measureWith.
+  Measurement modelProfile(util::ExecutionContext& ctx, Algorithm algorithm,
+                           const vis::KernelProfile& once, double capWatts,
+                           int cycles);
 
   StudyConfig config_;
   ExecutionSimulator simulator_;

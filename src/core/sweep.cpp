@@ -8,43 +8,57 @@ std::vector<SweepUnit> decomposeSweep(const std::vector<Algorithm>& algorithms,
                                       const std::vector<vis::Id>& sizes,
                                       const std::vector<double>& capsWatts,
                                       SweepGrain grain) {
+  return decomposeSweep(algorithms, sizes, capsWatts, {0}, grain);
+}
+
+std::vector<SweepUnit> decomposeSweep(const std::vector<Algorithm>& algorithms,
+                                      const std::vector<vis::Id>& sizes,
+                                      const std::vector<double>& capsWatts,
+                                      const std::vector<vis::Id>& blockCounts,
+                                      SweepGrain grain) {
   PVIZ_REQUIRE(!algorithms.empty(), "sweep needs at least one algorithm");
   PVIZ_REQUIRE(!sizes.empty(), "sweep needs at least one size");
   PVIZ_REQUIRE(!capsWatts.empty(), "sweep needs at least one cap");
+  PVIZ_REQUIRE(!blockCounts.empty(), "sweep needs at least one block count");
 
   std::vector<SweepUnit> units;
   // Slot order mirrors ServiceEngine::runStudySlice: sizes outer,
   // algorithms middle, caps inner — the merged report reads exactly like
-  // the single-process one.
+  // the single-process one.  The block dimension is outermost: one full
+  // study per block count, concatenated.
   std::size_t slot = 0;
-  for (vis::Id size : sizes) {
-    for (Algorithm algorithm : algorithms) {
-      if (grain == SweepGrain::PerPair) {
-        SweepUnit unit;
-        unit.algorithm = algorithm;
-        unit.size = size;
-        unit.capsWatts = capsWatts;
-        unit.recordCount = capsWatts.size();
-        unit.firstSlot = slot;
-        slot += capsWatts.size();
-        units.push_back(std::move(unit));
-        continue;
-      }
-      for (std::size_t c = 0; c < capsWatts.size(); ++c) {
-        SweepUnit unit;
-        unit.algorithm = algorithm;
-        unit.size = size;
-        if (c == 0) {
-          unit.capsWatts = {capsWatts[0]};
-        } else {
-          // Ratios are against the reference (first) cap of the pair,
-          // so a lone-cap unit must carry the reference along and keep
-          // only its own record.
-          unit.capsWatts = {capsWatts[0], capsWatts[c]};
+  for (vis::Id blocks : blockCounts) {
+    for (vis::Id size : sizes) {
+      for (Algorithm algorithm : algorithms) {
+        if (grain == SweepGrain::PerPair) {
+          SweepUnit unit;
+          unit.algorithm = algorithm;
+          unit.size = size;
+          unit.blocks = blocks;
+          unit.capsWatts = capsWatts;
+          unit.recordCount = capsWatts.size();
+          unit.firstSlot = slot;
+          slot += capsWatts.size();
+          units.push_back(std::move(unit));
+          continue;
         }
-        unit.recordCount = 1;
-        unit.firstSlot = slot++;
-        units.push_back(std::move(unit));
+        for (std::size_t c = 0; c < capsWatts.size(); ++c) {
+          SweepUnit unit;
+          unit.algorithm = algorithm;
+          unit.size = size;
+          unit.blocks = blocks;
+          if (c == 0) {
+            unit.capsWatts = {capsWatts[0]};
+          } else {
+            // Ratios are against the reference (first) cap of the pair,
+            // so a lone-cap unit must carry the reference along and keep
+            // only its own record.
+            unit.capsWatts = {capsWatts[0], capsWatts[c]};
+          }
+          unit.recordCount = 1;
+          unit.firstSlot = slot++;
+          units.push_back(std::move(unit));
+        }
       }
     }
   }
@@ -55,6 +69,14 @@ std::size_t sweepRecordCount(const std::vector<Algorithm>& algorithms,
                              const std::vector<vis::Id>& sizes,
                              const std::vector<double>& capsWatts) {
   return algorithms.size() * sizes.size() * capsWatts.size();
+}
+
+std::size_t sweepRecordCount(const std::vector<Algorithm>& algorithms,
+                             const std::vector<vis::Id>& sizes,
+                             const std::vector<double>& capsWatts,
+                             const std::vector<vis::Id>& blockCounts) {
+  return algorithms.size() * sizes.size() * capsWatts.size() *
+         blockCounts.size();
 }
 
 std::string pairKey(const SweepUnit& unit) {

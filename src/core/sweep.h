@@ -49,6 +49,9 @@ enum class SweepGrain {
 struct SweepUnit {
   Algorithm algorithm{};
   vis::Id size = 0;
+  /// Multi-block decomposition this unit's worker must run under
+  /// (request `blocks` field); 0 = the worker's configured default.
+  vis::Id blocks = 0;
   /// Caps this unit's worker must evaluate, reference cap first.  For a
   /// PerCap unit of a non-reference cap this is {reference, cap}.
   std::vector<double> capsWatts;
@@ -66,11 +69,24 @@ std::vector<SweepUnit> decomposeSweep(const std::vector<Algorithm>& algorithms,
                                       const std::vector<vis::Id>& sizes,
                                       const std::vector<double>& capsWatts,
                                       SweepGrain grain);
+/// Same with a block-count dimension, outermost: the merged report is
+/// one full (sizes × algorithms × caps) study per entry of
+/// `blockCounts`, in order.  blockCounts = {0} (the worker default)
+/// reproduces the three-dimensional decomposition exactly.
+std::vector<SweepUnit> decomposeSweep(const std::vector<Algorithm>& algorithms,
+                                      const std::vector<vis::Id>& sizes,
+                                      const std::vector<double>& capsWatts,
+                                      const std::vector<vis::Id>& blockCounts,
+                                      SweepGrain grain);
 
 /// Total records the merged report must contain.
 std::size_t sweepRecordCount(const std::vector<Algorithm>& algorithms,
                              const std::vector<vis::Id>& sizes,
                              const std::vector<double>& capsWatts);
+std::size_t sweepRecordCount(const std::vector<Algorithm>& algorithms,
+                             const std::vector<vis::Id>& sizes,
+                             const std::vector<double>& capsWatts,
+                             const std::vector<vis::Id>& blockCounts);
 
 /// The locality key shared by every unit of one (algorithm, size) pair —
 /// what the fleet hashes onto its ring so a pair's caps all route to the

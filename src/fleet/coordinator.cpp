@@ -145,17 +145,28 @@ Request Coordinator::studyRequest(const UnitState& state, int cycles) const {
   request.sizes = {state.unit.size};
   request.capsWatts = state.unit.capsWatts;
   request.cycles = cycles;
+  // 0 keeps the worker's configured decomposition (and the same cache
+  // key as a plain study request for the scope).
+  request.blocks = state.unit.blocks;
   return request;
 }
 
 Json Coordinator::runSweep(const std::vector<core::Algorithm>& algorithms,
                            const std::vector<vis::Id>& sizes,
                            const std::vector<double>& capsWatts, int cycles) {
+  return runSweep(algorithms, sizes, capsWatts, {0}, cycles);
+}
+
+Json Coordinator::runSweep(const std::vector<core::Algorithm>& algorithms,
+                           const std::vector<vis::Id>& sizes,
+                           const std::vector<double>& capsWatts,
+                           const std::vector<vis::Id>& blockCounts,
+                           int cycles) {
   PVIZ_REQUIRE(cycles > 0, "fleet sweeps need an explicit cycle count");
-  const std::vector<core::SweepUnit> plan =
-      core::decomposeSweep(algorithms, sizes, capsWatts, config_.grain);
+  const std::vector<core::SweepUnit> plan = core::decomposeSweep(
+      algorithms, sizes, capsWatts, blockCounts, config_.grain);
   const std::size_t totalRecords =
-      core::sweepRecordCount(algorithms, sizes, capsWatts);
+      core::sweepRecordCount(algorithms, sizes, capsWatts, blockCounts);
 
   std::vector<std::string> workers;
   {

@@ -125,6 +125,13 @@ class Coordinator {
   service::Json runSweep(const std::vector<core::Algorithm>& algorithms,
                          const std::vector<vis::Id>& sizes,
                          const std::vector<double>& capsWatts, int cycles);
+  /// Same with a multi-block dimension, outermost: one full study per
+  /// entry of `blockCounts` (request `blocks` field; 0 = the worker's
+  /// configured default), concatenated in order.
+  service::Json runSweep(const std::vector<core::Algorithm>& algorithms,
+                         const std::vector<vis::Id>& sizes,
+                         const std::vector<double>& capsWatts,
+                         const std::vector<vis::Id>& blockCounts, int cycles);
 
   /// Counters from the most recent runSweep().
   FleetSweepStats lastSweepStats() const;

@@ -78,15 +78,21 @@ ServiceEngine::Outcome ServiceEngine::handle(util::ExecutionContext& ctx,
 
 vis::KernelProfile ServiceEngine::profileFor(util::ExecutionContext& ctx,
                                              const Request& request) {
-  const bool hasOverrides = request.advectSeeds > 0 ||
-                            request.advectSteps > 0 ||
-                            !request.advectMode.empty() ||
-                            !request.advectSchedule.empty();
-  if (!hasOverrides) {
+  const bool advectOverrides = request.advectSeeds > 0 ||
+                               request.advectSteps > 0 ||
+                               !request.advectMode.empty() ||
+                               !request.advectSchedule.empty();
+  // Decomposition overrides are valid on ANY algorithm (every kernel
+  // runs multi-block, or on the stitched grid when its traversal is
+  // global), unlike advect_* which only makes sense for advection.
+  const bool blockOverrides = request.blocks > 0 || request.ghost > 0;
+  if (!advectOverrides && !blockOverrides) {
     return study_.characterize(ctx, request.algorithm, request.size);
   }
-  PVIZ_REQUIRE(request.algorithm == core::Algorithm::ParticleAdvection,
-               "advect_* overrides are only valid with algorithm=advection");
+  if (advectOverrides) {
+    PVIZ_REQUIRE(request.algorithm == core::Algorithm::ParticleAdvection,
+                 "advect_* overrides are only valid with algorithm=advection");
+  }
   core::AlgorithmParams params = config_.study.params;
   if (request.advectSeeds > 0) params.seedCount = request.advectSeeds;
   if (request.advectSteps > 0) params.maxSteps = request.advectSteps;
@@ -94,6 +100,8 @@ vis::KernelProfile ServiceEngine::profileFor(util::ExecutionContext& ctx,
   if (!request.advectSchedule.empty()) {
     params.advectionSchedule = request.advectSchedule;
   }
+  if (request.blocks > 0) params.blockCount = request.blocks;
+  if (request.ghost > 0) params.ghostLayers = request.ghost;
   return study_.characterizeWith(ctx, request.algorithm, request.size, params);
 }
 
@@ -163,11 +171,18 @@ Json ServiceEngine::runStudySlice(util::ExecutionContext& ctx,
                                   const Request& request) {
   Json records = Json::array();
   std::size_t count = 0;
+  const bool blockOverrides = request.blocks > 0 || request.ghost > 0;
+  core::AlgorithmParams params = config_.study.params;
+  if (request.blocks > 0) params.blockCount = request.blocks;
+  if (request.ghost > 0) params.ghostLayers = request.ghost;
   for (vis::Id size : request.sizes) {
     for (core::Algorithm algorithm : request.algorithms) {
       for (core::ConfigRecord& record :
-           study_.capSweep(ctx, algorithm, size, request.capsWatts,
-                           request.cycles)) {
+           blockOverrides
+               ? study_.capSweepWith(ctx, algorithm, size, request.capsWatts,
+                                     request.cycles, params)
+               : study_.capSweep(ctx, algorithm, size, request.capsWatts,
+                                 request.cycles)) {
         records.push(recordToJson(record));
         ++count;
       }

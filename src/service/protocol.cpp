@@ -99,6 +99,8 @@ Json toJson(const Request& request) {
       if (!request.advectSchedule.empty()) {
         out.set("advect_schedule", request.advectSchedule);
       }
+      if (request.blocks > 0) out.set("blocks", request.blocks);
+      if (request.ghost > 0) out.set("ghost", request.ghost);
       break;
     case Op::Study: {
       Json algorithms = Json::array();
@@ -109,6 +111,8 @@ Json toJson(const Request& request) {
       Json sizes = Json::array();
       for (vis::Id s : request.sizes) sizes.push(s);
       if (!request.sizes.empty()) out.set("sizes", std::move(sizes));
+      if (request.blocks > 0) out.set("blocks", request.blocks);
+      if (request.ghost > 0) out.set("ghost", request.ghost);
       break;
     }
   }
@@ -165,6 +169,14 @@ Request requestFromJson(const Json& json) {
       request.capsWatts.push_back(cap);
     }
   }
+
+  // Multi-block decomposition (kernel-running ops only; 0 = default).
+  request.blocks = static_cast<vis::Id>(numberField(json, "blocks", 0.0));
+  PVIZ_REQUIRE(request.blocks >= 0 && request.blocks <= 4096,
+               "blocks must be in [0, 4096]");
+  request.ghost = static_cast<vis::Id>(numberField(json, "ghost", 0.0));
+  PVIZ_REQUIRE(request.ghost >= 0 && request.ghost <= 8,
+               "ghost must be in [0, 8]");
 
   if (request.op == Op::Study) {
     if (const Json* algorithms = json.find("algorithms")) {
@@ -398,23 +410,33 @@ std::string canonicalCacheKey(const Request& request) {
     if (request.advectSteps > 0) key << "|asteps=" << request.advectSteps;
     if (!request.advectMode.empty()) key << "|amode=" << request.advectMode;
   };
+  // Decomposition overrides fork the profile (ghost-exchange /
+  // block-stitch phases), so they fork the key even though filter
+  // outputs are block-count-invariant.
+  auto appendBlocks = [&] {
+    if (request.blocks > 0) key << "|blocks=" << request.blocks;
+    if (request.ghost > 0) key << "|ghost=" << request.ghost;
+  };
   switch (request.op) {
     case Op::Characterize:
       key << "|alg=" << core::algorithmToken(request.algorithm)
           << "|size=" << request.size;
       appendAdvect();
+      appendBlocks();
       break;
     case Op::Classify:
       key << "|alg=" << core::algorithmToken(request.algorithm)
           << "|size=" << request.size;
       appendCaps();
       appendAdvect();
+      appendBlocks();
       break;
     case Op::Budget:
       key << "|alg=" << core::algorithmToken(request.algorithm)
           << "|size=" << request.size << "|budget=" << request.budgetWatts
           << "|steps=" << request.simSteps;
       appendAdvect();
+      appendBlocks();
       break;
     case Op::Study: {
       key << "|algs=";
@@ -425,6 +447,7 @@ std::string canonicalCacheKey(const Request& request) {
       for (vis::Id s : request.sizes) key << s << ',';
       appendCaps();
       key << "|cycles=" << request.cycles;
+      appendBlocks();
       break;
     }
     case Op::Ping:

@@ -123,6 +123,14 @@ struct Request {
   vis::Id advectSteps = 0;      ///< max RK4 steps (integration length)
   std::string advectMode;       ///< "streamline" | "pathline"
   std::string advectSchedule;   ///< "worksteal" | "static"
+
+  // Multi-block decomposition overrides, valid on any kernel-running op
+  // (characterize / classify / budget / study).  Zero = server default.
+  // Outputs are block-count-invariant but the *profile* gains
+  // ghost-exchange / block-stitch phases, so both fields fork the cache
+  // key (unlike `backend`, which forks neither output nor profile).
+  vis::Id blocks = 0;  ///< k-slab block count (0 = server default)
+  vis::Id ghost = 0;   ///< ghost layers per block side (0 = server default)
 };
 
 Json toJson(const Request& request);

@@ -55,26 +55,36 @@ auto trilinear(const UniformGrid& grid, Id3 cell, const Vec3& t, Fetch&& fetch)
 }
 }  // namespace
 
+double UniformGrid::interpolateScalar(const Field& f, Id3 cell,
+                                      const Vec3& t) const {
+  PVIZ_REQUIRE(f.association() == Association::Points,
+               "interpolateScalar requires a point field");
+  return trilinear(*this, cell, t, [&](Id id) { return f.value(id); });
+}
+
+Vec3 UniformGrid::interpolateVector(const Field& f, Id3 cell,
+                                    const Vec3& t) const {
+  PVIZ_REQUIRE(f.association() == Association::Points,
+               "interpolateVector requires a point field");
+  PVIZ_REQUIRE(f.components() == 3, "interpolateVector requires 3 components");
+  return trilinear(*this, cell, t, [&](Id id) { return f.vec3(id); });
+}
+
 bool UniformGrid::sampleScalar(const Field& f, const Vec3& p,
                                double& out) const {
-  PVIZ_REQUIRE(f.association() == Association::Points,
-               "sampleScalar requires a point field");
   Id3 cell;
   Vec3 t;
   if (!locateCell(p, cell, t)) return false;
-  out = trilinear(*this, cell, t, [&](Id id) { return f.value(id); });
+  out = interpolateScalar(f, cell, t);
   return true;
 }
 
 bool UniformGrid::sampleVector(const Field& f, const Vec3& p,
                                Vec3& out) const {
-  PVIZ_REQUIRE(f.association() == Association::Points,
-               "sampleVector requires a point field");
-  PVIZ_REQUIRE(f.components() == 3, "sampleVector requires 3 components");
   Id3 cell;
   Vec3 t;
   if (!locateCell(p, cell, t)) return false;
-  out = trilinear(*this, cell, t, [&](Id id) { return f.vec3(id); });
+  out = interpolateVector(f, cell, t);
   return true;
 }
 

@@ -26,12 +26,25 @@ class UniformGrid {
   UniformGrid() = default;
 
   /// `pointDims` counts points per axis (cells per axis + 1).
-  UniformGrid(Id3 pointDims, Vec3 origin, Vec3 spacing)
-      : pointDims_(pointDims), origin_(origin), spacing_(spacing) {
+  /// `indexOffset` places this grid as a window of a larger lattice:
+  /// local point (i,j,k) sits at lattice index (i,j,k) + indexOffset of
+  /// the SAME origin/spacing, so a block of a decomposed domain
+  /// reproduces the global grid's point positions bit-for-bit (the
+  /// integer sum happens before the double conversion — exact).  The
+  /// default {0,0,0} is the ordinary standalone grid.
+  UniformGrid(Id3 pointDims, Vec3 origin, Vec3 spacing,
+              Id3 indexOffset = {0, 0, 0})
+      : pointDims_(pointDims),
+        origin_(origin),
+        spacing_(spacing),
+        indexOffset_(indexOffset) {
     PVIZ_REQUIRE(pointDims.i >= 2 && pointDims.j >= 2 && pointDims.k >= 2,
                  "uniform grid needs at least 2 points per axis");
     PVIZ_REQUIRE(spacing.x > 0 && spacing.y > 0 && spacing.z > 0,
                  "uniform grid spacing must be positive");
+    PVIZ_REQUIRE(indexOffset.i >= 0 && indexOffset.j >= 0 &&
+                     indexOffset.k >= 0,
+                 "uniform grid index offset must be non-negative");
   }
 
   /// Convenience: a cube of `cellsPerAxis`^3 cells on [0,1]^3.
@@ -50,10 +63,11 @@ class UniformGrid {
   Id numCells() const { return cellDims().product(); }
   Vec3 origin() const { return origin_; }
   Vec3 spacing() const { return spacing_; }
+  Id3 indexOffset() const { return indexOffset_; }
 
   Bounds bounds() const {
     Bounds b;
-    b.expand(origin_);
+    b.expand(pointPosition({0, 0, 0}));
     b.expand(pointPosition({pointDims_.i - 1, pointDims_.j - 1, pointDims_.k - 1}));
     return b;
   }
@@ -78,9 +92,9 @@ class UniformGrid {
   }
 
   Vec3 pointPosition(Id3 p) const {
-    return {origin_.x + spacing_.x * static_cast<double>(p.i),
-            origin_.y + spacing_.y * static_cast<double>(p.j),
-            origin_.z + spacing_.z * static_cast<double>(p.k)};
+    return {origin_.x + spacing_.x * static_cast<double>(indexOffset_.i + p.i),
+            origin_.y + spacing_.y * static_cast<double>(indexOffset_.j + p.j),
+            origin_.z + spacing_.z * static_cast<double>(indexOffset_.k + p.k)};
   }
   Vec3 pointPosition(Id flat) const { return pointPosition(pointIjk(flat)); }
   Vec3 cellCenter(Id3 c) const {
@@ -133,12 +147,17 @@ class UniformGrid {
   }
 
   /// Locate the cell containing world position `p`; false if outside.
+  /// On an offset grid the window's lower corner is lattice index
+  /// `indexOffset`, so the global fractional coordinate is shifted into
+  /// local cell space first (not bit-exact against the global grid near
+  /// block seams — deterministic sampling across blocks goes through
+  /// MultiBlockGrid, which locates on the global skeleton instead).
   bool locateCell(const Vec3& p, Id3& cellOut, Vec3& paramOut) const {
     const Id3 cd = cellDims();
     const Vec3 rel = p - origin_;
-    const double fi = rel.x / spacing_.x;
-    const double fj = rel.y / spacing_.y;
-    const double fk = rel.z / spacing_.z;
+    const double fi = rel.x / spacing_.x - static_cast<double>(indexOffset_.i);
+    const double fj = rel.y / spacing_.y - static_cast<double>(indexOffset_.j);
+    const double fk = rel.z / spacing_.z - static_cast<double>(indexOffset_.k);
     if (fi < 0 || fj < 0 || fk < 0) return false;
     Id ci = static_cast<Id>(fi);
     Id cj = static_cast<Id>(fj);
@@ -160,6 +179,14 @@ class UniformGrid {
   /// Trilinear interpolation of a point vector field at world position `p`.
   bool sampleVector(const Field& f, const Vec3& p, Vec3& out) const;
 
+  /// Trilinear interpolation of point field `f` inside local cell `cell`
+  /// at parametric coordinates `t` in [0,1]^3.  Public so the
+  /// multi-block domain can locate on the global skeleton grid and
+  /// evaluate through the owner block's field with the exact weight and
+  /// accumulation order of the single-grid sample path.
+  double interpolateScalar(const Field& f, Id3 cell, const Vec3& t) const;
+  Vec3 interpolateVector(const Field& f, Id3 cell, const Vec3& t) const;
+
   // --- fields -----------------------------------------------------------
   /// Attach (or replace) a field; its count must match the association.
   void addField(Field field);
@@ -174,6 +201,7 @@ class UniformGrid {
   Id3 pointDims_{2, 2, 2};
   Vec3 origin_{0, 0, 0};
   Vec3 spacing_{1, 1, 1};
+  Id3 indexOffset_{0, 0, 0};
   std::map<std::string, Field> fields_;
 };
 

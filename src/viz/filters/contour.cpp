@@ -203,6 +203,7 @@ ContourFilter::Result ContourFilter::run(util::ExecutionContext& ctx,
     pass.triangles = util::exclusiveScan(ctx, pass.offsets.data(),
                                          numCells + 1);
     totalTriangles += pass.triangles;
+    result.passTriangles.push_back(pass.triangles);
   }
   phase.reset();
 

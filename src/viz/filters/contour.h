@@ -29,6 +29,11 @@ class ContourFilter {
  public:
   struct Result {
     TriangleMesh surface;
+    /// Triangles emitted per isovalue pass, in pass order.  The surface
+    /// is laid out pass-major (all of pass 0's triangles, then pass
+    /// 1's, ...), so these counts let the multi-block stitch interleave
+    /// per-block surfaces back into the exact global pass-major order.
+    std::vector<Id> passTriangles;
     KernelProfile profile;
   };
 

@@ -132,6 +132,7 @@ IsovolumeFilter::Result IsovolumeFilter::run(
 
     // Merge boundary pieces.
     result.cutPieces = std::move(clippedLow);
+    result.lowClipTets = result.cutPieces.numTets();
     const Id base = result.cutPieces.numPoints();
     result.cutPieces.points.insert(result.cutPieces.points.end(),
                                    boundary.points.begin(),

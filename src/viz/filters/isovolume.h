@@ -21,6 +21,11 @@ class IsovolumeFilter {
   struct Result {
     HexSubset wholeCells;  ///< cells entirely inside the range
     TetMesh cutPieces;     ///< subdivided boundary region
+    /// cutPieces layout marker: the first `lowClipTets` tets come from
+    /// re-clipping the stage-1 cut pieces, the rest are the straddling
+    /// boundary tets appended after.  The multi-block stitch needs this
+    /// split to reproduce the global two-part concatenation order.
+    Id lowClipTets = 0;
     KernelProfile profile;
 
     double totalVolume(const UniformGrid& grid) const {

@@ -65,8 +65,11 @@ class ParticleAdvectionFilter {
     KernelProfile profile;
   };
 
+  /// Zero seeds is a valid degenerate workload (empty PolylineSet with
+  /// the canonical single-0 offsets array); the CLI tools reject it
+  /// earlier because a zero-seed *study* is almost certainly a typo.
   void setSeedCount(Id seeds) {
-    PVIZ_REQUIRE(seeds >= 1, "need at least one seed");
+    PVIZ_REQUIRE(seeds >= 0, "seed count must be non-negative");
     seeds_ = seeds;
   }
   void setMaxSteps(Id steps) {

@@ -304,6 +304,61 @@ TEST(CancellationCacheHygiene, EngineResultCacheStaysClean) {
   EXPECT_TRUE(engine.handle(ctx, request).cached);
 }
 
+// ---- flow workload edges through the service path -----------------------
+
+TEST(ServiceAdvectionEdges, ZeroSeedCharacterizationIsWellFormedAndCached) {
+  // A server configured with seedCount = 0 (the degenerate floor the
+  // filter accepts) still answers advection characterizations: the
+  // profile is complete and the canonical empty run is cacheable.
+  service::EngineConfig config;
+  config.study.cycles = 1;
+  config.study.params.seedCount = 0;
+  service::ServiceEngine engine(config);
+
+  service::Request request;
+  request.op = service::Op::Characterize;
+  request.algorithm = core::Algorithm::ParticleAdvection;
+  request.size = 8;
+
+  ThreadPool pool(1);
+  ExecutionContext ctx(pool);
+  const auto outcome = engine.handle(ctx, request);
+  EXPECT_FALSE(outcome.cached);
+  const service::Json* phases = outcome.result.find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_FALSE(phases->asArray().empty());
+  EXPECT_TRUE(engine.handle(ctx, request).cached);
+}
+
+TEST(ServiceAdvectionEdges, SingleSeedOverrideForksTheResultCache) {
+  service::EngineConfig config;
+  config.study.cycles = 1;
+  service::ServiceEngine engine(config);
+
+  ThreadPool pool(1);
+  ExecutionContext ctx(pool);
+
+  service::Request base;
+  base.op = service::Op::Characterize;
+  base.algorithm = core::Algorithm::ParticleAdvection;
+  base.size = 8;
+  base.advectSeeds = 4;
+  base.advectSteps = 16;
+  EXPECT_FALSE(engine.handle(ctx, base).cached);
+  EXPECT_TRUE(engine.handle(ctx, base).cached);
+
+  // One seed is a distinct workload: it must miss the cache entry the
+  // 4-seed request filled, then hit its own on repeat.
+  service::Request single = base;
+  single.advectSeeds = 1;
+  const auto outcome = engine.handle(ctx, single);
+  EXPECT_FALSE(outcome.cached);
+  const service::Json* phases = outcome.result.find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_FALSE(phases->asArray().empty());
+  EXPECT_TRUE(engine.handle(ctx, single).cached);
+}
+
 TEST(ServiceMetrics, CancelledCounterSurfacesInStats) {
   service::ServiceMetrics metrics;
   metrics.recordCancelled();

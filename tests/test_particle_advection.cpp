@@ -158,12 +158,58 @@ TEST(ParticleAdvection, ScalarsRecordIntegrationTime) {
 
 TEST(ParticleAdvection, ValidatesParameters) {
   ParticleAdvectionFilter filter;
-  EXPECT_THROW(filter.setSeedCount(0), Error);
+  EXPECT_THROW(filter.setSeedCount(-1), Error);
+  EXPECT_NO_THROW(filter.setSeedCount(0));  // degenerate but valid
   EXPECT_THROW(filter.setMaxSteps(0), Error);
   EXPECT_THROW(filter.setStepLength(0.0), Error);
   UniformGrid g = UniformGrid::cube(2);
   g.addField(Field::zeros("s", Association::Points, 1, g.numPoints()));
   EXPECT_THROW(filter.run(g, "s"), Error);
+}
+
+TEST(ParticleAdvection, ZeroSeedsYieldCanonicalEmptyPolylineSet) {
+  // Zero seeds is the degenerate-but-valid floor of the flow workload
+  // axis: the run completes, and the output is the one canonical empty
+  // PolylineSet (single sentinel offset, no points, no scalars) so that
+  // downstream writers and the service cache see a stable shape.
+  const UniformGrid g = rotationFlow(8);
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(0);
+  filter.setMaxSteps(30);
+  const auto result = filter.run(g, "velocity");
+  EXPECT_EQ(result.streamlines.numLines(), 0);
+  EXPECT_EQ(result.streamlines.offsets, (std::vector<Id>{0}));
+  EXPECT_TRUE(result.streamlines.points.empty());
+  EXPECT_TRUE(result.streamlines.pointScalars.empty());
+  EXPECT_EQ(result.totalSteps, 0);
+
+  // Same shape on every schedule — no worker ever claims a particle.
+  filter.setSchedule(ParticleAdvectionFilter::Schedule::StaticChunk);
+  const auto stat = filter.run(g, "velocity");
+  EXPECT_EQ(stat.streamlines.offsets, (std::vector<Id>{0}));
+}
+
+TEST(ParticleAdvection, SingleSeedTracesExactlyOneLine) {
+  const UniformGrid g = rotationFlow(8);
+  ParticleAdvectionFilter filter;
+  filter.setSeedCount(1);
+  filter.setMaxSteps(30);
+  const auto result = filter.run(g, "velocity");
+  ASSERT_EQ(result.streamlines.numLines(), 1);
+  ASSERT_EQ(result.streamlines.offsets.size(), 2u);
+  EXPECT_EQ(result.streamlines.offsets[0], 0);
+  EXPECT_EQ(result.streamlines.offsets[1],
+            static_cast<Id>(result.streamlines.points.size()));
+  EXPECT_GT(result.streamlines.points.size(), 1u);
+  EXPECT_EQ(result.streamlines.pointScalars.size(),
+            result.streamlines.points.size());
+
+  // A repeat run reproduces the identical line (counter-based seeding).
+  const auto again = filter.run(g, "velocity");
+  EXPECT_EQ(again.streamlines.offsets, result.streamlines.offsets);
+  for (std::size_t i = 0; i < result.streamlines.points.size(); ++i) {
+    EXPECT_EQ(again.streamlines.points[i], result.streamlines.points[i]);
+  }
 }
 
 TEST(ParticleAdvection, ProfileCountsTrackSteps) {

@@ -121,6 +121,8 @@ void expectRequestRoundTrip(const Request& request) {
   EXPECT_EQ(parsed.advectSteps, request.advectSteps);
   EXPECT_EQ(parsed.advectMode, request.advectMode);
   EXPECT_EQ(parsed.advectSchedule, request.advectSchedule);
+  EXPECT_EQ(parsed.blocks, request.blocks);
+  EXPECT_EQ(parsed.ghost, request.ghost);
 }
 
 TEST(Protocol, PingRoundTrip) {
@@ -246,6 +248,71 @@ TEST(Protocol, CacheKeyCoversAdvectOverridesButNotSchedule) {
   b = a;
   b.advectSchedule = "static";
   EXPECT_EQ(canonicalCacheKey(a), canonicalCacheKey(b));
+}
+
+TEST(Protocol, BlockOverridesRoundTrip) {
+  Request request;
+  request.op = Op::Characterize;
+  request.algorithm = core::Algorithm::Contour;
+  request.size = 64;
+  request.blocks = 4;
+  request.ghost = 2;
+  expectRequestRoundTrip(request);
+
+  Request study;
+  study.op = Op::Study;
+  study.algorithms = {core::Algorithm::Contour};
+  study.sizes = {32};
+  study.capsWatts = {120, 60};
+  study.cycles = 2;
+  study.blocks = 4;
+  study.ghost = 2;
+  expectRequestRoundTrip(study);
+
+  // Unset overrides (0 = worker default) stay off the wire entirely.
+  Request plain;
+  plain.op = Op::Characterize;
+  plain.algorithm = core::Algorithm::Contour;
+  plain.size = 64;
+  const Json wire = toJson(plain);
+  EXPECT_EQ(wire.find("blocks"), nullptr);
+  EXPECT_EQ(wire.find("ghost"), nullptr);
+
+  // Out-of-range decompositions are rejected at parse.
+  EXPECT_THROW(requestFromJson(Json::parse(
+                   R"({"op":"characterize","algorithm":"contour","size":64,)"
+                   R"("blocks":5000})")),
+               Error);
+  EXPECT_THROW(requestFromJson(Json::parse(
+                   R"({"op":"characterize","algorithm":"contour","size":64,)"
+                   R"("ghost":9})")),
+               Error);
+}
+
+TEST(Protocol, CacheKeyCoversBlockOverrides) {
+  // Outputs are bit-identical across block counts, but the *profile*
+  // is not (ghost-exchange / block-stitch phases, per-block launch
+  // accounting), so blocks and ghost fork the key — unlike backend.
+  Request a;
+  a.op = Op::Characterize;
+  a.algorithm = core::Algorithm::Contour;
+  a.size = 64;
+  Request b = a;
+  b.blocks = 4;
+  EXPECT_NE(canonicalCacheKey(a), canonicalCacheKey(b));
+  b = a;
+  b.ghost = 2;
+  EXPECT_NE(canonicalCacheKey(a), canonicalCacheKey(b));
+
+  Request sa;
+  sa.op = Op::Study;
+  sa.algorithms = {core::Algorithm::Contour};
+  sa.sizes = {32};
+  sa.capsWatts = {120, 60};
+  sa.cycles = 1;
+  Request sb = sa;
+  sb.blocks = 2;
+  EXPECT_NE(canonicalCacheKey(sa), canonicalCacheKey(sb));
 }
 
 TEST(Protocol, MalformedRequestsThrow) {

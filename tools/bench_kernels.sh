@@ -163,7 +163,47 @@ if flow:
     doc["flow"] = {
         "time_unit": "ms",
         "field": "vortex-trap (early-termination-heavy)",
+        # Schedule comparisons are only meaningful relative to the core
+        # count they ran on; record it next to the numbers.
+        "host_cpus": ctx.get("num_cpus"),
         "particles": {str(k): flow[k] for k in sorted(flow)},
+    }
+    if ctx.get("num_cpus") == 1:
+        doc["flow"]["note"] = (
+            "single-core host: static and worksteal coincide by "
+            "construction, so worksteal_vs_static ~ 1.0 carries no "
+            "scheduling signal")
+
+# Blocks table: BM_ContourBlocks/<blocks>/<size> rows fold into one row
+# per (blocks, size) — the wall-clock milliseconds for the full
+# multi-block path (partition, ghost exchange, per-block contour,
+# gather) plus the overhead against the undecomposed blocks=1 row at
+# the same size.  Outputs are bit-identical across block counts (the
+# golden multi-block suite pins that), so overhead > 1.0 is pure
+# decomposition cost.
+blocks = {}
+for name, ms in cur.items():
+    parts = name.split("/")
+    if len(parts) == 3 and parts[0] == "BM_ContourBlocks":
+        blocks.setdefault(int(parts[2]), {})[int(parts[1])] = ms
+if blocks:
+    table = {}
+    for size in sorted(blocks):
+        rows = blocks[size]
+        ref = rows.get(1)
+        table[str(size)] = {
+            str(b): {
+                "ms": rows[b],
+                **({"overhead_vs_single_block": round(rows[b] / ref, 3)}
+                   if ref else {}),
+            }
+            for b in sorted(rows)
+        }
+    doc["blocks"] = {
+        "time_unit": "ms",
+        "kernel": "contour (3 isovalues, algorithm layer)",
+        "host_cpus": ctx.get("num_cpus"),
+        "sizes": table,
     }
 
 with open(out_path, "w") as f:

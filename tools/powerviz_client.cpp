@@ -46,11 +46,20 @@ operations:
   budget --algorithm A --size N --budget W [--sim-steps N]
 
 advection overrides (single-kernel ops with --algorithm advection):
-  --advect-seeds N          particle count (default: server config)
-  --advect-steps N          max integration steps
+  --advect-seeds N          particle count, 1..50000000 (default: server
+                            config)
+  --advect-steps N          max integration steps, 1..10000000
   --advect-mode M           streamline | pathline
   --advect-schedule S       worksteal | static (bit-identical output;
                             never part of the result-cache key)
+
+multi-block overrides (any kernel-running op):
+  --blocks N                k-slab block count, 1..4096 (default: server
+                            config).  Outputs are bit-identical to one
+                            block; the profile gains ghost-exchange /
+                            block-stitch phases, so this IS part of the
+                            result-cache key.
+  --ghost N                 ghost cell layers per block side, 1..8
   stats                     server counters (queue, cache, latency)
   metrics                   Prometheus text exposition of the telemetry
                             registry (--metrics is a shortcut)
@@ -72,6 +81,20 @@ algorithms: contour threshold clip isovolume slice advection raytracing
 volume (or "all")
 )";
   std::exit(exitCode);
+}
+
+// Range-checked integer flag: rejects typos (zero, negatives, absurd
+// magnitudes) at parse time with the offending flag named, instead of
+// shipping them to the server.
+std::int64_t parseBounded(const std::string& value, const char* flag,
+                          std::int64_t lo, std::int64_t hi) {
+  const std::int64_t parsed = util::parseInt(value, flag);
+  if (parsed < lo || parsed > hi) {
+    std::cerr << flag << " must be in [" << lo << ", " << hi << "], got "
+              << parsed << '\n';
+    std::exit(2);
+  }
+  return parsed;
 }
 
 void printStudy(const service::Json& result) {
@@ -196,10 +219,12 @@ int main(int argc, char** argv) {
         traceOutPath = next();
       }
       else if (arg == "--backend") request.backend = next();
-      else if (arg == "--advect-seeds") request.advectSeeds = util::parseInt(next(), "--advect-seeds");
-      else if (arg == "--advect-steps") request.advectSteps = util::parseInt(next(), "--advect-steps");
+      else if (arg == "--advect-seeds") request.advectSeeds = parseBounded(next(), "--advect-seeds", 1, 50000000);
+      else if (arg == "--advect-steps") request.advectSteps = parseBounded(next(), "--advect-steps", 1, 10000000);
       else if (arg == "--advect-mode") request.advectMode = next();
       else if (arg == "--advect-schedule") request.advectSchedule = next();
+      else if (arg == "--blocks") request.blocks = parseBounded(next(), "--blocks", 1, 4096);
+      else if (arg == "--ghost") request.ghost = parseBounded(next(), "--ghost", 1, 8);
       else if (!arg.empty() && arg[0] != '-' && !haveOp) {
         request.op = service::parseOpToken(arg);
         haveOp = true;

@@ -61,6 +61,10 @@ sweep scope (defaults = the paper's full 8×9×4 matrix):
   --algorithms a,b,...
   --sizes n,n,...
   --caps w,w,...
+  --blocks n,n,...     multi-block k-slab counts, 1..4096 each: the
+                       sweep gains an outermost block dimension (one
+                       full study per count, concatenated).  Default:
+                       worker-configured decomposition (no dimension).
   --cycles N           visualization cycles (default 10)
 
 failure injection:
@@ -98,6 +102,7 @@ int main(int argc, char** argv) {
   core::StudyConfig defaults;
   std::vector<vis::Id> sizes = defaults.sizes;
   std::vector<double> caps = defaults.capsWatts;
+  std::vector<vis::Id> blockCounts = {0};  // 0 = worker default
   int cycles = defaults.cycles;
 
   util::setDefaultLogLevel(util::LogLevel::Info);
@@ -127,6 +132,17 @@ int main(int argc, char** argv) {
         for (std::int64_t s : util::parseSizeList(next())) sizes.push_back(s);
       }
       else if (arg == "--caps") caps = util::parseCapList(next());
+      else if (arg == "--blocks") {
+        blockCounts.clear();
+        for (std::int64_t b : util::parseSizeList(next())) {
+          if (b < 1 || b > 4096) {
+            std::cerr << "--blocks entries must be in [1, 4096], got " << b
+                      << '\n';
+            std::exit(2);
+          }
+          blockCounts.push_back(b);
+        }
+      }
       else if (arg == "--cycles") cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
       else if (arg == "--kill-one") killOne = true;
       else if (arg == "--kill-after-ms") killAfterMs = static_cast<int>(util::parseInt(next(), "--kill-after-ms"));
@@ -212,7 +228,7 @@ int main(int argc, char** argv) {
       }
 
       const service::Json report =
-          coordinator.runSweep(algorithms, sizes, caps, cycles);
+          coordinator.runSweep(algorithms, sizes, caps, blockCounts, cycles);
       if (killer.joinable()) killer.join();
 
       const fleet::FleetSweepStats stats = coordinator.lastSweepStats();

@@ -51,15 +51,37 @@ options:
   --backend NAME        execution backend: serial | threaded | vectorized
                         (default: POWERVIZ_BACKEND, else threaded; all
                         backends produce bit-identical results)
-  --advect-seeds N      advection particle count (default 1000)
-  --advect-steps N      advection max integration steps (default 1000)
+  --advect-seeds N      advection particle count, 1..50000000
+                        (default 1000)
+  --advect-steps N      advection max integration steps, 1..10000000
+                        (default 1000)
   --advect-mode M       streamline | pathline
   --advect-schedule S   worksteal | static (bit-identical output)
+  --blocks N            multi-block k-slab count, 1..4096 (default:
+                        POWERVIZ_BLOCKS, else 1).  Outputs are
+                        bit-identical for every block count; the profile
+                        gains ghost-exchange / block-stitch phases.
+  --ghost N             ghost cell layers per block side, 1..8 (default:
+                        POWERVIZ_GHOST, else 1)
   --quiet               suppress progress logging
                         (PVIZ_LOG=debug|info|warn|error|off overrides)
   -h, --help            this text
 )";
   std::exit(exitCode);
+}
+
+// Range-checked integer flag: rejects typos (zero, negatives, absurd
+// magnitudes) at parse time with the offending flag named, before any
+// dataset is generated.
+std::int64_t parseBounded(const std::string& value, const char* flag,
+                          std::int64_t lo, std::int64_t hi) {
+  const std::int64_t parsed = util::parseInt(value, flag);
+  if (parsed < lo || parsed > hi) {
+    std::cerr << flag << " must be in [" << lo << ", " << hi << "], got "
+              << parsed << '\n';
+    std::exit(2);
+  }
+  return parsed;
 }
 
 }  // namespace
@@ -117,9 +139,15 @@ int main(int argc, char** argv) {
       } else if (arg == "--algorithms") {
         algorithms = core::parseAlgorithmList(next());
       } else if (arg == "--advect-seeds") {
-        config.params.seedCount = util::parseInt(next(), "--advect-seeds");
+        config.params.seedCount =
+            parseBounded(next(), "--advect-seeds", 1, 50000000);
       } else if (arg == "--advect-steps") {
-        config.params.maxSteps = util::parseInt(next(), "--advect-steps");
+        config.params.maxSteps =
+            parseBounded(next(), "--advect-steps", 1, 10000000);
+      } else if (arg == "--blocks") {
+        config.params.blockCount = parseBounded(next(), "--blocks", 1, 4096);
+      } else if (arg == "--ghost") {
+        config.params.ghostLayers = parseBounded(next(), "--ghost", 1, 8);
       } else if (arg == "--advect-mode") {
         config.params.advectionMode = next();
         vis::ParticleAdvectionFilter::parseMode(config.params.advectionMode);
