@@ -1,8 +1,9 @@
 // Shared plumbing for the per-table / per-figure bench binaries.
 //
 // Environment knobs (all optional):
-//   PVIZ_CACHE=path   characterization cache file
-//                     (default: pviz_profile_cache.txt in the CWD)
+//   PVIZ_CACHE=path   characterization cache file (default:
+//                     POWERVIZ_PROFILE_CACHE, else
+//                     pviz_profile_cache.txt in the CWD)
 //   PVIZ_NOCACHE=1    disable the on-disk cache
 //   PVIZ_SIZE=N       override the dataset size where a bench has one
 //   PVIZ_CYCLES=N     visualization cycles per configuration (default 10)
@@ -40,6 +41,7 @@ inline core::StudyConfig defaultStudyConfig() {
   config.params.sampledCameraCount = envFlag("PVIZ_FULL") ? 0 : 8;
   if (!envFlag("PVIZ_NOCACHE")) {
     const char* cache = std::getenv("PVIZ_CACHE");
+    if (cache == nullptr) cache = std::getenv("POWERVIZ_PROFILE_CACHE");
     config.cachePath = cache != nullptr ? cache : "pviz_profile_cache.txt";
   }
   return config;

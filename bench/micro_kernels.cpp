@@ -12,7 +12,10 @@
 #include "core/algorithms.h"
 #include "sim/cloverleaf.h"
 #include "util/parallel.h"
+#include "telemetry/energy_attribution.h"
+#include "telemetry/event_ring.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/slo_tracker.h"
 #include "util/backend.h"
 #include "util/exec_context.h"
 #include "viz/filters/clip_sphere.h"
@@ -520,11 +523,12 @@ BENCHMARK(BM_HistogramRecord)->Threads(1)->Threads(4);
 
 // Telemetry overhead on a real kernel (acceptance: ≤ 2 % on contour
 // 128³).  Both variants run the kernel through the same persistent
-// ExecutionContext; the "On" variant additionally wraps each run in a
-// PhaseScope and records latency into a registry histogram plus a run
-// counter — the same instrumentation the service layer applies per
-// request.  The delta between the two at the same size is the
-// telemetry tax.
+// ExecutionContext; the "On" variant additionally applies the full
+// per-request instrumentation stack the service layer uses: a
+// PhaseScope, a latency histogram and run counter, an SLO record, an
+// energy-attribution bracket, and an event-ring emit on violation.
+// The delta between the two at the same size is the telemetry tax,
+// and CI gates the On/Idle ratio at 128³.
 void BM_ContourTelemetryIdle(benchmark::State& state) {
   const vis::UniformGrid& g = grid(state.range(0));
   vis::ContourFilter filter;
@@ -553,9 +557,20 @@ void BM_ContourTelemetryOn(benchmark::State& state) {
       "bench_contour_latency_ms", {}, "contour run latency (bench-only)");
   telemetry::Counter& runs =
       registry.counter("bench_contour_runs_total", {}, "contour runs");
+  static telemetry::EnergyAttributor energy(registry);
+  static telemetry::EventRing events(256);
+  static telemetry::SloTracker slo = [] {
+    telemetry::SloTracker tracker;
+    tracker.setObjective("study", 1.0);  // most runs violate: worst case
+    return tracker;
+  }();
+  static std::atomic<std::uint64_t> token{1};
   util::ExecutionContext ctx;
   for (auto _ : state) {
     ctx.beginRun();
+    const std::uint64_t requestToken =
+        token.fetch_add(1, std::memory_order_relaxed);
+    energy.beginRequest(requestToken, "study");
     const auto start = std::chrono::steady_clock::now();
     {
       auto scope = ctx.phase("bench/contour");
@@ -566,6 +581,13 @@ void BM_ContourTelemetryOn(benchmark::State& state) {
         std::chrono::steady_clock::now() - start;
     latency.record(elapsed.count());
     runs.inc();
+    energy.recordRun(requestToken, "contour", 120.0, 1.0,
+                     elapsed.count() / 1000.0);
+    energy.endRequest(requestToken);
+    if (slo.record("study", elapsed.count(), false)) {
+      events.emit(telemetry::EventKind::SlowRequest, "study",
+                  "bench violation", elapsed.count());
+    }
   }
   state.SetItemsProcessed(state.iterations() * g.numCells() * 3);
 }

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <string>
 
 #include "telemetry/prometheus.h"
 #include "util/error.h"
 #include "util/log.h"
+#include "util/thread_id.h"
 
 namespace pviz::fleet {
 
@@ -50,6 +52,10 @@ Coordinator::Coordinator(CoordinatorConfig config)
     PVIZ_REQUIRE(endpoints_.emplace(endpoint.name, endpoint).second,
                  "duplicate fleet endpoint name '" + endpoint.name + "'");
   }
+  registry_.setEventRing(&events_);
+  // Same bound a worker's retained buffer uses: a long-lived
+  // coordinator must not grow its dispatch-span log without limit.
+  traceSink_.setCapacity(8192);
 }
 
 Coordinator::~Coordinator() { stop(); }
@@ -80,6 +86,8 @@ void Coordinator::start() {
     std::lock_guard lock(mutex_);
     running_ = true;
   }
+  events_.emit(telemetry::EventKind::Lifecycle, "register",
+               "coordinator started", static_cast<double>(usable));
   heartbeatThread_ = std::thread([this] { heartbeatLoop(); });
 }
 
@@ -120,8 +128,21 @@ void Coordinator::heartbeatLoop() {
         Request beat;
         beat.op = Op::Heartbeat;
         beat.seq = seq;
+        const std::uint64_t sentUs = telemetry::traceNowUs();
         const Response response = client.request(beat);
+        const std::uint64_t gotUs = telemetry::traceNowUs();
         ok = response.ok();
+        // Each beat doubles as a clock probe: the worker echoes its own
+        // steady clock, and the midpoint of our send/receive bracket
+        // estimates its offset.  The registry keeps the estimate from
+        // the tightest (minimum-RTT) beat.
+        const Json* nowUs = ok ? response.result.find("now_us") : nullptr;
+        if (nowUs != nullptr && nowUs->isNumber()) {
+          const std::int64_t mid =
+              static_cast<std::int64_t>(sentUs / 2 + gotUs / 2);
+          registry_.recordClock(name, nowUs->asInt() - mid,
+                                static_cast<std::int64_t>(gotUs - sentUs));
+        }
       } catch (const Error&) {
         ok = false;
       }
@@ -148,7 +169,35 @@ Request Coordinator::studyRequest(const UnitState& state, int cycles) const {
   // 0 keeps the worker's configured decomposition (and the same cache
   // key as a plain study request for the scope).
   request.blocks = state.unit.blocks;
+  // Propagated trace context: the worker tags its request span and
+  // kernel phases with this id and retains them for `trace_dump`.
+  // Both fields are excluded from the cache key, so tracing never
+  // splits the result cache.  The dispatch span has no separate id of
+  // its own — within one trace the (traceId, worker) pair is enough to
+  // match it to the worker's request span — so the trace id doubles as
+  // the parent reference.
+  request.traceId = state.traceId;
+  request.parentSpan = state.traceId;
   return request;
+}
+
+void Coordinator::recordDispatchSpan(const UnitState& snapshot,
+                                     const std::string& worker,
+                                     std::uint64_t startUs,
+                                     const std::string& status) {
+  telemetry::TraceSpan span;
+  span.name = "dispatch/" + snapshot.pairKey;
+  span.category = "fleet";
+  span.traceId = snapshot.traceId;
+  span.pid = 1;
+  span.threadId = util::threadIndex();
+  span.startUs = startUs;
+  span.durationUs = telemetry::traceNowUs() - startUs;
+  span.args.emplace_back("worker", worker);
+  span.args.emplace_back("status", status);
+  span.args.emplace_back("attempt", std::to_string(snapshot.attempts));
+  span.args.emplace_back("unit", snapshot.cacheKey);
+  traceSink_.add(std::move(span));
 }
 
 Json Coordinator::runSweep(const std::vector<core::Algorithm>& algorithms,
@@ -192,6 +241,7 @@ Json Coordinator::runSweep(const std::vector<core::Algorithm>& algorithms,
       UnitState state;
       state.unit = unit;
       state.pairKey = core::pairKey(unit);
+      state.traceId = nextTraceId_.fetch_add(1, std::memory_order_relaxed);
       state.cacheKey =
           service::canonicalCacheKey(studyRequest(state, cycles));
       units_.push_back(std::move(state));
@@ -392,8 +442,18 @@ void Coordinator::dispatchLoop(const std::string& worker) {
         continue;
       }
 
-      const Response response =
-          client->request(studyRequest(snapshot, sweepCycles_));
+      // The dispatch span brackets the study round trip: after clock
+      // correction it must contain the worker's request span, which is
+      // what the trace collector's causal clamp leans on.
+      const std::uint64_t dispatchStartUs = telemetry::traceNowUs();
+      Response response;
+      try {
+        response = client->request(studyRequest(snapshot, sweepCycles_));
+      } catch (const Error&) {
+        recordDispatchSpan(snapshot, worker, dispatchStartUs, "lost");
+        throw;
+      }
+      recordDispatchSpan(snapshot, worker, dispatchStartUs, response.status);
       if (!response.ok()) {
         throw Error(response.error.empty() ? "status " + response.status
                                            : response.error);
@@ -452,6 +512,36 @@ std::string Coordinator::mergedMetrics() {
   return telemetry::mergeExpositions(expositions, "worker");
 }
 
+MergedTrace Coordinator::collectTrace(bool clearWorkers) {
+  std::vector<WorkerTraceFragment> fragments;
+  for (const auto& [name, endpoint] : endpoints_) {
+    if (registry_.state(name) == WorkerState::Dead) continue;
+    try {
+      ServiceClient client(endpoint.host, endpoint.port,
+                           probeLimits(config_));
+      Request req;
+      req.op = Op::TraceDump;
+      req.clearTrace = clearWorkers;
+      const Response response = client.request(req);
+      if (!response.ok()) continue;
+      const Json* spans = response.result.find("spans");
+      if (spans == nullptr || !spans->isArray()) continue;
+      WorkerTraceFragment fragment;
+      fragment.worker = name;
+      fragment.clockOffsetUs = registry_.clockOffsetUs(name);
+      fragment.spans.reserve(spans->asArray().size());
+      for (const Json& span : spans->asArray()) {
+        fragment.spans.push_back(service::traceSpanFromJson(span));
+      }
+      fragments.push_back(std::move(fragment));
+    } catch (const Error&) {
+      // A worker that cannot answer contributes no fragment; its spans
+      // stay in its buffer for the next collection.
+    }
+  }
+  return mergeFleetTrace(traceSink_.spans(), std::move(fragments));
+}
+
 std::vector<std::pair<std::string, Json>> Coordinator::workerStats() {
   std::vector<std::pair<std::string, Json>> out;
   for (const auto& [name, endpoint] : endpoints_) {
@@ -481,6 +571,10 @@ Json Coordinator::statsJson() const {
     w.set("beats_seen", static_cast<double>(info.beatsSeen));
     w.set("beats_missed", static_cast<double>(info.beatsMissed));
     w.set("last_seq", static_cast<double>(info.lastSeq));
+    if (info.minRttUs >= 0) {
+      w.set("clock_offset_us", static_cast<double>(info.clockOffsetUs));
+      w.set("min_rtt_us", static_cast<double>(info.minRttUs));
+    }
     workers.push(std::move(w));
   }
 
@@ -509,6 +603,8 @@ Json Coordinator::statsJson() const {
   Json out = Json::object();
   out.set("workers", std::move(workers));
   out.set("sweep", std::move(sweep));
+  out.set("events_emitted", static_cast<double>(events_.totalEmitted()));
+  out.set("trace_spans", static_cast<double>(traceSink_.size()));
   return out;
 }
 

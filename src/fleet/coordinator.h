@@ -38,9 +38,11 @@
 // lintPrometheus.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -51,9 +53,12 @@
 
 #include "core/sweep.h"
 #include "fleet/hash_ring.h"
+#include "fleet/trace_collector.h"
 #include "fleet/worker_registry.h"
 #include "service/client.h"
 #include "service/protocol.h"
+#include "telemetry/event_ring.h"
+#include "telemetry/trace_sink.h"
 
 namespace pviz::fleet {
 
@@ -147,6 +152,18 @@ class Coordinator {
   /// Fleet summary: registry snapshot + last sweep counters.
   service::Json statsJson() const;
 
+  /// The fleet-wide distributed trace: every usable worker's
+  /// `trace_dump` fragment merged with the coordinator's dispatch spans
+  /// onto the coordinator clock (heartbeat offset estimate + causal
+  /// clamp, see fleet/trace_collector.h).  `clearWorkers` drains each
+  /// worker's retained buffer so the next sweep starts a fresh trace.
+  /// Workers that do not answer are simply absent from the merge.
+  MergedTrace collectTrace(bool clearWorkers = true);
+
+  /// Coordinator-side structured events (worker state transitions,
+  /// sweep lifecycle), mirroring the workers' `events` op.
+  telemetry::EventRing& events() { return events_; }
+
   WorkerRegistry& registry() { return registry_; }
 
  private:
@@ -154,6 +171,7 @@ class Coordinator {
     core::SweepUnit unit;
     std::string cacheKey;   ///< claim token = the unit's result-cache key
     std::string pairKey;    ///< routing key
+    std::uint64_t traceId = 0;  ///< coordinator-minted trace context
     int attempts = 0;
     bool hedged = false;
     bool inFlight = false;
@@ -176,6 +194,11 @@ class Coordinator {
 
   service::Request studyRequest(const UnitState& unit, int cycles) const;
 
+  /// One completed dispatch attempt → one "fleet" span in traceSink_
+  /// (no lock needed; the sink has its own).
+  void recordDispatchSpan(const UnitState& snapshot, const std::string& worker,
+                          std::uint64_t startUs, const std::string& status);
+
   CoordinatorConfig config_;
   WorkerRegistry registry_;
   std::map<std::string, FleetEndpoint> endpoints_;
@@ -195,6 +218,16 @@ class Coordinator {
   std::size_t filledCount_ = 0;
   std::map<std::string, std::deque<std::size_t>> queues_;
   FleetSweepStats stats_;
+
+  /// Trace-id mint for sweep units.  Never reset: ids stay unique for
+  /// the coordinator's lifetime, so back-to-back sweeps cannot collide
+  /// in a worker's retained trace buffer.
+  std::atomic<std::uint64_t> nextTraceId_{1};
+  /// Coordinator half of the fleet trace: one span per dispatch attempt.
+  telemetry::TraceSink traceSink_;
+  /// Structured coordinator events (worker transitions via the registry
+  /// hook, sweep lifecycle markers).
+  telemetry::EventRing events_;
 
   std::thread heartbeatThread_;
 };

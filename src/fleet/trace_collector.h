@@ -1,0 +1,66 @@
+// Fleet trace merging: one causally ordered Chrome trace from the
+// coordinator's dispatch spans plus every worker's `trace_dump`
+// fragment.
+//
+// Each process records spans against its own steady clock.  The
+// heartbeat prober estimates every worker's clock offset from the
+// minimum-RTT beat (midpoint method: offset = worker_now − (t0+t1)/2),
+// but a midpoint estimate can still be off by up to half the RTT — and
+// even a few hundred microseconds of error puts a worker's request span
+// partly outside the coordinator dispatch span that provably contains
+// it in real time.  The merger therefore refines the estimate with a
+// *causal clamp*: for every matched (dispatch span, worker request
+// span) pair under the same trace id, the true offset must satisfy
+//
+//   request.end − dispatch.end  ≤  offset  ≤  request.start − dispatch.start
+//
+// (the worker cannot have started before the coordinator sent the
+// request, nor finished after the coordinator saw the reply).  The
+// applied offset is the heartbeat estimate clamped into the
+// intersection of those intervals, so after correction every dispatch
+// span contains its worker request span by construction.
+//
+// Output layout: coordinator spans on pid 1 ("coordinator"), worker
+// fragments on pid 2+i in worker-name order, each lane labeled with the
+// fleet identity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/trace_sink.h"
+
+namespace pviz::fleet {
+
+/// One worker's retained trace buffer, as fetched by the `trace_dump`
+/// op, plus the heartbeat clock-offset estimate for that worker.
+struct WorkerTraceFragment {
+  std::string worker;              ///< fleet identity ("w0", ...)
+  std::int64_t clockOffsetUs = 0;  ///< worker clock − coordinator clock
+  std::vector<telemetry::TraceSpan> spans;
+};
+
+/// The merged fleet trace: every span rebased onto the coordinator's
+/// clock, process lanes assigned and named.
+struct MergedTrace {
+  std::vector<telemetry::TraceSpan> spans;
+  std::vector<std::pair<std::uint32_t, std::string>> processNames;
+  /// The offset actually subtracted from each worker's timestamps
+  /// (heartbeat estimate after the causal clamp).
+  std::map<std::string, std::int64_t> appliedOffsetUs;
+};
+
+/// Merge coordinator spans (forced onto pid 1) with worker fragments
+/// (pid 2+i in worker-name order), rebasing every worker timestamp by
+/// its causally clamped clock offset.
+MergedTrace mergeFleetTrace(std::vector<telemetry::TraceSpan> coordinatorSpans,
+                            std::vector<WorkerTraceFragment> fragments);
+
+/// Chrome trace-event JSON for a merged trace (process_name metadata
+/// events first, then every span as an "X" complete event).
+std::string mergedTraceToChromeJson(const MergedTrace& trace);
+
+}  // namespace pviz::fleet

@@ -1,5 +1,8 @@
 #include "fleet/worker_registry.h"
 
+#include <string>
+
+#include "telemetry/event_ring.h"
 #include "util/error.h"
 
 namespace pviz::fleet {
@@ -32,12 +35,22 @@ void WorkerRegistry::add(const std::string& name, const std::string& host,
   workers_.emplace(name, std::move(info));
 }
 
+void WorkerRegistry::logTransitionLocked(const WorkerInfo& info,
+                                         WorkerState from, WorkerState to) {
+  if (events_ == nullptr || from == to) return;
+  events_->emit(telemetry::EventKind::WorkerState, "heartbeat",
+                info.name + " " + workerStateToken(from) + "->" +
+                    workerStateToken(to),
+                static_cast<double>(info.consecutiveMisses));
+}
+
 WorkerState WorkerRegistry::recordHeartbeat(const std::string& name,
                                             bool success, std::int64_t seq) {
   std::lock_guard lock(mutex_);
   auto it = workers_.find(name);
   PVIZ_REQUIRE(it != workers_.end(), "unknown worker '" + name + "'");
   WorkerInfo& w = it->second;
+  const WorkerState before = w.state;
   if (success) {
     // Dead is terminal.  The coordinator tears down a Dead worker's ring
     // slot and dispatcher on the Dead transition; reviving the registry
@@ -61,15 +74,37 @@ WorkerState WorkerRegistry::recordHeartbeat(const std::string& name,
       w.state = WorkerState::Suspect;
     }
   }
+  logTransitionLocked(w, before, w.state);
   return w.state;
+}
+
+void WorkerRegistry::recordClock(const std::string& name,
+                                 std::int64_t offsetUs, std::int64_t rttUs) {
+  std::lock_guard lock(mutex_);
+  auto it = workers_.find(name);
+  PVIZ_REQUIRE(it != workers_.end(), "unknown worker '" + name + "'");
+  WorkerInfo& w = it->second;
+  if (w.minRttUs < 0 || rttUs < w.minRttUs) {
+    w.minRttUs = rttUs;
+    w.clockOffsetUs = offsetUs;
+  }
+}
+
+std::int64_t WorkerRegistry::clockOffsetUs(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = workers_.find(name);
+  PVIZ_REQUIRE(it != workers_.end(), "unknown worker '" + name + "'");
+  return it->second.clockOffsetUs;
 }
 
 void WorkerRegistry::markDead(const std::string& name) {
   std::lock_guard lock(mutex_);
   auto it = workers_.find(name);
   PVIZ_REQUIRE(it != workers_.end(), "unknown worker '" + name + "'");
+  const WorkerState before = it->second.state;
   it->second.state = WorkerState::Dead;
   it->second.consecutiveMisses = missesBeforeDead_;
+  logTransitionLocked(it->second, before, WorkerState::Dead);
 }
 
 WorkerState WorkerRegistry::state(const std::string& name) const {

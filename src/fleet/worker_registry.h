@@ -30,6 +30,10 @@
 #include <string>
 #include <vector>
 
+namespace pviz::telemetry {
+class EventRing;
+}  // namespace pviz::telemetry
+
 namespace pviz::fleet {
 
 enum class WorkerState { Alive, Suspect, Dead };
@@ -46,6 +50,13 @@ struct WorkerInfo {
   std::int64_t beatsSeen = 0;    ///< successful heartbeats
   std::int64_t beatsMissed = 0;  ///< lifetime misses (not just consecutive)
   std::int64_t lastSeq = 0;      ///< last heartbeat sequence acknowledged
+
+  // Clock alignment, estimated from heartbeat round trips: the worker's
+  // steady clock minus the coordinator's, in microseconds, taken from
+  // the beat with the smallest RTT seen so far (the tightest bound on
+  // the true offset).  minRttUs < 0 until the first estimate arrives.
+  std::int64_t clockOffsetUs = 0;
+  std::int64_t minRttUs = -1;
 };
 
 class WorkerRegistry {
@@ -60,6 +71,21 @@ class WorkerRegistry {
   WorkerState recordHeartbeat(const std::string& name, bool success,
                               std::int64_t seq = 0);
 
+  /// Feed one clock-offset observation from a successful beat: the
+  /// midpoint estimate `offsetUs` (worker now_us minus the coordinator
+  /// send/receive midpoint) and the beat's round trip.  Kept only when
+  /// `rttUs` improves on the best RTT so far — the smallest round trip
+  /// brackets the true offset most tightly.
+  void recordClock(const std::string& name, std::int64_t offsetUs,
+                   std::int64_t rttUs);
+
+  /// The current offset estimate for `name` (0 until a beat landed).
+  std::int64_t clockOffsetUs(const std::string& name) const;
+
+  /// Log Alive/Suspect/Dead transitions to `ring` (nullptr disables —
+  /// the default).  The ring must outlive the registry.
+  void setEventRing(telemetry::EventRing* ring) { events_ = ring; }
+
   /// Immediate death sentence — a dispatch connection died and the
   /// client's own retries were exhausted, no need to wait for beats.
   void markDead(const std::string& name);
@@ -71,9 +97,15 @@ class WorkerRegistry {
   std::size_t size() const;
 
  private:
+  /// Caller holds the mutex; emits a worker_state event when `from` and
+  /// `to` differ and an event ring is attached.
+  void logTransitionLocked(const WorkerInfo& info, WorkerState from,
+                           WorkerState to);
+
   const int missesBeforeDead_;
   mutable std::mutex mutex_;
   std::map<std::string, WorkerInfo> workers_;
+  telemetry::EventRing* events_ = nullptr;
 };
 
 }  // namespace pviz::fleet

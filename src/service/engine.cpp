@@ -6,6 +6,7 @@
 
 #include "core/execution_sim.h"
 #include "sim/cloverleaf.h"
+#include "telemetry/energy_attribution.h"
 #include "util/backend.h"
 #include "util/error.h"
 #include "util/exec_context.h"
@@ -46,9 +47,11 @@ ServiceEngine::Outcome ServiceEngine::handle(util::ExecutionContext& ctx,
   PVIZ_REQUIRE(rawRequest.op != Op::Stats && rawRequest.op != Op::Metrics &&
                    rawRequest.op != Op::Register &&
                    rawRequest.op != Op::Heartbeat &&
-                   rawRequest.op != Op::Claim,
-               "stats/metrics/fleet requests are answered by the server, not "
-               "the engine");
+                   rawRequest.op != Op::Claim &&
+                   rawRequest.op != Op::TraceDump &&
+                   rawRequest.op != Op::Events,
+               "stats/metrics/trace/events/fleet requests are answered by the "
+               "server, not the engine");
   const Request request = normalize(rawRequest);
   // Backend precedence: request field > engine config > process default.
   // Selected before the cache lookup for uniformity, though it cannot
@@ -162,6 +165,8 @@ Json ServiceEngine::execute(util::ExecutionContext& ctx,
     case Op::Register:
     case Op::Heartbeat:
     case Op::Claim:
+    case Op::TraceDump:
+    case Op::Events:
       break;
   }
   throw Error("unhandled op");
@@ -183,6 +188,13 @@ Json ServiceEngine::runStudySlice(util::ExecutionContext& ctx,
                                      request.cycles, params)
                : study_.capSweep(ctx, algorithm, size, request.capsWatts,
                                  request.cycles)) {
+        // Only this uncached path reaches the attributor: a cache hit
+        // re-serves these joules without running anything.
+        if (energy_ != nullptr && ctx.traceId() != 0) {
+          energy_->recordRun(ctx.traceId(), core::algorithmToken(algorithm),
+                             record.capWatts, record.measurement.energyJoules,
+                             record.measurement.seconds);
+        }
         records.push(recordToJson(record));
         ++count;
       }

@@ -27,6 +27,10 @@ namespace pviz::util {
 class ExecutionContext;
 }  // namespace pviz::util
 
+namespace pviz::telemetry {
+class EnergyAttributor;
+}  // namespace pviz::telemetry
+
 namespace pviz::service {
 
 struct EngineConfig {
@@ -71,6 +75,15 @@ class ServiceEngine {
   const ResultCache& cache() const { return cache_; }
   const EngineConfig& config() const { return config_; }
 
+  /// Attribute study-run energy to the requests that caused it.  Runs
+  /// are credited under the context's trace id only on the *uncached*
+  /// path — a cache hit re-serves a result without running a kernel, so
+  /// it must not double-count joules.  Set before serving starts
+  /// (nullptr disables attribution; the default).
+  void setEnergyAttributor(telemetry::EnergyAttributor* attributor) {
+    energy_ = attributor;
+  }
+
  private:
   /// Uncached path.
   Json execute(util::ExecutionContext& ctx, const Request& request);
@@ -86,6 +99,7 @@ class ServiceEngine {
   core::Study study_;
   core::PowerAdvisor advisor_;
   ResultCache cache_;
+  telemetry::EnergyAttributor* energy_ = nullptr;
   std::mutex simProfileMutex_;
   std::map<std::pair<vis::Id, int>, vis::KernelProfile> simProfiles_;
 };

@@ -1,6 +1,7 @@
 #include "service/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "telemetry/prometheus.h"
 
@@ -69,14 +70,42 @@ void ServiceMetrics::recordRequest(Op op, double latencyMs, bool cached,
   if (error) inst.errors->inc();
   if (cached) inst.cacheHits->inc();
   inst.latencyMs->record(latencyMs);
+  if (slo_.hasObjectives() &&
+      slo_.record(opToken(op), latencyMs, error) && !error) {
+    // Errors already show up as violations in the burn rate; the event
+    // ring's slow_request entries are for latency breaches specifically.
+    events_.emit(telemetry::EventKind::SlowRequest, opToken(op),
+                 "latency above p99 objective", latencyMs);
+  }
 }
 
-void ServiceMetrics::recordOverloaded() { overloaded_->inc(); }
+void ServiceMetrics::recordOverloaded() {
+  overloaded_->inc();
+  events_.emit(telemetry::EventKind::Overloaded, "",
+               "admission control rejected a request");
+}
+
 void ServiceMetrics::recordBadRequest() { badRequests_->inc(); }
-void ServiceMetrics::recordTimeout() { timeouts_->inc(); }
-void ServiceMetrics::recordCancelled() { cancelled_->inc(); }
+
+void ServiceMetrics::recordTimeout() {
+  timeouts_->inc();
+  events_.emit(telemetry::EventKind::Timeout, "",
+               "connection or request deadline expired");
+}
+
+void ServiceMetrics::recordCancelled() {
+  cancelled_->inc();
+  events_.emit(telemetry::EventKind::Cancelled, "",
+               "kernel stopped mid-run by cancellation");
+}
+
 void ServiceMetrics::recordRejectedFrame() { rejectedFrames_->inc(); }
-void ServiceMetrics::recordShedConnection() { shedConnections_->inc(); }
+
+void ServiceMetrics::recordShedConnection() {
+  shedConnections_->inc();
+  events_.emit(telemetry::EventKind::ConnectionShed, "",
+               "connection shed at the accept limit");
+}
 
 void ServiceMetrics::recordClaim(bool granted) {
   (granted ? claimsGranted_ : claimsDeclined_)->inc();
@@ -177,6 +206,61 @@ Json ServiceMetrics::toJson(const Snapshot& snapshot,
   return out;
 }
 
+Json ServiceMetrics::statsJson(const ResultCache::Stats& cache) const {
+  Json out = toJson(snapshot(), cache);
+
+  const telemetry::EnergyAttributor::Summary energy = energy_.summary();
+  Json energyJson = Json::object();
+  energyJson.set("total_joules", energy.totalJoules);
+  energyJson.set("overlap_joules", energy.overlapJoules);
+  energyJson.set("requests", static_cast<double>(energy.requests));
+  energyJson.set("joules_per_request", energy.joulesPerRequest());
+  Json byAlgorithm = Json::object();
+  for (const auto& [algorithm, alg] : energy.byAlgorithm) {
+    Json a = Json::object();
+    a.set("joules", alg.joules);
+    a.set("runs", static_cast<double>(alg.runs));
+    a.set("requests", static_cast<double>(alg.requests));
+    a.set("joules_per_request", alg.joulesPerRequest());
+    byAlgorithm.set(algorithm, std::move(a));
+  }
+  energyJson.set("by_algorithm", std::move(byAlgorithm));
+  Json byCap = Json::object();
+  for (const auto& [capWatts, cap] : energy.byCap) {
+    Json c = Json::object();
+    c.set("joules", cap.joules);
+    c.set("runs", static_cast<double>(cap.runs));
+    char capKey[32];
+    std::snprintf(capKey, sizeof(capKey), "%g", capWatts);
+    byCap.set(capKey, std::move(c));
+  }
+  energyJson.set("by_cap", std::move(byCap));
+  out.set("energy", std::move(energyJson));
+
+  if (slo_.hasObjectives()) {
+    Json sloJson = Json::object();
+    for (const std::string& op : slo_.objectiveOps()) {
+      const telemetry::SloTracker::Window window = slo_.burn(op);
+      Json s = Json::object();
+      s.set("p99_objective_ms", slo_.objectiveMs(op));
+      s.set("burn_rate_5m", window.shortWindow.burnRate);
+      s.set("burn_rate_1h", window.longWindow.burnRate);
+      s.set("requests_5m",
+            static_cast<double>(window.shortWindow.requests));
+      s.set("violations_5m",
+            static_cast<double>(window.shortWindow.violations));
+      s.set("requests_1h", static_cast<double>(window.longWindow.requests));
+      s.set("violations_1h",
+            static_cast<double>(window.longWindow.violations));
+      sloJson.set(op, std::move(s));
+    }
+    out.set("slo", std::move(sloJson));
+  }
+
+  out.set("events_emitted", static_cast<double>(events_.totalEmitted()));
+  return out;
+}
+
 std::string ServiceMetrics::prometheusText(const ResultCache::Stats& cache) {
   uptimeMs_->set(std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - start_)
@@ -187,6 +271,25 @@ std::string ServiceMetrics::prometheusText(const ResultCache::Stats& cache) {
   cacheEvictionsG_->set(static_cast<double>(cache.evictions));
   cacheEntriesG_->set(static_cast<double>(cache.entries));
   cacheBytesG_->set(static_cast<double>(cache.bytes));
+  // SLO burn rates are derived at scrape time from the bucket ring —
+  // the gauges only exist for ops with declared objectives.
+  for (const std::string& op : slo_.objectiveOps()) {
+    const telemetry::SloTracker::Window window = slo_.burn(op);
+    registry_
+        .gauge("pviz_slo_objective_ms", {{"op", op}},
+               "Declared p99 latency objective in milliseconds")
+        .set(slo_.objectiveMs(op));
+    registry_
+        .gauge("pviz_slo_burn_rate", {{"op", op}, {"window", "5m"}},
+               "Error-budget burn rate (1.0 = spending the 1% budget "
+               "exactly at the sustainable rate)")
+        .set(window.shortWindow.burnRate);
+    registry_
+        .gauge("pviz_slo_burn_rate", {{"op", op}, {"window", "1h"}},
+               "Error-budget burn rate (1.0 = spending the 1% budget "
+               "exactly at the sustainable rate)")
+        .set(window.longWindow.burnRate);
+  }
   return telemetry::renderPrometheus(registry_);
 }
 

@@ -21,14 +21,17 @@
 #include "service/json.h"
 #include "service/protocol.h"
 #include "service/result_cache.h"
+#include "telemetry/energy_attribution.h"
+#include "telemetry/event_ring.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/slo_tracker.h"
 
 namespace pviz::service {
 
 class ServiceMetrics {
  public:
   /// Number of wire operations (indexed by Op).
-  static constexpr std::size_t kOpCount = 10;
+  static constexpr std::size_t kOpCount = 12;
 
   ServiceMetrics();
 
@@ -63,7 +66,9 @@ class ServiceMetrics {
     double uptimeMs = 0.0;  ///< wall time since the metrics were created
   };
 
-  /// One completed request (any status but "overloaded").
+  /// One completed request (any status but "overloaded").  Feeds the op
+  /// instruments and, when the op has an SLO objective, the burn-rate
+  /// buckets; a violating request is logged to the event ring.
   void recordRequest(Op op, double latencyMs, bool cached, bool error);
   /// One admission-control rejection.
   void recordOverloaded();
@@ -94,12 +99,28 @@ class ServiceMetrics {
   static Json toJson(const Snapshot& snapshot,
                      const ResultCache::Stats& cache);
 
+  /// The full `stats` payload: toJson() plus the energy-attribution and
+  /// SLO sections this instance tracks.
+  Json statsJson(const ResultCache::Stats& cache) const;
+
   /// The `metrics` op payload: the full registry in Prometheus text
-  /// exposition format, with the result-cache and uptime gauges
-  /// refreshed from `cache` at scrape time.
+  /// exposition format, with the result-cache, uptime and SLO burn-rate
+  /// gauges refreshed from `cache` at scrape time.
   std::string prometheusText(const ResultCache::Stats& cache);
 
   telemetry::MetricRegistry& registry() { return registry_; }
+
+  /// Latency objectives; declare via slo().setObjective() before the
+  /// server starts serving.
+  telemetry::SloTracker& slo() { return slo_; }
+  const telemetry::SloTracker& slo() const { return slo_; }
+
+  /// Structured event log (`events` op).
+  telemetry::EventRing& events() { return events_; }
+  const telemetry::EventRing& events() const { return events_; }
+
+  /// Per-request energy attribution (`stats` energy section).
+  telemetry::EnergyAttributor& energy() { return energy_; }
 
  private:
   struct OpInstruments {
@@ -131,6 +152,9 @@ class ServiceMetrics {
   telemetry::Gauge* cacheEntriesG_;
   telemetry::Gauge* cacheBytesG_;
   std::chrono::steady_clock::time_point start_;
+  telemetry::SloTracker slo_;
+  telemetry::EventRing events_;
+  telemetry::EnergyAttributor energy_{registry_};
 };
 
 }  // namespace pviz::service

@@ -44,6 +44,8 @@ const char* opToken(Op op) {
     case Op::Register: return "register";
     case Op::Heartbeat: return "heartbeat";
     case Op::Claim: return "claim";
+    case Op::TraceDump: return "trace_dump";
+    case Op::Events: return "events";
   }
   return "?";
 }
@@ -51,13 +53,13 @@ const char* opToken(Op op) {
 Op parseOpToken(const std::string& token) {
   for (Op op : {Op::Ping, Op::Characterize, Op::Study, Op::Classify,
                 Op::Budget, Op::Stats, Op::Metrics, Op::Register,
-                Op::Heartbeat, Op::Claim}) {
+                Op::Heartbeat, Op::Claim, Op::TraceDump, Op::Events}) {
     if (token == opToken(op)) return op;
   }
   throw Error(
       "unknown op '" + token +
       "' (expected ping characterize study classify budget stats metrics "
-      "register heartbeat claim)");
+      "register heartbeat claim trace_dump events)");
 }
 
 Json toJson(const Request& request) {
@@ -65,6 +67,12 @@ Json toJson(const Request& request) {
   out.set("op", opToken(request.op));
   if (!request.id.empty()) out.set("id", request.id);
   if (request.trace) out.set("trace", true);
+  if (request.traceId != 0) {
+    out.set("trace_id", static_cast<double>(request.traceId));
+  }
+  if (request.parentSpan != 0) {
+    out.set("parent_span", static_cast<double>(request.parentSpan));
+  }
   if (!request.backend.empty()) out.set("backend", request.backend);
   switch (request.op) {
     case Op::Ping:
@@ -72,6 +80,12 @@ Json toJson(const Request& request) {
       break;
     case Op::Stats:
     case Op::Metrics:
+      break;
+    case Op::TraceDump:
+      if (request.clearTrace) out.set("clear", true);
+      break;
+    case Op::Events:
+      if (request.eventsLimit > 0) out.set("limit", request.eventsLimit);
       break;
     case Op::Register:
       if (!request.worker.empty()) out.set("worker", request.worker);
@@ -136,11 +150,28 @@ Request requestFromJson(const Json& json) {
   if (const Json* trace = json.find("trace")) {
     request.trace = trace->asBool();
   }
+  const double traceId = numberField(json, "trace_id", 0.0);
+  PVIZ_REQUIRE(traceId >= 0.0, "trace_id must be non-negative");
+  request.traceId = static_cast<std::uint64_t>(traceId);
+  const double parentSpan = numberField(json, "parent_span", 0.0);
+  PVIZ_REQUIRE(parentSpan >= 0.0, "parent_span must be non-negative");
+  request.parentSpan = static_cast<std::uint64_t>(parentSpan);
   request.backend = stringField(json, "backend", "");
   if (!request.backend.empty()) {
     exec::parseBackendToken(request.backend);  // reject unknown tokens early
   }
 
+  if (request.op == Op::TraceDump) {
+    if (const Json* clear = json.find("clear")) {
+      request.clearTrace = clear->asBool();
+    }
+    return request;
+  }
+  if (request.op == Op::Events) {
+    request.eventsLimit = static_cast<int>(numberField(json, "limit", 0.0));
+    PVIZ_REQUIRE(request.eventsLimit >= 0, "limit must be non-negative");
+    return request;
+  }
   if (request.op == Op::Ping) {
     request.delayMs = numberField(json, "delay_ms", 0.0);
     PVIZ_REQUIRE(request.delayMs >= 0.0 && request.delayMs <= 60000.0,
@@ -388,10 +419,52 @@ core::BudgetPlan budgetPlanFromJson(const Json& json) {
   return plan;
 }
 
+Json traceSpanToJson(const telemetry::TraceSpan& span) {
+  Json out = Json::object();
+  out.set("name", span.name);
+  out.set("cat", span.category);
+  out.set("trace_id", static_cast<double>(span.traceId));
+  if (span.parentSpan != 0) {
+    out.set("parent_span", static_cast<double>(span.parentSpan));
+  }
+  out.set("pid", static_cast<double>(span.pid));
+  out.set("tid", static_cast<double>(span.threadId));
+  out.set("start_us", static_cast<double>(span.startUs));
+  out.set("dur_us", static_cast<double>(span.durationUs));
+  if (!span.args.empty()) {
+    Json args = Json::object();
+    for (const auto& [key, value] : span.args) args.set(key, value);
+    out.set("args", std::move(args));
+  }
+  return out;
+}
+
+telemetry::TraceSpan traceSpanFromJson(const Json& json) {
+  PVIZ_REQUIRE(json.isObject(), "trace span must be a JSON object");
+  telemetry::TraceSpan span;
+  span.name = stringField(json, "name", "");
+  span.category = stringField(json, "cat", "");
+  span.traceId = static_cast<std::uint64_t>(numberField(json, "trace_id", 0.0));
+  span.parentSpan =
+      static_cast<std::uint64_t>(numberField(json, "parent_span", 0.0));
+  span.pid = static_cast<std::uint32_t>(numberField(json, "pid", 1.0));
+  span.threadId = static_cast<std::uint32_t>(numberField(json, "tid", 0.0));
+  span.startUs = static_cast<std::uint64_t>(numberField(json, "start_us", 0.0));
+  span.durationUs =
+      static_cast<std::uint64_t>(numberField(json, "dur_us", 0.0));
+  if (const Json* args = json.find("args")) {
+    for (const auto& [key, value] : args->asObject()) {
+      span.args.emplace_back(key, value.asString());
+    }
+  }
+  return span;
+}
+
 std::string canonicalCacheKey(const Request& request) {
   if (request.op == Op::Ping || request.op == Op::Stats ||
       request.op == Op::Metrics || request.op == Op::Register ||
-      request.op == Op::Heartbeat || request.op == Op::Claim) {
+      request.op == Op::Heartbeat || request.op == Op::Claim ||
+      request.op == Op::TraceDump || request.op == Op::Events) {
     return "";
   }
   std::ostringstream key;
@@ -456,6 +529,8 @@ std::string canonicalCacheKey(const Request& request) {
     case Op::Register:
     case Op::Heartbeat:
     case Op::Claim:
+    case Op::TraceDump:
+    case Op::Events:
       break;
   }
   return key.str();

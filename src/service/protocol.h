@@ -18,6 +18,12 @@
 //   stats         server counters: queue, cache, latency per op
 //   metrics       telemetry registry snapshot in Prometheus text
 //                 exposition format (result: {"exposition": "..."})
+//   trace_dump    drain the server's retained trace buffer: spans of
+//                 requests that carried fleet trace context, plus the
+//                 server's current steady-clock `now_us` so a collector
+//                 can align timestamps across processes
+//   events        recent entries from the structured event ring
+//                 (slow requests, admission rejections, cancellations)
 //
 // Fleet operations (coordinator → worker; see src/fleet/):
 //   register      assign this server its fleet identity ("worker":"w2");
@@ -54,6 +60,7 @@
 #include "core/power_advisor.h"
 #include "core/study.h"
 #include "service/json.h"
+#include "telemetry/trace_sink.h"
 
 namespace pviz::service {
 
@@ -68,6 +75,8 @@ enum class Op {
   Register,
   Heartbeat,
   Claim,
+  TraceDump,
+  Events,
 };
 
 /// Wire token for an operation ("ping", "characterize", ...).
@@ -106,6 +115,25 @@ struct Request {
   /// response's `trace` field.  Valid on any op; not part of the cache
   /// key (tracing a request must not fork the result cache).
   bool trace = false;
+
+  // Distributed trace context (coordinator → worker).  A nonzero
+  // trace_id makes the worker tag every span of this request with the
+  // propagated id (instead of minting a local one) and retain the spans
+  // in its trace buffer for a later `trace_dump`.  parent_span is the
+  // span id of the coordinator's dispatch span, recorded on the request
+  // span so a merged trace keeps the causal edge.  Both are excluded
+  // from the cache key like `trace` and `backend` — tracing a request
+  // must not fork the result cache.
+  std::uint64_t traceId = 0;
+  std::uint64_t parentSpan = 0;
+
+  /// trace_dump: also clear the retained buffer after dumping, so the
+  /// next dump only sees spans recorded since.
+  bool clearTrace = false;
+
+  /// events: cap on the number of ring entries returned, newest last
+  /// (0 = server default).
+  int eventsLimit = 0;
 
   /// Execution backend for this request's kernels:
   /// "serial"/"threaded"/"vectorized", or empty for the server's
@@ -170,9 +198,14 @@ core::Classification classificationFromJson(const Json& json);
 Json budgetPlanToJson(const core::BudgetPlan& plan);
 core::BudgetPlan budgetPlanFromJson(const Json& json);
 
+/// Wire form of one retained trace span (`trace_dump` result entries).
+/// Round-trips exactly, including args, pid and parent-span id.
+Json traceSpanToJson(const telemetry::TraceSpan& span);
+telemetry::TraceSpan traceSpanFromJson(const Json& json);
+
 /// Deterministic cache key for a *normalized* request (defaults already
 /// applied by the engine).  Empty for operations that are never cached
-/// (ping, stats, metrics).
+/// (ping, stats, metrics, trace_dump, events, fleet ops).
 std::string canonicalCacheKey(const Request& request);
 
 }  // namespace pviz::service

@@ -46,6 +46,13 @@ Server::Server(ServerConfig config)
   PVIZ_REQUIRE(config_.idleTimeoutMs >= 0 && config_.frameTimeoutMs >= 0 &&
                    config_.requestTimeoutMs >= 0,
                "deadlines must be >= 0 (0 disables)");
+  for (const auto& [opName, p99Ms] : config_.sloP99Ms) {
+    parseOpToken(opName);  // reject unknown op tokens at boot
+    PVIZ_REQUIRE(p99Ms > 0.0, "SLO p99 objective must be positive ms");
+    metrics_.slo().setObjective(opName, p99Ms);
+  }
+  traceBuffer_.setCapacity(config_.traceBufferSpans);
+  engine_.setEnergyAttributor(&metrics_.energy());
 }
 
 Server::~Server() { stop(); }
@@ -116,8 +123,7 @@ void Server::stop() {
 }
 
 Json Server::statsJson() const {
-  Json out =
-      ServiceMetrics::toJson(metrics_.snapshot(), engine_.cache().stats());
+  Json out = metrics_.statsJson(engine_.cache().stats());
   const std::string id = workerId();
   if (!id.empty()) out.set("worker", id);
   return out;
@@ -140,6 +146,8 @@ Json Server::handleFleetOp(const Request& request) {
         std::lock_guard lock(workerIdMutex_);
         workerId_ = request.worker;
       }
+      metrics_.events().emit(telemetry::EventKind::Lifecycle, "register",
+                             "assigned fleet identity " + workerId());
       out.set("worker", workerId());
       out.set("pid", static_cast<double>(::getpid()));
       out.set("workers", config_.workers);
@@ -160,6 +168,9 @@ Json Server::handleFleetOp(const Request& request) {
               static_cast<double>(activeConnections_.load()));
       out.set("uptime_ms", snap.uptimeMs);
       out.set("total_requests", static_cast<double>(snap.totalRequests));
+      // The worker's steady-clock reading lets the coordinator estimate
+      // this process's clock offset from the beat's RTT midpoint.
+      out.set("now_us", static_cast<double>(telemetry::traceNowUs()));
       return out;
     }
     case Op::Claim: {
@@ -184,6 +195,52 @@ Json Server::handleFleetOp(const Request& request) {
       break;
   }
   throw Error("not a fleet op");
+}
+
+Json Server::handleTraceDump(const Request& request) {
+  Json spans = Json::array();
+  std::size_t count = 0;
+  for (const telemetry::TraceSpan& span : traceBuffer_.spans()) {
+    spans.push(traceSpanToJson(span));
+    ++count;
+  }
+  Json out = Json::object();
+  out.set("worker", workerId());
+  out.set("pid", static_cast<double>(::getpid()));
+  // The dumping process's steady-clock reading: a collector can sanity-
+  // check its heartbeat-derived offset estimate against the dump.
+  out.set("now_us", static_cast<double>(telemetry::traceNowUs()));
+  out.set("count", static_cast<double>(count));
+  out.set("dropped", static_cast<double>(traceBuffer_.dropped()));
+  out.set("spans", std::move(spans));
+  if (request.clearTrace) traceBuffer_.clear();
+  return out;
+}
+
+Json Server::handleEvents(const Request& request) {
+  const std::size_t limit =
+      request.eventsLimit > 0 ? static_cast<std::size_t>(request.eventsLimit)
+                              : std::size_t{256};
+  Json events = Json::array();
+  std::size_t count = 0;
+  for (const telemetry::Event& event : metrics_.events().recent(limit)) {
+    Json e = Json::object();
+    e.set("seq", static_cast<double>(event.seq));
+    e.set("time_us", static_cast<double>(event.timeUs));
+    e.set("kind", telemetry::eventKindToken(event.kind));
+    if (event.op[0] != '\0') e.set("op", event.op);
+    if (event.detail[0] != '\0') e.set("detail", event.detail);
+    if (event.value != 0.0) e.set("value", event.value);
+    events.push(std::move(e));
+    ++count;
+  }
+  Json out = Json::object();
+  out.set("worker", workerId());
+  out.set("count", static_cast<double>(count));
+  out.set("emitted", static_cast<double>(metrics_.events().totalEmitted()));
+  out.set("capacity", static_cast<double>(metrics_.events().capacity()));
+  out.set("events", std::move(events));
+  return out;
 }
 
 void Server::acceptLoop() {
@@ -367,7 +424,6 @@ void Server::process(Task& task, util::ExecutionContext& ctx) {
   // and aborts mid-run if it expires (the `cancelled` counter below).
   ctx.beginRun();
   ctx.cancel().reset();
-  ctx.setTraceId(nextTraceId_.fetch_add(1, std::memory_order_relaxed));
   if (config_.requestTimeoutMs > 0) {
     ctx.cancel().setDeadline(
         task.enqueued + std::chrono::milliseconds(config_.requestTimeoutMs));
@@ -381,6 +437,12 @@ void Server::process(Task& task, util::ExecutionContext& ctx) {
         requestFromJson(Json::parse(task.line, config_.maxJsonDepth));
     response.id = request.id;
     response.op = request.op;
+    // Trace-context propagation: a request carrying a coordinator-minted
+    // trace_id keeps it (every span of this request tags with the fleet
+    // id); otherwise mint a local one.
+    ctx.setTraceId(request.traceId != 0
+                       ? request.traceId
+                       : nextTraceId_.fetch_add(1, std::memory_order_relaxed));
     try {
       if (request.op == Op::Stats) {
         response.result = statsJson();
@@ -392,10 +454,24 @@ void Server::process(Task& task, util::ExecutionContext& ctx) {
         result.set("exposition",
                    metrics_.prometheusText(engine_.cache().stats()));
         response.result = std::move(result);
+      } else if (request.op == Op::TraceDump) {
+        response.result = handleTraceDump(request);
+      } else if (request.op == Op::Events) {
+        response.result = handleEvents(request);
       } else {
-        ServiceEngine::Outcome outcome = engine_.handle(ctx, request);
-        response.result = std::move(outcome.result);
-        response.cached = outcome.cached;
+        // Engine-bound op: bracket it for energy attribution — study
+        // runs executed inside credit their joules to this request's
+        // trace id (cache hits run nothing, so they credit nothing).
+        metrics_.energy().beginRequest(ctx.traceId(), opToken(request.op));
+        try {
+          ServiceEngine::Outcome outcome = engine_.handle(ctx, request);
+          response.result = std::move(outcome.result);
+          response.cached = outcome.cached;
+        } catch (...) {
+          metrics_.energy().endRequest(ctx.traceId());
+          throw;
+        }
+        metrics_.energy().endRequest(ctx.traceId());
       }
     } catch (const util::CancelledError& e) {
       cancelled = true;
@@ -410,17 +486,16 @@ void Server::process(Task& task, util::ExecutionContext& ctx) {
                            !response.ok());
     if (cancelled) metrics_.recordCancelled();
 
-    if (request.trace) {
-      // Span dump for this request: every kernel phase the run recorded
-      // (none survive from earlier requests — beginRun cleared the
-      // tracer, so a cancelled run leaves no orphan spans either) plus
-      // one request-level span wrapping the whole dispatch.
-      telemetry::TraceSink sink;
-      sink.addPhases(ctx.tracer(), ctx.traceId());
+    const bool fleetTraced = request.traceId != 0;
+    if (request.trace || fleetTraced) {
+      // Request-level span wrapping the whole dispatch; the propagated
+      // parent_span (the coordinator's dispatch span) keeps the causal
+      // edge across the process boundary in a merged trace.
       telemetry::TraceSpan span;
       span.name = std::string("request/") + opToken(request.op);
       span.category = "service";
       span.traceId = ctx.traceId();
+      span.parentSpan = request.parentSpan;
       span.threadId = util::threadIndex();
       span.startUs = requestStartUs;
       span.durationUs = telemetry::traceNowUs() - requestStartUs;
@@ -428,8 +503,27 @@ void Server::process(Task& task, util::ExecutionContext& ctx) {
       span.args.emplace_back("status", response.status);
       span.args.emplace_back("cache_hit", response.cached ? "true" : "false");
       if (cancelled) span.args.emplace_back("cancelled", "true");
-      sink.add(std::move(span));
-      response.trace = Json::parse(sink.toChromeJson());
+      const std::string id = workerId();
+      if (!id.empty()) span.args.emplace_back("worker", id);
+
+      if (request.trace) {
+        // In-band span dump for this request: every kernel phase the
+        // run recorded (none survive from earlier requests — beginRun
+        // cleared the tracer, so a cancelled run leaves no orphan spans
+        // either) plus the request-level span.
+        telemetry::TraceSink sink;
+        sink.addPhases(ctx.tracer(), ctx.traceId());
+        sink.add(span);
+        response.trace = Json::parse(sink.toChromeJson());
+      }
+      if (fleetTraced && !cancelled) {
+        // Retain for `trace_dump`.  Cancelled fleet requests retain
+        // nothing: the coordinator re-dispatches the unit under the
+        // same trace id, and the completed attempt must be the only
+        // one in the merged trace (no orphan spans).
+        traceBuffer_.addPhases(ctx.tracer(), ctx.traceId());
+        traceBuffer_.add(std::move(span));
+      }
     }
   } catch (const std::exception& e) {
     // The frame itself did not parse to a request.

@@ -44,10 +44,12 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "service/engine.h"
 #include "service/metrics.h"
+#include "telemetry/trace_sink.h"
 
 namespace pviz::service {
 
@@ -70,6 +72,16 @@ struct ServerConfig {
   int frameTimeoutMs = 5000;     ///< a started frame that never finishes
                                  ///< (slow-loris writers)
   int requestTimeoutMs = 0;      ///< queue-to-dispatch wall-clock budget
+
+  /// Per-op p99 latency objectives in milliseconds (op token → target),
+  /// e.g. {{"study", 250.0}}.  Ops listed here feed the SLO burn-rate
+  /// gauges and the slow-request event log; unknown op tokens are
+  /// rejected at construction.
+  std::vector<std::pair<std::string, double>> sloP99Ms;
+
+  /// Retained trace-buffer bound: spans of fleet-traced requests kept
+  /// for the `trace_dump` op, oldest dropped first.
+  std::size_t traceBufferSpans = 8192;
 
   EngineConfig engine;
 };
@@ -96,6 +108,7 @@ class Server {
 
   ServiceEngine& engine() { return engine_; }
   const ServiceMetrics& metrics() const { return metrics_; }
+  ServiceMetrics& metrics() { return metrics_; }
 
   /// The `stats` payload (metrics snapshot + cache counters).
   Json statsJson() const;
@@ -134,6 +147,11 @@ class Server {
   /// register / heartbeat / claim — answered from server state, never
   /// dispatched to the engine.
   Json handleFleetOp(const Request& request);
+  /// trace_dump: the retained fleet-trace buffer plus `now_us` for
+  /// cross-process clock alignment.
+  Json handleTraceDump(const Request& request);
+  /// events: recent structured event-ring entries, oldest first.
+  Json handleEvents(const Request& request);
   void writeLine(Connection& conn, const std::string& line);
   void respondOverloaded(Connection& conn, const std::string& line);
   /// One `status` reply (error/overloaded) with best-effort id/op echo
@@ -165,10 +183,19 @@ class Server {
   mutable std::mutex workerIdMutex_;
   std::string workerId_;
 
-  /// Trace-id generator: one id per processed request, stamped on the
-  /// worker's ExecutionContext so phase spans correlate with the
-  /// request-level span in the response's `trace` dump.
+  /// Trace-id generator for requests that carry no propagated context:
+  /// one local id per processed request, stamped on the worker's
+  /// ExecutionContext so phase spans correlate with the request-level
+  /// span in the response's `trace` dump.  Requests with a coordinator-
+  /// minted `trace_id` use that id instead.
   std::atomic<std::uint64_t> nextTraceId_{1};
+
+  /// Retained spans of fleet-traced requests (nonzero trace_id), served
+  /// by the `trace_dump` op.  Bounded by config.traceBufferSpans.
+  /// Spans of cancelled requests are never retained: the coordinator
+  /// re-dispatches the unit under the same trace id, so keeping the
+  /// aborted fragment would leave orphan spans in the merged trace.
+  telemetry::TraceSink traceBuffer_;
 };
 
 }  // namespace pviz::service

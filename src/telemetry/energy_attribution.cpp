@@ -1,0 +1,155 @@
+#include "telemetry/energy_attribution.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/trace_sink.h"
+
+namespace pviz::telemetry {
+
+namespace {
+
+std::uint64_t clockUs(std::uint64_t nowUs) {
+  return nowUs != 0 ? nowUs : traceNowUs();
+}
+
+std::uint64_t microjoules(double joules) {
+  return joules > 0.0
+             ? static_cast<std::uint64_t>(std::llround(joules * 1e6))
+             : 0;
+}
+
+std::string capLabel(double capWatts) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", capWatts);
+  return buf;
+}
+
+}  // namespace
+
+EnergyAttributor::EnergyAttributor(MetricRegistry& registry)
+    : registry_(registry),
+      requestJoules_(registry.histogram(
+          "pviz_request_joules", {},
+          "Simulated package energy attributed per request")),
+      energyRequests_(registry.counter(
+          "pviz_energy_requests_total", {},
+          "Requests that were credited simulated kernel energy")),
+      overlapMicrojoules_(registry.counter(
+          "pviz_energy_overlap_microjoules_total", {},
+          "Energy deposited while two or more requests shared the "
+          "package")) {}
+
+void EnergyAttributor::elapseLocked(std::uint64_t nowUs) {
+  if (nowUs > lastEventUs_ && active_.size() >= 2) {
+    // Requests join the active set at an elapse boundary (beginRequest
+    // elapses before inserting), so every active request spans the whole
+    // [lastEventUs_, nowUs) interval.
+    const double dt = static_cast<double>(nowUs - lastEventUs_);
+    for (auto& [token, request] : active_) request.overlapUs += dt;
+  }
+  if (nowUs > lastEventUs_) lastEventUs_ = nowUs;
+}
+
+void EnergyAttributor::beginRequest(std::uint64_t token, const std::string& op,
+                                    std::uint64_t nowUs) {
+  const std::uint64_t now = clockUs(nowUs);
+  std::lock_guard lock(mutex_);
+  elapseLocked(now);
+  ActiveRequest& request = active_[token];
+  request.op = op;
+  request.startUs = now;
+}
+
+void EnergyAttributor::recordRun(std::uint64_t token,
+                                 const std::string& algorithm, double capWatts,
+                                 double joules, double seconds) {
+  (void)seconds;
+  std::lock_guard lock(mutex_);
+  const auto it = active_.find(token);
+  if (it == active_.end()) return;
+  ActiveRequest& request = it->second;
+  request.joules += joules;
+  request.runs += 1;
+  for (ActiveRun& run : request.byRun) {
+    if (run.algorithm == algorithm && run.capWatts == capWatts) {
+      run.joules += joules;
+      run.count += 1;
+      return;
+    }
+  }
+  ActiveRun run;
+  run.algorithm = algorithm;
+  run.capWatts = capWatts;
+  run.joules = joules;
+  run.count = 1;
+  request.byRun.push_back(std::move(run));
+}
+
+EnergyAttributor::RequestEnergy EnergyAttributor::endRequest(
+    std::uint64_t token, std::uint64_t nowUs) {
+  const std::uint64_t now = clockUs(nowUs);
+  RequestEnergy result;
+
+  std::lock_guard lock(mutex_);
+  elapseLocked(now);
+  const auto it = active_.find(token);
+  if (it == active_.end()) return result;
+  ActiveRequest request = std::move(it->second);
+  active_.erase(it);
+
+  const double windowUs =
+      now > request.startUs ? static_cast<double>(now - request.startUs) : 0.0;
+  result.joules = request.joules;
+  result.activeUs = windowUs;
+  result.runs = request.runs;
+  if (windowUs > 0.0 && request.overlapUs > 0.0) {
+    const double fraction =
+        request.overlapUs < windowUs ? request.overlapUs / windowUs : 1.0;
+    result.overlapJoules = request.joules * fraction;
+  }
+  if (request.runs == 0) return result;
+
+  // Fold into the exact aggregates.
+  totals_.totalJoules += request.joules;
+  totals_.overlapJoules += result.overlapJoules;
+  totals_.requests += 1;
+  std::map<std::string, bool> touched;
+  for (const ActiveRun& run : request.byRun) {
+    AlgorithmEnergy& alg = totals_.byAlgorithm[run.algorithm];
+    alg.joules += run.joules;
+    alg.runs += run.count;
+    if (!touched[run.algorithm]) {
+      touched[run.algorithm] = true;
+      alg.requests += 1;
+    }
+    CapEnergy& cap = totals_.byCap[run.capWatts];
+    cap.joules += run.joules;
+    cap.runs += run.count;
+  }
+
+  // Prometheus instruments (micro-joule integer counters merge exactly;
+  // per-series registration is get-or-create and cold-path).
+  requestJoules_.record(request.joules);
+  energyRequests_.inc();
+  overlapMicrojoules_.inc(microjoules(result.overlapJoules));
+  for (const ActiveRun& run : request.byRun) {
+    registry_
+        .counter("pviz_algorithm_microjoules_total",
+                 {{"algorithm", run.algorithm}},
+                 "Simulated energy attributed per algorithm")
+        .inc(microjoules(run.joules));
+    registry_
+        .counter("pviz_cap_microjoules_total", {{"cap", capLabel(run.capWatts)}},
+                 "Simulated energy attributed per power cap")
+        .inc(microjoules(run.joules));
+  }
+  return result;
+}
+
+EnergyAttributor::Summary EnergyAttributor::summary() const {
+  std::lock_guard lock(mutex_);
+  return totals_;
+}
+
+}  // namespace pviz::telemetry

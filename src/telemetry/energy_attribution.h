@@ -1,0 +1,130 @@
+// Per-request energy attribution.
+//
+// The PowerSampler gives each kernel run an exact simulated energy (its
+// final timeline sample's cumulative joules).  This module folds those
+// run energies back onto the *requests* that caused them, so the serving
+// layer can answer the question ROADMAP item 3's governor needs:
+// "how many joules does one study request of algorithm X at cap C cost?"
+//
+// Attribution is conservation-based: every run's joules are credited in
+// full to its owning request, so summing the per-algorithm totals over
+// any run reproduces the PowerSampler total exactly (the acceptance
+// criterion's 1% bound is met with equality up to double rounding).
+// Concurrency is reported orthogonally: while two or more attributed
+// requests overlap in wall-clock time, the package draw they model is
+// shared, so each active request also accrues `overlap` time; the
+// portion of a request's joules deposited during shared windows is
+// exported as its overlap energy (the split each request's own active
+// phases would claim of the combined draw).  Requests are bracketed with
+// begin/end; runs recorded between the brackets belong to the request.
+//
+// Everything here is cold-path (one begin/end per request, one record
+// per study cell) and mutex-guarded; the hot kernel loops never touch
+// it.  Prometheus instruments are registered on the supplied registry:
+//   pviz_request_joules                       histogram, per request
+//   pviz_energy_requests_total                counter
+//   pviz_algorithm_microjoules_total{algorithm=} counter
+//   pviz_cap_microjoules_total{cap=}          counter
+//   pviz_energy_overlap_microjoules_total     counter
+// (micro-joule integer counters keep the exposition's merge exact.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metric_registry.h"
+
+namespace pviz::telemetry {
+
+class EnergyAttributor {
+ public:
+  explicit EnergyAttributor(MetricRegistry& registry);
+  EnergyAttributor(const EnergyAttributor&) = delete;
+  EnergyAttributor& operator=(const EnergyAttributor&) = delete;
+
+  /// Open the attribution window for request `token` (the request's
+  /// trace id — unique per in-flight request).  `nowUs` overrides the
+  /// clock for tests (0 = telemetry::traceNowUs()).
+  void beginRequest(std::uint64_t token, const std::string& op,
+                    std::uint64_t nowUs = 0);
+
+  /// Credit one kernel run to the open request `token`.  Joules are the
+  /// PowerSampler's exact run energy.  Unknown tokens are ignored (the
+  /// engine records only for requests the server bracketed).
+  void recordRun(std::uint64_t token, const std::string& algorithm,
+                 double capWatts, double joules, double seconds);
+
+  struct RequestEnergy {
+    double joules = 0.0;         ///< total credited to this request
+    double overlapJoules = 0.0;  ///< portion deposited while sharing
+    double activeUs = 0.0;       ///< request wall window
+    int runs = 0;
+  };
+
+  /// Close the window and fold the request into the aggregates (and the
+  /// pviz_request_joules histogram, when any run was credited).
+  RequestEnergy endRequest(std::uint64_t token, std::uint64_t nowUs = 0);
+
+  struct AlgorithmEnergy {
+    double joules = 0.0;
+    std::uint64_t runs = 0;
+    std::uint64_t requests = 0;  ///< requests that ran this algorithm
+    double joulesPerRequest() const {
+      return requests > 0 ? joules / static_cast<double>(requests) : 0.0;
+    }
+  };
+  struct CapEnergy {
+    double joules = 0.0;
+    std::uint64_t runs = 0;
+  };
+  struct Summary {
+    double totalJoules = 0.0;
+    double overlapJoules = 0.0;
+    std::uint64_t requests = 0;  ///< requests that credited any energy
+    std::map<std::string, AlgorithmEnergy> byAlgorithm;
+    std::map<double, CapEnergy> byCap;
+    double joulesPerRequest() const {
+      return requests > 0 ? totalJoules / static_cast<double>(requests) : 0.0;
+    }
+  };
+
+  /// Aggregates over every completed request (exact double sums of the
+  /// same run energies the records report).
+  Summary summary() const;
+
+ private:
+  struct ActiveRun {
+    std::string algorithm;
+    double capWatts = 0.0;
+    double joules = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct ActiveRequest {
+    std::string op;
+    std::uint64_t startUs = 0;
+    double joules = 0.0;
+    double overlapUs = 0.0;
+    int runs = 0;
+    std::vector<ActiveRun> byRun;  ///< per (algorithm, cap) accumulation
+  };
+
+  /// Advance the shared clock to `nowUs`, accruing overlap time on every
+  /// active request while two or more are in flight.  Caller holds the
+  /// mutex.
+  void elapseLocked(std::uint64_t nowUs);
+
+  MetricRegistry& registry_;
+  Histogram& requestJoules_;
+  Counter& energyRequests_;
+  Counter& overlapMicrojoules_;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, ActiveRequest> active_;
+  std::uint64_t lastEventUs_ = 0;
+  Summary totals_;
+};
+
+}  // namespace pviz::telemetry

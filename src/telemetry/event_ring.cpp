@@ -1,0 +1,96 @@
+#include "telemetry/event_ring.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "telemetry/trace_sink.h"
+
+namespace pviz::telemetry {
+
+namespace {
+
+std::size_t roundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void copyTruncated(char* dst, std::size_t dstSize, std::string_view src) {
+  const std::size_t n = std::min(src.size(), dstSize - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+const char* eventKindToken(EventKind kind) {
+  switch (kind) {
+    case EventKind::SlowRequest: return "slow_request";
+    case EventKind::Overloaded: return "overloaded";
+    case EventKind::Timeout: return "timeout";
+    case EventKind::Cancelled: return "cancelled";
+    case EventKind::ConnectionShed: return "connection_shed";
+    case EventKind::WorkerState: return "worker_state";
+    case EventKind::Lifecycle: return "lifecycle";
+  }
+  return "?";
+}
+
+EventRing::EventRing(std::size_t capacity)
+    : capacity_(roundUpPow2(std::max<std::size_t>(capacity, 2))),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {}
+
+void EventRing::emit(EventKind kind, std::string_view op,
+                     std::string_view detail, double value) noexcept {
+  Event event;
+  event.timeUs = traceNowUs();
+  event.kind = kind;
+  event.value = value;
+  copyTruncated(event.op, sizeof(event.op), op);
+  copyTruncated(event.detail, sizeof(event.detail), detail);
+
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  event.seq = ticket;
+  std::uint64_t words[kWords];
+  std::memcpy(words, &event, sizeof(event));
+
+  Slot& slot = slots_[ticket & mask_];
+  slot.seq.store(ticket * 2 + 1, std::memory_order_release);
+  for (std::size_t w = 0; w < kWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(ticket * 2 + 2, std::memory_order_release);
+}
+
+std::vector<Event> EventRing::recent(std::size_t limit) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t count = std::min<std::uint64_t>(head, capacity_);
+  if (limit != 0) count = std::min<std::uint64_t>(count, limit);
+
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t ticket = head - count; ticket < head; ++ticket) {
+    const Slot& slot = slots_[ticket & mask_];
+    const std::uint64_t expected = ticket * 2 + 2;
+    if (slot.seq.load(std::memory_order_acquire) != expected) continue;
+    std::uint64_t words[kWords];
+    for (std::size_t w = 0; w < kWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    // Re-validate: if a writer lapped us mid-copy the sequence moved on
+    // and the words may be torn — drop the entry.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != expected) continue;
+    Event event;
+    std::memcpy(&event, words, sizeof(event));
+    // Belt and braces for string safety after a torn-but-undetected
+    // read: the copy loop above is only guarded by the seqlock.
+    event.op[sizeof(event.op) - 1] = '\0';
+    event.detail[sizeof(event.detail) - 1] = '\0';
+    out.push_back(event);
+  }
+  return out;
+}
+
+}  // namespace pviz::telemetry

@@ -1,0 +1,90 @@
+// Lock-free structured event ring buffer.
+//
+// The service keeps a bounded log of notable moments — slow requests,
+// admission rejections, shed connections, cancellations, worker state
+// transitions — that a scrape-style `events` op can drain without
+// stopping the world.  Writers never block and never allocate: a writer
+// claims a slot with one fetch_add on the head ticket, then publishes
+// the payload word-by-word through relaxed atomic stores bracketed by a
+// per-slot sequence (seqlock).  Readers validate the sequence before and
+// after copying; a slot overwritten mid-read is simply skipped, so under
+// extreme pressure the ring is lossy-oldest rather than a contention
+// point.  This mirrors the MetricRegistry discipline: observability must
+// never become the bottleneck it is measuring.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace pviz::telemetry {
+
+enum class EventKind : std::uint8_t {
+  SlowRequest,    ///< latency exceeded the op's SLO objective
+  Overloaded,     ///< admission control rejected a request
+  Timeout,        ///< request hit its server-side deadline
+  Cancelled,      ///< request was cancelled mid-flight
+  ConnectionShed, ///< connection dropped at the accept/idle limit
+  WorkerState,    ///< fleet registry state transition (Alive→Suspect→Dead)
+  Lifecycle,      ///< server/coordinator start, stop, register
+};
+
+/// Wire/log token for an event kind ("slow_request", ...).
+const char* eventKindToken(EventKind kind);
+
+/// One ring entry.  Fixed-size, trivially copyable: the ring stores it
+/// as atomic words, so strings are truncated to the field widths.
+struct Event {
+  std::uint64_t seq = 0;     ///< publish ticket (monotonic, gap-free)
+  std::uint64_t timeUs = 0;  ///< telemetry::traceNowUs() at emit
+  EventKind kind = EventKind::Lifecycle;
+  double value = 0.0;        ///< kind-specific magnitude (latency ms, ...)
+  char op[24] = {};          ///< request op token, if any
+  char detail[96] = {};      ///< free-form detail ("w1 alive->suspect")
+};
+
+class EventRing {
+ public:
+  /// Capacity is rounded up to a power of two; default 1024 entries.
+  explicit EventRing(std::size_t capacity = 1024);
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Publish one event.  Wait-free for writers apart from the slot
+  /// stores; `op` and `detail` are truncated to the Event field widths.
+  void emit(EventKind kind, std::string_view op, std::string_view detail,
+            double value = 0.0) noexcept;
+
+  /// Snapshot up to `limit` most-recent events, oldest first
+  /// (0 = everything still resident).  Entries overwritten while being
+  /// copied are skipped.
+  std::vector<Event> recent(std::size_t limit = 0) const;
+
+  /// Total events ever emitted (including ones already overwritten).
+  std::uint64_t totalEmitted() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  static constexpr std::size_t kWords = sizeof(Event) / sizeof(std::uint64_t);
+  static_assert(sizeof(Event) % sizeof(std::uint64_t) == 0,
+                "Event must pack into whole words");
+
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 = empty; 2t+1 writing; 2t+2 done
+    std::array<std::atomic<std::uint64_t>, kWords> words{};
+  };
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace pviz::telemetry

@@ -539,24 +539,38 @@ std::vector<MetricRegistry::Series> parsePrometheus(const std::string& text) {
 std::string mergeExpositions(
     const std::vector<std::pair<std::string, std::string>>& instances,
     const std::string& instanceLabel) {
-  std::vector<MetricRegistry::Series> all;
+  struct Tagged {
+    MetricRegistry::Series series;
+    std::string instance;
+    std::string otherLabels;  ///< serialized labels minus the instance tag
+  };
+  std::vector<Tagged> all;
   for (const auto& [instance, text] : instances) {
     std::vector<MetricRegistry::Series> parsed = parsePrometheus(text);
     for (MetricRegistry::Series& series : parsed) {
+      Tagged tagged;
+      tagged.instance = instance;
+      tagged.otherLabels = serializeLabels(series.labels);
       series.labels.emplace_back(instanceLabel, instance);
-      all.push_back(std::move(series));
+      tagged.series = std::move(series);
+      all.push_back(std::move(tagged));
     }
   }
   // Families must stay contiguous so the renderer emits one TYPE header
-  // per name — the same (name, labels) order a registry snapshot uses.
-  std::stable_sort(all.begin(), all.end(),
-                   [](const MetricRegistry::Series& a,
-                      const MetricRegistry::Series& b) {
-                     if (a.name != b.name) return a.name < b.name;
-                     return serializeLabels(a.labels) <
-                            serializeLabels(b.labels);
-                   });
-  return renderPrometheus(all);
+  // per name; within a family the instance label is the primary order
+  // (worker-major — w0's uptime_ms before w1's), then the remaining
+  // labels.  The key is a total order over every series a fleet can
+  // produce, so the merged text is byte-identical no matter which
+  // worker's scrape arrived first.
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.series.name != b.series.name) return a.series.name < b.series.name;
+    if (a.instance != b.instance) return a.instance < b.instance;
+    return a.otherLabels < b.otherLabels;
+  });
+  std::vector<MetricRegistry::Series> merged;
+  merged.reserve(all.size());
+  for (Tagged& tagged : all) merged.push_back(std::move(tagged.series));
+  return renderPrometheus(merged);
 }
 
 }  // namespace pviz::telemetry

@@ -1,0 +1,93 @@
+#include "telemetry/slo_tracker.h"
+
+#include <algorithm>
+
+#include "telemetry/trace_sink.h"
+
+namespace pviz::telemetry {
+
+namespace {
+
+std::uint64_t epochFor(std::uint64_t nowUs) {
+  if (nowUs == 0) nowUs = traceNowUs();
+  return nowUs / 1000000 / SloTracker::kBucketSeconds;
+}
+
+}  // namespace
+
+void SloTracker::setObjective(const std::string& op, double p99Ms) {
+  objectives_[op].p99Ms = p99Ms;
+}
+
+double SloTracker::objectiveMs(const std::string& op) const {
+  const auto it = objectives_.find(op);
+  return it != objectives_.end() ? it->second.p99Ms : 0.0;
+}
+
+std::vector<std::string> SloTracker::objectiveOps() const {
+  std::vector<std::string> ops;
+  ops.reserve(objectives_.size());
+  for (const auto& [op, state] : objectives_) ops.push_back(op);
+  return ops;
+}
+
+bool SloTracker::record(const std::string& op, double latencyMs, bool error,
+                        std::uint64_t nowUs) {
+  const auto it = objectives_.find(op);
+  if (it == objectives_.end()) return false;
+  OpState& state = it->second;
+  const bool violated = error || latencyMs > state.p99Ms;
+
+  const std::uint64_t epoch = epochFor(nowUs);
+  Bucket& bucket = state.buckets[epoch % kBucketCount];
+  std::uint64_t tagged = bucket.epoch.load(std::memory_order_acquire);
+  if (tagged != epoch) {
+    // First touch of a new epoch resets the recycled bucket.  Only the
+    // CAS winner clears the counters; concurrent recorders that lose the
+    // race proceed straight to the adds below.  A sliver of counts from
+    // the dying epoch can survive the swap — at 10-second granularity on
+    // hour-scale windows that bias is negligible and strictly bounded.
+    if (bucket.epoch.compare_exchange_strong(tagged, epoch,
+                                             std::memory_order_acq_rel)) {
+      bucket.requests.store(0, std::memory_order_relaxed);
+      bucket.violations.store(0, std::memory_order_relaxed);
+    }
+  }
+  bucket.requests.fetch_add(1, std::memory_order_relaxed);
+  if (violated) bucket.violations.fetch_add(1, std::memory_order_relaxed);
+  return violated;
+}
+
+SloTracker::Burn SloTracker::sumWindow(const OpState& state,
+                                       std::uint64_t nowEpoch,
+                                       std::uint64_t windowSeconds) {
+  const std::uint64_t windowBuckets =
+      std::min<std::uint64_t>(windowSeconds / kBucketSeconds, kBucketCount);
+  Burn burn;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const Bucket& bucket = state.buckets[i];
+    const std::uint64_t epoch = bucket.epoch.load(std::memory_order_acquire);
+    if (epoch > nowEpoch || nowEpoch - epoch >= windowBuckets) continue;
+    burn.requests += bucket.requests.load(std::memory_order_relaxed);
+    burn.violations += bucket.violations.load(std::memory_order_relaxed);
+  }
+  if (burn.requests > 0) {
+    burn.burnRate = (static_cast<double>(burn.violations) /
+                     static_cast<double>(burn.requests)) /
+                    kBudgetFraction;
+  }
+  return burn;
+}
+
+SloTracker::Window SloTracker::burn(const std::string& op,
+                                    std::uint64_t nowUs) const {
+  Window window;
+  const auto it = objectives_.find(op);
+  if (it == objectives_.end()) return window;
+  const std::uint64_t nowEpoch = epochFor(nowUs);
+  window.shortWindow = sumWindow(it->second, nowEpoch, kShortWindowSeconds);
+  window.longWindow = sumWindow(it->second, nowEpoch, kLongWindowSeconds);
+  return window;
+}
+
+}  // namespace pviz::telemetry

@@ -1,0 +1,94 @@
+// Declarative latency SLOs with multi-window error-budget burn rates.
+//
+// An objective is a per-op p99 latency target ("study requests finish
+// within 250 ms at the 99th percentile").  The tracker counts, per op,
+// how many requests violated their objective (latency above target, or
+// an error) inside a ring of 10-second epoch-tagged buckets covering the
+// last hour, and derives the SRE-style burn rate over two windows:
+//
+//   burn(window) = (violations / requests over window) / (1 - 0.99)
+//
+// A burn rate of 1.0 means the service is consuming its 1% error budget
+// exactly as fast as the objective allows; 14.4 over 5 minutes is the
+// classic page-now threshold (budget gone in ~2 days).  Two windows
+// (5 m and 1 h) let alerting distinguish a fast regression from slow
+// background erosion — both are exported as gauges in the Prometheus
+// exposition and summarized in the `stats` op.
+//
+// Objectives are configured once before serving starts; record() is then
+// lock-free (atomic bucket counters, epoch-tagged so stale buckets reset
+// lazily on first touch of a new 10-second epoch).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pviz::telemetry {
+
+class SloTracker {
+ public:
+  /// Error budget fraction implied by a p99 objective: 1% of requests
+  /// may violate it before the budget is spent.
+  static constexpr double kBudgetFraction = 0.01;
+  /// Bucket granularity and ring span: 10-second buckets, one hour.
+  static constexpr std::uint64_t kBucketSeconds = 10;
+  static constexpr std::size_t kBucketCount = 360;
+  static constexpr std::uint64_t kShortWindowSeconds = 5 * 60;
+  static constexpr std::uint64_t kLongWindowSeconds = 60 * 60;
+
+  /// Declare the p99 latency objective for `op` in milliseconds.
+  /// Call before concurrent use; re-declaring replaces the target.
+  void setObjective(const std::string& op, double p99Ms);
+
+  bool hasObjectives() const { return !objectives_.empty(); }
+  /// The configured target for `op`, or 0 when it has none.
+  double objectiveMs(const std::string& op) const;
+  /// Ops with objectives, sorted (the map order).
+  std::vector<std::string> objectiveOps() const;
+
+  /// Record one completed request.  A request violates its objective
+  /// when it errored or its latency exceeded the target.  No-op for ops
+  /// without an objective.  `nowUs` overrides the clock for tests
+  /// (0 = telemetry::traceNowUs()).
+  /// Returns true when the request violated its objective.
+  bool record(const std::string& op, double latencyMs, bool error,
+              std::uint64_t nowUs = 0);
+
+  struct Burn {
+    std::uint64_t requests = 0;
+    std::uint64_t violations = 0;
+    double burnRate = 0.0;  ///< (violations/requests) / kBudgetFraction
+  };
+  struct Window {
+    Burn shortWindow;  ///< trailing 5 minutes
+    Burn longWindow;   ///< trailing 1 hour
+  };
+
+  /// Burn rates for `op` over both windows (zeros without an objective
+  /// or without traffic).  `nowUs` as in record().
+  Window burn(const std::string& op, std::uint64_t nowUs = 0) const;
+
+ private:
+  struct Bucket {
+    std::atomic<std::uint64_t> epoch{0};  ///< seconds/kBucketSeconds tag
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> violations{0};
+  };
+  struct OpState {
+    double p99Ms = 0.0;
+    std::unique_ptr<Bucket[]> buckets{new Bucket[kBucketCount]};
+  };
+
+  static Burn sumWindow(const OpState& state, std::uint64_t nowEpoch,
+                        std::uint64_t windowSeconds);
+
+  // Configured before serving starts, immutable afterwards: record()
+  // only does a read-only map lookup.
+  std::map<std::string, OpState> objectives_;
+};
+
+}  // namespace pviz::telemetry

@@ -43,8 +43,23 @@ std::uint64_t traceNowUs() {
           .count());
 }
 
+void TraceSink::setCapacity(std::size_t maxSpans) {
+  std::lock_guard lock(mutex_);
+  capacity_ = maxSpans;
+  if (capacity_ != 0 && spans_.size() > capacity_) {
+    dropped_ += spans_.size() - capacity_;
+    spans_.erase(spans_.begin(),
+                 spans_.begin() +
+                     static_cast<std::ptrdiff_t>(spans_.size() - capacity_));
+  }
+}
+
 void TraceSink::add(TraceSpan span) {
   std::lock_guard lock(mutex_);
+  if (capacity_ != 0 && spans_.size() >= capacity_) {
+    dropped_ += 1;
+    spans_.erase(spans_.begin());
+  }
   spans_.push_back(std::move(span));
 }
 
@@ -66,8 +81,33 @@ void TraceSink::addPhases(const util::PhaseTracer& tracer,
     span.args.emplace_back("pool_concurrency",
                            std::to_string(phase.poolConcurrency));
     if (phase.cancelled) span.args.emplace_back("cancelled", "true");
+    if (capacity_ != 0 && spans_.size() >= capacity_) {
+      dropped_ += 1;
+      spans_.erase(spans_.begin());
+    }
     spans_.push_back(std::move(span));
   }
+}
+
+void TraceSink::setProcessName(std::uint32_t pid, const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (auto& [existingPid, existingName] : processNames_) {
+    if (existingPid == pid) {
+      existingName = name;
+      return;
+    }
+  }
+  processNames_.emplace_back(pid, name);
+}
+
+void TraceSink::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
 }
 
 std::vector<TraceSpan> TraceSink::spans() const {
@@ -85,6 +125,14 @@ std::string TraceSink::toChromeJson() const {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  for (const auto& [pid, name] : processNames_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":";
+    appendJsonString(os, name);
+    os << "}}";
+  }
   for (const TraceSpan& span : spans_) {
     if (!first) os << ',';
     first = false;
@@ -92,9 +140,12 @@ std::string TraceSink::toChromeJson() const {
     appendJsonString(os, span.name);
     os << ",\"cat\":";
     appendJsonString(os, span.category.empty() ? "powerviz" : span.category);
-    os << ",\"pid\":1,\"tid\":" << span.threadId << ",\"ts\":" << span.startUs
-       << ",\"dur\":" << span.durationUs << ",\"args\":{\"trace_id\":\""
-       << span.traceId << '"';
+    os << ",\"pid\":" << span.pid << ",\"tid\":" << span.threadId
+       << ",\"ts\":" << span.startUs << ",\"dur\":" << span.durationUs
+       << ",\"args\":{\"trace_id\":\"" << span.traceId << '"';
+    if (span.parentSpan != 0) {
+      os << ",\"parent_span\":\"" << span.parentSpan << '"';
+    }
     for (const auto& [key, value] : span.args) {
       os << ',';
       appendJsonString(os, key);

@@ -29,6 +29,8 @@ struct TraceSpan {
   std::string name;
   std::string category;        ///< Chrome "cat" field, e.g. "kernel"
   std::uint64_t traceId = 0;   ///< request/run correlation id
+  std::uint64_t parentSpan = 0;  ///< causal parent span id (0 = none)
+  std::uint32_t pid = 1;       ///< Chrome "pid" track (process lane)
   std::uint32_t threadId = 0;  ///< util::threadIndex() of the recorder
   std::uint64_t startUs = 0;   ///< steady-clock µs
   std::uint64_t durationUs = 0;
@@ -41,6 +43,12 @@ class TraceSink {
   TraceSink(const TraceSink&) = delete;
   TraceSink& operator=(const TraceSink&) = delete;
 
+  /// Bound the sink to at most `maxSpans` retained spans; when full the
+  /// oldest spans are dropped first.  0 (the default) = unbounded.
+  /// Retained server-side buffers set a capacity so long-running
+  /// services cannot grow without limit.
+  void setCapacity(std::size_t maxSpans);
+
   void add(TraceSpan span);
 
   /// Lift every phase recorded by `tracer` into spans tagged with
@@ -48,9 +56,20 @@ class TraceSink {
   void addPhases(const util::PhaseTracer& tracer, std::uint64_t traceId,
                  const std::string& category = "kernel");
 
+  /// Name the process lane `pid` in the Chrome export (emitted as a
+  /// "process_name" metadata event).  Used by the fleet trace collector
+  /// to label coordinator vs worker tracks.
+  void setProcessName(std::uint32_t pid, const std::string& name);
+
   std::vector<TraceSpan> spans() const;
   std::size_t size() const;
   bool empty() const { return size() == 0; }
+
+  /// Drop every retained span (process names are kept).
+  void clear();
+
+  /// Total spans dropped to honor the capacity bound since construction.
+  std::uint64_t dropped() const;
 
   /// Chrome trace-event JSON:
   /// {"displayTimeUnit":"ms","traceEvents":[{"ph":"X",...}, ...]}
@@ -59,6 +78,9 @@ class TraceSink {
  private:
   mutable std::mutex mutex_;
   std::vector<TraceSpan> spans_;
+  std::vector<std::pair<std::uint32_t, std::string>> processNames_;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// The current steady-clock time in microseconds — the time base every

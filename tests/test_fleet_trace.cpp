@@ -1,0 +1,273 @@
+// Fleet distributed-tracing tests: the causal clock clamp on synthetic
+// spans, and the end-to-end acceptance — a two-worker spawned fleet
+// sweep merges into one Chrome trace where every worker request span is
+// strictly contained by its coordinator dispatch span, every span
+// carries a coordinator-minted trace id, and a cancelled traced request
+// leaves no orphan spans behind.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "fleet/coordinator.h"
+#include "fleet/spawn.h"
+#include "fleet/trace_collector.h"
+#include "service/client.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "telemetry/trace_sink.h"
+#include "util/error.h"
+
+namespace pviz::fleet {
+namespace {
+
+telemetry::TraceSpan makeSpan(const std::string& name,
+                              const std::string& category,
+                              std::uint64_t traceId, std::uint64_t startUs,
+                              std::uint64_t durationUs,
+                              const std::string& worker = "") {
+  telemetry::TraceSpan span;
+  span.name = name;
+  span.category = category;
+  span.traceId = traceId;
+  span.startUs = startUs;
+  span.durationUs = durationUs;
+  if (!worker.empty()) span.args.emplace_back("worker", worker);
+  return span;
+}
+
+TEST(TraceCollector, RebasesWorkerSpansWithHeartbeatOffset) {
+  // Coordinator dispatch [1000, 5000]; the worker's clock runs exactly
+  // 10 s ahead and the heartbeat estimated that perfectly.
+  const std::int64_t trueOffset = 10000000;
+  std::vector<telemetry::TraceSpan> coordinator = {
+      makeSpan("dispatch/contour/8/120", "fleet", 1, 1000, 4000, "wA")};
+  WorkerTraceFragment fragment;
+  fragment.worker = "wA";
+  fragment.clockOffsetUs = trueOffset;
+  fragment.spans = {makeSpan("request/study", "service", 1,
+                             static_cast<std::uint64_t>(trueOffset) + 2000,
+                             1000)};
+
+  const MergedTrace merged = mergeFleetTrace(coordinator, {fragment});
+  ASSERT_EQ(merged.spans.size(), 2u);
+  ASSERT_EQ(merged.appliedOffsetUs.count("wA"), 1u);
+  EXPECT_EQ(merged.appliedOffsetUs.at("wA"), trueOffset);
+
+  const telemetry::TraceSpan* dispatch = nullptr;
+  const telemetry::TraceSpan* request = nullptr;
+  for (const telemetry::TraceSpan& span : merged.spans) {
+    if (span.category == "fleet") dispatch = &span;
+    if (span.category == "service") request = &span;
+  }
+  ASSERT_NE(dispatch, nullptr);
+  ASSERT_NE(request, nullptr);
+  // The worker span is back on the coordinator timeline, inside the
+  // dispatch, on its own process lane.
+  EXPECT_EQ(dispatch->pid, 1u);
+  EXPECT_EQ(request->pid, 2u);
+  EXPECT_EQ(request->startUs, 2000u);
+  EXPECT_GT(request->startUs, dispatch->startUs);
+  EXPECT_LT(request->startUs + request->durationUs,
+            dispatch->startUs + dispatch->durationUs);
+
+  // Process lanes are named.
+  std::map<std::uint32_t, std::string> names(merged.processNames.begin(),
+                                             merged.processNames.end());
+  EXPECT_EQ(names.at(1), "coordinator");
+  EXPECT_EQ(names.at(2), "worker/wA");
+}
+
+TEST(TraceCollector, CausalClampOverridesBadHeartbeatEstimate) {
+  // Same geometry, but the heartbeat estimate is wildly wrong (zero
+  // offset for a worker 10 s ahead).  Causality alone bounds the offset:
+  //   request.end − dispatch.end ≤ offset ≤ request.start − dispatch.start
+  // so the clamp lands the request span inside the dispatch anyway.
+  const std::int64_t trueOffset = 10000000;
+  std::vector<telemetry::TraceSpan> coordinator = {
+      makeSpan("dispatch/contour/8/120", "fleet", 7, 1000, 4000, "wA")};
+  WorkerTraceFragment fragment;
+  fragment.worker = "wA";
+  fragment.clockOffsetUs = 0;  // hopeless estimate
+  fragment.spans = {makeSpan("request/study", "service", 7,
+                             static_cast<std::uint64_t>(trueOffset) + 2000,
+                             1000)};
+
+  const MergedTrace merged = mergeFleetTrace(coordinator, {fragment});
+  const std::int64_t applied = merged.appliedOffsetUs.at("wA");
+  // Clamped to the causal lower bound (request cannot end after the
+  // coordinator saw the reply), nudged inward for strict containment.
+  EXPECT_GE(applied, 10003000 - 5000);
+  EXPECT_LE(applied, 10002000 - 1000);
+  for (const telemetry::TraceSpan& span : merged.spans) {
+    if (span.category != "service") continue;
+    EXPECT_GT(span.startUs, 1000u);
+    EXPECT_LT(span.startUs + span.durationUs, 5000u);
+  }
+}
+
+TEST(TraceCollector, UnmatchedWorkersKeepTheEstimateAndChromeJsonRenders) {
+  // A worker with no dispatch spans (nothing to clamp against) keeps
+  // the heartbeat estimate; the Chrome export carries process metadata
+  // for every lane.
+  WorkerTraceFragment fragment;
+  fragment.worker = "w1";
+  fragment.clockOffsetUs = 500;
+  fragment.spans = {makeSpan("request/ping", "service", 3, 1500, 10)};
+
+  const MergedTrace merged = mergeFleetTrace({}, {fragment});
+  EXPECT_EQ(merged.appliedOffsetUs.at("w1"), 500);
+  ASSERT_EQ(merged.spans.size(), 1u);
+  EXPECT_EQ(merged.spans[0].startUs, 1000u);
+
+  const std::string json = mergedTraceToChromeJson(merged);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("worker/w1"), std::string::npos);
+  // Valid JSON end to end.
+  EXPECT_NO_THROW(service::Json::parse(json));
+}
+
+#ifdef POWERVIZ_SERVE_BIN
+
+using service::Op;
+using service::Request;
+using service::Response;
+using service::ServiceClient;
+
+// The acceptance test: a two-worker fleet sweep produces ONE merged
+// Chrome trace in which the coordinator's dispatch span strictly
+// contains each worker's request span after clock-offset correction.
+TEST(Coordinator, TwoWorkerSweepMergesOneCausallyOrderedTrace) {
+  SpawnOptions spawnOptions;
+  spawnOptions.serveBin = POWERVIZ_SERVE_BIN;
+  spawnOptions.args = {"--quiet", "--cache", "none", "--light",
+                       "--request-timeout-ms", "2000"};
+
+  std::vector<SpawnedWorker> workers;
+  CoordinatorConfig config;
+  for (int w = 0; w < 2; ++w) {
+    workers.push_back(spawnServeWorker(spawnOptions));
+    FleetEndpoint endpoint;
+    endpoint.name = "w" + std::to_string(w);
+    endpoint.port = workers.back().port;
+    endpoint.pid = workers.back().pid;
+    config.endpoints.push_back(endpoint);
+  }
+  config.heartbeatIntervalMs = 100;
+  config.recvTimeoutMs = 60000;
+
+  const std::vector<core::Algorithm> algorithms = {
+      core::Algorithm::Contour, core::Algorithm::Slice};
+  const std::vector<vis::Id> sizes = {8, 12};
+  const std::vector<double> caps = {120.0, 80.0};
+
+  MergedTrace merged;
+  {
+    Coordinator coordinator(config);
+    coordinator.start();
+    const service::Json report =
+        coordinator.runSweep(algorithms, sizes, caps, /*cycles=*/2);
+    ASSERT_FALSE(report.find("records")->asArray().empty());
+
+    // A fleet-traced request that outlives its budget: the worker
+    // cancels it, so its trace id must not surface anywhere.  (Sent
+    // directly so the coordinator does not retry it.)
+    ServiceClient doomedClient("127.0.0.1", workers[0].port);
+    Request doomed;
+    doomed.op = Op::Ping;
+    doomed.delayMs = 3000;
+    doomed.traceId = 999999;
+    bool cancelled = false;
+    try {
+      cancelled = !doomedClient.request(doomed).ok();
+    } catch (const pviz::Error&) {
+      // A shed/timed-out connection is an equally valid cancellation.
+      cancelled = true;
+    }
+    EXPECT_TRUE(cancelled);
+
+    merged = coordinator.collectTrace();
+    coordinator.stop();
+  }
+  for (SpawnedWorker& worker : workers) terminateWorker(worker);
+
+  ASSERT_FALSE(merged.spans.empty());
+
+  // Lane naming: one coordinator lane, one lane per worker.
+  std::map<std::uint32_t, std::string> lanes(merged.processNames.begin(),
+                                             merged.processNames.end());
+  ASSERT_EQ(lanes.size(), 3u);
+  EXPECT_EQ(lanes.at(1), "coordinator");
+  EXPECT_EQ(lanes.at(2), "worker/w0");
+  EXPECT_EQ(lanes.at(3), "worker/w1");
+
+  // Index the coordinator dispatch spans by (trace id, worker lane).
+  struct Interval {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+  };
+  std::map<std::pair<std::uint64_t, std::string>, std::vector<Interval>>
+      dispatches;
+  std::set<std::uint64_t> mintedIds;
+  std::size_t workerRequestSpans = 0;
+  for (const telemetry::TraceSpan& span : merged.spans) {
+    // Every span in the merged trace carries a coordinator-minted id,
+    // and the cancelled request's id survives nowhere.
+    EXPECT_NE(span.traceId, 0u) << span.name;
+    EXPECT_NE(span.traceId, 999999u) << span.name;
+    if (span.category == "fleet") {
+      EXPECT_EQ(span.pid, 1u);
+      mintedIds.insert(span.traceId);
+      for (const auto& [key, value] : span.args) {
+        if (key == "worker") {
+          dispatches[{span.traceId, value}].push_back(
+              {span.startUs, span.startUs + span.durationUs});
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(mintedIds.empty());
+
+  for (const telemetry::TraceSpan& span : merged.spans) {
+    if (span.category == "fleet") continue;
+    // Worker-side spans (request + kernel phases) reference minted ids
+    // only.
+    EXPECT_EQ(mintedIds.count(span.traceId), 1u) << span.name;
+    if (span.category != "service") continue;
+    ++workerRequestSpans;
+    ASSERT_GE(span.pid, 2u);
+    const std::string worker = lanes.at(span.pid).substr(7);  // "worker/"
+    const auto it = dispatches.find({span.traceId, worker});
+    ASSERT_NE(it, dispatches.end())
+        << span.name << " trace " << span.traceId << " on " << worker;
+    // Strict containment in at least one dispatch attempt for this
+    // (trace, worker) pair after clock correction.
+    bool contained = false;
+    for (const Interval& d : it->second) {
+      if (span.startUs > d.start &&
+          span.startUs + span.durationUs < d.end) {
+        contained = true;
+      }
+    }
+    EXPECT_TRUE(contained)
+        << span.name << " trace " << span.traceId << " [" << span.startUs
+        << ", " << span.startUs + span.durationUs << ") on " << worker;
+  }
+  // Both workers actually served traced requests.
+  EXPECT_GE(workerRequestSpans, mintedIds.size());
+
+  // The export is one well-formed Chrome trace.
+  const std::string json = mergedTraceToChromeJson(merged);
+  EXPECT_NO_THROW(service::Json::parse(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+#endif  // POWERVIZ_SERVE_BIN
+
+}  // namespace
+}  // namespace pviz::fleet

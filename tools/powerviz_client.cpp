@@ -60,12 +60,22 @@ multi-block overrides (any kernel-running op):
                             block-stitch phases, so this IS part of the
                             result-cache key.
   --ghost N                 ghost cell layers per block side, 1..8
-  stats                     server counters (queue, cache, latency)
+  stats                     server counters (queue, cache, latency,
+                            per-request energy attribution, SLO burn)
   metrics                   Prometheus text exposition of the telemetry
                             registry (--metrics is a shortcut)
+  events                    recent structured server events — slow
+                            requests, rejections, worker transitions
+                            (--events is a shortcut; --limit N bounds
+                            the dump, default 256)
+  trace_dump                the server's retained fleet-trace buffer as
+                            span JSON (--clear drains it)
 
 tracing / telemetry:
   --metrics                 same as the `metrics` op
+  --events                  same as the `events` op
+  --limit N                 events to return (newest N, oldest first)
+  --clear                   drain the trace buffer after a trace_dump
   --lint                    structurally check the exposition output and
                             exit non-zero if it is malformed
   --trace                   ask the server for a Chrome-trace span dump
@@ -115,6 +125,31 @@ void printStudy(const service::Json& result) {
   table.print(std::cout);
 }
 
+void printEvents(const service::Json& result) {
+  const service::Json* events = result.find("events");
+  if (events == nullptr || !events->isArray()) {
+    std::cout << result.dump() << '\n';
+    return;
+  }
+  util::TextTable table;
+  table.setHeader({"Seq", "Time(ms)", "Kind", "Op", "Value", "Detail"});
+  for (const service::Json& row : events->asArray()) {
+    auto field = [&](const char* key) -> std::string {
+      const service::Json* v = row.find(key);
+      if (v == nullptr) return {};
+      return v->isString() ? v->asString() : v->dump();
+    };
+    const service::Json* timeUs = row.find("time_us");
+    table.addRow({field("seq"),
+                  timeUs != nullptr && timeUs->isNumber()
+                      ? util::formatFixed(timeUs->asNumber() / 1000.0, 1)
+                      : std::string{},
+                  field("kind"), field("op"), field("value"),
+                  field("detail")});
+  }
+  table.print(std::cout);
+}
+
 void printSummary(const service::Response& response) {
   switch (response.op) {
     case service::Op::Ping:
@@ -155,11 +190,15 @@ void printSummary(const service::Response& response) {
         std::cout << text->asString();
       }
       return;
+    case service::Op::Events:
+      printEvents(response.result);
+      return;
     case service::Op::Characterize:
     case service::Op::Stats:
     case service::Op::Register:
     case service::Op::Heartbeat:
     case service::Op::Claim:
+    case service::Op::TraceDump:
       std::cout << response.result.dump() << '\n';
       break;
   }
@@ -212,6 +251,12 @@ int main(int argc, char** argv) {
         request.op = service::Op::Metrics;
         haveOp = true;
       }
+      else if (arg == "--events") {
+        request.op = service::Op::Events;
+        haveOp = true;
+      }
+      else if (arg == "--limit") request.eventsLimit = static_cast<int>(parseBounded(next(), "--limit", 1, 1 << 20));
+      else if (arg == "--clear") request.clearTrace = true;
       else if (arg == "--lint") lint = true;
       else if (arg == "--trace") request.trace = true;
       else if (arg == "--trace-out") {

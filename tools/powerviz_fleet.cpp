@@ -74,6 +74,10 @@ failure injection:
 output:
   --report PATH        write the merged study report JSON to PATH
   --metrics-out PATH   write the merged fleet Prometheus exposition
+  --trace-out PATH     write the merged fleet Chrome trace (coordinator
+                       dispatch spans + every worker's trace_dump
+                       fragment, clock-corrected onto one timeline;
+                       loads in Perfetto / chrome://tracing)
   --lint               lint the merged exposition; exit non-zero if it
                        is malformed
   --summary-json       print the fleet stats JSON (registry + sweep
@@ -96,6 +100,7 @@ int main(int argc, char** argv) {
   bool summaryJson = false;
   std::string reportPath;
   std::string metricsOutPath;
+  std::string traceOutPath;
 
   fleet::CoordinatorConfig config;
   std::vector<core::Algorithm> algorithms = core::allAlgorithms();
@@ -148,6 +153,7 @@ int main(int argc, char** argv) {
       else if (arg == "--kill-after-ms") killAfterMs = static_cast<int>(util::parseInt(next(), "--kill-after-ms"));
       else if (arg == "--report") reportPath = next();
       else if (arg == "--metrics-out") metricsOutPath = next();
+      else if (arg == "--trace-out") traceOutPath = next();
       else if (arg == "--lint") lint = true;
       else if (arg == "--summary-json") summaryJson = true;
       else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
@@ -260,6 +266,15 @@ int main(int argc, char** argv) {
                       << config.endpoints.size() << " workers merged)\n";
           }
         }
+      }
+      if (!traceOutPath.empty()) {
+        const fleet::MergedTrace trace = coordinator.collectTrace();
+        util::atomicWriteFile(traceOutPath,
+                              fleet::mergedTraceToChromeJson(trace) + "\n");
+        PVIZ_LOG_INFO("wrote " << traceOutPath << " (" << trace.spans.size()
+                               << " spans from "
+                               << trace.processNames.size()
+                               << " processes)");
       }
       if (summaryJson) {
         std::cout << coordinator.statsJson().dump() << '\n';

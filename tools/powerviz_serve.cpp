@@ -62,6 +62,13 @@ options:
   --backend NAME      execution backend for requests that don't name one:
                       serial | threaded | vectorized (default: the
                       POWERVIZ_BACKEND environment default, else threaded)
+  --slo-p99-ms SPEC   per-op p99 latency objectives feeding the SLO
+                      burn-rate gauges and the slow-request event log.
+                      SPEC is `op=ms[,op=ms...]` (e.g.
+                      `study=250,classify=100`) or a bare number, which
+                      applies to the `study` op
+  --trace-buffer N    retained spans of fleet-traced requests served by
+                      the `trace_dump` op (default 8192)
   --light             light rendering parameters (few cameras, small
                       images) — fast characterizations for tests/demos
   --quiet             suppress progress logging
@@ -113,6 +120,27 @@ int main(int argc, char** argv) {
       else if (arg == "--caps") config.engine.study.capsWatts = util::parseCapList(next());
       else if (arg == "--cycles") config.engine.study.cycles = static_cast<int>(util::parseInt(next(), "--cycles"));
       else if (arg == "--backend") config.engine.backend = next();
+      else if (arg == "--slo-p99-ms") {
+        // `op=ms,op=ms` or a bare number applying to `study`.
+        const std::string spec = next();
+        std::size_t start = 0;
+        while (start <= spec.size()) {
+          std::size_t comma = spec.find(',', start);
+          if (comma == std::string::npos) comma = spec.size();
+          const std::string part = spec.substr(start, comma - start);
+          if (!part.empty()) {
+            const std::size_t eq = part.find('=');
+            const std::string op =
+                eq == std::string::npos ? "study" : part.substr(0, eq);
+            const std::string ms =
+                eq == std::string::npos ? part : part.substr(eq + 1);
+            config.sloP99Ms.emplace_back(
+                op, util::parseDouble(ms, "--slo-p99-ms"));
+          }
+          start = comma + 1;
+        }
+      }
+      else if (arg == "--trace-buffer") config.traceBufferSpans = static_cast<std::size_t>(util::parseInt(next(), "--trace-buffer"));
       else if (arg == "--light") config.engine.study.params = core::AlgorithmParams::lightRendering();
       else if (arg == "--quiet") util::setLogLevel(util::LogLevel::Warn);
       else if (arg == "--cache") {

@@ -6,6 +6,7 @@
 // Runs the requested slice of the (cap x algorithm x size) matrix,
 // prints a paper-style summary, and optionally exports every record as
 // CSV for plotting.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,7 +47,8 @@ options:
                         (open in Perfetto or chrome://tracing)
   --power-timeline PATH write every record's 100 ms power/energy timeline
                         (watts, cumulative joules, phase) as JSON
-  --cache PATH          characterization cache file (default:
+  --cache PATH          characterization cache file (default: the
+                        POWERVIZ_PROFILE_CACHE env var, else
                         pviz_profile_cache.txt; "none" disables)
   --backend NAME        execution backend: serial | threaded | vectorized
                         (default: POWERVIZ_BACKEND, else threaded; all
@@ -92,7 +94,10 @@ int main(int argc, char** argv) {
   config.params.sampledCameraCount = 8;
   config.params.imageWidth = 512;
   config.params.imageHeight = 512;
-  config.cachePath = "pviz_profile_cache.txt";
+  // POWERVIZ_PROFILE_CACHE moves the on-disk cache out of the CWD (CI
+  // keeps it in the build tree; --cache still wins over the env var).
+  const char* cacheEnv = std::getenv("POWERVIZ_PROFILE_CACHE");
+  config.cachePath = cacheEnv != nullptr ? cacheEnv : "pviz_profile_cache.txt";
   util::setDefaultLogLevel(util::LogLevel::Info);
 
   std::vector<core::Algorithm> algorithms = core::allAlgorithms();
